@@ -1,0 +1,292 @@
+//! From sparse captures to daily CMP presence (paper §3.2).
+//!
+//! The social feed samples domains at irregular intervals, so the paper
+//! (1) classifies each observation day by whether the CMP appears in at
+//! least a third of that day's captures, (2) interpolates gaps whose two
+//! boundary observations agree, and (3) right-censors by fading out a
+//! CMP 30 days after the last observation.
+
+use consent_crawler::CaptureSummary;
+use consent_util::Day;
+use consent_webgraph::Cmp;
+use std::collections::BTreeMap;
+
+/// The fade-out horizon for right censoring (§3.2: 30 days).
+pub const FADE_OUT_DAYS: i32 = 30;
+
+/// The ≥⅓ share a CMP needs among a day's captures (§3.5 "Subsites").
+pub const DAY_SHARE_THRESHOLD: f64 = 1.0 / 3.0;
+
+/// One observation day for a domain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DayObservation {
+    /// The day.
+    pub day: Day,
+    /// The CMP classified for this day, if any.
+    pub cmp: Option<Cmp>,
+    /// Usable captures that day.
+    pub captures: u32,
+    /// Captures containing the classified CMP.
+    pub cmp_captures: u32,
+}
+
+impl DayObservation {
+    /// Share of the day's captures containing the classified CMP.
+    pub fn share(&self) -> f64 {
+        if self.captures == 0 {
+            0.0
+        } else {
+            f64::from(self.cmp_captures) / f64::from(self.captures)
+        }
+    }
+}
+
+/// A domain's reconstructed daily CMP timeline.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Timeline {
+    /// Day-level observations, ascending.
+    pub observations: Vec<DayObservation>,
+}
+
+impl Timeline {
+    /// Classify each observation day of a domain's capture history.
+    ///
+    /// Only usable captures count. A CMP is assigned to a day when it
+    /// appears in at least [`DAY_SHARE_THRESHOLD`] of that day's
+    /// captures; if several qualify, the most frequent wins.
+    pub fn from_history(history: &[CaptureSummary]) -> Timeline {
+        let mut by_day: BTreeMap<Day, Vec<&CaptureSummary>> = BTreeMap::new();
+        for c in history {
+            if matches!(
+                c.status,
+                consent_httpsim::CaptureStatus::Ok | consent_httpsim::CaptureStatus::Timeout
+            ) {
+                by_day.entry(c.day).or_default().push(c);
+            }
+        }
+        let observations = by_day
+            .into_iter()
+            .map(|(day, captures)| {
+                let total = captures.len() as u32;
+                let mut counts: BTreeMap<Cmp, u32> = BTreeMap::new();
+                for c in &captures {
+                    for cmp in c.cmps.iter() {
+                        *counts.entry(cmp).or_insert(0) += 1;
+                    }
+                }
+                let best = counts
+                    .into_iter()
+                    .max_by_key(|&(_, n)| n)
+                    .filter(|&(_, n)| f64::from(n) / f64::from(total) >= DAY_SHARE_THRESHOLD);
+                match best {
+                    Some((cmp, n)) => DayObservation {
+                        day,
+                        cmp: Some(cmp),
+                        captures: total,
+                        cmp_captures: n,
+                    },
+                    None => DayObservation {
+                        day,
+                        cmp: None,
+                        captures: total,
+                        cmp_captures: 0,
+                    },
+                }
+            })
+            .collect();
+        Timeline { observations }
+    }
+
+    /// The CMP presumed active on `day`, applying interpolation and the
+    /// 30-day fade-out.
+    pub fn cmp_on(&self, day: Day) -> Option<Cmp> {
+        // Last observation at or before `day`, and first after.
+        let idx = self.observations.partition_point(|o| o.day <= day);
+        let before = idx.checked_sub(1).map(|i| &self.observations[i]);
+        let after = self.observations.get(idx);
+        match (before, after) {
+            (None, _) => None, // never observed yet
+            (Some(b), _) if b.day == day => b.cmp,
+            (Some(b), Some(a)) => {
+                // Interpolate only when both boundaries agree (§3.2).
+                if b.cmp == a.cmp {
+                    b.cmp
+                } else {
+                    None
+                }
+            }
+            (Some(b), None) => {
+                // Right-censored: fade out after 30 days.
+                if day - b.day <= FADE_OUT_DAYS {
+                    b.cmp
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Days on which the domain was observed.
+    pub fn observed_days(&self) -> usize {
+        self.observations.len()
+    }
+
+    /// True if every observation day has a CMP share below 5 % or above
+    /// 95 % — the bimodality the paper reports for 99.8 % of domains.
+    pub fn share_is_bimodal(&self) -> bool {
+        self.observations.iter().all(|o| {
+            let s = o.share();
+            !(0.05..=0.95).contains(&s)
+        })
+    }
+
+    /// Switch events `(day, from, to)` between *different* CMPs across
+    /// consecutive CMP-bearing observations.
+    pub fn switches(&self) -> Vec<(Day, Cmp, Cmp)> {
+        let mut out = Vec::new();
+        let mut last: Option<(Day, Cmp)> = None;
+        for o in &self.observations {
+            if let Some(cmp) = o.cmp {
+                if let Some((_, prev)) = last {
+                    if prev != cmp {
+                        out.push((o.day, prev, cmp));
+                    }
+                }
+                last = Some((o.day, cmp));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use consent_crawler::CmpSet;
+    use consent_httpsim::{CaptureStatus, Location};
+
+    fn cap(day: Day, cmp: Option<Cmp>) -> CaptureSummary {
+        CaptureSummary {
+            domain: "x.com".into(),
+            day,
+            location: Location::EuCloud,
+            status: CaptureStatus::Ok,
+            cmps: cmp.map_or(CmpSet::empty(), |c| CmpSet::from_iter([c])),
+            redirected: false,
+            dialog_visible: false,
+        }
+    }
+
+    fn failed_cap(day: Day) -> CaptureSummary {
+        let mut c = cap(day, Some(Cmp::OneTrust));
+        c.status = CaptureStatus::AntiBotInterstitial;
+        c
+    }
+
+    #[test]
+    fn day_classification_one_third_rule() {
+        let d = Day::from_ymd(2020, 1, 1);
+        // 1 of 3 captures has the CMP → exactly one third → classified.
+        let history = vec![
+            cap(d, Some(Cmp::Quantcast)),
+            cap(d, None),
+            cap(d, None),
+        ];
+        let t = Timeline::from_history(&history);
+        assert_eq!(t.observations.len(), 1);
+        assert_eq!(t.observations[0].cmp, Some(Cmp::Quantcast));
+        assert!((t.observations[0].share() - 1.0 / 3.0).abs() < 1e-9);
+        // 1 of 4 → below the threshold.
+        let history = vec![
+            cap(d, Some(Cmp::Quantcast)),
+            cap(d, None),
+            cap(d, None),
+            cap(d, None),
+        ];
+        let t = Timeline::from_history(&history);
+        assert_eq!(t.observations[0].cmp, None);
+    }
+
+    #[test]
+    fn unusable_captures_ignored() {
+        let d = Day::from_ymd(2020, 1, 1);
+        let history = vec![cap(d, Some(Cmp::OneTrust)), failed_cap(d), failed_cap(d)];
+        let t = Timeline::from_history(&history);
+        // Only the usable capture counts: share = 1/1.
+        assert_eq!(t.observations[0].captures, 1);
+        assert_eq!(t.observations[0].cmp, Some(Cmp::OneTrust));
+    }
+
+    #[test]
+    fn interpolation_between_agreeing_boundaries() {
+        let d = Day::from_ymd(2020, 1, 1);
+        let history = vec![cap(d, Some(Cmp::Quantcast)), cap(d + 30, Some(Cmp::Quantcast))];
+        let t = Timeline::from_history(&history);
+        // The paper's example: seen a month ago and today → assume
+        // present throughout.
+        assert_eq!(t.cmp_on(d + 15), Some(Cmp::Quantcast));
+        assert_eq!(t.cmp_on(d), Some(Cmp::Quantcast));
+        assert_eq!(t.cmp_on(d - 1), None);
+    }
+
+    #[test]
+    fn disagreement_blocks_interpolation() {
+        let d = Day::from_ymd(2020, 1, 1);
+        let history = vec![cap(d, Some(Cmp::Cookiebot)), cap(d + 40, Some(Cmp::OneTrust))];
+        let t = Timeline::from_history(&history);
+        assert_eq!(t.cmp_on(d + 20), None);
+        assert_eq!(t.cmp_on(d), Some(Cmp::Cookiebot));
+        assert_eq!(t.cmp_on(d + 40), Some(Cmp::OneTrust));
+        assert_eq!(t.switches(), vec![(d + 40, Cmp::Cookiebot, Cmp::OneTrust)]);
+    }
+
+    #[test]
+    fn fade_out_after_thirty_days() {
+        let d = Day::from_ymd(2020, 2, 1);
+        let history = vec![cap(d, Some(Cmp::TrustArc))];
+        let t = Timeline::from_history(&history);
+        // The paper's example: measured Feb 1 → assume none by Mar 1.
+        assert_eq!(t.cmp_on(d + 7), Some(Cmp::TrustArc));
+        assert_eq!(t.cmp_on(d + 30), Some(Cmp::TrustArc));
+        assert_eq!(t.cmp_on(d + 31), None);
+    }
+
+    #[test]
+    fn none_to_cmp_gap_is_not_interpolated() {
+        let d = Day::from_ymd(2020, 1, 1);
+        let history = vec![cap(d, None), cap(d + 20, Some(Cmp::OneTrust))];
+        let t = Timeline::from_history(&history);
+        assert_eq!(t.cmp_on(d + 10), None);
+        assert_eq!(t.cmp_on(d + 20), Some(Cmp::OneTrust));
+    }
+
+    #[test]
+    fn bimodality_check() {
+        let d = Day::from_ymd(2020, 1, 1);
+        // All-or-nothing days → bimodal.
+        let history = vec![
+            cap(d, Some(Cmp::OneTrust)),
+            cap(d, Some(Cmp::OneTrust)),
+            cap(d + 1, None),
+        ];
+        let t = Timeline::from_history(&history);
+        assert!(t.share_is_bimodal());
+        assert_eq!(t.observed_days(), 2);
+        // A 50 % day breaks bimodality.
+        let history = vec![cap(d, Some(Cmp::OneTrust)), cap(d, None)];
+        let t = Timeline::from_history(&history);
+        assert!(!t.share_is_bimodal());
+    }
+
+    #[test]
+    fn multi_cmp_day_picks_majority() {
+        let d = Day::from_ymd(2020, 1, 1);
+        let history = vec![
+            cap(d, Some(Cmp::OneTrust)),
+            cap(d, Some(Cmp::OneTrust)),
+            cap(d, Some(Cmp::Quantcast)),
+        ];
+        let t = Timeline::from_history(&history);
+        assert_eq!(t.observations[0].cmp, Some(Cmp::OneTrust));
+    }
+}

@@ -1,0 +1,32 @@
+//! # consent-analysis
+//!
+//! The paper's longitudinal analysis pipeline over capture records:
+//! per-domain daily timelines with interpolation and 30-day fade-out
+//! ([`interpolate`]), the Figure 6 adoption series and Figure 4
+//! switching flows ([`timeseries`]), the Figure 5 market-share-by-size
+//! curve ([`marketshare`]), the Table 1 vantage comparison
+//! ([`vantage_table`]), the §4.1 publisher-customization classifier
+//! ([`customization`]), and the §3.4–3.5 data-quality statistics
+//! ([`quality`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod customization;
+pub mod interpolate;
+pub mod jurisdiction;
+pub mod marketshare;
+pub mod quality;
+pub mod timeseries;
+pub mod vantage_table;
+
+pub use customization::{
+    classify_style, classify_wording, customization_report, CustomizationReport, ObservedStyle,
+    ObservedWording,
+};
+pub use interpolate::{DayObservation, Timeline, DAY_SHARE_THRESHOLD, FADE_OUT_DAYS};
+pub use jurisdiction::{jurisdiction_report, JurisdictionReport};
+pub use marketshare::{marketshare_curve, standard_sizes, MarketshareCurve, RankObservation};
+pub use quality::{bimodal_share, missing_data_report, MissingDataReport};
+pub use timeseries::{adoption_series, build_timelines, switch_matrix, AdoptionPoint, SwitchMatrix};
+pub use vantage_table::{vantage_table, VantageTable};

@@ -1,0 +1,182 @@
+//! Cumulative CMP market share as a function of toplist size (Figure 5,
+//! Figures A.4–A.6).
+//!
+//! The input is a set of per-rank observations — from the capture
+//! pipeline, possibly stratified with sampling weights for the long tail
+//! — and the output is, for each toplist size `s`, the share of the top
+//! `s` sites embedding each CMP.
+
+use consent_webgraph::{Cmp, ALL_CMPS};
+
+/// One observed site: its toplist rank, a sampling weight (1.0 for a
+/// census; the stratum's inverse sampling fraction otherwise), and the
+/// CMP measured on it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RankObservation {
+    /// 1-based toplist rank.
+    pub rank: u32,
+    /// Inverse-probability weight.
+    pub weight: f64,
+    /// Detected CMP, if any.
+    pub cmp: Option<Cmp>,
+}
+
+/// The Figure 5 curve.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MarketshareCurve {
+    /// Toplist sizes (ascending).
+    pub sizes: Vec<u32>,
+    /// Cumulative per-CMP share at each size, [`ALL_CMPS`] order.
+    pub shares: Vec<[f64; 6]>,
+    /// Weighted number of observations within each size.
+    pub covered: Vec<f64>,
+}
+
+impl MarketshareCurve {
+    /// Total CMP share (all six summed) at size index `i`.
+    pub fn total_share(&self, i: usize) -> f64 {
+        self.shares[i].iter().sum()
+    }
+
+    /// Share of one CMP at size index `i`.
+    pub fn share_of(&self, i: usize, cmp: Cmp) -> f64 {
+        self.shares[i][ALL_CMPS.iter().position(|&c| c == cmp).expect("known")]
+    }
+}
+
+/// Compute the cumulative curve. `sizes` must be ascending; observations
+/// need not be sorted. Weighted counts are normalized by the weighted
+/// number of *observations* with rank ≤ s, which equals `s` for a
+/// census and is an unbiased estimate under stratified sampling.
+pub fn marketshare_curve(observations: &[RankObservation], sizes: &[u32]) -> MarketshareCurve {
+    assert!(sizes.windows(2).all(|w| w[0] < w[1]), "sizes must ascend");
+    let mut sorted: Vec<&RankObservation> = observations.iter().collect();
+    sorted.sort_by_key(|o| o.rank);
+
+    let mut shares = Vec::with_capacity(sizes.len());
+    let mut covered = Vec::with_capacity(sizes.len());
+    let mut cum = [0.0f64; 6];
+    let mut cum_weight = 0.0f64;
+    let mut idx = 0;
+    for &s in sizes {
+        while idx < sorted.len() && sorted[idx].rank <= s {
+            let o = sorted[idx];
+            cum_weight += o.weight;
+            if let Some(cmp) = o.cmp {
+                cum[ALL_CMPS.iter().position(|&c| c == cmp).expect("known")] += o.weight;
+            }
+            idx += 1;
+        }
+        let denom = if cum_weight > 0.0 { cum_weight } else { 1.0 };
+        let mut row = [0.0f64; 6];
+        for (i, &c) in cum.iter().enumerate() {
+            row[i] = c / denom;
+        }
+        shares.push(row);
+        covered.push(cum_weight);
+    }
+    MarketshareCurve {
+        sizes: sizes.to_vec(),
+        shares,
+        covered,
+    }
+}
+
+/// Standard size grid used for Figure 5: log-spaced from 100 to 1M.
+pub fn standard_sizes() -> Vec<u32> {
+    vec![
+        100, 200, 500, 1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000, 200_000, 500_000,
+        1_000_000,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(rank: u32, cmp: Option<Cmp>) -> RankObservation {
+        RankObservation {
+            rank,
+            weight: 1.0,
+            cmp,
+        }
+    }
+
+    #[test]
+    fn census_shares() {
+        // 10 sites, CMPs on ranks 3 (Quantcast) and 7 (OneTrust).
+        let observations: Vec<RankObservation> = (1..=10)
+            .map(|r| {
+                obs(
+                    r,
+                    match r {
+                        3 => Some(Cmp::Quantcast),
+                        7 => Some(Cmp::OneTrust),
+                        _ => None,
+                    },
+                )
+            })
+            .collect();
+        let curve = marketshare_curve(&observations, &[2, 5, 10]);
+        assert_eq!(curve.total_share(0), 0.0);
+        assert!((curve.total_share(1) - 0.2).abs() < 1e-9); // 1 of 5
+        assert!((curve.total_share(2) - 0.2).abs() < 1e-9); // 2 of 10
+        assert!((curve.share_of(2, Cmp::Quantcast) - 0.1).abs() < 1e-9);
+        assert!((curve.share_of(2, Cmp::OneTrust) - 0.1).abs() < 1e-9);
+        assert_eq!(curve.covered, vec![2.0, 5.0, 10.0]);
+    }
+
+    #[test]
+    fn weights_scale_strata() {
+        // Census of ranks 1-4 plus a 1-in-2 sample of ranks 5-8
+        // (weights 2.0): true adoption 1/4 in head, 1/2 in tail.
+        let observations = vec![
+            obs(1, None),
+            obs(2, Some(Cmp::Cookiebot)),
+            obs(3, None),
+            obs(4, None),
+            RankObservation {
+                rank: 5,
+                weight: 2.0,
+                cmp: Some(Cmp::Cookiebot),
+            },
+            RankObservation {
+                rank: 7,
+                weight: 2.0,
+                cmp: None,
+            },
+        ];
+        let curve = marketshare_curve(&observations, &[4, 8]);
+        assert!((curve.total_share(0) - 0.25).abs() < 1e-9);
+        // Weighted: (1 + 2) / (4 + 4) = 0.375.
+        assert!((curve.total_share(1) - 0.375).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unsorted_input_handled() {
+        let observations = vec![obs(9, Some(Cmp::TrustArc)), obs(1, None), obs(5, None)];
+        let curve = marketshare_curve(&observations, &[10]);
+        assert!((curve.total_share(0) - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_observations() {
+        let curve = marketshare_curve(&[], &[100]);
+        assert_eq!(curve.total_share(0), 0.0);
+        assert_eq!(curve.covered, vec![0.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_unsorted_sizes() {
+        marketshare_curve(&[], &[100, 50]);
+    }
+
+    #[test]
+    fn standard_grid_ascends_to_a_million() {
+        let sizes = standard_sizes();
+        assert_eq!(*sizes.first().unwrap(), 100);
+        assert_eq!(*sizes.last().unwrap(), 1_000_000);
+        assert!(sizes.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,174 @@
+//! Data-quality and methodology statistics (§3.4–§3.5).
+//!
+//! Reproduces the paper's reliability numbers: the missing-data breakdown
+//! of toplist domains never seen on social media, the share of domains
+//! with bimodal daily CMP shares (99.8 %), and the redirect / dedup /
+//! source-mix rates reported in §3.4.
+
+use crate::interpolate::Timeline;
+use consent_crawler::CaptureDb;
+use consent_webgraph::{Reachability, World};
+use std::collections::HashSet;
+
+/// Missing-data breakdown over a toplist (§3.5 "Missing Data": of the
+/// 1 076 Tranco-10k domains never shared on social media, 315 were
+/// unreachable, 4 returned no valid HTTP, 70 an error status, 192
+/// redirected elsewhere, and >90 % of the rest were infrastructure).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MissingDataReport {
+    /// Toplist domains considered.
+    pub toplist_size: usize,
+    /// Domains never observed in the social-media capture DB.
+    pub never_shared: usize,
+    /// … of which unreachable via HTTP/HTTPS.
+    pub unreachable: usize,
+    /// … of which returned no valid HTTP response.
+    pub no_valid_http: usize,
+    /// … of which returned an HTTP error status.
+    pub http_error: usize,
+    /// … of which redirect to another domain.
+    pub redirects_elsewhere: usize,
+    /// … of which are reachable infrastructure (CDNs etc.).
+    pub infrastructure: usize,
+}
+
+impl MissingDataReport {
+    /// The remainder: reachable, user-facing, yet never shared.
+    pub fn unexplained(&self) -> usize {
+        self.never_shared
+            .saturating_sub(self.unreachable)
+            .saturating_sub(self.no_valid_http)
+            .saturating_sub(self.http_error)
+            .saturating_sub(self.redirects_elsewhere)
+            .saturating_sub(self.infrastructure)
+    }
+}
+
+/// Compute the missing-data breakdown: which toplist domains never
+/// appear in the social capture DB, and why (using ground truth for the
+/// manual-inspection step the paper performed by hand).
+pub fn missing_data_report(
+    world: &World,
+    toplist_domains: &[String],
+    db: &CaptureDb,
+) -> MissingDataReport {
+    let seen: HashSet<&str> = db.iter().map(|(d, _)| d).collect();
+    let mut report = MissingDataReport {
+        toplist_size: toplist_domains.len(),
+        ..MissingDataReport::default()
+    };
+    for domain in toplist_domains {
+        if seen.contains(domain.as_str()) {
+            continue;
+        }
+        report.never_shared += 1;
+        let Some(profile) = world.site_by_host(domain) else {
+            continue;
+        };
+        match profile.reachability {
+            Reachability::Unreachable => report.unreachable += 1,
+            Reachability::NoValidHttp => report.no_valid_http += 1,
+            Reachability::HttpError => report.http_error += 1,
+            Reachability::RedirectsTo(_) => report.redirects_elsewhere += 1,
+            Reachability::Ok => {
+                if profile.infrastructure {
+                    report.infrastructure += 1;
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Share of multi-observation domains whose daily CMP share is always
+/// below 5 % or above 95 % (paper: 99.8 %).
+pub fn bimodal_share(timelines: &[&Timeline]) -> f64 {
+    let eligible: Vec<&&Timeline> = timelines
+        .iter()
+        .filter(|t| t.observed_days() >= 2)
+        .collect();
+    if eligible.is_empty() {
+        return 1.0;
+    }
+    let bimodal = eligible.iter().filter(|t| t.share_is_bimodal()).count();
+    bimodal as f64 / eligible.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeseries::build_timelines;
+    use consent_crawler::{build_toplist, FeedConfig, Platform};
+    use consent_util::{Day, SeedTree};
+    use consent_webgraph::{AdoptionConfig, WorldConfig};
+
+    fn world() -> World {
+        World::new(WorldConfig {
+            n_sites: 20_000,
+            seed: 42,
+            adoption: AdoptionConfig::default(),
+        })
+    }
+
+    #[test]
+    fn missing_data_breakdown_shape() {
+        let w = world();
+        let platform = Platform::new(
+            &w,
+            FeedConfig {
+                urls_per_day: 2_000,
+                ..FeedConfig::default()
+            },
+            SeedTree::new(3),
+        );
+        let start = Day::from_ymd(2020, 5, 1);
+        let (db, _) = platform.run(start, start + 7);
+        let toplist = build_toplist(&w, 2_000, SeedTree::new(7));
+        let report = missing_data_report(&w, &toplist, &db);
+        assert_eq!(report.toplist_size, 2_000);
+        assert!(report.never_shared > 0);
+        // The explained categories must not exceed the never-shared total.
+        assert!(
+            report.unreachable
+                + report.no_valid_http
+                + report.http_error
+                + report.redirects_elsewhere
+                + report.infrastructure
+                <= report.never_shared
+        );
+        // Unreachable and infrastructure domains can never be shared, so
+        // they must all be in the never-shared set: expect ~3.15 % and
+        // ~4.5 % of the toplist respectively (minus CMP adopters).
+        assert!(
+            report.unreachable >= 40,
+            "unreachable {}",
+            report.unreachable
+        );
+        assert!(
+            report.infrastructure >= 40,
+            "infrastructure {}",
+            report.infrastructure
+        );
+        let _ = report.unexplained();
+    }
+
+    #[test]
+    fn bimodality_near_total() {
+        let w = world();
+        let platform = Platform::new(
+            &w,
+            FeedConfig {
+                urls_per_day: 1_500,
+                ..FeedConfig::default()
+            },
+            SeedTree::new(5),
+        );
+        let start = Day::from_ymd(2020, 5, 1);
+        let (db, _) = platform.run(start, start + 10);
+        let timelines = build_timelines(&db, None);
+        let refs: Vec<&Timeline> = timelines.values().collect();
+        let share = bimodal_share(&refs);
+        assert!(share > 0.95, "bimodal share {share} (paper: 0.998)");
+        assert_eq!(bimodal_share(&[]), 1.0);
+    }
+}

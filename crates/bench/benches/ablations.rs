@@ -1,0 +1,176 @@
+//! Design-choice ablations called out in DESIGN.md:
+//!
+//! 1. eTLD+1 normalization vs raw-hostname counting (the 11% redirect
+//!    rate makes seed-domain counting imprecise, §3.2).
+//! 2. Hostname-only fingerprints vs the full rule ladder (§3.5's
+//!    robustness/precision trade-off).
+//! 3. Consent-string range vs bitfield encoding (the TCF's own size
+//!    trade-off).
+//! 4. Tranco Dowdall vs Borda aggregation.
+
+use consent_fingerprint::{Detector, Screening};
+use consent_httpsim::{CaptureOptions, Engine, Vantage};
+use consent_psl::PublicSuffixList;
+use consent_tcf::{ConsentString, VendorEncoding};
+use consent_toplist::{default_providers, AggregationRule, Toplist};
+use consent_util::{Day, SeedTree};
+use consent_webgraph::{Reachability, World, WorldConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn world() -> World {
+    World::new(WorldConfig {
+        n_sites: 20_000,
+        seed: 42,
+        ..WorldConfig::default()
+    })
+}
+
+fn ablation_psl(c: &mut Criterion) {
+    let psl = PublicSuffixList::embedded();
+    let hosts: Vec<String> = (1..=5_000u32)
+        .map(|i| format!("www.sub{i}.example{}.co.uk", i % 97))
+        .collect();
+    let mut g = c.benchmark_group("ablation_psl");
+    g.bench_function("etld1_normalization", |b| {
+        b.iter(|| {
+            hosts
+                .iter()
+                .filter_map(|h| psl.registrable_domain(h))
+                .count()
+        })
+    });
+    g.bench_function("raw_hostname_counting", |b| {
+        b.iter(|| hosts.iter().map(String::len).sum::<usize>())
+    });
+    g.finish();
+}
+
+fn ablation_detector(c: &mut Criterion) {
+    let w = world();
+    let engine = Engine::new(&w, SeedTree::new(1));
+    let day = Day::from_ymd(2020, 5, 15);
+    let vantage = Vantage::table1_columns()[3];
+    let captures: Vec<_> = (1..=1_500u32)
+        .filter_map(|r| {
+            let p = w.profile(r);
+            (p.reachability == Reachability::Ok).then(|| {
+                (
+                    p.cmp_on(day),
+                    engine.capture(
+                        &format!("https://{}/", p.domain),
+                        day,
+                        vantage,
+                        CaptureOptions { collect_dom: true },
+                    ),
+                )
+            })
+        })
+        .collect();
+
+    // Report precision/recall per rule tier before timing.
+    for (label, det) in [
+        ("hostname-only (tier 3)", Detector::hostname_only()),
+        ("hostname+url (tier 2+)", Detector::with_min_specificity(2)),
+        ("all rules incl. text (tier 0+)", Detector::with_min_specificity(0)),
+    ] {
+        let mut s = Screening::default();
+        for (truth, cap) in &captures {
+            s.record(*truth, &det.detect(cap));
+        }
+        println!(
+            "{label}: {} rules, precision {:.3}, recall {:.3}",
+            det.active_rules(),
+            s.precision(),
+            s.recall()
+        );
+    }
+    println!();
+
+    let mut g = c.benchmark_group("ablation_detector");
+    for (name, det) in [
+        ("hostname_only", Detector::hostname_only()),
+        ("full_ruleset", Detector::with_min_specificity(0)),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                captures
+                    .iter()
+                    .map(|(_, cap)| det.detect(cap).len())
+                    .sum::<usize>()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn ablation_consent_encoding(c: &mut Criterion) {
+    // Sparse (reject-most) and dense (accept-all) consent sets: the
+    // range encoding wins on both extremes, the bitfield in between.
+    let sparse = {
+        let mut s = ConsentString::new(10, 215, 600);
+        s.vendor_consents = (1..=600).filter(|i| i % 50 == 0).collect();
+        s
+    };
+    let dense = ConsentString::new(10, 215, 600)
+        .accept_all(consent_tcf::purposes::all_purpose_ids());
+    let alternating = {
+        let mut s = ConsentString::new(10, 215, 600);
+        s.vendor_consents = (1..=600).filter(|i| i % 2 == 0).collect();
+        s
+    };
+    for (label, cs) in [("sparse", &sparse), ("accept_all", &dense), ("alternating", &alternating)] {
+        println!(
+            "{label}: bitfield {} chars, range {} chars, auto {} chars",
+            cs.encode(VendorEncoding::BitField).len(),
+            cs.encode(VendorEncoding::Range).len(),
+            cs.encode(VendorEncoding::Auto).len()
+        );
+    }
+    println!();
+
+    let mut g = c.benchmark_group("ablation_consent_encoding");
+    g.bench_function("encode_bitfield", |b| {
+        b.iter(|| alternating.encode(VendorEncoding::BitField))
+    });
+    g.bench_function("encode_range", |b| {
+        b.iter(|| sparse.encode(VendorEncoding::Range))
+    });
+    g.bench_function("decode", |b| {
+        let s = dense.encode(VendorEncoding::Auto);
+        b.iter(|| ConsentString::decode(&s).unwrap())
+    });
+    g.finish();
+}
+
+fn ablation_toplist_rule(c: &mut Criterion) {
+    let ground_truth: Vec<String> = (0..5_000).map(|i| format!("site{i:05}.com")).collect();
+    let providers = default_providers(&ground_truth, SeedTree::new(9));
+    for rule in [AggregationRule::Dowdall, AggregationRule::Borda] {
+        let t = Toplist::aggregate(&providers, rule);
+        let recovered = ground_truth[..100]
+            .iter()
+            .filter(|d| t.rank_of(d).is_some_and(|r| r <= 200))
+            .count();
+        println!("{rule:?}: true top-100 recovered in aggregated top-200: {recovered}/100");
+    }
+    println!();
+
+    let mut g = c.benchmark_group("ablation_toplist");
+    g.sample_size(10);
+    g.bench_function("dowdall", |b| {
+        b.iter(|| Toplist::aggregate(&providers, AggregationRule::Dowdall))
+    });
+    g.bench_function("borda", |b| {
+        b.iter(|| Toplist::aggregate(&providers, AggregationRule::Borda))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_psl,
+    ablation_detector,
+    ablation_consent_encoding,
+    ablation_toplist_rule
+);
+criterion_main!(benches);

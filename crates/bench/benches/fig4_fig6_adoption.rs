@@ -1,0 +1,65 @@
+//! Figure 6 (adoption over time) and Figure 4 (switching) regenerator,
+//! plus the interpolation ablation from DESIGN.md: the paper's
+//! interpolate+fade-out reconstruction vs naive last-observation-carried-
+//! forward, which overcounts near the right censor boundary.
+
+use consent_core::{experiments, Study};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let study = Study::quick();
+    let r = experiments::fig6::fig6(&study);
+    println!("\n{}", r.render());
+    println!("{}", r.render_switching());
+    println!(
+        "Paper reference: <1% of the 10k in Feb 2018 rising to ~10% by Sep 2020, \
+         doubling Jun18→Jun19→Jun20; Cookiebot loses ~10x what it gains.\n"
+    );
+
+    // Ablation: LOCF (no fade-out) vs the paper's estimator at the
+    // right-censored window end.
+    let end = study.config().window_end - 1;
+    let timelines = consent_analysis::build_timelines(&r.db, None);
+    let faded = timelines
+        .values()
+        .filter(|t| t.cmp_on(end).is_some())
+        .count();
+    let locf = timelines
+        .values()
+        .filter(|t| {
+            t.observations
+                .iter()
+                .rev()
+                .find(|o| o.day <= end)
+                .is_some_and(|o| o.cmp.is_some())
+        })
+        .count();
+    println!(
+        "Ablation (right-censor handling at {end}): fade-out estimator = {faded} domains, \
+         naive LOCF = {locf} domains (LOCF overcounts by {:.1}%)\n",
+        (locf as f64 / faded.max(1) as f64 - 1.0) * 100.0
+    );
+
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+    g.bench_function("timeline_reconstruction", |b| {
+        b.iter(|| consent_analysis::build_timelines(&r.db, None))
+    });
+    g.bench_function("adoption_series_monthly", |b| {
+        b.iter(|| {
+            consent_analysis::adoption_series(
+                &timelines,
+                study.config().window_start,
+                study.config().window_end - 1,
+                30,
+            )
+        })
+    });
+    g.bench_function("switch_matrix", |b| {
+        b.iter(|| consent_analysis::switch_matrix(&timelines))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

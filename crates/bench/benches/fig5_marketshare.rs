@@ -1,0 +1,33 @@
+//! Figure 5 / A.4–A.6 regenerator: cumulative market share by toplist
+//! size at three snapshots, then benchmarks the stratified census sweep.
+
+use consent_core::{experiments, Study};
+use consent_util::Day;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let study = Study::quick();
+    for (label, day) in [
+        ("Figure A.4 (January 2019)", Day::from_ymd(2019, 1, 15)),
+        ("Figure A.5 (January 2020)", Day::from_ymd(2020, 1, 15)),
+        ("Figure 5 (May 2020)", Day::from_ymd(2020, 5, 15)),
+    ] {
+        let r = experiments::fig5::fig5_at(&study, day);
+        println!("\n=== {label} ===\n{}", r.render());
+    }
+    println!(
+        "Paper reference (May 2020): ~4% at top 100, ~13% at top 1k, \
+         1.51% cumulative over the top 1M; Quantcast leads the head, \
+         OneTrust the 500–50k band.\n"
+    );
+
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    g.bench_function("stratified_census_sweep", |b| {
+        b.iter(|| experiments::fig5::fig5(&study))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

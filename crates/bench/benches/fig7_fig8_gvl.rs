@@ -1,0 +1,43 @@
+//! Figures 7 and 8 regenerator: GVL vendor growth and lawful-basis
+//! transitions, then benchmarks history generation and diffing.
+
+use consent_core::{experiments, Study};
+use consent_tcf::{diff_history, fig7_series, fig8_series};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let study = Study::quick();
+    let r = experiments::fig7_8::gvl_figures(&study);
+    println!("\n{}", r.render_fig7());
+    println!("{}", r.render_fig8());
+    println!(
+        "Net toward consent: {:+} (paper: positive — vendors obtain more consent over time)\n",
+        r.net_toward_consent()
+    );
+    println!(
+        "Paper reference: sharp vendor-count spike at GDPR, purpose 1 always most \
+         popular, ≥1/5 of vendors claim legitimate interest per purpose, \
+         activity bursts around GDPR and Mar/Apr 2020.\n"
+    );
+
+    let mut g = c.benchmark_group("gvl");
+    g.sample_size(10);
+    g.bench_function("generate_history", |b| {
+        b.iter(|| {
+            consent_tcf::generate_history(
+                &consent_tcf::HistoryConfig::default(),
+                study.seed().child("bench"),
+            )
+        })
+    });
+    g.bench_function("diff_history", |b| b.iter(|| diff_history(&r.history)));
+    g.bench_function("fig7_series", |b| b.iter(|| fig7_series(&r.history)));
+    g.bench_function("fig8_series", |b| {
+        let events = diff_history(&r.history);
+        b.iter(|| fig8_series(&events))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Item I3 regenerator: publisher customization shares, then benchmarks
+//! the DOM classification pass.
+
+use consent_core::{experiments, Study};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let study = Study::quick();
+    let t1 = experiments::table1::table1(&study);
+    let r = experiments::i3::i3_customization(&t1);
+    println!("\n{}", r.render());
+    println!(
+        "Paper reference: OneTrust 61% conventional banner / 2.4% opt-out button / \
+         5.5% script banner / 7.5% footer link; Quantcast 55% direct reject, 13% \
+         free-form wording; TrustArc 7% instant / 12% multi-partner opt-out; \
+         ~8% of sites use CMP APIs with custom dialogs.\n"
+    );
+
+    let mut g = c.benchmark_group("i3");
+    g.sample_size(10);
+    g.bench_function("classify_campaign_dom", |b| {
+        b.iter(|| experiments::i3::i3_customization(&t1))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

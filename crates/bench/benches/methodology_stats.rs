@@ -1,0 +1,33 @@
+//! §3.4–§3.5 methodology statistics regenerator, then benchmarks the
+//! capture-pipeline throughput (the platform's core loop).
+
+use consent_core::{experiments, Study};
+use consent_crawler::{FeedConfig, Platform};
+use consent_util::Day;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let study = Study::quick();
+    let f6 = experiments::fig6::fig6(&study);
+    let m = experiments::methodology::methodology(&study, &f6);
+    println!("\n{}", m.render());
+
+    let mut g = c.benchmark_group("methodology");
+    g.sample_size(10);
+    g.bench_function("platform_one_day_2000_urls", |b| {
+        let platform = Platform::new(
+            study.world(),
+            FeedConfig {
+                urls_per_day: 2_000,
+                ..FeedConfig::default()
+            },
+            study.seed().child("bench-platform"),
+        );
+        let day = Day::from_ymd(2020, 5, 10);
+        b.iter(|| platform.run(day, day + 1))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Table 1 / Table A.3 regenerator: prints the reproduced tables once,
+//! then benchmarks the toplist campaign.
+
+use consent_core::{experiments, Study};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let study = Study::quick();
+
+    // Print the reproduced rows (the deliverable the paper reports).
+    let may = experiments::table1::table1(&study);
+    println!("\n{}", may.render());
+    let jan = experiments::table1::table_a3(&study);
+    println!("{}", jan.render());
+    println!(
+        "Paper reference (May 2020, top 10k): OneTrust 341/368/403/412/412/414, \
+         Quantcast 173/207/225/229/230/233, coverage 79%→100%\n"
+    );
+
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    g.bench_function("campaign_6_vantages", |b| {
+        b.iter(|| experiments::table1::table1(&study))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! One module per paper table/figure; see DESIGN.md's experiment index.
+
+pub mod fig1;
+pub mod fig10;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7_8;
+pub mod fig9;
+pub mod i3;
+pub mod methodology;
+pub mod table1;
+pub mod tables_a;

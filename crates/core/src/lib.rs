@@ -1,0 +1,24 @@
+//! # consent-core
+//!
+//! The public facade of the consent-observatory: a reproduction of
+//! "Measuring the Emergence of Consent Management on the Web" (Hils,
+//! Woods & Böhme, IMC 2020) over a deterministic synthetic web.
+//!
+//! Create a [`Study`] (scale + seed), then call the experiment harnesses
+//! in [`experiments`] — one per paper table/figure:
+//!
+//! ```
+//! use consent_core::{Study, experiments};
+//! let study = Study::quick();
+//! let fig9 = experiments::fig9::fig9_with_hours(&study, 48);
+//! assert!(fig9.min_clicks >= 7); // the paper's "7 clicks to opt out"
+//! println!("{}", fig9.render());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod study;
+
+pub use study::{Study, StudyConfig};

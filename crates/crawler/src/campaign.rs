@@ -1,0 +1,210 @@
+//! Toplist crawl campaigns (the Table 1 methodology).
+//!
+//! §3.2: the Tranco 10k is converted to seed URLs (TLS-validated ladder,
+//! three rounds over a week), then every URL is crawled six times — US
+//! cloud, EU cloud, and the EU university with default timing, extended
+//! timing, and two language variants — with unsuccessful captures retried
+//! three times over a week. DOM snapshots are stored for the university
+//! crawls.
+
+use consent_httpsim::{CaptureOptions, Engine, Location, Vantage, WorldProber};
+use consent_toplist::{default_providers, resolve_all, AggregationRule, SeedUrl, Toplist};
+use consent_util::{Day, SeedTree};
+use consent_webgraph::World;
+
+/// One crawled toplist entry at one vantage.
+#[derive(Clone, Debug)]
+pub struct CampaignCapture {
+    /// Tranco rank of the entry (1-based position in the aggregated list).
+    pub rank: usize,
+    /// Toplist domain.
+    pub domain: String,
+    /// The capture (retried per §3.2 if unsuccessful).
+    pub capture: consent_httpsim::Capture,
+    /// How many attempts were needed (1 = first try).
+    pub attempts: u8,
+}
+
+/// Results of a full campaign: one capture list per vantage column.
+pub struct CampaignResult {
+    /// `(vantage, captures)` in the same order as the input vantages.
+    pub columns: Vec<(Vantage, Vec<CampaignCapture>)>,
+    /// The resolved seed URLs, including speculative ones.
+    pub seeds: Vec<SeedUrl>,
+}
+
+impl CampaignResult {
+    /// The captures for one location/timing column, if present.
+    pub fn column(&self, vantage: Vantage) -> Option<&[CampaignCapture]> {
+        self.columns
+            .iter()
+            .find(|(v, _)| *v == vantage)
+            .map(|(_, c)| c.as_slice())
+    }
+}
+
+/// Build the study's Tranco-style toplist over the synthetic world:
+/// four noisy provider observations of the ground-truth ranking,
+/// aggregated with the Dowdall rule, truncated to `n`.
+pub fn build_toplist(world: &World, n: usize, seed: SeedTree) -> Vec<String> {
+    // Providers observe slightly more of the world than we keep, so
+    // entries can fall in and out across the cut like in real lists.
+    let m = ((n as f64 * 1.2) as u32).min(world.n_sites());
+    let ground_truth: Vec<String> = (1..=m).map(|r| world.profile(r).domain.clone()).collect();
+    let providers = default_providers(&ground_truth, seed.child("providers"));
+    let toplist = Toplist::aggregate(&providers, AggregationRule::Dowdall);
+    toplist.top(n).map(str::to_owned).collect()
+}
+
+/// Run a toplist campaign on `day` for the given vantage columns.
+pub fn run_campaign(
+    world: &World,
+    domains: &[String],
+    day: Day,
+    vantages: &[Vantage],
+    seed: SeedTree,
+) -> CampaignResult {
+    let engine = Engine::new(world, seed.child("engine"));
+    let prober = WorldProber::new(world, seed.child("prober"));
+    // Three resolution rounds over a week (§3.2).
+    let attempt_days = [day - 7, day - 4, day - 1];
+    let seeds = resolve_all(domains.iter().cloned(), &prober, &attempt_days);
+
+    let mut columns = Vec::with_capacity(vantages.len());
+    for &vantage in vantages {
+        let collect_dom = vantage.location == Location::EuUniversity;
+        let mut captures = Vec::with_capacity(seeds.len());
+        for (i, s) in seeds.iter().enumerate() {
+            // Initial attempt plus up to three retries over a week.
+            let mut attempts = 0u8;
+            let mut capture = None;
+            for retry in 0..4 {
+                attempts += 1;
+                let c = engine.capture(
+                    &s.url,
+                    day + retry * 2,
+                    vantage,
+                    CaptureOptions { collect_dom },
+                );
+                let usable = c.usable();
+                capture = Some(c);
+                if usable {
+                    break;
+                }
+            }
+            captures.push(CampaignCapture {
+                rank: i + 1,
+                domain: s.domain.clone(),
+                capture: capture.expect("at least one attempt"),
+                attempts,
+            });
+        }
+        columns.push((vantage, captures));
+    }
+    CampaignResult { columns, seeds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use consent_httpsim::Timing;
+    use consent_webgraph::{AdoptionConfig, WorldConfig};
+
+    fn world() -> World {
+        World::new(WorldConfig {
+            n_sites: 5_000,
+            seed: 42,
+            adoption: AdoptionConfig::default(),
+        })
+    }
+
+    #[test]
+    fn toplist_roughly_tracks_ground_truth() {
+        let w = world();
+        let list = build_toplist(&w, 1_000, SeedTree::new(7));
+        assert_eq!(list.len(), 1_000);
+        // The true top 20 should mostly make the aggregated top 60.
+        let head: Vec<&String> = list.iter().take(60).collect();
+        let mut recovered = 0;
+        for rank in 1..=20u32 {
+            let d = w.profile(rank).domain.clone();
+            if head.contains(&&d) {
+                recovered += 1;
+            }
+        }
+        assert!(recovered >= 14, "recovered {recovered}/20");
+        // No duplicates.
+        let mut dedup = list.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 1_000);
+    }
+
+    #[test]
+    fn campaign_covers_all_columns() {
+        let w = world();
+        let list = build_toplist(&w, 150, SeedTree::new(7));
+        let day = Day::from_ymd(2020, 5, 15);
+        let vantages = Vantage::table1_columns();
+        let result = run_campaign(&w, &list, day, &vantages, SeedTree::new(9));
+        assert_eq!(result.columns.len(), 6);
+        assert_eq!(result.seeds.len(), 150);
+        for (_, captures) in &result.columns {
+            assert_eq!(captures.len(), 150);
+        }
+        // University columns carry DOM; cloud columns don't.
+        let uni = result.column(vantages[3]).unwrap();
+        let usable_with_dom = uni
+            .iter()
+            .filter(|c| c.capture.usable() && c.capture.dom.is_some())
+            .count();
+        assert!(usable_with_dom > 100);
+        let cloud = result.column(vantages[0]).unwrap();
+        assert!(cloud.iter().all(|c| c.capture.dom.is_none()));
+    }
+
+    #[test]
+    fn eu_university_sees_at_least_as_many_cmps_as_us_cloud() {
+        let w = world();
+        let list = build_toplist(&w, 400, SeedTree::new(7));
+        let day = Day::from_ymd(2020, 5, 15);
+        let vantages = Vantage::table1_columns();
+        let result = run_campaign(&w, &list, day, &vantages, SeedTree::new(9));
+        let det = consent_fingerprint::Detector::hostname_only();
+        let count = |vantage: Vantage| {
+            result
+                .column(vantage)
+                .unwrap()
+                .iter()
+                .filter(|c| !det.detect(&c.capture).is_empty())
+                .count()
+        };
+        let us = count(vantages[0]);
+        let eu_cloud = count(vantages[1]);
+        let uni_ext = count(vantages[3]);
+        assert!(us <= eu_cloud, "us {us} > eu cloud {eu_cloud}");
+        assert!(eu_cloud <= uni_ext, "eu cloud {eu_cloud} > uni {uni_ext}");
+        assert!(uni_ext > 0);
+    }
+
+    #[test]
+    fn retries_bounded() {
+        let w = world();
+        let list = build_toplist(&w, 100, SeedTree::new(7));
+        let day = Day::from_ymd(2020, 5, 15);
+        let result = run_campaign(
+            &w,
+            &list,
+            day,
+            &[Vantage {
+                location: Location::EuUniversity,
+                timing: Timing::Extended,
+                language: consent_httpsim::Language::EnUs,
+            }],
+            SeedTree::new(9),
+        );
+        for c in result.column(result.columns[0].0).unwrap() {
+            assert!((1..=4).contains(&c.attempts));
+        }
+    }
+}

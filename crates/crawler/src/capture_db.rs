@@ -1,0 +1,264 @@
+//! The central capture database and its query API.
+//!
+//! §3.2: "All crawl data is stored in a central database, which can be
+//! queried using a custom API." Like Netograph (which "does not store
+//! page contents due to storage constraints") we keep a compact summary
+//! per capture: the final eTLD+1, day, vantage, outcome, and the detected
+//! CMPs — everything the longitudinal analyses consume.
+
+use consent_httpsim::{Capture, CaptureStatus, Location};
+use consent_psl::PublicSuffixList;
+use consent_webgraph::{Cmp, ALL_CMPS};
+use consent_util::Day;
+use std::collections::BTreeMap;
+
+/// Compact bitmask of detected CMPs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CmpSet(u8);
+
+impl CmpSet {
+    /// Empty set.
+    pub fn empty() -> CmpSet {
+        CmpSet(0)
+    }
+
+    /// Add a CMP.
+    pub fn insert(&mut self, cmp: Cmp) {
+        self.0 |= 1 << cmp_index(cmp);
+    }
+
+    /// Membership test.
+    pub fn contains(&self, cmp: Cmp) -> bool {
+        self.0 & (1 << cmp_index(cmp)) != 0
+    }
+
+    /// Number of CMPs in the set.
+    pub fn len(&self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterate members in [`ALL_CMPS`] order.
+    pub fn iter(&self) -> impl Iterator<Item = Cmp> + '_ {
+        ALL_CMPS.into_iter().filter(|&c| self.contains(c))
+    }
+}
+
+impl FromIterator<Cmp> for CmpSet {
+    fn from_iter<I: IntoIterator<Item = Cmp>>(cmps: I) -> CmpSet {
+        let mut s = CmpSet(0);
+        for c in cmps {
+            s.insert(c);
+        }
+        s
+    }
+}
+
+fn cmp_index(cmp: Cmp) -> u8 {
+    ALL_CMPS
+        .iter()
+        .position(|&c| c == cmp)
+        .expect("cmp in registry") as u8
+}
+
+/// One stored capture summary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CaptureSummary {
+    /// Final registrable domain (eTLD+1) after redirects.
+    pub domain: String,
+    /// Capture day.
+    pub day: Day,
+    /// Crawl location.
+    pub location: Location,
+    /// Outcome.
+    pub status: CaptureStatus,
+    /// Detected CMPs (usually 0 or 1).
+    pub cmps: CmpSet,
+    /// True if the seed URL's eTLD+1 differs from the final one
+    /// (top-level redirect, §3.2: ~11 % of crawls).
+    pub redirected: bool,
+    /// A consent dialog was visible.
+    pub dialog_visible: bool,
+}
+
+/// The capture store, indexed by domain.
+#[derive(Debug, Default)]
+pub struct CaptureDb {
+    by_domain: BTreeMap<String, Vec<CaptureSummary>>,
+    total: u64,
+    redirected: u64,
+    multi_cmp: u64,
+}
+
+impl CaptureDb {
+    /// Empty database.
+    pub fn new() -> CaptureDb {
+        CaptureDb::default()
+    }
+
+    /// Summarize a full capture and insert it.
+    pub fn ingest(&mut self, capture: &Capture, cmps: CmpSet, psl: &PublicSuffixList) {
+        let final_domain = psl
+            .registrable_domain(&capture.final_host)
+            .unwrap_or_else(|| capture.final_host.clone());
+        let (seed_host, _) = consent_httpsim::split_url(&capture.seed_url);
+        let seed_domain = psl
+            .registrable_domain(&seed_host)
+            .unwrap_or_else(|| seed_host.clone());
+        let summary = CaptureSummary {
+            domain: final_domain.clone(),
+            day: capture.day,
+            location: capture.vantage.location,
+            status: capture.status,
+            cmps,
+            redirected: seed_domain != final_domain,
+            dialog_visible: capture.dialog_visible,
+        };
+        self.insert(summary);
+    }
+
+    /// Insert a pre-built summary.
+    pub fn insert(&mut self, summary: CaptureSummary) {
+        self.total += 1;
+        if summary.redirected {
+            self.redirected += 1;
+        }
+        if summary.cmps.len() > 1 {
+            self.multi_cmp += 1;
+        }
+        self.by_domain
+            .entry(summary.domain.clone())
+            .or_default()
+            .push(summary);
+    }
+
+    /// Total stored captures.
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// True if no captures stored.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Number of distinct domains observed.
+    pub fn domain_count(&self) -> usize {
+        self.by_domain.len()
+    }
+
+    /// Fraction of captures whose seed redirected across eTLD+1.
+    pub fn redirect_rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.redirected as f64 / self.total as f64
+        }
+    }
+
+    /// Fraction of captures with more than one CMP (paper: 0.01 %).
+    pub fn multi_cmp_rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.multi_cmp as f64 / self.total as f64
+        }
+    }
+
+    /// All captures of one domain, in insertion (time) order.
+    pub fn domain_history(&self, domain: &str) -> &[CaptureSummary] {
+        self.by_domain.get(domain).map_or(&[], Vec::as_slice)
+    }
+
+    /// Iterate all `(domain, history)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &[CaptureSummary])> {
+        self.by_domain
+            .iter()
+            .map(|(d, v)| (d.as_str(), v.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(domain: &str, day: Day, cmps: CmpSet, redirected: bool) -> CaptureSummary {
+        CaptureSummary {
+            domain: domain.into(),
+            day,
+            location: Location::EuCloud,
+            status: CaptureStatus::Ok,
+            cmps,
+            redirected,
+            dialog_visible: false,
+        }
+    }
+
+    #[test]
+    fn cmp_set_semantics() {
+        let mut s = CmpSet::empty();
+        assert!(s.is_empty());
+        s.insert(Cmp::Quantcast);
+        s.insert(Cmp::OneTrust);
+        s.insert(Cmp::Quantcast); // idempotent
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(Cmp::OneTrust));
+        assert!(!s.contains(Cmp::TrustArc));
+        let members: Vec<Cmp> = s.iter().collect();
+        assert_eq!(members, [Cmp::OneTrust, Cmp::Quantcast]);
+        let from = CmpSet::from_iter([Cmp::LiveRamp]);
+        assert!(from.contains(Cmp::LiveRamp));
+        assert_eq!(from.len(), 1);
+    }
+
+    #[test]
+    fn db_counters() {
+        let mut db = CaptureDb::new();
+        assert!(db.is_empty());
+        let d = Day::from_ymd(2020, 1, 1);
+        db.insert(summary("a.com", d, CmpSet::from_iter([Cmp::OneTrust]), false));
+        db.insert(summary("a.com", d + 1, CmpSet::empty(), true));
+        db.insert(summary(
+            "b.com",
+            d,
+            CmpSet::from_iter([Cmp::OneTrust, Cmp::Quantcast]),
+            false,
+        ));
+        assert_eq!(db.len(), 3);
+        assert_eq!(db.domain_count(), 2);
+        assert!((db.redirect_rate() - 1.0 / 3.0).abs() < 1e-9);
+        assert!((db.multi_cmp_rate() - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(db.domain_history("a.com").len(), 2);
+        assert_eq!(db.domain_history("missing.com").len(), 0);
+        assert_eq!(db.iter().count(), 2);
+    }
+
+    #[test]
+    fn ingest_normalizes_to_etld1() {
+        use consent_httpsim::{Capture, Vantage};
+        let psl = PublicSuffixList::embedded();
+        let mut db = CaptureDb::new();
+        let capture = Capture {
+            seed_url: "https://short-alias.net/x".into(),
+            final_url: "https://www.example.co.uk/".into(),
+            final_host: "www.example.co.uk".into(),
+            day: Day::from_ymd(2020, 5, 1),
+            vantage: Vantage::eu_cloud(),
+            status: CaptureStatus::Ok,
+            requests: vec![],
+            cookies: vec![],
+            dialog_visible: true,
+            dom: None,
+        };
+        db.ingest(&capture, CmpSet::from_iter([Cmp::Quantcast]), &psl);
+        let hist = db.domain_history("example.co.uk");
+        assert_eq!(hist.len(), 1);
+        assert!(hist[0].redirected);
+        assert!(hist[0].dialog_visible);
+        assert!(hist[0].cmps.contains(Cmp::Quantcast));
+    }
+}

@@ -1,0 +1,246 @@
+//! Capture-database export/import.
+//!
+//! Netograph's capture store persists for multi-year analyses (§3.2); this
+//! module gives [`CaptureDb`] a compact, line-oriented text format so a
+//! long platform run can be saved once and re-analyzed many times. The
+//! format is a stable tab-separated layout, one capture summary per line,
+//! with a header carrying the format version.
+
+use crate::capture_db::{CaptureDb, CaptureSummary, CmpSet};
+use consent_httpsim::{CaptureStatus, Location};
+use consent_util::Day;
+use consent_webgraph::ALL_CMPS;
+use std::fmt;
+
+/// Current format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Import error with a line number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ImportError {
+    /// 1-based line number (0 for header problems).
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for ImportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "import error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ImportError {}
+
+fn status_code(s: CaptureStatus) -> &'static str {
+    match s {
+        CaptureStatus::Ok => "ok",
+        CaptureStatus::Timeout => "timeout",
+        CaptureStatus::AntiBotInterstitial => "antibot",
+        CaptureStatus::LegallyBlocked => "blocked451",
+        CaptureStatus::HttpError => "httperr",
+        CaptureStatus::ConnectionFailed => "connfail",
+    }
+}
+
+fn status_from(code: &str) -> Option<CaptureStatus> {
+    Some(match code {
+        "ok" => CaptureStatus::Ok,
+        "timeout" => CaptureStatus::Timeout,
+        "antibot" => CaptureStatus::AntiBotInterstitial,
+        "blocked451" => CaptureStatus::LegallyBlocked,
+        "httperr" => CaptureStatus::HttpError,
+        "connfail" => CaptureStatus::ConnectionFailed,
+        _ => return None,
+    })
+}
+
+fn location_code(l: Location) -> &'static str {
+    match l {
+        Location::UsCloud => "us",
+        Location::EuCloud => "eu",
+        Location::EuUniversity => "uni",
+    }
+}
+
+fn location_from(code: &str) -> Option<Location> {
+    Some(match code {
+        "us" => Location::UsCloud,
+        "eu" => Location::EuCloud,
+        "uni" => Location::EuUniversity,
+        _ => return None,
+    })
+}
+
+/// Serialize the database to the line format.
+pub fn export(db: &CaptureDb) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("#consent-capture-db v{FORMAT_VERSION}\n"));
+    for (domain, history) in db.iter() {
+        for c in history {
+            let cmps: Vec<&str> = c.cmps.iter().map(|x| x.name()).collect();
+            out.push_str(&format!(
+                "{domain}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+                c.day,
+                location_code(c.location),
+                status_code(c.status),
+                cmps.join(","),
+                u8::from(c.redirected),
+                u8::from(c.dialog_visible),
+            ));
+        }
+    }
+    out
+}
+
+/// Parse a database from the line format.
+pub fn import(text: &str) -> Result<CaptureDb, ImportError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or(ImportError {
+        line: 0,
+        message: "empty input".into(),
+    })?;
+    if header != format!("#consent-capture-db v{FORMAT_VERSION}") {
+        return Err(ImportError {
+            line: 0,
+            message: format!("unsupported header {header:?}"),
+        });
+    }
+    let mut db = CaptureDb::new();
+    for (i, line) in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let err = |message: String| ImportError {
+            line: i + 1,
+            message,
+        };
+        let fields: Vec<&str> = line.split('\t').collect();
+        if fields.len() != 7 {
+            return Err(err(format!("expected 7 fields, got {}", fields.len())));
+        }
+        let day: Day = fields[1]
+            .parse()
+            .map_err(|e| err(format!("bad day: {e}")))?;
+        let location =
+            location_from(fields[2]).ok_or_else(|| err(format!("bad location {:?}", fields[2])))?;
+        let status =
+            status_from(fields[3]).ok_or_else(|| err(format!("bad status {:?}", fields[3])))?;
+        let cmps = if fields[4].is_empty() {
+            CmpSet::empty()
+        } else {
+            fields[4]
+                .split(',')
+                .map(|name| {
+                    ALL_CMPS
+                        .iter()
+                        .copied()
+                        .find(|c| c.name() == name)
+                        .ok_or_else(|| err(format!("unknown CMP {name:?}")))
+                })
+                .collect::<Result<CmpSet, _>>()?
+        };
+        let flag = |s: &str, what: &str| match s {
+            "0" => Ok(false),
+            "1" => Ok(true),
+            _ => Err(err(format!("bad {what} flag {s:?}"))),
+        };
+        db.insert(CaptureSummary {
+            domain: fields[0].to_owned(),
+            day,
+            location,
+            status,
+            cmps,
+            redirected: flag(fields[5], "redirect")?,
+            dialog_visible: flag(fields[6], "dialog")?,
+        });
+    }
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use consent_webgraph::Cmp;
+
+    fn sample_db() -> CaptureDb {
+        let mut db = CaptureDb::new();
+        db.insert(CaptureSummary {
+            domain: "a.com".into(),
+            day: Day::from_ymd(2020, 5, 1),
+            location: Location::EuCloud,
+            status: CaptureStatus::Ok,
+            cmps: CmpSet::from_iter([Cmp::Quantcast]),
+            redirected: false,
+            dialog_visible: true,
+        });
+        db.insert(CaptureSummary {
+            domain: "a.com".into(),
+            day: Day::from_ymd(2020, 5, 3),
+            location: Location::UsCloud,
+            status: CaptureStatus::AntiBotInterstitial,
+            cmps: CmpSet::empty(),
+            redirected: true,
+            dialog_visible: false,
+        });
+        db.insert(CaptureSummary {
+            domain: "b.co.uk".into(),
+            day: Day::from_ymd(2020, 5, 2),
+            location: Location::EuUniversity,
+            status: CaptureStatus::Ok,
+            cmps: CmpSet::from_iter([Cmp::OneTrust, Cmp::Quantcast]),
+            redirected: false,
+            dialog_visible: true,
+        });
+        db
+    }
+
+    #[test]
+    fn roundtrip() {
+        let db = sample_db();
+        let text = export(&db);
+        let back = import(&text).unwrap();
+        assert_eq!(back.len(), db.len());
+        assert_eq!(back.domain_count(), db.domain_count());
+        assert_eq!(back.domain_history("a.com"), db.domain_history("a.com"));
+        assert_eq!(back.domain_history("b.co.uk"), db.domain_history("b.co.uk"));
+        assert_eq!(back.redirect_rate(), db.redirect_rate());
+        assert_eq!(back.multi_cmp_rate(), db.multi_cmp_rate());
+        // Export is deterministic.
+        assert_eq!(export(&back), text);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(import("").is_err());
+        assert!(import("#wrong header\n").is_err());
+        let good_header = format!("#consent-capture-db v{FORMAT_VERSION}\n");
+        assert!(import(&format!("{good_header}too\tfew\tfields\n")).is_err());
+        assert!(import(&format!(
+            "{good_header}a.com\t2020-05-01\tmars\tok\t\t0\t0\n"
+        ))
+        .is_err());
+        assert!(import(&format!(
+            "{good_header}a.com\t2020-05-01\teu\tok\tNotACmp\t0\t0\n"
+        ))
+        .is_err());
+        assert!(import(&format!(
+            "{good_header}a.com\tnot-a-date\teu\tok\t\t0\t0\n"
+        ))
+        .is_err());
+        assert!(import(&format!(
+            "{good_header}a.com\t2020-05-01\teu\tok\t\t2\t0\n"
+        ))
+        .is_err());
+        // Error display includes the line number.
+        let e = import(&format!("{good_header}bad line\n")).unwrap_err();
+        assert!(e.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn empty_db_roundtrips() {
+        let db = CaptureDb::new();
+        let back = import(&export(&db)).unwrap();
+        assert!(back.is_empty());
+    }
+}

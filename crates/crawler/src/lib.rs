@@ -1,0 +1,25 @@
+//! # consent-crawler
+//!
+//! The Netograph-style measurement platform: a reshare-skewed social
+//! media URL feed ([`feed`]), the 1h/48h deduplication queue ([`queue`]),
+//! the end-to-end capture pipeline with 50/50 US/EU vantage assignment
+//! ([`platform`]), the central capture database and query API
+//! ([`capture_db`]), and toplist crawl campaigns across the six Table 1
+//! vantage configurations ([`campaign`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod capture_db;
+pub mod export;
+pub mod feed;
+pub mod platform;
+pub mod queue;
+
+pub use campaign::{build_toplist, run_campaign, CampaignCapture, CampaignResult};
+pub use capture_db::{CaptureDb, CaptureSummary, CmpSet};
+pub use export::{export as export_db, import as import_db};
+pub use feed::{Feed, FeedConfig, FeedItem, FeedSource};
+pub use platform::{Platform, RunStats};
+pub use queue::{Admission, DedupQueue};

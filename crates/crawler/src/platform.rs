@@ -1,0 +1,216 @@
+//! The end-to-end social-feed measurement platform (Figure 3).
+//!
+//! Feed → dedup queue → vantage assignment (50 % US cloud / 50 % EU
+//! cloud, §3.2) → browser capture → CMP detection → capture database.
+//! This is the pipeline behind the paper's 161M-capture dataset; ours is
+//! volume-scaled by `FeedConfig::urls_per_day` but structurally
+//! identical.
+
+use crate::capture_db::{CaptureDb, CmpSet};
+use crate::feed::{Feed, FeedConfig, FeedItem};
+use crate::queue::{Admission, DedupQueue};
+use consent_fingerprint::Detector;
+use consent_httpsim::{CaptureOptions, Engine, Vantage};
+use consent_psl::PublicSuffixList;
+use consent_util::{Day, SeedTree};
+use consent_webgraph::World;
+use rand::Rng;
+
+/// Aggregate statistics of a platform run (§3.4 methodology numbers).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RunStats {
+    /// URLs seen in the feed.
+    pub submitted: u64,
+    /// URLs skipped by deduplication (paper: ~40 %).
+    pub skipped: u64,
+    /// Captures performed.
+    pub captured: u64,
+    /// Captures assigned to the US cloud.
+    pub us_captures: u64,
+    /// Captures assigned to the EU cloud.
+    pub eu_captures: u64,
+    /// URLs from Twitter (paper: ~80 %).
+    pub twitter_items: u64,
+}
+
+impl RunStats {
+    /// Dedup skip rate.
+    pub fn skip_rate(&self) -> f64 {
+        if self.submitted == 0 {
+            0.0
+        } else {
+            self.skipped as f64 / self.submitted as f64
+        }
+    }
+
+    /// Twitter share of feed items.
+    pub fn twitter_share(&self) -> f64 {
+        if self.submitted == 0 {
+            0.0
+        } else {
+            self.twitter_items as f64 / self.submitted as f64
+        }
+    }
+}
+
+/// The measurement platform.
+pub struct Platform<'w> {
+    engine: Engine<'w>,
+    feed: Feed<'w>,
+    detector: Detector,
+    psl: PublicSuffixList,
+    seed: SeedTree,
+}
+
+impl<'w> Platform<'w> {
+    /// Assemble the platform over a world.
+    pub fn new(world: &'w World, feed_config: FeedConfig, seed: SeedTree) -> Platform<'w> {
+        Platform {
+            engine: Engine::new(world, seed.child("engine")),
+            feed: Feed::new(world, feed_config, seed.child("feed")),
+            detector: Detector::hostname_only(),
+            psl: PublicSuffixList::embedded(),
+            seed: seed.child("platform"),
+        }
+    }
+
+    /// Run the pipeline over `[start, end)`, returning the capture
+    /// database and run statistics.
+    pub fn run(&self, start: Day, end: Day) -> (CaptureDb, RunStats) {
+        let mut db = CaptureDb::new();
+        let mut stats = RunStats::default();
+        let mut queue = DedupQueue::new();
+        let mut assign_rng = self.seed.child("assign").rng();
+        for day in start.days_until(end) {
+            for item in self.feed.day_items(day) {
+                stats.submitted += 1;
+                if item.source == crate::feed::FeedSource::Twitter {
+                    stats.twitter_items += 1;
+                }
+                let ts = i64::from(day.0) * 86_400 + i64::from(item.seconds);
+                match queue.offer(&item.url, ts) {
+                    Admission::Accepted => {
+                        self.capture_one(&item, &mut assign_rng, &mut db, &mut stats);
+                    }
+                    _ => stats.skipped += 1,
+                }
+            }
+            queue.compact(i64::from(day.0 + 1) * 86_400);
+        }
+        (db, stats)
+    }
+
+    fn capture_one(
+        &self,
+        item: &FeedItem,
+        assign_rng: &mut rand::rngs::StdRng,
+        db: &mut CaptureDb,
+        stats: &mut RunStats,
+    ) {
+        // §3.2: each URL is assigned randomly; 50 % of crawls from the EU.
+        let vantage = if assign_rng.gen::<bool>() {
+            stats.eu_captures += 1;
+            Vantage::eu_cloud()
+        } else {
+            stats.us_captures += 1;
+            Vantage::us_cloud()
+        };
+        let capture = self
+            .engine
+            .capture(&item.url, item.day, vantage, CaptureOptions::default());
+        let cmps = CmpSet::from_iter(self.detector.detect(&capture));
+        db.ingest(&capture, cmps, &self.psl);
+        stats.captured += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use consent_webgraph::{AdoptionConfig, WorldConfig};
+
+    fn world() -> World {
+        World::new(WorldConfig {
+            n_sites: 30_000,
+            seed: 42,
+            adoption: AdoptionConfig::default(),
+        })
+    }
+
+    fn run_days(w: &World, urls_per_day: usize, start: Day, days: i32) -> (CaptureDb, RunStats) {
+        let config = FeedConfig {
+            urls_per_day,
+            ..FeedConfig::default()
+        };
+        let platform = Platform::new(w, config, SeedTree::new(3));
+        platform.run(start, start + days)
+    }
+
+    #[test]
+    fn pipeline_produces_captures() {
+        let w = world();
+        let (db, stats) = run_days(&w, 300, Day::from_ymd(2020, 5, 10), 3);
+        assert!(stats.captured > 300, "captured {}", stats.captured);
+        assert_eq!(stats.captured, db.len());
+        assert!(db.domain_count() > 100);
+        // Twitter share ~80 %.
+        assert!((stats.twitter_share() - 0.8).abs() < 0.05);
+    }
+
+    #[test]
+    fn dedup_skips_substantial_share() {
+        let w = world();
+        // High volume on a skewed feed → many duplicate head URLs/domains.
+        let (_, stats) = run_days(&w, 1_500, Day::from_ymd(2020, 5, 10), 3);
+        let rate = stats.skip_rate();
+        assert!(
+            (0.25..0.60).contains(&rate),
+            "skip rate {rate} (paper: ~0.40)"
+        );
+    }
+
+    #[test]
+    fn vantage_split_roughly_even() {
+        let w = world();
+        let (_, stats) = run_days(&w, 500, Day::from_ymd(2020, 5, 10), 3);
+        let eu_share = stats.eu_captures as f64 / stats.captured as f64;
+        assert!((eu_share - 0.5).abs() < 0.06, "eu share {eu_share}");
+    }
+
+    #[test]
+    fn redirect_rate_near_eleven_percent() {
+        let w = world();
+        let (db, _) = run_days(&w, 800, Day::from_ymd(2020, 5, 10), 4);
+        let rate = db.redirect_rate();
+        assert!(
+            (0.05..0.18).contains(&rate),
+            "redirect rate {rate} (paper: ~0.11)"
+        );
+    }
+
+    #[test]
+    fn detects_cmps_in_the_stream() {
+        let w = world();
+        let (db, _) = run_days(&w, 1_000, Day::from_ymd(2020, 5, 10), 4);
+        let domains_with_cmp = db
+            .iter()
+            .filter(|(_, hist)| hist.iter().any(|c| !c.cmps.is_empty()))
+            .count();
+        assert!(domains_with_cmp > 20, "only {domains_with_cmp} CMP domains");
+        // Multi-CMP pages are rare.
+        assert!(db.multi_cmp_rate() < 0.005, "{}", db.multi_cmp_rate());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let w = world();
+        let (db1, s1) = run_days(&w, 200, Day::from_ymd(2019, 7, 1), 2);
+        let (db2, s2) = run_days(&w, 200, Day::from_ymd(2019, 7, 1), 2);
+        assert_eq!(s1, s2);
+        assert_eq!(db1.len(), db2.len());
+        assert_eq!(db1.domain_count(), db2.domain_count());
+        let d1: Vec<&str> = db1.iter().map(|(d, _)| d).collect();
+        let d2: Vec<&str> = db2.iter().map(|(d, _)| d).collect();
+        assert_eq!(d1, d2);
+    }
+}

@@ -1,0 +1,245 @@
+//! Consent coalitions: global consent shared across a CMP's customers.
+//!
+//! Figure 2 of the paper shows CMPs "forward consent decisions to ad-tech
+//! vendors and also share it globally across websites"; §3.2 probes
+//! Quantcast's global-consent cookie (`CookieAccess`), and §5.2/§6 discuss
+//! the Woods–Böhme prediction that consent sharing creates
+//! winner-takes-all coalition dynamics. This module simulates that
+//! mechanism: users browse across sites; within a coalition, the first
+//! consent decision travels with them, so larger coalitions show fewer
+//! prompts per visit — the "commodification of consent".
+
+use consent_stats::Zipf;
+use consent_util::SeedTree;
+use consent_webgraph::{Cmp, ALL_CMPS};
+use rand::Rng;
+use std::collections::{BTreeMap, HashSet};
+
+/// Configuration of the coalition simulation.
+#[derive(Clone, Debug)]
+pub struct CoalitionConfig {
+    /// Simulated users.
+    pub users: usize,
+    /// Site visits per user.
+    pub visits_per_user: usize,
+    /// Coalition size (member sites) per CMP. Defaults mirror the
+    /// paper's May 2020 market shares (Table 1), scaled ×10 beyond the
+    /// toplist sample.
+    pub coalition_sizes: BTreeMap<Cmp, u32>,
+    /// Probability a user accepts when prompted.
+    pub accept_rate: f64,
+    /// Whether consent (and rejection) is shared across the coalition
+    /// (`true` = global scope, the TCF v1 default the paper studies;
+    /// `false` = per-site consent, the service-specific v2 mode).
+    pub global_scope: bool,
+}
+
+impl Default for CoalitionConfig {
+    fn default() -> CoalitionConfig {
+        let coalition_sizes = [
+            (Cmp::OneTrust, 4_140),
+            (Cmp::Quantcast, 2_330),
+            (Cmp::TrustArc, 1_560),
+            (Cmp::Cookiebot, 990),
+            (Cmp::LiveRamp, 140),
+            (Cmp::Crownpeak, 90),
+        ]
+        .into();
+        CoalitionConfig {
+            users: 2_000,
+            visits_per_user: 50,
+            coalition_sizes,
+            accept_rate: 0.83,
+            global_scope: true,
+        }
+    }
+}
+
+/// Per-CMP outcome of the simulation.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CoalitionStats {
+    /// Visits landing on this coalition's sites.
+    pub visits: u64,
+    /// Visits where a dialog had to be shown.
+    pub prompts: u64,
+    /// Visits where a global consent already existed (the paper's
+    /// `CookieAccess` probe would return a cookie).
+    pub preexisting_consent: u64,
+}
+
+impl CoalitionStats {
+    /// Prompts per visit — the user-facing nuisance rate.
+    pub fn prompt_rate(&self) -> f64 {
+        if self.visits == 0 {
+            0.0
+        } else {
+            self.prompts as f64 / self.visits as f64
+        }
+    }
+
+    /// Share of visits arriving with consent already granted.
+    pub fn preexisting_rate(&self) -> f64 {
+        if self.visits == 0 {
+            0.0
+        } else {
+            self.preexisting_consent as f64 / self.visits as f64
+        }
+    }
+}
+
+/// Simulation output.
+#[derive(Clone, Debug, Default)]
+pub struct CoalitionResult {
+    /// Per-CMP statistics.
+    pub per_cmp: BTreeMap<Cmp, CoalitionStats>,
+}
+
+impl CoalitionResult {
+    /// Overall prompts per visit across all coalitions.
+    pub fn overall_prompt_rate(&self) -> f64 {
+        let visits: u64 = self.per_cmp.values().map(|s| s.visits).sum();
+        let prompts: u64 = self.per_cmp.values().map(|s| s.prompts).sum();
+        if visits == 0 {
+            0.0
+        } else {
+            prompts as f64 / visits as f64
+        }
+    }
+}
+
+/// Run the simulation. Users pick sites Zipf-distributed within the
+/// union of all coalitions; a user's decision for a coalition persists
+/// across that coalition's sites when `global_scope` is set.
+pub fn simulate(config: &CoalitionConfig, seed: SeedTree) -> CoalitionResult {
+    // Assign sites to coalitions, then shuffle so coalition membership is
+    // independent of a site's popularity rank (otherwise the first
+    // coalition in the layout would absorb the whole Zipf head).
+    let mut site_cmp: Vec<Cmp> = Vec::new();
+    for &cmp in &ALL_CMPS {
+        let size = config.coalition_sizes.get(&cmp).copied().unwrap_or(0);
+        site_cmp.extend(std::iter::repeat_n(cmp, size as usize));
+    }
+    assert!(!site_cmp.is_empty(), "at least one coalition must have members");
+    {
+        use rand::seq::SliceRandom;
+        let mut shuffle_rng = seed.child("layout").rng();
+        site_cmp.shuffle(&mut shuffle_rng);
+    }
+    let total = site_cmp.len() as u32;
+    let zipf = Zipf::new(u64::from(total), 1.0);
+
+    let mut result = CoalitionResult::default();
+    for user in 0..config.users {
+        let mut rng = seed.child("coalition").child_idx(user as u64).rng();
+        // Per-coalition decision state (None = never prompted).
+        let mut decided: BTreeMap<Cmp, bool> = BTreeMap::new();
+        // Per-site memory for service-specific mode.
+        let mut decided_sites: HashSet<u32> = HashSet::new();
+        for _ in 0..config.visits_per_user {
+            let site = zipf.sample(&mut rng) as u32 - 1; // 0-based index
+            let cmp = site_cmp[site as usize];
+            let stats = result.per_cmp.entry(cmp).or_default();
+            stats.visits += 1;
+            let already = if config.global_scope {
+                decided.get(&cmp).copied()
+            } else {
+                decided_sites.contains(&site).then_some(true)
+            };
+            match already {
+                Some(consented) => {
+                    if consented {
+                        stats.preexisting_consent += 1;
+                    }
+                }
+                None => {
+                    stats.prompts += 1;
+                    let consents = rng.gen::<f64>() < config.accept_rate;
+                    if config.global_scope {
+                        decided.insert(cmp, consents);
+                    } else {
+                        decided_sites.insert(site);
+                    }
+                }
+            }
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let c = CoalitionConfig::default();
+        let a = simulate(&c, SeedTree::new(1));
+        let b = simulate(&c, SeedTree::new(1));
+        assert_eq!(a.per_cmp, b.per_cmp);
+    }
+
+    #[test]
+    fn larger_coalitions_prompt_less() {
+        let r = simulate(&CoalitionConfig::default(), SeedTree::new(7));
+        let onetrust = r.per_cmp[&Cmp::OneTrust];
+        let crownpeak = r.per_cmp[&Cmp::Crownpeak];
+        assert!(
+            onetrust.prompt_rate() < crownpeak.prompt_rate(),
+            "OneTrust {} !< Crownpeak {}",
+            onetrust.prompt_rate(),
+            crownpeak.prompt_rate()
+        );
+        // And consent pre-exists more often in the big coalition.
+        assert!(onetrust.preexisting_rate() > crownpeak.preexisting_rate());
+    }
+
+    #[test]
+    fn global_scope_beats_service_specific() {
+        // The commodification-of-consent benefit: global sharing cuts the
+        // number of prompts users see.
+        let global = CoalitionConfig {
+            global_scope: true,
+            ..CoalitionConfig::default()
+        };
+        let per_site = CoalitionConfig {
+            global_scope: false,
+            ..CoalitionConfig::default()
+        };
+        let g = simulate(&global, SeedTree::new(3));
+        let s = simulate(&per_site, SeedTree::new(3));
+        assert!(
+            g.overall_prompt_rate() < s.overall_prompt_rate() * 0.8,
+            "global {} vs per-site {}",
+            g.overall_prompt_rate(),
+            s.overall_prompt_rate()
+        );
+    }
+
+    #[test]
+    fn prompt_rate_bounded_by_one_per_coalition_per_user() {
+        let config = CoalitionConfig {
+            users: 500,
+            visits_per_user: 100,
+            ..CoalitionConfig::default()
+        };
+        let r = simulate(&config, SeedTree::new(9));
+        for (cmp, stats) in &r.per_cmp {
+            assert!(
+                stats.prompts <= config.users as u64,
+                "{cmp}: more prompts ({}) than users",
+                stats.prompts
+            );
+            assert!(stats.prompts <= stats.visits);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_empty_coalitions() {
+        let config = CoalitionConfig {
+            coalition_sizes: BTreeMap::new(),
+            ..CoalitionConfig::default()
+        };
+        simulate(&config, SeedTree::new(1));
+    }
+}

@@ -1,0 +1,214 @@
+//! The mitmproxy.org field experiment (Figure 10).
+//!
+//! Visitors from the EU are randomized between the two Quantcast dialog
+//! configurations; per visit we log the timing markers of §3.2 and the
+//! decision, exclude visitors with no decision within three minutes, and
+//! compare accept-vs-reject interaction times with the Mann–Whitney U
+//! test — exactly the paper's analysis.
+
+use crate::quantcast::{visit, Decision, QuantcastConfig, VisitRecord};
+use crate::user_model::UserModel;
+use consent_stats::mann_whitney::{mann_whitney_u, MannWhitney};
+use consent_stats::Summary;
+use consent_util::SeedTree;
+
+/// Results for one dialog configuration.
+#[derive(Clone, Debug)]
+pub struct ArmResult {
+    /// The configuration.
+    pub config: QuantcastConfig,
+    /// All visit records (including excluded ones).
+    pub visits: Vec<VisitRecord>,
+    /// Interaction times of accepting visitors, seconds.
+    pub accept_times: Vec<f64>,
+    /// Interaction times of rejecting visitors, seconds.
+    pub reject_times: Vec<f64>,
+    /// Mann–Whitney comparison of the two time samples.
+    pub test: Option<MannWhitney>,
+}
+
+impl ArmResult {
+    /// Consent rate among deciding visitors.
+    pub fn consent_rate(&self) -> f64 {
+        let decided = self.accept_times.len() + self.reject_times.len();
+        if decided == 0 {
+            0.0
+        } else {
+            self.accept_times.len() as f64 / decided as f64
+        }
+    }
+
+    /// Median accept time, seconds.
+    pub fn median_accept(&self) -> Option<f64> {
+        consent_stats::median(&self.accept_times)
+    }
+
+    /// Median reject time, seconds.
+    pub fn median_reject(&self) -> Option<f64> {
+        consent_stats::median(&self.reject_times)
+    }
+
+    /// Distribution summary of reject times.
+    pub fn reject_summary(&self) -> Option<Summary> {
+        Summary::of(&self.reject_times)
+    }
+}
+
+/// Full experiment output.
+#[derive(Clone, Debug)]
+pub struct ExperimentResult {
+    /// The direct-reject arm.
+    pub direct: ArmResult,
+    /// The "More Options" arm.
+    pub more_options: ArmResult,
+    /// Total visitors shown a dialog (paper: 2 910).
+    pub visitors: usize,
+}
+
+/// Experiment parameters.
+#[derive(Clone, Debug)]
+pub struct ExperimentConfig {
+    /// EU visitors shown a dialog across both arms.
+    pub visitors: usize,
+    /// Visitor behaviour model.
+    pub user_model: UserModel,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> ExperimentConfig {
+        ExperimentConfig {
+            visitors: 2_910,
+            user_model: UserModel::default(),
+        }
+    }
+}
+
+/// Run the randomized experiment.
+pub fn run_experiment(config: &ExperimentConfig, seed: SeedTree) -> ExperimentResult {
+    let population = config
+        .user_model
+        .population(config.visitors, seed.child("population"));
+    let mut rng = seed.child("assignment").rng();
+    let mut direct_visits = Vec::new();
+    let mut more_visits = Vec::new();
+    for (i, visitor) in population.iter().enumerate() {
+        // Alternating assignment with a random phase — balanced arms,
+        // like the paper's roughly even split.
+        let arm_direct = (i + usize::from(seed.child("phase").unit_f64() < 0.5)) % 2 == 0;
+        let record = if arm_direct {
+            visit(QuantcastConfig::DirectReject, visitor, &mut rng)
+        } else {
+            visit(QuantcastConfig::MoreOptions, visitor, &mut rng)
+        };
+        if arm_direct {
+            direct_visits.push(record);
+        } else {
+            more_visits.push(record);
+        }
+    }
+    ExperimentResult {
+        visitors: config.visitors,
+        direct: summarize(QuantcastConfig::DirectReject, direct_visits),
+        more_options: summarize(QuantcastConfig::MoreOptions, more_visits),
+    }
+}
+
+fn summarize(config: QuantcastConfig, visits: Vec<VisitRecord>) -> ArmResult {
+    let mut accept_times = Vec::new();
+    let mut reject_times = Vec::new();
+    for v in &visits {
+        match (v.decision, v.interaction_secs()) {
+            (Decision::Accepted, Some(t)) => accept_times.push(t),
+            (Decision::Rejected, Some(t)) => reject_times.push(t),
+            _ => {}
+        }
+    }
+    let test = mann_whitney_u(&accept_times, &reject_times).ok();
+    ArmResult {
+        config,
+        visits,
+        accept_times,
+        reject_times,
+        test,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result() -> ExperimentResult {
+        run_experiment(&ExperimentConfig::default(), SeedTree::new(2020))
+    }
+
+    #[test]
+    fn arms_are_balanced() {
+        let r = result();
+        let a = r.direct.visits.len();
+        let b = r.more_options.visits.len();
+        assert_eq!(a + b, 2_910);
+        assert!((a as i64 - b as i64).abs() <= 1);
+    }
+
+    #[test]
+    fn medians_match_paper_shape() {
+        let r = result();
+        let acc = r.direct.median_accept().unwrap();
+        let rej_direct = r.direct.median_reject().unwrap();
+        let rej_more = r.more_options.median_reject().unwrap();
+        // Paper: 3.2 s accept, 3.6 s direct reject, 6.7 s without a
+        // direct button.
+        assert!((acc - 3.2).abs() < 0.4, "accept median {acc}");
+        assert!(rej_direct > acc, "reject should be slower than accept");
+        assert!((rej_direct - 3.6).abs() < 0.5, "direct reject median {rej_direct}");
+        assert!(
+            rej_more > rej_direct * 1.5,
+            "reject without direct button should roughly double: {rej_more} vs {rej_direct}"
+        );
+        assert!((rej_more - 6.7).abs() < 1.5, "more-options reject median {rej_more}");
+    }
+
+    #[test]
+    fn consent_rate_rises_without_direct_reject() {
+        let r = result();
+        let direct = r.direct.consent_rate();
+        let more = r.more_options.consent_rate();
+        // Paper: 83 % → 90 %.
+        assert!((direct - 0.83).abs() < 0.04, "direct arm rate {direct}");
+        assert!((more - 0.90).abs() < 0.04, "more-options arm rate {more}");
+        assert!(more > direct);
+    }
+
+    #[test]
+    fn tests_are_significant_like_the_paper() {
+        let r = result();
+        let t1 = r.direct.test.expect("enough data");
+        let t2 = r.more_options.test.expect("enough data");
+        // Paper: p < 0.01 for the direct arm, p < 0.001 for the other.
+        assert!(t1.p_two_sided < 0.05, "direct arm p {}", t1.p_two_sided);
+        assert!(t2.p_two_sided < 0.001, "more-options arm p {}", t2.p_two_sided);
+        assert!(t1.z < 0.0 && t2.z < 0.0, "accept times stochastically smaller");
+        assert!(t2.z.abs() > t1.z.abs());
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run_experiment(&ExperimentConfig::default(), SeedTree::new(1));
+        let b = run_experiment(&ExperimentConfig::default(), SeedTree::new(1));
+        assert_eq!(a.direct.accept_times, b.direct.accept_times);
+        assert_eq!(a.more_options.reject_times, b.more_options.reject_times);
+    }
+
+    #[test]
+    fn some_visitors_excluded() {
+        let r = result();
+        let decided = r.direct.accept_times.len()
+            + r.direct.reject_times.len()
+            + r.more_options.accept_times.len()
+            + r.more_options.reject_times.len();
+        assert!(decided < r.visitors, "nobody was excluded");
+        // But the overwhelming majority decide.
+        assert!(decided as f64 / r.visitors as f64 > 0.85);
+        assert!(r.direct.reject_summary().is_some());
+    }
+}

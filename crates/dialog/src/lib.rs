@@ -1,0 +1,25 @@
+//! # consent-dialog
+//!
+//! Consent-dialog mechanics and the paper's two timing experiments:
+//! the randomized Quantcast field experiment on interaction times and
+//! consent rates ([`quantcast`], [`experiment`]; Figure 10), the TrustArc
+//! multi-partner opt-out flow with its 7-click / ~34-second cost
+//! ([`trustarc`]; Figure 9), and the behavioural visitor model behind
+//! them ([`user_model`]) — plus the consent-coalition simulation behind
+//! the paper's §5.2 "commodification of consent" discussion
+//! ([`coalition`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coalition;
+pub mod experiment;
+pub mod quantcast;
+pub mod trustarc;
+pub mod user_model;
+
+pub use coalition::{simulate as simulate_coalitions, CoalitionConfig, CoalitionResult, CoalitionStats};
+pub use experiment::{run_experiment, ArmResult, ExperimentConfig, ExperimentResult};
+pub use quantcast::{visit, Decision, QuantcastConfig, VisitRecord};
+pub use trustarc::{accept, hourly_probes, opt_out, AcceptRun, OptOutRun, Phase, Probe};
+pub use user_model::{Intent, UserModel, Visitor};

@@ -1,0 +1,253 @@
+//! Quantcast consent-dialog state machine (the Figure 10 experiment).
+//!
+//! §3.2: the dialog was embedded in two configurations — one with an
+//! explicit "Reject" button (Figure A.1) and one with "More Options" at
+//! the same position leading to a second page with a reject control
+//! (Figures A.2/A.3). The instrumentation logged page load
+//! (`DOMContentLoaded`), dialog appearance (`__cmp('ping')`), closure
+//! time, and the decision (`__cmp('getConsentData')`).
+
+use crate::user_model::{Intent, Visitor};
+use consent_tcf::cmp_api::CmpApi;
+use consent_tcf::consent_string::ConsentString;
+use consent_tcf::purposes::all_purpose_ids;
+use consent_util::SimInstant;
+use consent_webgraph::Cmp;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The two experimental dialog configurations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QuantcastConfig {
+    /// First button accepts, second button rejects directly (Fig A.1).
+    DirectReject,
+    /// Second button opens "More Options"; rejecting requires navigating
+    /// the purposes page and clicking "Save & Exit" (Figs A.2/A.3).
+    MoreOptions,
+}
+
+/// The outcome of one visit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Decision {
+    /// Consent granted (possibly out of fatigue).
+    Accepted,
+    /// Consent denied.
+    Rejected,
+    /// No decision within the 3-minute cutoff (§4.3 exclusion).
+    None,
+}
+
+/// Timeline of one instrumented visit.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VisitRecord {
+    /// `DOMContentLoaded`.
+    pub page_loaded: SimInstant,
+    /// Dialog became visible (`__cmp('ping')` turns true).
+    pub dialog_shown: SimInstant,
+    /// Dialog closed, if a decision was made.
+    pub dialog_closed: Option<SimInstant>,
+    /// The decision.
+    pub decision: Decision,
+    /// Number of clicks the visitor performed.
+    pub clicks: u8,
+    /// The consent string stored by the CMP, if any.
+    pub consent_string: Option<String>,
+}
+
+impl VisitRecord {
+    /// Interaction time (dialog shown → closed), seconds.
+    pub fn interaction_secs(&self) -> Option<f64> {
+        self.dialog_closed
+            .map(|c| c.since(self.dialog_shown) as f64 / 1000.0)
+    }
+}
+
+/// Cutoff after which undecided visitors are excluded (§4.3).
+pub const DECISION_CUTOFF_MS: u64 = 180_000;
+
+/// Number of vendors on the GVL version used in the experiment (May
+/// 2020-era list; consent is requested for all of them, §3.2).
+pub const GVL_VENDOR_COUNT: u16 = 600;
+
+/// Simulate one visit to a page embedding the Quantcast dialog.
+pub fn visit(config: QuantcastConfig, visitor: &Visitor, rng: &mut StdRng) -> VisitRecord {
+    // Page and CMP script load.
+    let page_loaded = SimInstant::from_millis(rng.gen_range(350..1_400));
+    let script_loaded = page_loaded + rng.gen_range(150..600);
+    let mut cmp = CmpApi::new(true);
+    cmp.script_loaded(script_loaded);
+    let dialog_shown = script_loaded + rng.gen_range(50..250);
+    assert!(cmp.show_dialog(dialog_shown));
+
+    let to_ms = |s: f64| (s * 1000.0) as u64;
+    let (decision, closed, clicks) = match (visitor.intent, config) {
+        (Intent::Abandon, _) => (Decision::None, None, 0),
+        (Intent::Accept, _) => {
+            // One click on the prominent accept button.
+            let t = dialog_shown + to_ms(visitor.first_click_s);
+            (Decision::Accepted, Some(t), 1)
+        }
+        (Intent::Reject, QuantcastConfig::DirectReject) => {
+            // The reject button is less prominent ("I DO NOT ACCEPT" is
+            // not colored, Fig A.1): scanning both buttons costs a beat
+            // more than accepting — the paper measures 3.6 s vs 3.2 s.
+            let t = dialog_shown + to_ms(visitor.first_click_s * 1.15);
+            (Decision::Rejected, Some(t), 1)
+        }
+        (Intent::Reject, QuantcastConfig::MoreOptions) => {
+            if visitor.fatigues {
+                // Gives up and accepts: slightly slower than a genuine
+                // accepter (they hesitated first).
+                let t = dialog_shown + to_ms(visitor.first_click_s * 1.25);
+                (Decision::Accepted, Some(t), 1)
+            } else {
+                // Click "More Options", wait for the purposes page,
+                // click "Reject all" / toggle, then "Save & Exit".
+                let t = dialog_shown
+                    + to_ms(visitor.first_click_s)
+                    + rng.gen_range(300..900) // purposes page render
+                    + to_ms(visitor.extra_step_s);
+                (Decision::Rejected, Some(t), 3)
+            }
+        }
+    };
+
+    // Enforce the experiment's 3-minute exclusion window.
+    let (decision, closed) = match closed {
+        Some(t) if t.since(dialog_shown) > DECISION_CUTOFF_MS => (Decision::None, None),
+        other => (decision, other),
+    };
+
+    let consent_string = closed.map(|t| {
+        let base = ConsentString::new(
+            Cmp::Quantcast.iab_cmp_id(),
+            215,
+            GVL_VENDOR_COUNT,
+        );
+        let consent = match decision {
+            Decision::Accepted => base.accept_all(all_purpose_ids()),
+            _ => base.reject_all(),
+        };
+        cmp.store_decision(consent, t);
+        cmp.get_consent_data()
+            .consent_data
+            .expect("stored decision")
+    });
+
+    VisitRecord {
+        page_loaded,
+        dialog_shown,
+        dialog_closed: closed,
+        decision,
+        clicks,
+        consent_string,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::user_model::UserModel;
+    use consent_util::SeedTree;
+
+    fn rng() -> StdRng {
+        use rand::SeedableRng;
+        StdRng::seed_from_u64(99)
+    }
+
+    fn visitor(intent: Intent) -> Visitor {
+        Visitor {
+            intent,
+            first_click_s: 3.0,
+            extra_step_s: 3.5,
+            fatigues: false,
+        }
+    }
+
+    #[test]
+    fn accepting_is_one_click() {
+        let mut r = rng();
+        let rec = visit(QuantcastConfig::DirectReject, &visitor(Intent::Accept), &mut r);
+        assert_eq!(rec.decision, Decision::Accepted);
+        assert_eq!(rec.clicks, 1);
+        let t = rec.interaction_secs().unwrap();
+        assert!((2.5..4.0).contains(&t), "interaction {t}");
+        // The stored consent string grants everything.
+        let s = rec.consent_string.unwrap();
+        let decoded = ConsentString::decode(&s).unwrap();
+        assert_eq!(decoded.consent_count(), usize::from(GVL_VENDOR_COUNT));
+        assert!(decoded.purpose_allowed(consent_tcf::PurposeId(1)));
+    }
+
+    #[test]
+    fn direct_reject_is_one_click_and_slightly_slower() {
+        let mut r = rng();
+        let acc = visit(QuantcastConfig::DirectReject, &visitor(Intent::Accept), &mut r);
+        let rej = visit(QuantcastConfig::DirectReject, &visitor(Intent::Reject), &mut r);
+        assert_eq!(rej.decision, Decision::Rejected);
+        assert_eq!(rej.clicks, 1);
+        assert!(rej.interaction_secs().unwrap() > acc.interaction_secs().unwrap() * 0.95);
+        let decoded = ConsentString::decode(&rej.consent_string.unwrap()).unwrap();
+        assert_eq!(decoded.consent_count(), 0);
+    }
+
+    #[test]
+    fn more_options_reject_needs_three_clicks_and_doubles_time() {
+        let mut r = rng();
+        let rec = visit(QuantcastConfig::MoreOptions, &visitor(Intent::Reject), &mut r);
+        assert_eq!(rec.decision, Decision::Rejected);
+        assert_eq!(rec.clicks, 3);
+        let t = rec.interaction_secs().unwrap();
+        assert!(t > 6.0, "reject via More Options took only {t}");
+    }
+
+    #[test]
+    fn fatigued_rejector_accepts() {
+        let mut r = rng();
+        let mut v = visitor(Intent::Reject);
+        v.fatigues = true;
+        let rec = visit(QuantcastConfig::MoreOptions, &v, &mut r);
+        assert_eq!(rec.decision, Decision::Accepted);
+        assert_eq!(rec.clicks, 1);
+        // Under the direct-reject config the same visitor rejects.
+        let rec2 = visit(QuantcastConfig::DirectReject, &v, &mut r);
+        assert_eq!(rec2.decision, Decision::Rejected);
+    }
+
+    #[test]
+    fn abandoner_excluded() {
+        let mut r = rng();
+        let rec = visit(QuantcastConfig::DirectReject, &visitor(Intent::Abandon), &mut r);
+        assert_eq!(rec.decision, Decision::None);
+        assert_eq!(rec.dialog_closed, None);
+        assert_eq!(rec.interaction_secs(), None);
+        assert!(rec.consent_string.is_none());
+    }
+
+    #[test]
+    fn cutoff_excludes_very_slow_users() {
+        let mut r = rng();
+        let v = Visitor {
+            intent: Intent::Reject,
+            first_click_s: 200.0, // beyond the 3-minute window
+            extra_step_s: 3.0,
+            fatigues: false,
+        };
+        let rec = visit(QuantcastConfig::DirectReject, &v, &mut r);
+        assert_eq!(rec.decision, Decision::None);
+    }
+
+    #[test]
+    fn timeline_is_ordered() {
+        let m = UserModel::default();
+        let pop = m.population(200, SeedTree::new(8));
+        let mut r = rng();
+        for v in &pop {
+            let rec = visit(QuantcastConfig::MoreOptions, v, &mut r);
+            assert!(rec.page_loaded <= rec.dialog_shown);
+            if let Some(c) = rec.dialog_closed {
+                assert!(rec.dialog_shown <= c);
+            }
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! TrustArc opt-out state machine (the Figure 9 measurement).
+//!
+//! §3.2/§4.3: on forbes.com's TrustArc dialog, accepting closes the
+//! prompt immediately, but opting out takes *at least 7 clicks and 34
+//! seconds* (excluding user thinking time): the preference center loads
+//! in an iframe, per-category toggles must be flipped, and submitting
+//! triggers opt-out requests to a "hodgepodge" of third parties — an
+//! additional 279 HTTP(S) requests to 25 domains and 1.2 MB / 5.8 MB of
+//! compressed/uncompressed transfer, padded by JavaScript timeouts. The
+//! paper probed this hourly for two weeks from an EU university.
+
+use consent_util::{SeedTree, SimInstant};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// One phase of the opt-out flow with its (machine) duration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Phase {
+    /// Human-readable phase name.
+    pub name: &'static str,
+    /// Clicks the user must perform in this phase.
+    pub clicks: u8,
+    /// Wall-clock duration attributable to the machine (network + JS),
+    /// not to user thinking time.
+    pub wait_ms: u64,
+}
+
+/// Result of one full opt-out run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OptOutRun {
+    /// Ordered phases.
+    pub phases: Vec<Phase>,
+    /// Opt-out requests sent to third parties.
+    pub extra_requests: u32,
+    /// Distinct third-party domains contacted.
+    pub extra_domains: u32,
+    /// Extra compressed bytes transferred.
+    pub extra_bytes_compressed: u64,
+    /// Extra uncompressed bytes.
+    pub extra_bytes_uncompressed: u64,
+}
+
+impl OptOutRun {
+    /// Total clicks across all phases.
+    pub fn total_clicks(&self) -> u8 {
+        self.phases.iter().map(|p| p.clicks).sum()
+    }
+
+    /// Total machine waiting time.
+    pub fn total_wait(&self) -> SimInstant {
+        SimInstant::from_millis(self.phases.iter().map(|p| p.wait_ms).sum())
+    }
+}
+
+/// Result of accepting instead: the dialog just closes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AcceptRun {
+    /// Clicks (always 1).
+    pub clicks: u8,
+    /// Time until the dialog is gone.
+    pub wait_ms: u64,
+}
+
+/// Simulate accepting cookies on the TrustArc dialog.
+pub fn accept(rng: &mut StdRng) -> AcceptRun {
+    AcceptRun {
+        clicks: 1,
+        wait_ms: rng.gen_range(120..400),
+    }
+}
+
+/// Simulate one complete opt-out, as the paper's Chrome extension
+/// automated it. Deterministic given the RNG state.
+pub fn opt_out(rng: &mut StdRng) -> OptOutRun {
+    // Third-party opt-out fan-out: ~25 domains, ~279 requests. Each
+    // domain gets a burst of requests; stragglers and fixed JS timeouts
+    // dominate the wall clock.
+    let extra_domains = rng.gen_range(23..=27);
+    let extra_requests: u32 = (0..extra_domains)
+        .map(|_| rng.gen_range(8..=14))
+        .sum::<u32>();
+    let per_request_bytes = 4_300u64; // ≈1.2 MB over ~279 requests
+    let extra_bytes_compressed = u64::from(extra_requests) * per_request_bytes;
+    let extra_bytes_uncompressed = extra_bytes_compressed * 48 / 10; // 5.8/1.2
+
+    // The partner fan-out runs in batches with fixed JS timeouts between
+    // them; ~20 s of the 34 s total.
+    let fanout_ms = 14_000
+        + u64::from(extra_requests) * rng.gen_range(18u64..26)
+        + rng.gen_range(0..1_500);
+
+    let phases = vec![
+        Phase {
+            name: "open preference center",
+            clicks: 1,
+            wait_ms: rng.gen_range(2_500..4_000), // iframe + config load
+        },
+        Phase {
+            name: "switch to required-only / per-category toggles",
+            clicks: 4,
+            wait_ms: rng.gen_range(2_000..3_500), // per-toggle re-renders
+        },
+        Phase {
+            name: "submit preferences",
+            clicks: 1,
+            wait_ms: rng.gen_range(1_200..2_200),
+        },
+        Phase {
+            name: "partner opt-out fan-out",
+            clicks: 0,
+            wait_ms: fanout_ms,
+        },
+        Phase {
+            name: "confirm and close",
+            clicks: 1,
+            wait_ms: rng.gen_range(7_500..9_500), // final JS timeout + banner
+        },
+    ];
+    OptOutRun {
+        phases,
+        extra_requests,
+        extra_domains,
+        extra_bytes_compressed,
+        extra_bytes_uncompressed,
+    }
+}
+
+/// One probe of the Figure 9 experiment.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Probe {
+    /// Hour index since the start of the measurement window.
+    pub hour: u32,
+    /// The opt-out run.
+    pub run: OptOutRun,
+}
+
+/// The paper's harness: hourly probes for two weeks (336 runs).
+pub fn hourly_probes(hours: u32, seed: SeedTree) -> Vec<Probe> {
+    let mut rng = seed.child("trustarc-probes").rng();
+    (0..hours)
+        .map(|hour| Probe {
+            hour,
+            run: opt_out(&mut rng),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn accepting_is_instant() {
+        let a = accept(&mut rng());
+        assert_eq!(a.clicks, 1);
+        assert!(a.wait_ms < 500);
+    }
+
+    #[test]
+    fn opt_out_takes_at_least_seven_clicks_and_34s() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let run = opt_out(&mut r);
+            assert!(run.total_clicks() >= 7, "clicks {}", run.total_clicks());
+            assert!(
+                run.total_wait().as_millis() >= 30_000,
+                "wait {}",
+                run.total_wait()
+            );
+            assert!(run.total_wait().as_millis() < 60_000);
+        }
+    }
+
+    #[test]
+    fn network_cost_matches_paper_magnitudes() {
+        let probes = hourly_probes(336, SeedTree::new(1));
+        assert_eq!(probes.len(), 336);
+        let mut reqs: Vec<f64> = probes
+            .iter()
+            .map(|p| f64::from(p.run.extra_requests))
+            .collect();
+        reqs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median_reqs = reqs[reqs.len() / 2];
+        assert!(
+            (230.0..330.0).contains(&median_reqs),
+            "median requests {median_reqs} (paper: 279)"
+        );
+        let p0 = &probes[0].run;
+        assert!((20..=30).contains(&p0.extra_domains), "{}", p0.extra_domains);
+        let mb = p0.extra_bytes_compressed as f64 / 1e6;
+        assert!((0.8..1.6).contains(&mb), "compressed {mb} MB (paper: 1.2)");
+        let ratio = p0.extra_bytes_uncompressed as f64 / p0.extra_bytes_compressed as f64;
+        assert!((4.5..5.1).contains(&ratio), "ratio {ratio} (paper: ~4.8)");
+    }
+
+    #[test]
+    fn probes_deterministic() {
+        assert_eq!(hourly_probes(24, SeedTree::new(5)), hourly_probes(24, SeedTree::new(5)));
+        assert_ne!(hourly_probes(24, SeedTree::new(5)), hourly_probes(24, SeedTree::new(6)));
+    }
+
+    #[test]
+    fn phases_are_ordered_and_named() {
+        let run = opt_out(&mut rng());
+        assert_eq!(run.phases.len(), 5);
+        assert_eq!(run.phases[0].name, "open preference center");
+        assert!(run.phases[3].wait_ms > run.phases[0].wait_ms, "fan-out dominates");
+        // The fan-out phase needs no user clicks.
+        assert_eq!(run.phases[3].clicks, 0);
+    }
+}

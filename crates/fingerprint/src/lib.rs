@@ -1,0 +1,15 @@
+//! # consent-fingerprint
+//!
+//! CMP fingerprinting: the rule ladder of §3.2 (hostnames, URL patterns,
+//! CSS selectors, text phrases; Table A.2) and the detection engine that
+//! matches rules against crawl captures, plus screening utilities for
+//! quantifying precision/recall against ground truth.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod detect;
+pub mod rules;
+
+pub use detect::{has_gdpr_phrase, Detector, Screening};
+pub use rules::{all_rules, Fingerprint, Signal, GDPR_PHRASES};

@@ -1,0 +1,184 @@
+//! CMP fingerprint rules (paper §3.2, Table A.2).
+//!
+//! The paper assembles "multiple fingerprints of varying specificity (for
+//! example, from concrete URLs to second-level domains)" per CMP: HTTP
+//! request patterns, CSS selectors, and extracted text. After screening
+//! for false positives, a unique *hostname* per CMP survived as the
+//! robust indicator. We model the full rule ladder so the ablation bench
+//! can compare hostname-only detection against the complete set.
+
+use consent_webgraph::{Cmp, ALL_CMPS};
+
+/// The kind of signal a rule matches on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Signal {
+    /// An HTTP request to exactly this hostname (Table A.2).
+    Hostname(&'static str),
+    /// An HTTP request whose URL contains this substring.
+    UrlSubstring(&'static str),
+    /// A CSS class observed on the dialog container.
+    CssClass(&'static str),
+    /// A phrase in the dialog/body text.
+    TextPhrase(&'static str),
+}
+
+/// One fingerprint rule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Fingerprint {
+    /// The CMP this rule indicates.
+    pub cmp: Cmp,
+    /// The matched signal.
+    pub signal: Signal,
+    /// Rules are ranked; higher = more specific = fewer false positives.
+    /// The hostname rules are the most specific tier (3).
+    pub specificity: u8,
+}
+
+/// The full screened rule set.
+pub fn all_rules() -> Vec<Fingerprint> {
+    let mut rules = Vec::new();
+    // Tier 3: unique hostnames (Table A.2) — the surviving indicators.
+    for cmp in ALL_CMPS {
+        rules.push(Fingerprint {
+            cmp,
+            signal: Signal::Hostname(cmp.indicator_hostname()),
+            specificity: 3,
+        });
+    }
+    // Tier 2: URL substrings on CMP-owned paths.
+    rules.extend([
+        Fingerprint {
+            cmp: Cmp::OneTrust,
+            signal: Signal::UrlSubstring("cookielaw.org/consent"),
+            specificity: 2,
+        },
+        Fingerprint {
+            cmp: Cmp::Quantcast,
+            signal: Signal::UrlSubstring("mgr.consensu.org"),
+            specificity: 2,
+        },
+        Fingerprint {
+            cmp: Cmp::TrustArc,
+            signal: Signal::UrlSubstring("trustarc.com/"),
+            specificity: 2,
+        },
+        Fingerprint {
+            cmp: Cmp::Cookiebot,
+            signal: Signal::UrlSubstring("cookiebot.com/uc.js"),
+            specificity: 2,
+        },
+        Fingerprint {
+            cmp: Cmp::LiveRamp,
+            signal: Signal::UrlSubstring("faktor.io/"),
+            specificity: 2,
+        },
+        Fingerprint {
+            cmp: Cmp::Crownpeak,
+            signal: Signal::UrlSubstring("evidon.com/"),
+            specificity: 2,
+        },
+    ]);
+    // Tier 1: CSS classes — unreliable under publisher customization
+    // (API-only sites replace the vendor dialog entirely, §4.1).
+    rules.extend([
+        Fingerprint {
+            cmp: Cmp::OneTrust,
+            signal: Signal::CssClass("onetrust-banner-sdk"),
+            specificity: 1,
+        },
+        Fingerprint {
+            cmp: Cmp::Quantcast,
+            signal: Signal::CssClass("qc-cmp2-container"),
+            specificity: 1,
+        },
+        Fingerprint {
+            cmp: Cmp::TrustArc,
+            signal: Signal::CssClass("truste_box_overlay"),
+            specificity: 1,
+        },
+        Fingerprint {
+            cmp: Cmp::Cookiebot,
+            signal: Signal::CssClass("CybotCookiebotDialog"),
+            specificity: 1,
+        },
+        Fingerprint {
+            cmp: Cmp::LiveRamp,
+            signal: Signal::CssClass("faktor-io-modal"),
+            specificity: 1,
+        },
+        Fingerprint {
+            cmp: Cmp::Crownpeak,
+            signal: Signal::CssClass("evidon-banner"),
+            specificity: 1,
+        },
+    ]);
+    // Tier 0: text phrases — discarded during screening in the paper for
+    // yielding false positives; kept here (specificity 0) so the
+    // ablation can quantify exactly that.
+    rules.push(Fingerprint {
+        cmp: Cmp::Quantcast,
+        signal: Signal::TextPhrase("We value your privacy"),
+        specificity: 0,
+    });
+    rules
+}
+
+/// GDPR-related phrases from Degeling et al. used to sanity-check that no
+/// consent dialog escapes the fingerprints (§3.2).
+pub const GDPR_PHRASES: [&str; 8] = [
+    "We value your privacy",
+    "we use cookies",
+    "use of cookies",
+    "cookie policy",
+    "consent",
+    "personal data",
+    "GDPR",
+    "privacy settings",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_cmp_has_hostname_rule() {
+        let rules = all_rules();
+        for cmp in ALL_CMPS {
+            assert!(
+                rules.iter().any(|r| r.cmp == cmp
+                    && matches!(r.signal, Signal::Hostname(h) if h == cmp.indicator_hostname())
+                    && r.specificity == 3),
+                "missing hostname rule for {cmp}"
+            );
+        }
+    }
+
+    #[test]
+    fn specificity_tiers_populated() {
+        let rules = all_rules();
+        for tier in 0..=3u8 {
+            assert!(
+                rules.iter().any(|r| r.specificity == tier),
+                "no rules in tier {tier}"
+            );
+        }
+        // Hostname rules are unique across CMPs.
+        let hosts: Vec<&str> = rules
+            .iter()
+            .filter_map(|r| match r.signal {
+                Signal::Hostname(h) => Some(h),
+                _ => None,
+            })
+            .collect();
+        let mut dedup = hosts.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), hosts.len());
+    }
+
+    #[test]
+    fn phrases_nonempty() {
+        assert!(GDPR_PHRASES.len() >= 5);
+        assert!(GDPR_PHRASES.contains(&"We value your privacy"));
+    }
+}

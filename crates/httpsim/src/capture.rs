@@ -1,0 +1,195 @@
+//! Capture records — the schema the Netograph platform stores per crawl.
+//!
+//! §3.2: "For every capture, Netograph collects the following data points
+//! … HTTP headers … for every domain in a capture, its relation to the
+//! main page, all cookies … a screenshot of the visible area." The
+//! analysis pipeline consumes only these records, never the synthetic web
+//! directly, so the substitution boundary is exactly this module.
+
+use crate::vantage::Vantage;
+use consent_util::{Day, SimInstant};
+
+/// One HTTP request observed during a page load.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RequestRecord {
+    /// Full URL requested.
+    pub url: String,
+    /// Hostname component.
+    pub host: String,
+    /// Response status (0 if the request never completed).
+    pub status: u16,
+    /// Compressed transfer size in bytes.
+    pub bytes: u64,
+    /// When the request started, relative to navigation start.
+    pub started: SimInstant,
+    /// True if the host differs from the main document's eTLD+1.
+    pub third_party: bool,
+}
+
+/// One cookie set during a page load.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CookieRecord {
+    /// Cookie name.
+    pub name: String,
+    /// Host that set it.
+    pub host: String,
+    /// Value (consent cookies carry a TCF consent string).
+    pub value: String,
+    /// True if set by a third-party context.
+    pub third_party: bool,
+}
+
+/// Why a capture ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CaptureStatus {
+    /// Page loaded normally (possibly cut short by the idle timeout).
+    Ok,
+    /// Total page timeout hit before the document finished.
+    Timeout,
+    /// An anti-bot CDN served an interstitial instead of the site.
+    AntiBotInterstitial,
+    /// HTTP 451 Unavailable For Legal Reasons (geo-blocked, §3.5).
+    LegallyBlocked,
+    /// HTTP error status from the origin.
+    HttpError,
+    /// TCP/TLS connection failed.
+    ConnectionFailed,
+}
+
+/// DOM-derived observations, stored only for toplist crawls from the EU
+/// university vantage (§3.2: "we additionally stored the browser's DOM
+/// tree including the computed CSS styles").
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DomSnapshot {
+    /// Visible text of the first (accept) dialog button, if any dialog.
+    pub accept_button_text: Option<String>,
+    /// Visible text of the second button/link, if present.
+    pub secondary_button_text: Option<String>,
+    /// CSS class fragments observed on the dialog container.
+    pub dialog_css_classes: Vec<String>,
+    /// Page body text excerpt (for GDPR-phrase search).
+    pub body_text: String,
+    /// A privacy-related link in the page footer, if present.
+    pub footer_privacy_link: Option<String>,
+}
+
+/// One complete crawl of one URL.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Capture {
+    /// The URL submitted to the queue.
+    pub seed_url: String,
+    /// The final URL after redirects, as in the address bar.
+    pub final_url: String,
+    /// Hostname of `final_url`.
+    pub final_host: String,
+    /// Day the capture ran.
+    pub day: Day,
+    /// Crawl configuration.
+    pub vantage: Vantage,
+    /// Outcome.
+    pub status: CaptureStatus,
+    /// All requests, in start order.
+    pub requests: Vec<RequestRecord>,
+    /// All cookies present at the end of the load.
+    pub cookies: Vec<CookieRecord>,
+    /// Whether a consent dialog was visible in the screenshot.
+    pub dialog_visible: bool,
+    /// DOM snapshot (toplist EU-university crawls only).
+    pub dom: Option<DomSnapshot>,
+}
+
+impl Capture {
+    /// Hosts contacted during the load (deduplicated, order preserved).
+    pub fn hosts(&self) -> Vec<&str> {
+        let mut seen = Vec::new();
+        for r in &self.requests {
+            if !seen.contains(&r.host.as_str()) {
+                seen.push(r.host.as_str());
+            }
+        }
+        seen
+    }
+
+    /// True if any request went to `host`.
+    pub fn contacted(&self, host: &str) -> bool {
+        self.requests.iter().any(|r| r.host == host)
+    }
+
+    /// Total compressed bytes transferred.
+    pub fn total_bytes(&self) -> u64 {
+        self.requests.iter().map(|r| r.bytes).sum()
+    }
+
+    /// Number of third-party requests.
+    pub fn third_party_requests(&self) -> usize {
+        self.requests.iter().filter(|r| r.third_party).count()
+    }
+
+    /// True if the capture produced usable page content.
+    pub fn usable(&self) -> bool {
+        matches!(self.status, CaptureStatus::Ok | CaptureStatus::Timeout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vantage::Vantage;
+
+    fn req(host: &str, third_party: bool, bytes: u64) -> RequestRecord {
+        RequestRecord {
+            url: format!("https://{host}/x"),
+            host: host.to_owned(),
+            status: 200,
+            bytes,
+            started: SimInstant::ZERO,
+            third_party,
+        }
+    }
+
+    fn capture_with(requests: Vec<RequestRecord>) -> Capture {
+        Capture {
+            seed_url: "https://a.com/".into(),
+            final_url: "https://a.com/".into(),
+            final_host: "a.com".into(),
+            day: Day::from_ymd(2020, 5, 15),
+            vantage: Vantage::eu_cloud(),
+            status: CaptureStatus::Ok,
+            requests,
+            cookies: vec![],
+            dialog_visible: false,
+            dom: None,
+        }
+    }
+
+    #[test]
+    fn host_dedup_and_queries() {
+        let c = capture_with(vec![
+            req("a.com", false, 1000),
+            req("cdn.cookielaw.org", true, 300),
+            req("a.com", false, 200),
+        ]);
+        assert_eq!(c.hosts(), ["a.com", "cdn.cookielaw.org"]);
+        assert!(c.contacted("cdn.cookielaw.org"));
+        assert!(!c.contacted("consent.trustarc.com"));
+        assert_eq!(c.total_bytes(), 1500);
+        assert_eq!(c.third_party_requests(), 1);
+        assert!(c.usable());
+    }
+
+    #[test]
+    fn unusable_statuses() {
+        let mut c = capture_with(vec![]);
+        for s in [
+            CaptureStatus::AntiBotInterstitial,
+            CaptureStatus::LegallyBlocked,
+            CaptureStatus::HttpError,
+            CaptureStatus::ConnectionFailed,
+        ] {
+            c.status = s;
+            assert!(!c.usable(), "{s:?} should be unusable");
+        }
+        c.status = CaptureStatus::Timeout;
+        assert!(c.usable());
+    }
+}

@@ -1,0 +1,183 @@
+//! Connectivity oracle backed by the synthetic web.
+//!
+//! Implements [`consent_toplist::Prober`] so the paper's seed-URL
+//! resolution ladder (§3.2) can run against the simulated internet:
+//! reachable sites mostly offer valid TLS on `www.`, a minority are
+//! HTTP-only, and the §3.5 missing-data classes never answer.
+
+use consent_toplist::{ProbeResult, Prober};
+use consent_util::{Day, SeedTree};
+use consent_webgraph::{Reachability, World};
+
+/// Share of reachable sites with a valid certificate on `www.<domain>`.
+const HTTPS_SHARE: f64 = 0.86;
+/// Share of the remainder that still answer on port 80.
+const HTTP_ONLY_SHARE: f64 = 0.85;
+
+/// A [`Prober`] over a [`World`].
+pub struct WorldProber<'w> {
+    world: &'w World,
+    seed: SeedTree,
+    /// Per-day outage probability (temporarily unavailable domains that
+    /// the paper's three retry rounds are designed to catch).
+    pub flakiness: f64,
+}
+
+impl<'w> WorldProber<'w> {
+    /// Create a prober with the default 2 % per-round flakiness.
+    pub fn new(world: &'w World, seed: SeedTree) -> WorldProber<'w> {
+        WorldProber {
+            world,
+            seed: seed.child("prober"),
+            flakiness: 0.02,
+        }
+    }
+
+    fn site_class(&self, host: &str) -> SiteClass {
+        let bare = host.strip_prefix("www.").unwrap_or(host);
+        match self.world.site_by_host(bare) {
+            None => SiteClass::Nonexistent,
+            Some(p) => match p.reachability {
+                Reachability::Unreachable => SiteClass::Dead,
+                Reachability::NoValidHttp => SiteClass::Dead,
+                Reachability::HttpError | Reachability::RedirectsTo(_) | Reachability::Ok => {
+                    let u = self.seed.child(&p.domain).child("tls").unit_f64();
+                    if u < HTTPS_SHARE {
+                        SiteClass::Https
+                    } else if u < HTTPS_SHARE + (1.0 - HTTPS_SHARE) * HTTP_ONLY_SHARE {
+                        SiteClass::HttpOnly
+                    } else {
+                        SiteClass::BadTls
+                    }
+                }
+            },
+        }
+    }
+
+    fn down_today(&self, host: &str, day: Day) -> bool {
+        self.seed
+            .child(host)
+            .child_idx(day.0 as u64)
+            .child("outage")
+            .unit_f64()
+            < self.flakiness
+    }
+}
+
+enum SiteClass {
+    Https,
+    HttpOnly,
+    BadTls,
+    Dead,
+    Nonexistent,
+}
+
+impl Prober for WorldProber<'_> {
+    fn probe_tls(&self, host: &str, day: Day) -> ProbeResult {
+        if self.down_today(host, day) {
+            return ProbeResult::Unreachable;
+        }
+        match self.site_class(host) {
+            SiteClass::Https => ProbeResult::TlsValid,
+            SiteClass::BadTls => ProbeResult::TlsInvalid,
+            SiteClass::HttpOnly => ProbeResult::Unreachable,
+            SiteClass::Dead | SiteClass::Nonexistent => ProbeResult::Unreachable,
+        }
+    }
+
+    fn probe_tcp(&self, host: &str, day: Day) -> ProbeResult {
+        if self.down_today(host, day) {
+            return ProbeResult::Unreachable;
+        }
+        match self.site_class(host) {
+            SiteClass::Https | SiteClass::HttpOnly | SiteClass::BadTls => ProbeResult::TcpOpen,
+            SiteClass::Dead | SiteClass::Nonexistent => ProbeResult::Unreachable,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use consent_toplist::{resolve_seed, SeedScheme};
+    use consent_webgraph::{AdoptionConfig, WorldConfig};
+
+    fn world() -> World {
+        World::new(WorldConfig {
+            n_sites: 5_000,
+            seed: 11,
+            adoption: AdoptionConfig::default(),
+        })
+    }
+
+    fn days() -> Vec<Day> {
+        let d = Day::from_ymd(2020, 1, 30);
+        vec![d, d + 3, d + 6]
+    }
+
+    #[test]
+    fn most_sites_resolve_https() {
+        let w = world();
+        let p = WorldProber::new(&w, SeedTree::new(3));
+        let mut https = 0;
+        let mut total = 0;
+        for rank in 1..=1_000 {
+            let prof = w.profile(rank);
+            if prof.reachability != Reachability::Ok {
+                continue;
+            }
+            total += 1;
+            let s = resolve_seed(&prof.domain, &p, &days());
+            if s.scheme == SeedScheme::HttpsWww {
+                https += 1;
+            }
+            assert!(!s.speculative);
+        }
+        let frac = f64::from(https) / f64::from(total);
+        assert!((frac - HTTPS_SHARE).abs() < 0.05, "https share {frac}");
+    }
+
+    #[test]
+    fn dead_sites_are_speculative_apex() {
+        let w = world();
+        let p = WorldProber::new(&w, SeedTree::new(3));
+        let dead = (1..=5_000)
+            .map(|r| w.profile(r))
+            .find(|pr| pr.reachability == Reachability::Unreachable)
+            .unwrap();
+        let s = resolve_seed(&dead.domain, &p, &days());
+        assert!(s.speculative);
+        assert_eq!(s.scheme, SeedScheme::HttpApex);
+        assert_eq!(s.reachable_rounds, 0);
+    }
+
+    #[test]
+    fn nonexistent_hosts_unreachable() {
+        let w = world();
+        let p = WorldProber::new(&w, SeedTree::new(3));
+        assert_eq!(
+            p.probe_tls("www.not-in-world.example", days()[0]),
+            ProbeResult::Unreachable
+        );
+        assert_eq!(
+            p.probe_tcp("www.not-in-world.example", days()[0]),
+            ProbeResult::Unreachable
+        );
+    }
+
+    #[test]
+    fn flakiness_recovered_by_retries() {
+        let w = world();
+        let mut p = WorldProber::new(&w, SeedTree::new(3));
+        p.flakiness = 0.5; // very flaky network
+        let prof = (1..=5_000)
+            .map(|r| w.profile(r))
+            .find(|pr| pr.reachability == Reachability::Ok)
+            .unwrap();
+        // With 6 attempts the site is almost surely caught at least once.
+        let d = Day::from_ymd(2020, 1, 30);
+        let many: Vec<Day> = (0..6).map(|i| d + i * 2).collect();
+        let s = resolve_seed(&prof.domain, &p, &many);
+        assert!(s.reachable_rounds >= 1);
+    }
+}

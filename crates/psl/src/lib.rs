@@ -1,0 +1,17 @@
+//! # consent-psl
+//!
+//! A Public Suffix List (PSL) engine. The paper counts CMP adoption per
+//! *effective second-level domain* (eTLD+1), normalizing every final URL
+//! with the PSL (§3.2); this crate implements the publicsuffix.org
+//! algorithm — plain, wildcard, and exception rules — over a label trie,
+//! plus an embedded snapshot sufficient for the synthetic web.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod list;
+pub mod rules;
+pub mod snapshot;
+
+pub use list::{DomainParts, PublicSuffixList};
+pub use rules::{Rule, RuleKind};

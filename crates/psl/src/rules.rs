@@ -1,0 +1,169 @@
+//! Public Suffix List rule representation and parsing.
+//!
+//! The PSL file format (https://publicsuffix.org/list/) is a list of rules,
+//! one per line: plain rules (`com`, `co.uk`), wildcard rules (`*.ck`) and
+//! exception rules (`!www.ck`). Comment lines start with `//`; blank lines
+//! are ignored. Rules are matched against a domain's labels right-to-left.
+
+use std::fmt;
+
+/// Kind of a PSL rule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RuleKind {
+    /// A plain rule such as `com` or `co.uk`.
+    Normal,
+    /// A wildcard rule such as `*.ck`: any single label matches the `*`.
+    Wildcard,
+    /// An exception rule such as `!www.ck`: overrides a wildcard.
+    Exception,
+}
+
+/// One parsed PSL rule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Rule {
+    /// Labels of the rule in *reversed* order (TLD first), excluding the
+    /// leading `*.` / `!` markers. E.g. `*.ck` stores `["ck"]`.
+    pub labels_rev: Vec<String>,
+    /// Rule kind.
+    pub kind: RuleKind,
+}
+
+impl Rule {
+    /// Parse a single non-comment, non-empty PSL line.
+    ///
+    /// Returns `None` for lines that are not valid rules (empty labels,
+    /// embedded whitespace, interior wildcards — the real list contains
+    /// none of these, but we refuse to guess on malformed input).
+    pub fn parse(line: &str) -> Option<Rule> {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with("//") {
+            return None;
+        }
+        let (kind, body) = if let Some(rest) = line.strip_prefix('!') {
+            (RuleKind::Exception, rest)
+        } else if let Some(rest) = line.strip_prefix("*.") {
+            (RuleKind::Wildcard, rest)
+        } else {
+            (RuleKind::Normal, line)
+        };
+        if body.is_empty() {
+            return None;
+        }
+        let mut labels_rev = Vec::new();
+        for label in body.rsplit('.') {
+            if label.is_empty()
+                || label.contains(char::is_whitespace)
+                || label.contains('*')
+                || label.contains('!')
+            {
+                return None;
+            }
+            labels_rev.push(label.to_ascii_lowercase());
+        }
+        Some(Rule { labels_rev, kind })
+    }
+
+    /// Number of labels in the rule *as it counts for specificity*. Per the
+    /// PSL algorithm a wildcard rule `*.ck` has two labels.
+    pub fn specificity(&self) -> usize {
+        self.labels_rev.len() + usize::from(self.kind == RuleKind::Wildcard)
+    }
+
+    /// Test whether this rule matches a domain given as reversed labels
+    /// (TLD first). Per the PSL spec, a rule matches when the domain
+    /// contains at least as many labels as the rule and every rule label
+    /// equals the corresponding domain label (with `*` matching anything).
+    pub fn matches(&self, domain_labels_rev: &[&str]) -> bool {
+        let needed = self.labels_rev.len() + usize::from(self.kind == RuleKind::Wildcard);
+        if domain_labels_rev.len() < needed {
+            return false;
+        }
+        self.labels_rev
+            .iter()
+            .zip(domain_labels_rev.iter())
+            .all(|(r, d)| r == d)
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            RuleKind::Exception => write!(f, "!")?,
+            RuleKind::Wildcard => write!(f, "*.")?,
+            RuleKind::Normal => {}
+        }
+        let mut first = true;
+        for label in self.labels_rev.iter().rev() {
+            if !first {
+                write!(f, ".")?;
+            }
+            write!(f, "{label}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_normal_rule() {
+        let r = Rule::parse("co.uk").unwrap();
+        assert_eq!(r.kind, RuleKind::Normal);
+        assert_eq!(r.labels_rev, ["uk", "co"]);
+        assert_eq!(r.specificity(), 2);
+        assert_eq!(r.to_string(), "co.uk");
+    }
+
+    #[test]
+    fn parses_wildcard_and_exception() {
+        let w = Rule::parse("*.ck").unwrap();
+        assert_eq!(w.kind, RuleKind::Wildcard);
+        assert_eq!(w.labels_rev, ["ck"]);
+        assert_eq!(w.specificity(), 2);
+        assert_eq!(w.to_string(), "*.ck");
+
+        let e = Rule::parse("!www.ck").unwrap();
+        assert_eq!(e.kind, RuleKind::Exception);
+        assert_eq!(e.labels_rev, ["ck", "www"]);
+        assert_eq!(e.to_string(), "!www.ck");
+    }
+
+    #[test]
+    fn skips_comments_and_blanks() {
+        assert_eq!(Rule::parse("// this is a comment"), None);
+        assert_eq!(Rule::parse(""), None);
+        assert_eq!(Rule::parse("   "), None);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert_eq!(Rule::parse("!"), None);
+        assert_eq!(Rule::parse("a..b"), None);
+        assert_eq!(Rule::parse("a b.com"), None);
+        assert_eq!(Rule::parse("foo.*.bar"), None);
+    }
+
+    #[test]
+    fn lowercases_labels() {
+        let r = Rule::parse("Co.UK").unwrap();
+        assert_eq!(r.labels_rev, ["uk", "co"]);
+    }
+
+    #[test]
+    fn matching_semantics() {
+        let ck = Rule::parse("*.ck").unwrap();
+        // "foo.ck" has labels_rev ["ck", "foo"] and matches the wildcard.
+        assert!(ck.matches(&["ck", "foo"]));
+        // Bare "ck" does not (wildcard requires one more label).
+        assert!(!ck.matches(&["ck"]));
+
+        let couk = Rule::parse("co.uk").unwrap();
+        assert!(couk.matches(&["uk", "co"]));
+        assert!(couk.matches(&["uk", "co", "example"]));
+        assert!(!couk.matches(&["uk"]));
+        assert!(!couk.matches(&["uk", "gov"]));
+    }
+}

@@ -1,0 +1,134 @@
+//! Bootstrap confidence intervals.
+//!
+//! The timing experiments report medians of skewed distributions;
+//! percentile-bootstrap CIs are the standard non-parametric way to attach
+//! uncertainty to them.
+
+use crate::descriptive;
+use consent_util::SeedTree;
+use rand::Rng;
+
+/// A two-sided confidence interval for a resampled statistic.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Point estimate on the original sample.
+    pub estimate: f64,
+    /// Lower endpoint.
+    pub lower: f64,
+    /// Upper endpoint.
+    pub upper: f64,
+    /// Nominal coverage, e.g. 0.95.
+    pub level: f64,
+}
+
+impl ConfidenceInterval {
+    /// Width of the interval.
+    pub fn width(&self) -> f64 {
+        self.upper - self.lower
+    }
+
+    /// True if `x` lies inside the interval (inclusive).
+    pub fn contains(&self, x: f64) -> bool {
+        (self.lower..=self.upper).contains(&x)
+    }
+}
+
+/// Percentile bootstrap for an arbitrary statistic.
+///
+/// Returns `None` for an empty sample. Deterministic given the seed.
+pub fn bootstrap_ci<F>(
+    xs: &[f64],
+    statistic: F,
+    resamples: usize,
+    level: f64,
+    seed: SeedTree,
+) -> Option<ConfidenceInterval>
+where
+    F: Fn(&[f64]) -> f64,
+{
+    if xs.is_empty() || resamples == 0 {
+        return None;
+    }
+    assert!((0.0..1.0).contains(&level) && level > 0.5, "level must be in (0.5, 1)");
+    let estimate = statistic(xs);
+    let mut rng = seed.child("bootstrap").rng();
+    let mut stats = Vec::with_capacity(resamples);
+    let mut buf = vec![0.0; xs.len()];
+    for _ in 0..resamples {
+        for slot in buf.iter_mut() {
+            *slot = xs[rng.gen_range(0..xs.len())];
+        }
+        stats.push(statistic(&buf));
+    }
+    stats.sort_by(|a, b| a.partial_cmp(b).expect("NaN bootstrap statistic"));
+    let alpha = (1.0 - level) / 2.0;
+    Some(ConfidenceInterval {
+        estimate,
+        lower: descriptive::quantile_sorted(&stats, alpha),
+        upper: descriptive::quantile_sorted(&stats, 1.0 - alpha),
+        level,
+    })
+}
+
+/// Percentile-bootstrap CI for the median.
+pub fn median_ci(
+    xs: &[f64],
+    resamples: usize,
+    level: f64,
+    seed: SeedTree,
+) -> Option<ConfidenceInterval> {
+    bootstrap_ci(
+        xs,
+        |s| descriptive::median(s).expect("non-empty by construction"),
+        resamples,
+        level,
+        seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample_yields_none() {
+        assert!(median_ci(&[], 100, 0.95, SeedTree::new(1)).is_none());
+        assert!(bootstrap_ci(&[1.0], |_| 0.0, 0, 0.95, SeedTree::new(1)).is_none());
+    }
+
+    #[test]
+    fn interval_brackets_estimate() {
+        let xs: Vec<f64> = (0..200).map(|i| (i % 17) as f64).collect();
+        let ci = median_ci(&xs, 500, 0.95, SeedTree::new(7)).unwrap();
+        assert!(ci.lower <= ci.estimate && ci.estimate <= ci.upper);
+        assert!(ci.contains(ci.estimate));
+        assert!(ci.width() >= 0.0);
+        assert_eq!(ci.level, 0.95);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sqrt()).collect();
+        let a = median_ci(&xs, 300, 0.9, SeedTree::new(5)).unwrap();
+        let b = median_ci(&xs, 300, 0.9, SeedTree::new(5)).unwrap();
+        assert_eq!(a, b);
+        let c = median_ci(&xs, 300, 0.9, SeedTree::new(6)).unwrap();
+        // Different seeds almost surely give a (slightly) different interval.
+        assert!(a != c || a.estimate == c.estimate);
+    }
+
+    #[test]
+    fn narrower_with_larger_sample() {
+        let small: Vec<f64> = (0..20).map(|i| (i % 7) as f64).collect();
+        let large: Vec<f64> = (0..2000).map(|i| (i % 7) as f64).collect();
+        let ci_s = median_ci(&small, 400, 0.95, SeedTree::new(2)).unwrap();
+        let ci_l = median_ci(&large, 400, 0.95, SeedTree::new(2)).unwrap();
+        assert!(ci_l.width() <= ci_s.width());
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_nonsense_level() {
+        let _ = median_ci(&[1.0, 2.0], 10, 0.3, SeedTree::new(1));
+    }
+}

@@ -1,0 +1,295 @@
+//! Random distributions used by the simulator.
+//!
+//! Implemented in-repo (rather than via `rand_distr`) to stay within the
+//! approved dependency set:
+//!
+//! * [`Zipf`] — website popularity and social-media reshare counts are
+//!   classic Zipf phenomena; the crawler feed and the synthetic web both
+//!   sample from it.
+//! * [`LogNormal`] — human interaction times (Figure 10) and page resource
+//!   counts are well described by log-normals.
+//! * [`Pareto`] — heavy-tailed transfer sizes.
+//! * [`Exponential`] — inter-arrival times in the social feed.
+
+use rand::Rng;
+
+/// Zipf distribution over ranks `1..=n` with exponent `s`:
+/// `P(k) ∝ k^-s`.
+///
+/// Sampling uses rejection-inversion (Hörmann & Derflinger), which is O(1)
+/// per sample and exact, so we can draw from `n = 1_000_000` ranks without
+/// precomputing a CDF table.
+#[derive(Clone, Copy, Debug)]
+pub struct Zipf {
+    n: u64,
+    s: f64,
+    // Precomputed constants for rejection-inversion.
+    h_x1: f64,
+    h_n: f64,
+    threshold: f64,
+}
+
+impl Zipf {
+    /// Create a Zipf distribution over `1..=n` with exponent `s > 0`.
+    /// Panics if `n == 0` or `s <= 0`.
+    pub fn new(n: u64, s: f64) -> Zipf {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s > 0.0, "Zipf exponent must be positive");
+        let h_x1 = h_integral(1.5, s) - 1.0;
+        let h_n = h_integral(n as f64 + 0.5, s);
+        let threshold = 2.0 - h_integral_inverse(h_integral(2.5, s) - h_mass(2.0, s), s);
+        Zipf {
+            n,
+            s,
+            h_x1,
+            h_n,
+            threshold,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Exponent.
+    pub fn s(&self) -> f64 {
+        self.s
+    }
+
+    /// Draw a rank in `1..=n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        loop {
+            let u = self.h_n + rng.gen::<f64>() * (self.h_x1 - self.h_n);
+            let x = h_integral_inverse(u, self.s);
+            let k = (x + 0.5).floor().clamp(1.0, self.n as f64);
+            if k - x <= self.threshold || u >= h_integral(k + 0.5, self.s) - h_mass(k, self.s) {
+                return k as u64;
+            }
+        }
+    }
+
+    /// Unnormalized probability mass at rank `k`.
+    pub fn mass(&self, k: u64) -> f64 {
+        assert!(k >= 1 && k <= self.n);
+        (k as f64).powf(-self.s)
+    }
+}
+
+/// `H(x) = ∫ t^-s dt`, the integral of the Zipf mass envelope.
+fn h_integral(x: f64, s: f64) -> f64 {
+    if (s - 1.0).abs() < 1e-12 {
+        x.ln()
+    } else {
+        (x.powf(1.0 - s) - 1.0) / (1.0 - s)
+    }
+}
+
+/// Inverse of [`h_integral`].
+fn h_integral_inverse(t: f64, s: f64) -> f64 {
+    if (s - 1.0).abs() < 1e-12 {
+        t.exp()
+    } else {
+        // Clamp to keep the radicand positive under float rounding.
+        let radicand = (1.0 + t * (1.0 - s)).max(f64::MIN_POSITIVE);
+        radicand.powf(1.0 / (1.0 - s))
+    }
+}
+
+/// The Zipf envelope mass `h(x) = x^-s`.
+fn h_mass(x: f64, s: f64) -> f64 {
+    x.powf(-s)
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma))`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LogNormal {
+    /// Mean of the underlying normal (of ln X).
+    pub mu: f64,
+    /// Standard deviation of the underlying normal.
+    pub sigma: f64,
+}
+
+impl LogNormal {
+    /// Construct directly from the log-space parameters. Panics if
+    /// `sigma < 0`.
+    pub fn new(mu: f64, sigma: f64) -> LogNormal {
+        assert!(sigma >= 0.0, "sigma must be non-negative");
+        LogNormal { mu, sigma }
+    }
+
+    /// Construct so that the distribution has the given *median* and
+    /// multiplicative spread `sigma` (log-space sd). The median of a
+    /// log-normal is `exp(mu)`, so this is the natural way to encode
+    /// "median user takes 3.2 s".
+    pub fn from_median(median: f64, sigma: f64) -> LogNormal {
+        assert!(median > 0.0, "median must be positive");
+        LogNormal::new(median.ln(), sigma)
+    }
+
+    /// Median of the distribution.
+    pub fn median(&self) -> f64 {
+        self.mu.exp()
+    }
+
+    /// Mean of the distribution.
+    pub fn mean(&self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+
+    /// Draw a sample using Box–Muller on two uniform draws.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+/// Pareto (type I) distribution with scale `x_min` and shape `alpha`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Pareto {
+    /// Scale (minimum value).
+    pub x_min: f64,
+    /// Shape (tail index).
+    pub alpha: f64,
+}
+
+impl Pareto {
+    /// Panics unless `x_min > 0` and `alpha > 0`.
+    pub fn new(x_min: f64, alpha: f64) -> Pareto {
+        assert!(x_min > 0.0 && alpha > 0.0);
+        Pareto { x_min, alpha }
+    }
+
+    /// Draw by inversion.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        self.x_min / u.powf(1.0 / self.alpha)
+    }
+}
+
+/// Exponential distribution with rate `lambda` (mean `1/lambda`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Exponential {
+    /// Rate parameter (mean is `1/lambda`).
+    pub lambda: f64,
+}
+
+impl Exponential {
+    /// Panics unless `lambda > 0`.
+    pub fn new(lambda: f64) -> Exponential {
+        assert!(lambda > 0.0);
+        Exponential { lambda }
+    }
+
+    /// Draw by inversion.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        -u.ln() / self.lambda
+    }
+}
+
+/// One draw from the standard normal via Box–Muller.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xC0FFEE)
+    }
+
+    #[test]
+    fn zipf_ranks_in_range() {
+        let z = Zipf::new(1000, 1.0);
+        let mut r = rng();
+        for _ in 0..10_000 {
+            let k = z.sample(&mut r);
+            assert!((1..=1000).contains(&k));
+        }
+    }
+
+    #[test]
+    fn zipf_rank1_frequency_matches_theory() {
+        // For n=1000, s=1: P(1) = 1/H(1000) ≈ 0.1336.
+        let z = Zipf::new(1000, 1.0);
+        let mut r = rng();
+        let n = 200_000;
+        let ones = (0..n).filter(|_| z.sample(&mut r) == 1).count();
+        let p1 = ones as f64 / n as f64;
+        let h1000: f64 = (1..=1000).map(|k| 1.0 / k as f64).sum();
+        let expected = 1.0 / h1000;
+        assert!(
+            (p1 - expected).abs() < 0.01,
+            "observed {p1}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn zipf_is_monotone_decreasing() {
+        let z = Zipf::new(100, 1.2);
+        let mut r = rng();
+        let mut counts = [0u32; 101];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut r) as usize] += 1;
+        }
+        // Head ranks should dominate the tail decisively.
+        assert!(counts[1] > counts[10]);
+        assert!(counts[10] > counts[100]);
+        assert_eq!(z.n(), 100);
+        assert!((z.s() - 1.2).abs() < 1e-12);
+        assert!(z.mass(1) > z.mass(2));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zipf_rejects_zero_ranks() {
+        Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    fn lognormal_median_is_exact_parameter() {
+        let d = LogNormal::from_median(3.2, 0.6);
+        assert!((d.median() - 3.2).abs() < 1e-12);
+        let mut r = rng();
+        let mut xs: Vec<f64> = (0..50_000).map(|_| d.sample(&mut r)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let med = xs[xs.len() / 2];
+        assert!((med - 3.2).abs() < 0.1, "sample median {med}");
+        assert!(d.mean() > d.median()); // right-skew
+    }
+
+    #[test]
+    fn pareto_bounded_below() {
+        let p = Pareto::new(2.0, 1.5);
+        let mut r = rng();
+        for _ in 0..10_000 {
+            assert!(p.sample(&mut r) >= 2.0);
+        }
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let e = Exponential::new(0.5);
+        let mut r = rng();
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| e.sample(&mut r)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut r = rng();
+        let n = 100_000;
+        let xs: Vec<f64> = (0..n).map(|_| standard_normal(&mut r)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+}

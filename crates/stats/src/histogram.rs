@@ -1,0 +1,221 @@
+//! Fixed-bin histograms and empirical CDF tables.
+//!
+//! Used by the timing experiments (Figure 10 reports interaction-time
+//! distributions) and by the benches to print distribution shapes.
+
+/// A histogram over `[lo, hi)` with equal-width bins, plus underflow and
+/// overflow counters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Create a histogram with `nbins` equal-width bins spanning
+    /// `[lo, hi)`. Panics unless `lo < hi` and `nbins > 0`.
+    pub fn new(lo: f64, hi: f64, nbins: usize) -> Histogram {
+        assert!(lo < hi, "histogram range must be non-empty");
+        assert!(nbins > 0, "histogram needs at least one bin");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; nbins],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = (((x - self.lo) / w) as usize).min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Record many observations.
+    pub fn record_all(&mut self, xs: impl IntoIterator<Item = f64>) {
+        for x in xs {
+            self.record(x);
+        }
+    }
+
+    /// Total number of observations, including under/overflow.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Count in bin `i`.
+    pub fn bin(&self, i: usize) -> u64 {
+        self.bins[i]
+    }
+
+    /// Number of bins.
+    pub fn nbins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// `(lower_edge, upper_edge)` of bin `i`.
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        (self.lo + w * i as f64, self.lo + w * (i + 1) as f64)
+    }
+
+    /// Fraction of in-range mass at or below the upper edge of bin `i`.
+    pub fn cumulative_fraction(&self, i: usize) -> f64 {
+        let in_range: u64 = self.bins.iter().sum();
+        if in_range == 0 {
+            return 0.0;
+        }
+        let upto: u64 = self.bins[..=i].iter().sum();
+        upto as f64 / in_range as f64
+    }
+
+    /// Render a compact ASCII bar chart, one line per bin.
+    pub fn render(&self, width: usize) -> String {
+        let max = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.bins.iter().enumerate() {
+            let (lo, hi) = self.bin_edges(i);
+            let bar = "#".repeat((c as usize * width).div_ceil(max as usize).min(width));
+            out.push_str(&format!("{lo:8.2} -{hi:8.2} | {c:>7} {bar}\n"));
+        }
+        if self.underflow > 0 {
+            out.push_str(&format!("   < {:8.2} | {:>7}\n", self.lo, self.underflow));
+        }
+        if self.overflow > 0 {
+            out.push_str(&format!("  >= {:8.2} | {:>7}\n", self.hi, self.overflow));
+        }
+        out
+    }
+}
+
+/// An empirical CDF: sorted sample with quantile evaluation in O(log n).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Build from a sample (NaNs are rejected with a panic).
+    pub fn new(mut xs: Vec<f64>) -> Ecdf {
+        assert!(xs.iter().all(|x| !x.is_nan()), "NaN in ECDF input");
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Ecdf { sorted: xs }
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True if the sample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// F(x): fraction of the sample ≤ x.
+    pub fn eval(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// Inverse CDF at probability `q` (type-7 interpolation).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            None
+        } else {
+            Some(crate::descriptive::quantile_sorted(&self.sorted, q))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_correct_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.record_all([0.0, 1.9, 2.0, 9.99, -1.0, 10.0, 55.0]);
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.bin(0), 2); // 0.0, 1.9
+        assert_eq!(h.bin(1), 1); // 2.0
+        assert_eq!(h.bin(4), 1); // 9.99
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.nbins(), 5);
+        assert_eq!(h.bin_edges(1), (2.0, 4.0));
+    }
+
+    #[test]
+    fn cumulative_fraction_monotone() {
+        let mut h = Histogram::new(0.0, 4.0, 4);
+        h.record_all([0.5, 1.5, 2.5, 3.5]);
+        let fr: Vec<f64> = (0..4).map(|i| h.cumulative_fraction(i)).collect();
+        assert_eq!(fr, [0.25, 0.5, 0.75, 1.0]);
+    }
+
+    #[test]
+    fn render_is_wellformed() {
+        let mut h = Histogram::new(0.0, 2.0, 2);
+        h.record_all([0.5, 0.6, 1.5, -3.0, 9.0]);
+        let s = h.render(10);
+        assert_eq!(s.lines().count(), 4);
+        assert!(s.contains('#'));
+    }
+
+    #[test]
+    fn empty_histogram_render() {
+        let h = Histogram::new(0.0, 1.0, 3);
+        assert_eq!(h.cumulative_fraction(2), 0.0);
+        assert_eq!(h.render(5).lines().count(), 3);
+    }
+
+    #[test]
+    fn ecdf_eval_and_quantile() {
+        let e = Ecdf::new(vec![3.0, 1.0, 2.0, 4.0]);
+        assert_eq!(e.len(), 4);
+        assert!(!e.is_empty());
+        assert_eq!(e.eval(0.0), 0.0);
+        assert_eq!(e.eval(2.0), 0.5);
+        assert_eq!(e.eval(4.0), 1.0);
+        assert_eq!(e.quantile(0.5), Some(2.5));
+        assert_eq!(e.quantile(0.0), Some(1.0));
+        let empty = Ecdf::new(vec![]);
+        assert_eq!(empty.eval(1.0), 0.0);
+        assert_eq!(empty.quantile(0.5), None);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn ecdf_rejects_nan() {
+        Ecdf::new(vec![1.0, f64::NAN]);
+    }
+}

@@ -1,0 +1,32 @@
+//! # consent-stats
+//!
+//! Statistics substrate for the consent-observatory workspace:
+//!
+//! * [`mann_whitney`] — the tie-corrected Mann–Whitney U test the paper
+//!   uses for its Figure 10 timing experiment.
+//! * [`descriptive`] — means, medians, quantiles, summaries.
+//! * [`distributions`] — Zipf, log-normal, Pareto, exponential samplers
+//!   driving the synthetic web and the user-behaviour model.
+//! * [`histogram`] — fixed-bin histograms and empirical CDFs.
+//! * [`bootstrap`] — percentile-bootstrap confidence intervals.
+//! * [`normal`] — standard normal pdf/cdf/quantile.
+//! * [`proportion`] — two-proportion z-test and 2×2 chi-square for the
+//!   consent-rate comparison.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bootstrap;
+pub mod descriptive;
+pub mod distributions;
+pub mod histogram;
+pub mod mann_whitney;
+pub mod normal;
+pub mod proportion;
+
+pub use bootstrap::{median_ci, ConfidenceInterval};
+pub use descriptive::{mean, median, quantile, Summary};
+pub use distributions::{Exponential, LogNormal, Pareto, Zipf};
+pub use histogram::{Ecdf, Histogram};
+pub use mann_whitney::{mann_whitney_u, MannWhitney};
+pub use proportion::{chi_square_2x2, two_proportion_z, TwoProportion};

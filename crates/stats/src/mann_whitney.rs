@@ -1,0 +1,242 @@
+//! Mann–Whitney U test (Wilcoxon rank-sum), with tie correction.
+//!
+//! The paper's Figure 10 analysis uses exactly this test to compare
+//! accept-vs-reject interaction times, reporting
+//! `U(N_accept = 1344, N_reject = 279) = 166582, z = -2.93, p < 0.01`.
+//! We implement the large-sample normal approximation with tie-corrected
+//! variance and a continuity correction, which is what standard packages
+//! (R's `wilcox.test`, SciPy's `mannwhitneyu`) use for samples this size.
+
+use crate::normal;
+
+/// Result of a Mann–Whitney U test.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MannWhitney {
+    /// Size of the first sample.
+    pub n1: usize,
+    /// Size of the second sample.
+    pub n2: usize,
+    /// U statistic of the *first* sample.
+    pub u1: f64,
+    /// U statistic of the second sample (`n1*n2 - u1`).
+    pub u2: f64,
+    /// Standard-normal test statistic (signed; negative when the first
+    /// sample tends to be smaller).
+    pub z: f64,
+    /// Two-sided p-value from the normal approximation.
+    pub p_two_sided: f64,
+    /// Rank-biserial effect size in `[-1, 1]`.
+    pub effect_size: f64,
+}
+
+impl MannWhitney {
+    /// Readable significance stars for report output.
+    pub fn stars(&self) -> &'static str {
+        if self.p_two_sided < 0.001 {
+            "***"
+        } else if self.p_two_sided < 0.01 {
+            "**"
+        } else if self.p_two_sided < 0.05 {
+            "*"
+        } else {
+            ""
+        }
+    }
+}
+
+/// Error for degenerate inputs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MannWhitneyError {
+    /// One or both samples are empty.
+    EmptySample,
+    /// All observations are identical; the statistic is undefined.
+    AllTied,
+}
+
+impl std::fmt::Display for MannWhitneyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MannWhitneyError::EmptySample => write!(f, "empty sample"),
+            MannWhitneyError::AllTied => write!(f, "all observations tied"),
+        }
+    }
+}
+
+impl std::error::Error for MannWhitneyError {}
+
+/// Run the two-sided Mann–Whitney U test on two independent samples.
+///
+/// ```
+/// use consent_stats::mann_whitney::mann_whitney_u;
+/// let fast = [1.0, 2.0, 3.0, 2.5, 1.5];
+/// let slow = [4.0, 5.0, 6.0, 5.5, 4.5];
+/// let r = mann_whitney_u(&fast, &slow).unwrap();
+/// assert!(r.p_two_sided < 0.05);
+/// assert!(r.z < 0.0); // first sample stochastically smaller
+/// ```
+pub fn mann_whitney_u(xs: &[f64], ys: &[f64]) -> Result<MannWhitney, MannWhitneyError> {
+    let (n1, n2) = (xs.len(), ys.len());
+    if n1 == 0 || n2 == 0 {
+        return Err(MannWhitneyError::EmptySample);
+    }
+
+    // Pool, remember group membership, and rank with midranks for ties.
+    let mut pooled: Vec<(f64, bool)> = xs
+        .iter()
+        .map(|&v| (v, true))
+        .chain(ys.iter().map(|&v| (v, false)))
+        .collect();
+    pooled.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN in Mann-Whitney input"));
+
+    let n = n1 + n2;
+    let mut rank_sum_1 = 0.0f64; // sum of ranks of the first sample
+    let mut tie_term = 0.0f64; // Σ (t³ − t) over tie groups
+    let mut i = 0;
+    while i < n {
+        let mut j = i + 1;
+        while j < n && pooled[j].0 == pooled[i].0 {
+            j += 1;
+        }
+        let t = (j - i) as f64;
+        // Midrank of this tie group (ranks are 1-based).
+        let midrank = (i + 1 + j) as f64 / 2.0;
+        for item in &pooled[i..j] {
+            if item.1 {
+                rank_sum_1 += midrank;
+            }
+        }
+        if t > 1.0 {
+            tie_term += t * t * t - t;
+        }
+        i = j;
+    }
+
+    let n1f = n1 as f64;
+    let n2f = n2 as f64;
+    let nf = n as f64;
+    let u1 = rank_sum_1 - n1f * (n1f + 1.0) / 2.0;
+    let u2 = n1f * n2f - u1;
+
+    let mean_u = n1f * n2f / 2.0;
+    // Tie-corrected variance of U.
+    let var_u = n1f * n2f / 12.0 * ((nf + 1.0) - tie_term / (nf * (nf - 1.0)));
+    if var_u <= 0.0 {
+        return Err(MannWhitneyError::AllTied);
+    }
+
+    // Continuity correction toward the mean.
+    let diff = u1 - mean_u;
+    let cc = if diff > 0.0 {
+        -0.5
+    } else if diff < 0.0 {
+        0.5
+    } else {
+        0.0
+    };
+    let z = (diff + cc) / var_u.sqrt();
+    let p = normal::p_two_sided(z);
+    let effect_size = 2.0 * u1 / (n1f * n2f) - 1.0;
+
+    Ok(MannWhitney {
+        n1,
+        n2,
+        u1,
+        u2,
+        z,
+        p_two_sided: p,
+        effect_size,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_degenerate_input() {
+        assert_eq!(
+            mann_whitney_u(&[], &[1.0]),
+            Err(MannWhitneyError::EmptySample)
+        );
+        assert_eq!(
+            mann_whitney_u(&[1.0], &[]),
+            Err(MannWhitneyError::EmptySample)
+        );
+        assert_eq!(
+            mann_whitney_u(&[2.0, 2.0], &[2.0, 2.0]),
+            Err(MannWhitneyError::AllTied)
+        );
+    }
+
+    #[test]
+    fn u_statistics_sum_to_n1n2() {
+        let xs = [1.0, 3.0, 5.0, 7.0];
+        let ys = [2.0, 4.0, 6.0];
+        let r = mann_whitney_u(&xs, &ys).unwrap();
+        assert_eq!(r.u1 + r.u2, (xs.len() * ys.len()) as f64);
+    }
+
+    #[test]
+    fn symmetric_under_swap() {
+        let xs = [1.0, 2.0, 2.0, 3.0, 9.0];
+        let ys = [4.0, 5.0, 6.0];
+        let a = mann_whitney_u(&xs, &ys).unwrap();
+        let b = mann_whitney_u(&ys, &xs).unwrap();
+        assert_eq!(a.u1, b.u2);
+        assert!((a.z + b.z).abs() < 1e-12);
+        assert!((a.p_two_sided - b.p_two_sided).abs() < 1e-12);
+        assert!((a.effect_size + b.effect_size).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reference_value_scipy() {
+        // scipy.stats.mannwhitneyu([1,2,3,4,5], [3,4,5,6,7],
+        //   use_continuity=True, alternative='two-sided')
+        // Hand computation: pooled midranks give R1 = 19.5, so
+        // U1 = 19.5 - 15 = 4.5. Tie-corrected variance:
+        // 25/12 * (11 - 18/90) = 22.5, z = (4.5 - 12.5 + 0.5)/sqrt(22.5)
+        // = -1.5811, two-sided p = 0.1138.
+        let r = mann_whitney_u(&[1.0, 2.0, 3.0, 4.0, 5.0], &[3.0, 4.0, 5.0, 6.0, 7.0]).unwrap();
+        assert_eq!(r.u1, 4.5);
+        assert!((r.z + 1.5811).abs() < 1e-3, "z = {}", r.z);
+        assert!((r.p_two_sided - 0.1138).abs() < 0.001, "p = {}", r.p_two_sided);
+    }
+
+    #[test]
+    fn clear_separation_is_significant() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = (0..50).map(|i| 100.0 + i as f64).collect();
+        let r = mann_whitney_u(&xs, &ys).unwrap();
+        assert_eq!(r.u1, 0.0);
+        assert!(r.p_two_sided < 1e-10);
+        assert_eq!(r.effect_size, -1.0);
+        assert_eq!(r.stars(), "***");
+    }
+
+    #[test]
+    fn no_difference_is_insignificant() {
+        let xs: Vec<f64> = (0..100).map(|i| (i % 10) as f64).collect();
+        let ys: Vec<f64> = (0..100).map(|i| ((i + 5) % 10) as f64).collect();
+        let r = mann_whitney_u(&xs, &ys).unwrap();
+        assert!(r.p_two_sided > 0.5);
+        assert_eq!(r.stars(), "");
+        assert!(r.effect_size.abs() < 0.05);
+    }
+
+    #[test]
+    fn stars_thresholds() {
+        let mk = |p| MannWhitney {
+            n1: 1,
+            n2: 1,
+            u1: 0.0,
+            u2: 0.0,
+            z: 0.0,
+            p_two_sided: p,
+            effect_size: 0.0,
+        };
+        assert_eq!(mk(0.0005).stars(), "***");
+        assert_eq!(mk(0.005).stars(), "**");
+        assert_eq!(mk(0.03).stars(), "*");
+        assert_eq!(mk(0.2).stars(), "");
+    }
+}

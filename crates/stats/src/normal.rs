@@ -1,0 +1,149 @@
+//! Standard normal distribution functions.
+//!
+//! Used by the Mann–Whitney normal approximation (the paper reports
+//! z-scores and p-values for its Figure 10 experiment) and by the
+//! bootstrap confidence intervals.
+
+/// Probability density of the standard normal at `x`.
+pub fn pdf(x: f64) -> f64 {
+    const INV_SQRT_2PI: f64 = 0.398_942_280_401_432_7;
+    INV_SQRT_2PI * (-0.5 * x * x).exp()
+}
+
+/// Cumulative distribution function Φ(x) of the standard normal.
+///
+/// Uses the complementary error function via Abramowitz & Stegun 7.1.26,
+/// accurate to about 1.5e-7 — ample for reporting p-value thresholds.
+pub fn cdf(x: f64) -> f64 {
+    0.5 * erfc(-x / std::f64::consts::SQRT_2)
+}
+
+/// Two-sided p-value for a standard-normal test statistic `z`.
+pub fn p_two_sided(z: f64) -> f64 {
+    (2.0 * cdf(-z.abs())).clamp(0.0, 1.0)
+}
+
+/// Complementary error function, |error| ≤ 1.5e-7.
+pub fn erfc(x: f64) -> f64 {
+    let z = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * z);
+    // Numerical Recipes rational Chebyshev approximation.
+    let ans = t
+        * (-z * z
+            - 1.26551223
+            + t * (1.00002368
+                + t * (0.37409196
+                    + t * (0.09678418
+                        + t * (-0.18628806
+                            + t * (0.27886807
+                                + t * (-1.13520398
+                                    + t * (1.48851587
+                                        + t * (-0.82215223 + t * 0.17087277)))))))))
+        .exp();
+    if x >= 0.0 {
+        ans
+    } else {
+        2.0 - ans
+    }
+}
+
+/// Inverse of the standard normal CDF (probit function).
+///
+/// Acklam's rational approximation, relative error < 1.15e-9. Panics if
+/// `p` is outside `(0, 1)`.
+pub fn quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile requires p in (0,1), got {p}");
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383_577_518_672_69e2,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_reference_values() {
+        assert!((cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((cdf(1.0) - 0.841_344_746).abs() < 1e-6);
+        assert!((cdf(-1.96) - 0.024_997_895).abs() < 1e-6);
+        assert!((cdf(3.0) - 0.998_650_102).abs() < 1e-6);
+        assert!(cdf(-10.0) < 1e-20);
+        // The A&S approximation's absolute error (~1.5e-7) dominates in
+        // the upper tail, where the true gap to 1 is below 1e-20.
+        assert!(cdf(10.0) > 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn pdf_reference_values() {
+        assert!((pdf(0.0) - 0.398_942_280).abs() < 1e-8);
+        assert!((pdf(1.0) - 0.241_970_725).abs() < 1e-8);
+        assert!((pdf(-1.0) - pdf(1.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn p_values() {
+        // z = 2.93 -> p ≈ 0.0034 (< 0.01 as the paper reports).
+        let p = p_two_sided(-2.93);
+        assert!(p < 0.01 && p > 0.001, "p = {p}");
+        // z = 11.57 -> p far below 0.001.
+        assert!(p_two_sided(-11.57) < 1e-6);
+        assert!((p_two_sided(0.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        for &p in &[0.001, 0.01, 0.025, 0.2, 0.5, 0.8, 0.975, 0.99, 0.999] {
+            let x = quantile(p);
+            assert!((cdf(x) - p).abs() < 1e-6, "p={p} x={x} cdf={}", cdf(x));
+        }
+        assert!((quantile(0.975) - 1.959_964).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn quantile_rejects_zero() {
+        quantile(0.0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Proportion tests: two-proportion z-test and chi-square.
+//!
+//! The paper reports a consent-rate increase from 83 % to 90 % between
+//! the two dialog configurations (Figure 10); comparing two binomial
+//! proportions is the standard test for that effect.
+
+use crate::normal;
+
+/// Result of a two-proportion z-test.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TwoProportion {
+    /// Successes / trials in the first sample.
+    pub x1: u64,
+    /// Trials in the first sample.
+    pub n1: u64,
+    /// Successes in the second sample.
+    pub x2: u64,
+    /// Trials in the second sample.
+    pub n2: u64,
+    /// First sample proportion.
+    pub p1: f64,
+    /// Second sample proportion.
+    pub p2: f64,
+    /// z statistic under the pooled null.
+    pub z: f64,
+    /// Two-sided p-value.
+    pub p_two_sided: f64,
+}
+
+/// Error for degenerate proportion-test inputs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProportionError {
+    /// A sample has zero trials.
+    EmptySample,
+    /// Successes exceed trials.
+    Inconsistent,
+    /// Pooled proportion is 0 or 1; the z statistic is undefined.
+    Degenerate,
+}
+
+impl std::fmt::Display for ProportionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProportionError::EmptySample => write!(f, "empty sample"),
+            ProportionError::Inconsistent => write!(f, "successes exceed trials"),
+            ProportionError::Degenerate => write!(f, "all successes or all failures"),
+        }
+    }
+}
+
+impl std::error::Error for ProportionError {}
+
+/// Two-sided two-proportion z-test with a pooled variance estimate.
+///
+/// ```
+/// use consent_stats::proportion::two_proportion_z;
+/// // The paper's consent rates: 1344/1623 (83%) vs 1152/1287 (90%).
+/// let t = two_proportion_z(1344, 1623, 1152, 1287).unwrap();
+/// assert!(t.p_two_sided < 0.001);
+/// assert!(t.z < 0.0); // first rate lower
+/// ```
+pub fn two_proportion_z(
+    x1: u64,
+    n1: u64,
+    x2: u64,
+    n2: u64,
+) -> Result<TwoProportion, ProportionError> {
+    if n1 == 0 || n2 == 0 {
+        return Err(ProportionError::EmptySample);
+    }
+    if x1 > n1 || x2 > n2 {
+        return Err(ProportionError::Inconsistent);
+    }
+    let p1 = x1 as f64 / n1 as f64;
+    let p2 = x2 as f64 / n2 as f64;
+    let pooled = (x1 + x2) as f64 / (n1 + n2) as f64;
+    if pooled <= 0.0 || pooled >= 1.0 {
+        return Err(ProportionError::Degenerate);
+    }
+    let se = (pooled * (1.0 - pooled) * (1.0 / n1 as f64 + 1.0 / n2 as f64)).sqrt();
+    let z = (p1 - p2) / se;
+    Ok(TwoProportion {
+        x1,
+        n1,
+        x2,
+        n2,
+        p1,
+        p2,
+        z,
+        p_two_sided: normal::p_two_sided(z),
+    })
+}
+
+/// Pearson chi-square statistic for a 2×2 contingency table
+/// `[[a, b], [c, d]]`, with 1 degree of freedom. Returns `(chi2, p)`.
+/// The p-value uses the identity χ²(1) = z², so it matches
+/// [`two_proportion_z`] without a continuity correction.
+pub fn chi_square_2x2(a: u64, b: u64, c: u64, d: u64) -> Result<(f64, f64), ProportionError> {
+    let n = (a + b + c + d) as f64;
+    if n == 0.0 {
+        return Err(ProportionError::EmptySample);
+    }
+    let (af, bf, cf, df) = (a as f64, b as f64, c as f64, d as f64);
+    let denom = (af + bf) * (cf + df) * (af + cf) * (bf + df);
+    if denom == 0.0 {
+        return Err(ProportionError::Degenerate);
+    }
+    let chi2 = n * (af * df - bf * cf).powi(2) / denom;
+    let p = normal::p_two_sided(chi2.sqrt());
+    Ok((chi2, p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_consent_rates_significant() {
+        // 83 % vs 90 % at the paper's sample sizes.
+        let t = two_proportion_z(1344, 1623, 1152, 1287).unwrap();
+        assert!((t.p1 - 0.828).abs() < 0.001);
+        assert!((t.p2 - 0.895).abs() < 0.001);
+        assert!(t.z < -4.0, "z = {}", t.z);
+        assert!(t.p_two_sided < 1e-5);
+    }
+
+    #[test]
+    fn equal_rates_insignificant() {
+        let t = two_proportion_z(500, 1000, 250, 500).unwrap();
+        assert!(t.z.abs() < 1e-9);
+        assert!((t.p_two_sided - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(
+            two_proportion_z(1, 0, 1, 2),
+            Err(ProportionError::EmptySample)
+        );
+        assert_eq!(
+            two_proportion_z(3, 2, 1, 2),
+            Err(ProportionError::Inconsistent)
+        );
+        assert_eq!(
+            two_proportion_z(0, 10, 0, 10),
+            Err(ProportionError::Degenerate)
+        );
+        assert_eq!(
+            two_proportion_z(10, 10, 10, 10),
+            Err(ProportionError::Degenerate)
+        );
+        assert!(chi_square_2x2(0, 0, 0, 0).is_err());
+        assert!(chi_square_2x2(5, 5, 0, 0).is_err());
+    }
+
+    #[test]
+    fn chi_square_matches_z_squared() {
+        let t = two_proportion_z(80, 100, 60, 100).unwrap();
+        let (chi2, p) = chi_square_2x2(80, 20, 60, 40).unwrap();
+        assert!((chi2 - t.z * t.z).abs() < 1e-9, "{chi2} vs {}", t.z * t.z);
+        assert!((p - t.p_two_sided).abs() < 1e-9);
+    }
+
+    #[test]
+    fn known_chi_square_value() {
+        // Table [[10, 20], [30, 40]]: n=100, (ad-bc)^2 = 200^2,
+        // chi2 = 100*40000 / (30*70*40*60) = 0.79365.
+        let (chi2, p) = chi_square_2x2(10, 20, 30, 40).unwrap();
+        assert!((chi2 - 0.79365).abs() < 0.001, "chi2 {chi2}");
+        assert!((p - 0.373).abs() < 0.002, "p {p}");
+    }
+}

@@ -1,0 +1,345 @@
+//! MSB-first bitstream reader/writer and web-safe base64.
+//!
+//! The IAB TCF consent string is a bit-packed structure serialized as
+//! base64url without padding. Fields are written most-significant-bit
+//! first, which is what this module implements on top of [`bytes`]
+//! buffers.
+
+use bytes::{BufMut, BytesMut};
+use std::fmt;
+
+/// Append-only MSB-first bit writer.
+#[derive(Clone, Debug, Default)]
+pub struct BitWriter {
+    buf: BytesMut,
+    /// Bits already used in the final partial byte (0..8).
+    partial_bits: u8,
+}
+
+impl BitWriter {
+    /// Create an empty writer.
+    pub fn new() -> BitWriter {
+        BitWriter::default()
+    }
+
+    /// Total number of bits written.
+    pub fn len_bits(&self) -> usize {
+        if self.partial_bits == 0 {
+            self.buf.len() * 8
+        } else {
+            (self.buf.len() - 1) * 8 + self.partial_bits as usize
+        }
+    }
+
+    /// Write the low `width` bits of `value`, MSB first. Panics if
+    /// `width > 64` or if `value` does not fit in `width` bits.
+    pub fn write(&mut self, value: u64, width: u8) {
+        assert!(width <= 64, "width > 64");
+        assert!(
+            width == 64 || value < (1u64 << width),
+            "value {value} does not fit in {width} bits"
+        );
+        for i in (0..width).rev() {
+            let bit = (value >> i) & 1 == 1;
+            self.write_bit(bit);
+        }
+    }
+
+    /// Write a single bit.
+    pub fn write_bit(&mut self, bit: bool) {
+        if self.partial_bits == 0 {
+            self.buf.put_u8(0);
+        }
+        if bit {
+            let last = self.buf.len() - 1;
+            self.buf[last] |= 1 << (7 - self.partial_bits);
+        }
+        self.partial_bits = (self.partial_bits + 1) % 8;
+    }
+
+    /// Write a 6-bit uppercase letter ('A' = 0 … 'Z' = 25), used for the
+    /// two-letter consent-language field. Panics on non-ASCII-uppercase.
+    pub fn write_letter(&mut self, c: char) {
+        assert!(c.is_ascii_uppercase(), "expected A-Z, got {c:?}");
+        self.write((c as u8 - b'A') as u64, 6);
+    }
+
+    /// Finish, zero-padding the final byte.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf.to_vec()
+    }
+}
+
+/// MSB-first bit reader over a byte slice.
+#[derive(Clone, Debug)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    pos_bits: usize,
+}
+
+/// Error when the bitstream is shorter than a read requires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OutOfBits {
+    /// Bit offset of the failed read.
+    pub at_bit: usize,
+    /// Width requested.
+    pub wanted: u8,
+}
+
+impl fmt::Display for OutOfBits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "bitstream exhausted: wanted {} bits at offset {}",
+            self.wanted, self.at_bit
+        )
+    }
+}
+
+impl std::error::Error for OutOfBits {}
+
+impl<'a> BitReader<'a> {
+    /// Create a reader at bit offset 0.
+    pub fn new(data: &'a [u8]) -> BitReader<'a> {
+        BitReader { data, pos_bits: 0 }
+    }
+
+    /// Bits remaining.
+    pub fn remaining(&self) -> usize {
+        self.data.len() * 8 - self.pos_bits
+    }
+
+    /// Current bit offset.
+    pub fn position(&self) -> usize {
+        self.pos_bits
+    }
+
+    /// Read `width` bits MSB-first into the low bits of a `u64`.
+    pub fn read(&mut self, width: u8) -> Result<u64, OutOfBits> {
+        assert!(width <= 64);
+        if self.remaining() < width as usize {
+            return Err(OutOfBits {
+                at_bit: self.pos_bits,
+                wanted: width,
+            });
+        }
+        let mut out = 0u64;
+        for _ in 0..width {
+            let byte = self.data[self.pos_bits / 8];
+            let bit = (byte >> (7 - (self.pos_bits % 8))) & 1;
+            out = (out << 1) | u64::from(bit);
+            self.pos_bits += 1;
+        }
+        Ok(out)
+    }
+
+    /// Read a single bit.
+    pub fn read_bit(&mut self) -> Result<bool, OutOfBits> {
+        Ok(self.read(1)? == 1)
+    }
+
+    /// Read a 6-bit letter as written by [`BitWriter::write_letter`].
+    pub fn read_letter(&mut self) -> Result<char, OutOfBits> {
+        let v = self.read(6)?;
+        Ok((b'A' + (v as u8 % 26)) as char)
+    }
+}
+
+const B64_ALPHABET: &[u8; 64] =
+    b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-_";
+
+/// Encode bytes as base64url without padding (the TCF wire format).
+pub fn base64url_encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b0 = chunk[0] as u32;
+        let b1 = *chunk.get(1).unwrap_or(&0) as u32;
+        let b2 = *chunk.get(2).unwrap_or(&0) as u32;
+        let triple = (b0 << 16) | (b1 << 8) | b2;
+        out.push(B64_ALPHABET[(triple >> 18) as usize & 0x3F] as char);
+        out.push(B64_ALPHABET[(triple >> 12) as usize & 0x3F] as char);
+        if chunk.len() > 1 {
+            out.push(B64_ALPHABET[(triple >> 6) as usize & 0x3F] as char);
+        }
+        if chunk.len() > 2 {
+            out.push(B64_ALPHABET[triple as usize & 0x3F] as char);
+        }
+    }
+    out
+}
+
+/// Error decoding base64url.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Base64Error {
+    /// Offending character position, or input length for length errors.
+    pub position: usize,
+    /// Description.
+    pub message: &'static str,
+}
+
+impl fmt::Display for Base64Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "base64url error at {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for Base64Error {}
+
+/// Decode base64url without padding. Also accepts standard-alphabet
+/// (`+`, `/`) input, since some CMP implementations emit it.
+pub fn base64url_decode(s: &str) -> Result<Vec<u8>, Base64Error> {
+    if s.len() % 4 == 1 {
+        return Err(Base64Error {
+            position: s.len(),
+            message: "invalid length (mod 4 == 1)",
+        });
+    }
+    let mut out = Vec::with_capacity(s.len() * 3 / 4);
+    let mut acc: u32 = 0;
+    let mut acc_bits = 0u8;
+    for (i, c) in s.bytes().enumerate() {
+        let v = match c {
+            b'A'..=b'Z' => c - b'A',
+            b'a'..=b'z' => c - b'a' + 26,
+            b'0'..=b'9' => c - b'0' + 52,
+            b'-' | b'+' => 62,
+            b'_' | b'/' => 63,
+            b'=' => continue, // tolerate padded input
+            _ => {
+                return Err(Base64Error {
+                    position: i,
+                    message: "invalid character",
+                })
+            }
+        };
+        acc = (acc << 6) | u32::from(v);
+        acc_bits += 6;
+        if acc_bits >= 8 {
+            acc_bits -= 8;
+            out.push((acc >> acc_bits) as u8);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut w = BitWriter::new();
+        w.write(0b101, 3);
+        w.write(0xFFFF, 16);
+        w.write_bit(false);
+        w.write(42, 12);
+        w.write_letter('E');
+        w.write_letter('N');
+        assert_eq!(w.len_bits(), 3 + 16 + 1 + 12 + 12);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read(3).unwrap(), 0b101);
+        assert_eq!(r.read(16).unwrap(), 0xFFFF);
+        assert!(!r.read_bit().unwrap());
+        assert_eq!(r.read(12).unwrap(), 42);
+        assert_eq!(r.read_letter().unwrap(), 'E');
+        assert_eq!(r.read_letter().unwrap(), 'N');
+    }
+
+    #[test]
+    fn reader_reports_exhaustion() {
+        let bytes = [0xABu8];
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.remaining(), 8);
+        assert_eq!(r.read(8).unwrap(), 0xAB);
+        let err = r.read(1).unwrap_err();
+        assert_eq!(err.at_bit, 8);
+        assert_eq!(err.wanted, 1);
+        assert!(err.to_string().contains("exhausted"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn writer_rejects_oversized_value() {
+        let mut w = BitWriter::new();
+        w.write(8, 3);
+    }
+
+    #[test]
+    fn msb_first_layout() {
+        // Writing 1 as a single bit must set the MSB of the first byte.
+        let mut w = BitWriter::new();
+        w.write_bit(true);
+        assert_eq!(w.into_bytes(), vec![0b1000_0000]);
+        // 6-bit version "000001" then 2 bits "11" => 0b0000_0111.
+        let mut w = BitWriter::new();
+        w.write(1, 6);
+        w.write(0b11, 2);
+        assert_eq!(w.into_bytes(), vec![0b0000_0111]);
+    }
+
+    #[test]
+    fn base64_known_vectors() {
+        assert_eq!(base64url_encode(b""), "");
+        assert_eq!(base64url_encode(b"f"), "Zg");
+        assert_eq!(base64url_encode(b"fo"), "Zm8");
+        assert_eq!(base64url_encode(b"foo"), "Zm9v");
+        assert_eq!(base64url_encode(&[0xFB, 0xFF]), "-_8");
+        assert_eq!(base64url_decode("Zm9v").unwrap(), b"foo");
+        assert_eq!(base64url_decode("Zg").unwrap(), b"f");
+        // Standard alphabet tolerated.
+        assert_eq!(base64url_decode("+/8").unwrap(), vec![0xFB, 0xFF]);
+        // Padding tolerated.
+        assert_eq!(base64url_decode("Zg==").unwrap(), b"f");
+    }
+
+    #[test]
+    fn base64_rejects_garbage() {
+        assert!(base64url_decode("a").is_err());
+        assert!(base64url_decode("ab\u{1}c").is_err());
+        assert!(base64url_decode("a b").is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_base64_roundtrip(data: Vec<u8>) {
+            let enc = base64url_encode(&data);
+            prop_assert_eq!(base64url_decode(&enc).unwrap(), data);
+        }
+
+        #[test]
+        fn prop_bitfield_roundtrip(fields in proptest::collection::vec((0u64..u64::MAX, 1u8..=64u8), 0..50)) {
+            let mut w = BitWriter::new();
+            let masked: Vec<(u64, u8)> = fields
+                .iter()
+                .map(|&(v, width)| {
+                    let m = if width == 64 { v } else { v & ((1u64 << width) - 1) };
+                    (m, width)
+                })
+                .collect();
+            for &(v, width) in &masked {
+                w.write(v, width);
+            }
+            let bytes = w.into_bytes();
+            let mut r = BitReader::new(&bytes);
+            for &(v, width) in &masked {
+                prop_assert_eq!(r.read(width).unwrap(), v);
+            }
+        }
+
+        #[test]
+        fn prop_base64_via_bits(bits in proptest::collection::vec(any::<bool>(), 0..200)) {
+            let mut w = BitWriter::new();
+            for &b in &bits {
+                w.write_bit(b);
+            }
+            let s = base64url_encode(&w.into_bytes());
+            let decoded = base64url_decode(&s).unwrap();
+            let mut r = BitReader::new(&decoded);
+            for &b in &bits {
+                prop_assert_eq!(r.read_bit().unwrap(), b);
+            }
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! In-page `__cmp()` API surface.
+//!
+//! The paper instruments `__cmp('ping', …)` to detect when a consent
+//! dialog appears and `__cmp('getConsentData', …)` to read the decision
+//! (§3.2). This module models the API as a small state machine attached
+//! to a page: commands arrive over simulated time, and the responses
+//! mirror the TCF v1.1 JS API spec.
+
+use crate::consent_string::{ConsentString, VendorEncoding};
+use consent_util::SimInstant;
+
+/// Result of `__cmp('ping')`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PingResult {
+    /// The CMP script has loaded (always true once the stub is replaced).
+    pub cmp_loaded: bool,
+    /// GDPR applies to this user (per the CMP's geo lookup).
+    pub gdpr_applies: bool,
+}
+
+/// Result of `__cmp('getConsentData')`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConsentData {
+    /// The base64url consent string, if a decision exists.
+    pub consent_data: Option<String>,
+    /// GDPR applies.
+    pub gdpr_applies: bool,
+    /// True if the consent dialog has been fully shown to the user.
+    pub has_global_scope: bool,
+}
+
+/// Lifecycle of the CMP on one page.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpState {
+    /// The stub is installed but the main script hasn't loaded yet.
+    Stub,
+    /// Loaded, dialog not (yet) shown.
+    Loaded,
+    /// Dialog currently displayed.
+    DialogShown,
+    /// User made a decision; consent string available.
+    Decided,
+}
+
+/// A simulated in-page CMP exposing the `__cmp` API.
+#[derive(Clone, Debug)]
+pub struct CmpApi {
+    state: CmpState,
+    gdpr_applies: bool,
+    consent: Option<ConsentString>,
+    /// Timeline markers the experiment harness reads.
+    pub loaded_at: Option<SimInstant>,
+    /// When the dialog became visible.
+    pub dialog_shown_at: Option<SimInstant>,
+    /// When the user's decision was stored.
+    pub decided_at: Option<SimInstant>,
+}
+
+impl CmpApi {
+    /// A fresh stub, as injected in the page `<head>`.
+    pub fn new(gdpr_applies: bool) -> CmpApi {
+        CmpApi {
+            state: CmpState::Stub,
+            gdpr_applies,
+            consent: None,
+            loaded_at: None,
+            dialog_shown_at: None,
+            decided_at: None,
+        }
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> CmpState {
+        self.state
+    }
+
+    /// Main CMP script finished loading.
+    pub fn script_loaded(&mut self, at: SimInstant) {
+        if self.state == CmpState::Stub {
+            self.state = CmpState::Loaded;
+            self.loaded_at = Some(at);
+        }
+    }
+
+    /// Dialog rendered. No-op unless loaded. Returns whether it was shown
+    /// (an existing decision suppresses the dialog — "repeated visitors
+    /// will not be counted", §3.2).
+    pub fn show_dialog(&mut self, at: SimInstant) -> bool {
+        match self.state {
+            CmpState::Loaded if self.consent.is_none() => {
+                self.state = CmpState::DialogShown;
+                self.dialog_shown_at = Some(at);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Store the user's decision and close the dialog.
+    pub fn store_decision(&mut self, consent: ConsentString, at: SimInstant) {
+        self.consent = Some(consent);
+        self.decided_at = Some(at);
+        self.state = CmpState::Decided;
+    }
+
+    /// Pre-load an existing global consent cookie (a returning visitor).
+    pub fn preload_consent(&mut self, consent: ConsentString) {
+        self.consent = Some(consent);
+        if self.state == CmpState::Stub {
+            self.state = CmpState::Loaded;
+        }
+        self.state = CmpState::Decided;
+    }
+
+    /// `__cmp('ping')`.
+    pub fn ping(&self) -> PingResult {
+        PingResult {
+            cmp_loaded: self.state != CmpState::Stub,
+            gdpr_applies: self.gdpr_applies,
+        }
+    }
+
+    /// `__cmp('getConsentData')`.
+    pub fn get_consent_data(&self) -> ConsentData {
+        ConsentData {
+            consent_data: self
+                .consent
+                .as_ref()
+                .map(|c| c.encode(VendorEncoding::Auto)),
+            gdpr_applies: self.gdpr_applies,
+            has_global_scope: true,
+        }
+    }
+
+    /// `__cmp('getVendorConsents')`: whether each queried vendor id has
+    /// consent. Empty query means "all vendors up to maxVendorId".
+    pub fn get_vendor_consents(&self, vendor_ids: &[u16]) -> Vec<(u16, bool)> {
+        match &self.consent {
+            None => vendor_ids.iter().map(|&id| (id, false)).collect(),
+            Some(c) => {
+                if vendor_ids.is_empty() {
+                    (1..=c.max_vendor_id).map(|id| (id, c.vendor_allowed(id))).collect()
+                } else {
+                    vendor_ids
+                        .iter()
+                        .map(|&id| (id, c.vendor_allowed(id)))
+                        .collect()
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::purposes::all_purpose_ids;
+
+    #[test]
+    fn lifecycle_happy_path() {
+        let mut cmp = CmpApi::new(true);
+        assert_eq!(cmp.state(), CmpState::Stub);
+        assert!(!cmp.ping().cmp_loaded);
+        assert!(cmp.ping().gdpr_applies);
+
+        cmp.script_loaded(SimInstant::from_millis(800));
+        assert_eq!(cmp.state(), CmpState::Loaded);
+        assert!(cmp.ping().cmp_loaded);
+
+        assert!(cmp.show_dialog(SimInstant::from_millis(1200)));
+        assert_eq!(cmp.state(), CmpState::DialogShown);
+        assert_eq!(cmp.get_consent_data().consent_data, None);
+
+        let consent = ConsentString::new(10, 215, 600).accept_all(all_purpose_ids());
+        cmp.store_decision(consent, SimInstant::from_secs(4));
+        assert_eq!(cmp.state(), CmpState::Decided);
+        let data = cmp.get_consent_data();
+        let s = data.consent_data.unwrap();
+        let decoded = ConsentString::decode(&s).unwrap();
+        assert_eq!(decoded.consent_count(), 600);
+        assert_eq!(cmp.dialog_shown_at, Some(SimInstant::from_millis(1200)));
+        assert_eq!(cmp.decided_at, Some(SimInstant::from_secs(4)));
+    }
+
+    #[test]
+    fn returning_visitor_sees_no_dialog() {
+        let mut cmp = CmpApi::new(true);
+        cmp.preload_consent(ConsentString::new(10, 215, 600).accept_all(all_purpose_ids()));
+        cmp.script_loaded(SimInstant::from_millis(500));
+        assert!(!cmp.show_dialog(SimInstant::from_millis(900)));
+        assert_eq!(cmp.state(), CmpState::Decided);
+        assert!(cmp.get_consent_data().consent_data.is_some());
+    }
+
+    #[test]
+    fn dialog_requires_loaded_script() {
+        let mut cmp = CmpApi::new(true);
+        assert!(!cmp.show_dialog(SimInstant::ZERO));
+        assert_eq!(cmp.state(), CmpState::Stub);
+    }
+
+    #[test]
+    fn vendor_consent_queries() {
+        let mut cmp = CmpApi::new(true);
+        assert_eq!(
+            cmp.get_vendor_consents(&[1, 2]),
+            vec![(1, false), (2, false)]
+        );
+        let mut consent = ConsentString::new(10, 215, 5);
+        consent.vendor_consents = [2, 4].into();
+        cmp.preload_consent(consent);
+        assert_eq!(
+            cmp.get_vendor_consents(&[1, 2, 4]),
+            vec![(1, false), (2, true), (4, true)]
+        );
+        let all = cmp.get_vendor_consents(&[]);
+        assert_eq!(all.len(), 5);
+        assert_eq!(all[1], (2, true));
+        assert_eq!(all[2], (3, false));
+    }
+
+    #[test]
+    fn non_gdpr_user() {
+        let cmp = CmpApi::new(false);
+        assert!(!cmp.ping().gdpr_applies);
+        assert!(!cmp.get_consent_data().gdpr_applies);
+    }
+}

@@ -1,0 +1,465 @@
+//! TCF v1.1 consent-string codec.
+//!
+//! The `__cmp()` API the paper instruments (§3.2, footnote 4) exchanges
+//! consent as a bit-packed, base64url string defined by the IAB
+//! "Consent string and vendor list format v1.1". This module implements
+//! the format bit-exactly: the 78-bit core, the purposes bitfield, and
+//! both vendor encodings (bitfield and range) with automatic selection of
+//! the smaller one — the same size trade-off real CMPs implement.
+
+use crate::bits::{base64url_decode, base64url_encode, BitReader, BitWriter};
+use crate::purposes::PurposeId;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Maximum number of purposes in the v1 bitfield.
+pub const NUM_PURPOSE_BITS: u8 = 24;
+
+/// A decoded TCF v1.1 consent string.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConsentString {
+    /// Format version; always 1 for this codec.
+    pub version: u8,
+    /// Creation time in *deciseconds* since the Unix epoch (the spec's
+    /// curious unit).
+    pub created_ds: u64,
+    /// Last update, deciseconds since epoch.
+    pub last_updated_ds: u64,
+    /// IAB-assigned CMP id.
+    pub cmp_id: u16,
+    /// CMP-internal version.
+    pub cmp_version: u16,
+    /// Screen of the CMP UI where consent was given.
+    pub consent_screen: u8,
+    /// Two-letter lowercase-insensitive language code, stored uppercase.
+    pub consent_language: [char; 2],
+    /// Version of the Global Vendor List the consent refers to.
+    pub vendor_list_version: u16,
+    /// Purposes the user consented to (ids 1..=24).
+    pub purposes_allowed: BTreeSet<u8>,
+    /// Highest vendor id covered by this string.
+    pub max_vendor_id: u16,
+    /// Vendors the user consented to (subset of `1..=max_vendor_id`).
+    pub vendor_consents: BTreeSet<u16>,
+}
+
+/// Vendor-section encoding selector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VendorEncoding {
+    /// One bit per vendor id.
+    BitField,
+    /// Default value + ranges of exceptions.
+    Range,
+    /// Whichever of the two serializes smaller (ties go to BitField).
+    Auto,
+}
+
+/// Decode error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Invalid base64url input.
+    Base64(String),
+    /// The bitstream ended before a field could be read.
+    Truncated {
+        /// Bit offset of the failed read.
+        at_bit: usize,
+    },
+    /// The version field is not 1.
+    UnsupportedVersion(u8),
+    /// A range entry is inverted or exceeds `max_vendor_id`.
+    InvalidRange {
+        /// First vendor id of the entry.
+        start: u16,
+        /// Last vendor id of the entry.
+        end: u16,
+        /// The string's `max_vendor_id`.
+        max: u16,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Base64(m) => write!(f, "base64: {m}"),
+            DecodeError::Truncated { at_bit } => write!(f, "truncated at bit {at_bit}"),
+            DecodeError::UnsupportedVersion(v) => write!(f, "unsupported version {v}"),
+            DecodeError::InvalidRange { start, end, max } => {
+                write!(f, "invalid vendor range {start}-{end} (max {max})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl ConsentString {
+    /// A fresh consent string with no consents, for the given CMP and GVL.
+    pub fn new(cmp_id: u16, vendor_list_version: u16, max_vendor_id: u16) -> ConsentString {
+        ConsentString {
+            version: 1,
+            created_ds: 0,
+            last_updated_ds: 0,
+            cmp_id,
+            cmp_version: 1,
+            consent_screen: 1,
+            consent_language: ['E', 'N'],
+            vendor_list_version,
+            purposes_allowed: BTreeSet::new(),
+            max_vendor_id,
+            vendor_consents: BTreeSet::new(),
+        }
+    }
+
+    /// Grant all purposes (1..=5 standard) and all vendors up to
+    /// `max_vendor_id` — what a 1-click "I accept" produces.
+    pub fn accept_all(mut self, purposes: impl IntoIterator<Item = PurposeId>) -> ConsentString {
+        self.purposes_allowed = purposes.into_iter().map(|p| p.0).collect();
+        self.vendor_consents = (1..=self.max_vendor_id).collect();
+        self
+    }
+
+    /// Remove all consents — what "Reject all" produces.
+    pub fn reject_all(mut self) -> ConsentString {
+        self.purposes_allowed.clear();
+        self.vendor_consents.clear();
+        self
+    }
+
+    /// True if the user consented to `purpose`.
+    pub fn purpose_allowed(&self, purpose: PurposeId) -> bool {
+        self.purposes_allowed.contains(&purpose.0)
+    }
+
+    /// True if the user consented to vendor `id`.
+    pub fn vendor_allowed(&self, id: u16) -> bool {
+        self.vendor_consents.contains(&id)
+    }
+
+    /// Number of consented vendors.
+    pub fn consent_count(&self) -> usize {
+        self.vendor_consents.len()
+    }
+
+    /// Serialize to the base64url wire format.
+    pub fn encode(&self, encoding: VendorEncoding) -> String {
+        let use_range = match encoding {
+            VendorEncoding::BitField => false,
+            VendorEncoding::Range => true,
+            VendorEncoding::Auto => {
+                self.range_section_bits() < usize::from(self.max_vendor_id)
+            }
+        };
+        let mut w = BitWriter::new();
+        w.write(u64::from(self.version), 6);
+        w.write(self.created_ds, 36);
+        w.write(self.last_updated_ds, 36);
+        w.write(u64::from(self.cmp_id), 12);
+        w.write(u64::from(self.cmp_version), 12);
+        w.write(u64::from(self.consent_screen), 6);
+        w.write_letter(self.consent_language[0]);
+        w.write_letter(self.consent_language[1]);
+        w.write(u64::from(self.vendor_list_version), 12);
+        for p in 1..=NUM_PURPOSE_BITS {
+            w.write_bit(self.purposes_allowed.contains(&p));
+        }
+        w.write(u64::from(self.max_vendor_id), 16);
+        if use_range {
+            w.write_bit(true); // EncodingType = Range
+            let (default_consent, ranges) = self.exception_ranges();
+            w.write_bit(default_consent);
+            w.write(ranges.len() as u64, 12);
+            for &(start, end) in &ranges {
+                if start == end {
+                    w.write_bit(false); // single
+                    w.write(u64::from(start), 16);
+                } else {
+                    w.write_bit(true); // range
+                    w.write(u64::from(start), 16);
+                    w.write(u64::from(end), 16);
+                }
+            }
+        } else {
+            w.write_bit(false); // EncodingType = BitField
+            for id in 1..=self.max_vendor_id {
+                w.write_bit(self.vendor_consents.contains(&id));
+            }
+        }
+        base64url_encode(&w.into_bytes())
+    }
+
+    /// Parse a consent string from its base64url wire format.
+    pub fn decode(s: &str) -> Result<ConsentString, DecodeError> {
+        let bytes = base64url_decode(s).map_err(|e| DecodeError::Base64(e.to_string()))?;
+        let mut r = BitReader::new(&bytes);
+        let rd = |r: &mut BitReader<'_>, w: u8| {
+            r.read(w).map_err(|e| DecodeError::Truncated { at_bit: e.at_bit })
+        };
+        let version = rd(&mut r, 6)? as u8;
+        if version != 1 {
+            return Err(DecodeError::UnsupportedVersion(version));
+        }
+        let created_ds = rd(&mut r, 36)?;
+        let last_updated_ds = rd(&mut r, 36)?;
+        let cmp_id = rd(&mut r, 12)? as u16;
+        let cmp_version = rd(&mut r, 12)? as u16;
+        let consent_screen = rd(&mut r, 6)? as u8;
+        let l0 = r
+            .read_letter()
+            .map_err(|e| DecodeError::Truncated { at_bit: e.at_bit })?;
+        let l1 = r
+            .read_letter()
+            .map_err(|e| DecodeError::Truncated { at_bit: e.at_bit })?;
+        let vendor_list_version = rd(&mut r, 12)? as u16;
+        let mut purposes_allowed = BTreeSet::new();
+        for p in 1..=NUM_PURPOSE_BITS {
+            if rd(&mut r, 1)? == 1 {
+                purposes_allowed.insert(p);
+            }
+        }
+        let max_vendor_id = rd(&mut r, 16)? as u16;
+        let is_range = rd(&mut r, 1)? == 1;
+        let mut vendor_consents = BTreeSet::new();
+        if is_range {
+            let default_consent = rd(&mut r, 1)? == 1;
+            let num_entries = rd(&mut r, 12)? as usize;
+            let mut exceptions = BTreeSet::new();
+            for _ in 0..num_entries {
+                let entry_is_range = rd(&mut r, 1)? == 1;
+                let start = rd(&mut r, 16)? as u16;
+                let end = if entry_is_range {
+                    rd(&mut r, 16)? as u16
+                } else {
+                    start
+                };
+                if start == 0 || start > end || end > max_vendor_id {
+                    return Err(DecodeError::InvalidRange {
+                        start,
+                        end,
+                        max: max_vendor_id,
+                    });
+                }
+                exceptions.extend(start..=end);
+            }
+            if default_consent {
+                // Default yes; exceptions are the refusals.
+                vendor_consents = (1..=max_vendor_id)
+                    .filter(|id| !exceptions.contains(id))
+                    .collect();
+            } else {
+                vendor_consents = exceptions;
+            }
+        } else {
+            for id in 1..=max_vendor_id {
+                if rd(&mut r, 1)? == 1 {
+                    vendor_consents.insert(id);
+                }
+            }
+        }
+        Ok(ConsentString {
+            version,
+            created_ds,
+            last_updated_ds,
+            cmp_id,
+            cmp_version,
+            consent_screen,
+            consent_language: [l0, l1],
+            vendor_list_version,
+            purposes_allowed,
+            max_vendor_id,
+            vendor_consents,
+        })
+    }
+
+    /// Contiguous runs of the *minority* value, plus the default bit.
+    /// Choosing the default as the majority value minimizes entries.
+    fn exception_ranges(&self) -> (bool, Vec<(u16, u16)>) {
+        let consented = self.vendor_consents.len();
+        let total = usize::from(self.max_vendor_id);
+        let default_consent = consented * 2 > total;
+        let mut ranges = Vec::new();
+        let mut run: Option<(u16, u16)> = None;
+        for id in 1..=self.max_vendor_id {
+            let is_exception = self.vendor_consents.contains(&id) != default_consent;
+            match (&mut run, is_exception) {
+                (Some((_, end)), true) if *end + 1 == id => *end = id,
+                (r @ Some(_), true) => {
+                    ranges.push(r.take().expect("checked Some"));
+                    *r = Some((id, id));
+                }
+                (r @ Some(_), false) => ranges.push(r.take().expect("checked Some")),
+                (r @ None, true) => *r = Some((id, id)),
+                (None, false) => {}
+            }
+        }
+        if let Some(r) = run {
+            ranges.push(r);
+        }
+        (default_consent, ranges)
+    }
+
+    /// Bits the range section would occupy (for Auto selection).
+    fn range_section_bits(&self) -> usize {
+        let (_, ranges) = self.exception_ranges();
+        // default(1) + numEntries(12) + per-entry 17 or 33 bits.
+        13 + ranges
+            .iter()
+            .map(|&(s, e)| if s == e { 17 } else { 33 })
+            .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample() -> ConsentString {
+        let mut c = ConsentString::new(10, 215, 600);
+        c.created_ds = 15_893_000_000; // ~May 2020 in deciseconds
+        c.last_updated_ds = 15_893_000_420;
+        c.consent_screen = 2;
+        c.consent_language = ['D', 'E'];
+        c.purposes_allowed = [1, 2, 3, 5].into_iter().collect();
+        c.vendor_consents = [1, 2, 3, 10, 11, 12, 599].into_iter().collect();
+        c
+    }
+
+    #[test]
+    fn roundtrip_bitfield() {
+        let c = sample();
+        let s = c.encode(VendorEncoding::BitField);
+        let d = ConsentString::decode(&s).unwrap();
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn roundtrip_range() {
+        let c = sample();
+        let s = c.encode(VendorEncoding::Range);
+        let d = ConsentString::decode(&s).unwrap();
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn auto_picks_smaller() {
+        // Sparse consents => range much smaller.
+        let sparse = sample();
+        let auto = sparse.encode(VendorEncoding::Auto);
+        let bf = sparse.encode(VendorEncoding::BitField);
+        let rg = sparse.encode(VendorEncoding::Range);
+        assert_eq!(auto, rg);
+        assert!(rg.len() < bf.len());
+
+        // Alternating consents => bitfield smaller.
+        let mut dense = ConsentString::new(1, 1, 200);
+        dense.vendor_consents = (1..=200).filter(|i| i % 2 == 0).collect();
+        let auto = dense.encode(VendorEncoding::Auto);
+        assert_eq!(auto, dense.encode(VendorEncoding::BitField));
+    }
+
+    #[test]
+    fn accept_and_reject_all() {
+        let c = ConsentString::new(10, 100, 50)
+            .accept_all(crate::purposes::all_purpose_ids());
+        assert_eq!(c.consent_count(), 50);
+        assert!(c.purpose_allowed(PurposeId(1)));
+        assert!(c.vendor_allowed(50));
+        assert!(!c.vendor_allowed(51));
+        let r = c.reject_all();
+        assert_eq!(r.consent_count(), 0);
+        assert!(!r.purpose_allowed(PurposeId(1)));
+        // Accept-all round-trips through the (tiny) range encoding.
+        let c2 = ConsentString::new(10, 100, 50).accept_all(crate::purposes::all_purpose_ids());
+        let enc = c2.encode(VendorEncoding::Auto);
+        assert_eq!(ConsentString::decode(&enc).unwrap(), c2);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(matches!(
+            ConsentString::decode("!!!"),
+            Err(DecodeError::Base64(_))
+        ));
+        assert!(matches!(
+            ConsentString::decode("BA"),
+            Err(DecodeError::Truncated { .. })
+        ));
+        // Version 2 string (starts with 'C' in base64 = 000010...).
+        let mut w = BitWriter::new();
+        w.write(2, 6);
+        w.write(0, 60);
+        let s = base64url_encode(&w.into_bytes());
+        assert!(matches!(
+            ConsentString::decode(&s),
+            Err(DecodeError::UnsupportedVersion(2))
+        ));
+    }
+
+    #[test]
+    fn invalid_range_detected() {
+        // Build a range string with start > end manually.
+        let mut w = BitWriter::new();
+        w.write(1, 6); // version
+        w.write(0, 36);
+        w.write(0, 36);
+        w.write(0, 12);
+        w.write(0, 12);
+        w.write(0, 6);
+        w.write_letter('E');
+        w.write_letter('N');
+        w.write(1, 12);
+        w.write(0, 24); // purposes
+        w.write(100, 16); // maxVendorId
+        w.write_bit(true); // range encoding
+        w.write_bit(false); // default consent
+        w.write(1, 12); // one entry
+        w.write_bit(true); // is range
+        w.write(50, 16); // start
+        w.write(20, 16); // end < start
+        let s = base64url_encode(&w.into_bytes());
+        assert_eq!(
+            ConsentString::decode(&s),
+            Err(DecodeError::InvalidRange {
+                start: 50,
+                end: 20,
+                max: 100
+            })
+        );
+    }
+
+    #[test]
+    fn error_display() {
+        let e = DecodeError::InvalidRange {
+            start: 5,
+            end: 2,
+            max: 10,
+        };
+        assert!(e.to_string().contains("5-2"));
+        assert!(DecodeError::UnsupportedVersion(3).to_string().contains('3'));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip_any_consents(
+            max in 1u16..700,
+            vendor_bits in proptest::collection::vec(any::<bool>(), 0..700),
+            purposes in proptest::collection::btree_set(1u8..=24, 0..10),
+            enc_range in any::<bool>(),
+        ) {
+            let mut c = ConsentString::new(7, 215, max);
+            c.purposes_allowed = purposes;
+            c.vendor_consents = vendor_bits
+                .iter()
+                .enumerate()
+                .filter(|&(i, &b)| b && (i as u16) < max)
+                .map(|(i, _)| i as u16 + 1)
+                .collect();
+            let enc = if enc_range { VendorEncoding::Range } else { VendorEncoding::BitField };
+            let s = c.encode(enc);
+            prop_assert_eq!(ConsentString::decode(&s).unwrap(), c.clone());
+            // Auto must agree with one of the two and round-trip too.
+            let s_auto = c.encode(VendorEncoding::Auto);
+            prop_assert_eq!(ConsentString::decode(&s_auto).unwrap(), c);
+        }
+    }
+}

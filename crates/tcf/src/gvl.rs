@@ -1,0 +1,380 @@
+//! Global Vendor List (GVL) data model and JSON codec.
+//!
+//! The GVL is the IAB-maintained master list of advertisers participating
+//! in the TCF. Each vendor declares the purposes for which it *requests
+//! consent*, the purposes for which it instead *claims legitimate
+//! interest* (processing without consent, GDPR Art. 6.1b–f), and the
+//! features it relies on. The paper systematically downloads all 215
+//! published versions of `vendor-list.json`; this module models one
+//! version and its wire format.
+
+use crate::purposes::{FeatureId, PurposeId, FEATURES, PURPOSES};
+use consent_util::{Day, Json};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// An IAB-assigned vendor id.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VendorId(pub u16);
+
+impl fmt::Display for VendorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// One vendor's entry in a GVL version.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Vendor {
+    /// IAB vendor id.
+    pub id: VendorId,
+    /// Company name.
+    pub name: String,
+    /// Privacy-policy URL.
+    pub policy_url: String,
+    /// Purposes for which the vendor requests *consent*.
+    pub purpose_ids: BTreeSet<PurposeId>,
+    /// Purposes for which the vendor claims *legitimate interest*.
+    pub leg_int_purpose_ids: BTreeSet<PurposeId>,
+    /// Features the vendor relies on.
+    pub feature_ids: BTreeSet<FeatureId>,
+}
+
+impl Vendor {
+    /// True if the vendor claims any lawful basis for `p` at all.
+    pub fn uses_purpose(&self, p: PurposeId) -> bool {
+        self.purpose_ids.contains(&p) || self.leg_int_purpose_ids.contains(&p)
+    }
+}
+
+/// A complete published GVL version.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VendorList {
+    /// Monotonically increasing version number.
+    pub vendor_list_version: u16,
+    /// Publication date.
+    pub last_updated: Day,
+    /// Vendors sorted by id.
+    pub vendors: Vec<Vendor>,
+}
+
+/// Error when a `vendor-list.json` document is malformed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GvlError {
+    /// Not valid JSON at all.
+    Json(String),
+    /// A required field is missing or has the wrong type.
+    Field {
+        /// Dotted path of the offending field.
+        path: String,
+    },
+    /// Vendor ids must be unique and ascending.
+    DuplicateVendor(u16),
+}
+
+impl fmt::Display for GvlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GvlError::Json(m) => write!(f, "invalid JSON: {m}"),
+            GvlError::Field { path } => write!(f, "missing/invalid field {path}"),
+            GvlError::DuplicateVendor(id) => write!(f, "duplicate vendor id {id}"),
+        }
+    }
+}
+
+impl std::error::Error for GvlError {}
+
+impl VendorList {
+    /// Look up a vendor by id (binary search; vendors are sorted).
+    pub fn vendor(&self, id: VendorId) -> Option<&Vendor> {
+        self.vendors
+            .binary_search_by_key(&id, |v| v.id)
+            .ok()
+            .map(|i| &self.vendors[i])
+    }
+
+    /// Highest vendor id in the list (0 if empty).
+    pub fn max_vendor_id(&self) -> u16 {
+        self.vendors.last().map_or(0, |v| v.id.0)
+    }
+
+    /// Number of vendors.
+    pub fn len(&self) -> usize {
+        self.vendors.len()
+    }
+
+    /// True if the list has no vendors.
+    pub fn is_empty(&self) -> bool {
+        self.vendors.is_empty()
+    }
+
+    /// Vendors requesting consent for purpose `p`.
+    pub fn consent_count(&self, p: PurposeId) -> usize {
+        self.vendors.iter().filter(|v| v.purpose_ids.contains(&p)).count()
+    }
+
+    /// Vendors claiming legitimate interest for purpose `p`.
+    pub fn leg_int_count(&self, p: PurposeId) -> usize {
+        self.vendors
+            .iter()
+            .filter(|v| v.leg_int_purpose_ids.contains(&p))
+            .count()
+    }
+
+    /// Serialize in the `vendor-list.json` wire format.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            (
+                "vendorListVersion".into(),
+                Json::int(i64::from(self.vendor_list_version)),
+            ),
+            (
+                "lastUpdated".into(),
+                Json::str(format!("{}T00:00:00Z", self.last_updated)),
+            ),
+            (
+                "purposes".into(),
+                Json::array(PURPOSES.iter().map(|p| {
+                    Json::object([
+                        ("id".into(), Json::int(i64::from(p.id.0))),
+                        ("name".into(), Json::str(p.name)),
+                        ("description".into(), Json::str(p.description)),
+                    ])
+                })),
+            ),
+            (
+                "features".into(),
+                Json::array(FEATURES.iter().map(|f| {
+                    Json::object([
+                        ("id".into(), Json::int(i64::from(f.id.0))),
+                        ("name".into(), Json::str(f.name)),
+                        ("description".into(), Json::str(f.description)),
+                    ])
+                })),
+            ),
+            (
+                "vendors".into(),
+                Json::array(self.vendors.iter().map(|v| {
+                    Json::object([
+                        ("id".into(), Json::int(i64::from(v.id.0))),
+                        ("name".into(), Json::str(v.name.clone())),
+                        ("policyUrl".into(), Json::str(v.policy_url.clone())),
+                        (
+                            "purposeIds".into(),
+                            Json::array(v.purpose_ids.iter().map(|p| Json::int(i64::from(p.0)))),
+                        ),
+                        (
+                            "legIntPurposeIds".into(),
+                            Json::array(
+                                v.leg_int_purpose_ids
+                                    .iter()
+                                    .map(|p| Json::int(i64::from(p.0))),
+                            ),
+                        ),
+                        (
+                            "featureIds".into(),
+                            Json::array(v.feature_ids.iter().map(|f| Json::int(i64::from(f.0)))),
+                        ),
+                    ])
+                })),
+            ),
+        ])
+    }
+
+    /// Parse the `vendor-list.json` wire format.
+    pub fn from_json_text(text: &str) -> Result<VendorList, GvlError> {
+        let doc = Json::parse(text).map_err(|e| GvlError::Json(e.to_string()))?;
+        Self::from_json(&doc)
+    }
+
+    /// Parse from an already-parsed JSON document.
+    pub fn from_json(doc: &Json) -> Result<VendorList, GvlError> {
+        let field = |path: &str| GvlError::Field { path: path.into() };
+        let vendor_list_version = doc
+            .get("vendorListVersion")
+            .and_then(Json::as_u32)
+            .ok_or_else(|| field("vendorListVersion"))? as u16;
+        let last_updated_str = doc
+            .get("lastUpdated")
+            .and_then(Json::as_str)
+            .ok_or_else(|| field("lastUpdated"))?;
+        let last_updated: Day = last_updated_str
+            .split('T')
+            .next()
+            .unwrap_or_default()
+            .parse()
+            .map_err(|_| field("lastUpdated"))?;
+        let vendors_json = doc
+            .get("vendors")
+            .and_then(Json::as_array)
+            .ok_or_else(|| field("vendors"))?;
+        let mut vendors = Vec::with_capacity(vendors_json.len());
+        let mut seen = BTreeSet::new();
+        for (i, vj) in vendors_json.iter().enumerate() {
+            let vpath = |f: &str| field(&format!("vendors[{i}].{f}"));
+            let id = vj
+                .get("id")
+                .and_then(Json::as_u32)
+                .ok_or_else(|| vpath("id"))? as u16;
+            if !seen.insert(id) {
+                return Err(GvlError::DuplicateVendor(id));
+            }
+            let ids_of = |key: &str| -> Result<Vec<u32>, GvlError> {
+                vj.get(key)
+                    .and_then(Json::as_array)
+                    .ok_or_else(|| vpath(key))?
+                    .iter()
+                    .map(|x| x.as_u32().ok_or_else(|| vpath(key)))
+                    .collect()
+            };
+            vendors.push(Vendor {
+                id: VendorId(id),
+                name: vj
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| vpath("name"))?
+                    .to_owned(),
+                policy_url: vj
+                    .get("policyUrl")
+                    .and_then(Json::as_str)
+                    .unwrap_or_default()
+                    .to_owned(),
+                purpose_ids: ids_of("purposeIds")?
+                    .into_iter()
+                    .map(|p| PurposeId(p as u8))
+                    .collect(),
+                leg_int_purpose_ids: ids_of("legIntPurposeIds")?
+                    .into_iter()
+                    .map(|p| PurposeId(p as u8))
+                    .collect(),
+                feature_ids: ids_of("featureIds")?
+                    .into_iter()
+                    .map(|f| FeatureId(f as u8))
+                    .collect(),
+            });
+        }
+        vendors.sort_by_key(|v| v.id);
+        Ok(VendorList {
+            vendor_list_version,
+            last_updated,
+            vendors,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> VendorList {
+        VendorList {
+            vendor_list_version: 215,
+            last_updated: Day::from_ymd(2020, 5, 14),
+            vendors: vec![
+                Vendor {
+                    id: VendorId(1),
+                    name: "Exponential Interactive, Inc".into(),
+                    policy_url: "https://vdx.tv/privacy/".into(),
+                    purpose_ids: [PurposeId(1), PurposeId(2), PurposeId(3)].into(),
+                    leg_int_purpose_ids: [PurposeId(5)].into(),
+                    feature_ids: [FeatureId(2)].into(),
+                },
+                Vendor {
+                    id: VendorId(8),
+                    name: "Emerse Sverige AB".into(),
+                    policy_url: "https://www.emerse.com/privacy-policy/".into(),
+                    purpose_ids: [PurposeId(1), PurposeId(2)].into(),
+                    leg_int_purpose_ids: [PurposeId(3), PurposeId(5)].into(),
+                    feature_ids: [FeatureId(1), FeatureId(2)].into(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let gvl = sample();
+        let text = gvl.to_json().to_pretty();
+        let parsed = VendorList::from_json_text(&text).unwrap();
+        assert_eq!(parsed, gvl);
+    }
+
+    #[test]
+    fn wire_format_fields_present() {
+        let text = sample().to_json().to_compact();
+        for key in [
+            "\"vendorListVersion\":215",
+            "\"purposeIds\"",
+            "\"legIntPurposeIds\"",
+            "\"featureIds\"",
+            "\"policyUrl\"",
+            "\"lastUpdated\":\"2020-05-14T00:00:00Z\"",
+        ] {
+            assert!(text.contains(key), "missing {key} in {text}");
+        }
+        // The standard purposes/features are embedded in every version.
+        assert!(text.contains("Information storage and access"));
+        assert!(text.contains("Device linking"));
+    }
+
+    #[test]
+    fn lookups() {
+        let gvl = sample();
+        assert_eq!(gvl.len(), 2);
+        assert!(!gvl.is_empty());
+        assert_eq!(gvl.max_vendor_id(), 8);
+        assert_eq!(gvl.vendor(VendorId(8)).unwrap().name, "Emerse Sverige AB");
+        assert_eq!(gvl.vendor(VendorId(2)), None);
+        assert!(gvl.vendor(VendorId(1)).unwrap().uses_purpose(PurposeId(5)));
+        assert!(!gvl.vendor(VendorId(1)).unwrap().uses_purpose(PurposeId(4)));
+    }
+
+    #[test]
+    fn purpose_counts() {
+        let gvl = sample();
+        assert_eq!(gvl.consent_count(PurposeId(1)), 2);
+        assert_eq!(gvl.consent_count(PurposeId(3)), 1);
+        assert_eq!(gvl.leg_int_count(PurposeId(5)), 2);
+        assert_eq!(gvl.leg_int_count(PurposeId(1)), 0);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(matches!(
+            VendorList::from_json_text("not json"),
+            Err(GvlError::Json(_))
+        ));
+        assert!(matches!(
+            VendorList::from_json_text("{}"),
+            Err(GvlError::Field { .. })
+        ));
+        let dup = r#"{"vendorListVersion":1,"lastUpdated":"2020-01-01T00:00:00Z",
+            "vendors":[
+              {"id":1,"name":"a","purposeIds":[],"legIntPurposeIds":[],"featureIds":[]},
+              {"id":1,"name":"b","purposeIds":[],"legIntPurposeIds":[],"featureIds":[]}
+            ]}"#;
+        assert_eq!(
+            VendorList::from_json_text(dup),
+            Err(GvlError::DuplicateVendor(1))
+        );
+        let bad_purpose = r#"{"vendorListVersion":1,"lastUpdated":"2020-01-01",
+            "vendors":[{"id":1,"name":"a","purposeIds":["x"],"legIntPurposeIds":[],"featureIds":[]}]}"#;
+        assert!(matches!(
+            VendorList::from_json_text(bad_purpose),
+            Err(GvlError::Field { .. })
+        ));
+    }
+
+    #[test]
+    fn vendors_sorted_after_parse() {
+        let unsorted = r#"{"vendorListVersion":1,"lastUpdated":"2020-01-01T00:00:00Z",
+            "vendors":[
+              {"id":9,"name":"nine","purposeIds":[1],"legIntPurposeIds":[],"featureIds":[]},
+              {"id":2,"name":"two","purposeIds":[1],"legIntPurposeIds":[],"featureIds":[]}
+            ]}"#;
+        let gvl = VendorList::from_json_text(unsorted).unwrap();
+        assert_eq!(gvl.vendors[0].id, VendorId(2));
+        assert_eq!(gvl.vendors[1].id, VendorId(9));
+        assert_eq!(gvl.max_vendor_id(), 9);
+    }
+}

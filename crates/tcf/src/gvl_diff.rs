@@ -1,0 +1,419 @@
+//! Longitudinal GVL diff engine (paper §3.2, "Ad-Tech Vendor Behavior").
+//!
+//! "We measure every instance when an Ad-tech vendor joins or leaves the
+//! GVL, claims a new purpose falls under legitimate interest, begins
+//! requesting consent for a new purpose, stops claiming either, or changes
+//! from collecting consent to claiming legitimate interest or the other
+//! way round." This module computes exactly those events between
+//! consecutive versions and aggregates them into the Figure 7 and
+//! Figure 8 series.
+
+use crate::gvl::{VendorId, VendorList};
+use crate::purposes::PurposeId;
+use consent_util::Day;
+use std::collections::BTreeMap;
+
+/// Lawful basis a vendor declares for a purpose, or none.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Basis {
+    /// Purpose not claimed at all.
+    None,
+    /// Consent requested (GDPR Art. 6.1a).
+    Consent,
+    /// Legitimate interest claimed (Art. 6.1b–f).
+    LegitimateInterest,
+}
+
+/// One change event between two consecutive GVL versions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ChangeEvent {
+    /// Vendor appears for the first time (or re-appears).
+    VendorJoined {
+        /// The joining vendor.
+        vendor: VendorId,
+        /// Publication date of the version where it first appears.
+        date: Day,
+    },
+    /// Vendor disappears from the list.
+    VendorLeft {
+        /// The leaving vendor.
+        vendor: VendorId,
+        /// Publication date of the version where it is gone.
+        date: Day,
+    },
+    /// An *existing* vendor changed the basis for one purpose.
+    BasisChanged {
+        /// The vendor making the change.
+        vendor: VendorId,
+        /// The affected purpose.
+        purpose: PurposeId,
+        /// Basis before the change.
+        from: Basis,
+        /// Basis after the change.
+        to: Basis,
+        /// Publication date of the changing version.
+        date: Day,
+    },
+}
+
+impl ChangeEvent {
+    /// The date the enclosing version was published.
+    pub fn date(&self) -> Day {
+        match self {
+            ChangeEvent::VendorJoined { date, .. }
+            | ChangeEvent::VendorLeft { date, .. }
+            | ChangeEvent::BasisChanged { date, .. } => *date,
+        }
+    }
+}
+
+/// Basis declared by `list`'s vendor `v` for `p`.
+pub fn basis_of(list: &VendorList, v: VendorId, p: PurposeId) -> Basis {
+    match list.vendor(v) {
+        None => Basis::None,
+        Some(vendor) => {
+            if vendor.purpose_ids.contains(&p) {
+                Basis::Consent
+            } else if vendor.leg_int_purpose_ids.contains(&p) {
+                Basis::LegitimateInterest
+            } else {
+                Basis::None
+            }
+        }
+    }
+}
+
+/// Diff two consecutive versions into change events, dated by the newer
+/// version's publication date.
+pub fn diff_versions(old: &VendorList, new: &VendorList) -> Vec<ChangeEvent> {
+    let date = new.last_updated;
+    let mut events = Vec::new();
+    // Joins and basis changes.
+    for vendor in &new.vendors {
+        match old.vendor(vendor.id) {
+            None => events.push(ChangeEvent::VendorJoined {
+                vendor: vendor.id,
+                date,
+            }),
+            Some(_) => {
+                for p in crate::purposes::all_purpose_ids() {
+                    let from = basis_of(old, vendor.id, p);
+                    let to = basis_of(new, vendor.id, p);
+                    if from != to {
+                        events.push(ChangeEvent::BasisChanged {
+                            vendor: vendor.id,
+                            purpose: p,
+                            from,
+                            to,
+                            date,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    // Leaves.
+    for vendor in &old.vendors {
+        if new.vendor(vendor.id).is_none() {
+            events.push(ChangeEvent::VendorLeft {
+                vendor: vendor.id,
+                date,
+            });
+        }
+    }
+    events
+}
+
+/// Diff an entire version history (pairwise over consecutive versions).
+pub fn diff_history(history: &[VendorList]) -> Vec<ChangeEvent> {
+    history
+        .windows(2)
+        .flat_map(|w| diff_versions(&w[0], &w[1]))
+        .collect()
+}
+
+/// One point of the Figure 7 series: vendor totals and per-purpose claims
+/// for a single GVL version.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Fig7Point {
+    /// Publication date.
+    pub date: Day,
+    /// GVL version number.
+    pub version: u16,
+    /// Total vendors.
+    pub vendors: usize,
+    /// Per purpose id (1..=5): vendors requesting consent.
+    pub consent: [usize; 5],
+    /// Per purpose id (1..=5): vendors claiming legitimate interest.
+    pub leg_int: [usize; 5],
+}
+
+/// Compute the Figure 7 series for a history.
+pub fn fig7_series(history: &[VendorList]) -> Vec<Fig7Point> {
+    history
+        .iter()
+        .map(|v| {
+            let mut consent = [0usize; 5];
+            let mut leg_int = [0usize; 5];
+            for (i, slot) in consent.iter_mut().enumerate() {
+                *slot = v.consent_count(PurposeId(i as u8 + 1));
+            }
+            for (i, slot) in leg_int.iter_mut().enumerate() {
+                *slot = v.leg_int_count(PurposeId(i as u8 + 1));
+            }
+            Fig7Point {
+                date: v.last_updated,
+                version: v.vendor_list_version,
+                vendors: v.len(),
+                consent,
+                leg_int,
+            }
+        })
+        .collect()
+}
+
+/// One month of the Figure 8 series: lawful-basis transitions among
+/// existing vendors, bucketed by calendar month.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Fig8Month {
+    /// First day of the month.
+    pub month: Day,
+    /// Legitimate interest → consent ("obtaining more consent").
+    pub li_to_consent: usize,
+    /// Consent → legitimate interest.
+    pub consent_to_li: usize,
+    /// New purpose claimed under consent (None → Consent).
+    pub new_consent: usize,
+    /// New purpose claimed under legitimate interest (None → LI).
+    pub new_leg_int: usize,
+    /// Purpose dropped entirely (either basis → None).
+    pub dropped: usize,
+}
+
+impl Fig8Month {
+    /// Net movement toward consent this month (can be negative).
+    pub fn net_toward_consent(&self) -> i64 {
+        self.li_to_consent as i64 - self.consent_to_li as i64
+    }
+
+    /// Total transition events this month.
+    pub fn total(&self) -> usize {
+        self.li_to_consent + self.consent_to_li + self.new_consent + self.new_leg_int + self.dropped
+    }
+}
+
+/// Aggregate change events into monthly Figure 8 buckets.
+pub fn fig8_series(events: &[ChangeEvent]) -> Vec<Fig8Month> {
+    let mut months: BTreeMap<Day, Fig8Month> = BTreeMap::new();
+    for e in events {
+        if let ChangeEvent::BasisChanged { from, to, date, .. } = e {
+            let key = date.first_of_month();
+            let m = months.entry(key).or_insert_with(|| Fig8Month {
+                month: key,
+                ..Fig8Month::default()
+            });
+            match (from, to) {
+                (Basis::LegitimateInterest, Basis::Consent) => m.li_to_consent += 1,
+                (Basis::Consent, Basis::LegitimateInterest) => m.consent_to_li += 1,
+                (Basis::None, Basis::Consent) => m.new_consent += 1,
+                (Basis::None, Basis::LegitimateInterest) => m.new_leg_int += 1,
+                (_, Basis::None) => m.dropped += 1,
+                _ => unreachable!("diff only emits actual changes"),
+            }
+        }
+    }
+    months.into_values().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gvl::Vendor;
+    use std::collections::BTreeSet;
+
+    fn vendor(id: u16, consent: &[u8], li: &[u8]) -> Vendor {
+        Vendor {
+            id: VendorId(id),
+            name: format!("v{id}"),
+            policy_url: String::new(),
+            purpose_ids: consent.iter().map(|&p| PurposeId(p)).collect(),
+            leg_int_purpose_ids: li.iter().map(|&p| PurposeId(p)).collect(),
+            feature_ids: BTreeSet::new(),
+        }
+    }
+
+    fn list(version: u16, day: Day, vendors: Vec<Vendor>) -> VendorList {
+        VendorList {
+            vendor_list_version: version,
+            last_updated: day,
+            vendors,
+        }
+    }
+
+    #[test]
+    fn basis_lookup() {
+        let l = list(
+            1,
+            Day::from_ymd(2018, 5, 1),
+            vec![vendor(1, &[1, 2], &[3])],
+        );
+        assert_eq!(basis_of(&l, VendorId(1), PurposeId(1)), Basis::Consent);
+        assert_eq!(
+            basis_of(&l, VendorId(1), PurposeId(3)),
+            Basis::LegitimateInterest
+        );
+        assert_eq!(basis_of(&l, VendorId(1), PurposeId(4)), Basis::None);
+        assert_eq!(basis_of(&l, VendorId(9), PurposeId(1)), Basis::None);
+    }
+
+    #[test]
+    fn detects_joins_and_leaves() {
+        let d1 = Day::from_ymd(2018, 5, 1);
+        let d2 = Day::from_ymd(2018, 5, 8);
+        let old = list(1, d1, vec![vendor(1, &[1], &[]), vendor(2, &[1], &[])]);
+        let new = list(2, d2, vec![vendor(1, &[1], &[]), vendor(3, &[1], &[])]);
+        let events = diff_versions(&old, &new);
+        assert!(events.contains(&ChangeEvent::VendorJoined {
+            vendor: VendorId(3),
+            date: d2
+        }));
+        assert!(events.contains(&ChangeEvent::VendorLeft {
+            vendor: VendorId(2),
+            date: d2
+        }));
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].date(), d2);
+    }
+
+    #[test]
+    fn detects_basis_changes() {
+        let d1 = Day::from_ymd(2018, 5, 1);
+        let d2 = Day::from_ymd(2018, 5, 8);
+        // Vendor 1: purpose 3 LI -> consent; purpose 2 consent -> dropped;
+        // purpose 5 newly claimed as LI.
+        let old = list(1, d1, vec![vendor(1, &[1, 2], &[3])]);
+        let new = list(2, d2, vec![vendor(1, &[1, 3], &[5])]);
+        let events = diff_versions(&old, &new);
+        assert!(events.contains(&ChangeEvent::BasisChanged {
+            vendor: VendorId(1),
+            purpose: PurposeId(3),
+            from: Basis::LegitimateInterest,
+            to: Basis::Consent,
+            date: d2
+        }));
+        assert!(events.contains(&ChangeEvent::BasisChanged {
+            vendor: VendorId(1),
+            purpose: PurposeId(2),
+            from: Basis::Consent,
+            to: Basis::None,
+            date: d2
+        }));
+        assert!(events.contains(&ChangeEvent::BasisChanged {
+            vendor: VendorId(1),
+            purpose: PurposeId(5),
+            from: Basis::None,
+            to: Basis::LegitimateInterest,
+            date: d2
+        }));
+        assert_eq!(events.len(), 3);
+    }
+
+    #[test]
+    fn identical_versions_no_events() {
+        let d = Day::from_ymd(2019, 1, 1);
+        let l = list(5, d, vec![vendor(1, &[1], &[2])]);
+        assert!(diff_versions(&l, &l).is_empty());
+    }
+
+    #[test]
+    fn fig7_counts() {
+        let d = Day::from_ymd(2019, 1, 1);
+        let l = list(
+            3,
+            d,
+            vec![vendor(1, &[1, 2], &[3]), vendor(2, &[1], &[3, 5])],
+        );
+        let series = fig7_series(&[l]);
+        assert_eq!(series.len(), 1);
+        let p = &series[0];
+        assert_eq!(p.vendors, 2);
+        assert_eq!(p.version, 3);
+        assert_eq!(p.consent, [2, 1, 0, 0, 0]);
+        assert_eq!(p.leg_int, [0, 0, 2, 0, 1]);
+    }
+
+    #[test]
+    fn fig8_monthly_buckets() {
+        let may = Day::from_ymd(2018, 5, 20);
+        let june = Day::from_ymd(2018, 6, 3);
+        let events = vec![
+            ChangeEvent::BasisChanged {
+                vendor: VendorId(1),
+                purpose: PurposeId(1),
+                from: Basis::LegitimateInterest,
+                to: Basis::Consent,
+                date: may,
+            },
+            ChangeEvent::BasisChanged {
+                vendor: VendorId(2),
+                purpose: PurposeId(2),
+                from: Basis::Consent,
+                to: Basis::LegitimateInterest,
+                date: may + 2,
+            },
+            ChangeEvent::BasisChanged {
+                vendor: VendorId(3),
+                purpose: PurposeId(1),
+                from: Basis::LegitimateInterest,
+                to: Basis::Consent,
+                date: june,
+            },
+            ChangeEvent::VendorJoined {
+                vendor: VendorId(9),
+                date: june,
+            },
+        ];
+        let months = fig8_series(&events);
+        assert_eq!(months.len(), 2);
+        assert_eq!(months[0].month, Day::from_ymd(2018, 5, 1));
+        assert_eq!(months[0].li_to_consent, 1);
+        assert_eq!(months[0].consent_to_li, 1);
+        assert_eq!(months[0].net_toward_consent(), 0);
+        assert_eq!(months[0].total(), 2);
+        assert_eq!(months[1].li_to_consent, 1);
+        assert_eq!(months[1].net_toward_consent(), 1);
+    }
+
+    #[test]
+    fn generated_history_shifts_toward_consent() {
+        // End-to-end against the generator: the paper's headline Figure 8
+        // finding is a *net* LI → consent shift.
+        let history = crate::gvl_history::generate_history(
+            &crate::gvl_history::HistoryConfig::default(),
+            consent_util::SeedTree::new(7),
+        );
+        let events = diff_history(&history);
+        let months = fig8_series(&events);
+        let net: i64 = months.iter().map(|m| m.net_toward_consent()).sum();
+        assert!(net > 0, "expected net shift toward consent, got {net}");
+        // Burst months (GDPR; Mar/Apr 2020) should dominate activity.
+        let by_month: BTreeMap<Day, usize> =
+            months.iter().map(|m| (m.month, m.total())).collect();
+        let may18 = by_month
+            .get(&Day::from_ymd(2018, 5, 1))
+            .copied()
+            .unwrap_or(0)
+            + by_month
+                .get(&Day::from_ymd(2018, 6, 1))
+                .copied()
+                .unwrap_or(0);
+        let quiet = by_month
+            .get(&Day::from_ymd(2019, 9, 1))
+            .copied()
+            .unwrap_or(0);
+        assert!(
+            may18 > quiet,
+            "GDPR burst ({may18}) not above quiet month ({quiet})"
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! # consent-tcf
+//!
+//! The IAB Transparency & Consent Framework (TCF v1.1) substrate:
+//!
+//! * [`consent_string`] — bit-exact codec for the base64url consent
+//!   string, with both bitfield and range vendor encodings.
+//! * [`consent_string_v2`] — the TCF v2 TC-string core segment, which
+//!   went live inside the paper's observation window.
+//! * [`gvl`] — Global Vendor List data model and `vendor-list.json`
+//!   wire-format codec.
+//! * [`gvl_history`] — generator replaying the GVL's 2018–2020 dynamics
+//!   (growth spike at GDPR, legitimate-interest shares, basis switches).
+//! * [`gvl_diff`] — the longitudinal diff engine behind Figures 7 and 8.
+//! * [`purposes`] — the standard purposes and features (Table A.1).
+//! * [`cmp_api`] — the in-page `__cmp()` API surface the paper probes.
+//! * [`bits`] — MSB-first bitstreams and base64url.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bits;
+pub mod cmp_api;
+pub mod consent_string;
+pub mod consent_string_v2;
+pub mod gvl;
+pub mod gvl_diff;
+pub mod gvl_history;
+pub mod purposes;
+
+pub use cmp_api::{CmpApi, CmpState};
+pub use consent_string::{ConsentString, DecodeError, VendorEncoding};
+pub use consent_string_v2::{upgrade_from_v1, RestrictionType, TcStringV2};
+pub use gvl::{GvlError, Vendor, VendorId, VendorList};
+pub use gvl_diff::{diff_history, fig7_series, fig8_series, Basis, ChangeEvent};
+pub use gvl_history::{generate_history, HistoryConfig};
+pub use purposes::{FeatureId, PurposeId, FEATURES, PURPOSES};

@@ -1,0 +1,149 @@
+//! TCF v1 purposes and features registry (paper Table A.1).
+//!
+//! Purposes are the reasons a vendor processes personal data; users can
+//! consent per-purpose. Features describe data-use methods that span
+//! purposes; they are disclosed but not individually consentable.
+
+/// A TCF v1 purpose id (1–5 in the standard list).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PurposeId(pub u8);
+
+/// A TCF v1 feature id (1–3 in the standard list).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FeatureId(pub u8);
+
+/// Definition of a purpose as published in the GVL.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Purpose {
+    /// 1-based id.
+    pub id: PurposeId,
+    /// Short name.
+    pub name: &'static str,
+    /// Definition text shown to users.
+    pub description: &'static str,
+}
+
+/// Definition of a feature as published in the GVL.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Feature {
+    /// 1-based id.
+    pub id: FeatureId,
+    /// Short name.
+    pub name: &'static str,
+    /// Definition text shown to users.
+    pub description: &'static str,
+}
+
+/// The five standard purposes of TCF v1 (Table A.1).
+pub const PURPOSES: [Purpose; 5] = [
+    Purpose {
+        id: PurposeId(1),
+        name: "Information storage and access",
+        description: "The storage of information, or access to information that is already \
+                      stored, on your device such as advertising identifiers, device \
+                      identifiers, cookies, and similar technologies.",
+    },
+    Purpose {
+        id: PurposeId(2),
+        name: "Personalisation",
+        description: "The collection and processing of information about your use of this \
+                      service to subsequently personalise advertising and/or content for you \
+                      in other contexts, such as on other websites or apps, over time.",
+    },
+    Purpose {
+        id: PurposeId(3),
+        name: "Ad selection, delivery, reporting",
+        description: "The collection of information, and combination with previously collected \
+                      information, to select and deliver advertisements for you, and to measure \
+                      the delivery and effectiveness of such advertisements.",
+    },
+    Purpose {
+        id: PurposeId(4),
+        name: "Content selection, delivery, reporting",
+        description: "The collection of information, and combination with previously collected \
+                      information, to select and deliver content for you, and to measure the \
+                      delivery and effectiveness of such content.",
+    },
+    Purpose {
+        id: PurposeId(5),
+        name: "Measurement",
+        description: "The collection of information about your use of the content, and \
+                      combination with previously collected information, used to measure, \
+                      understand, and report on your usage of the service.",
+    },
+];
+
+/// The three standard features of TCF v1 (Table A.1).
+pub const FEATURES: [Feature; 3] = [
+    Feature {
+        id: FeatureId(1),
+        name: "Offline data matching",
+        description: "Combining data from offline sources that were initially collected in \
+                      other contexts with data collected online in support of one or more \
+                      purposes.",
+    },
+    Feature {
+        id: FeatureId(2),
+        name: "Device linking",
+        description: "Processing data to link multiple devices that belong to the same user \
+                      in support of one or more purposes.",
+    },
+    Feature {
+        id: FeatureId(3),
+        name: "Precise geographic location data",
+        description: "Collecting and supporting precise geographic location data in support \
+                      of one or more purposes.",
+    },
+];
+
+/// Look up a purpose by id.
+pub fn purpose(id: PurposeId) -> Option<&'static Purpose> {
+    PURPOSES.iter().find(|p| p.id == id)
+}
+
+/// Look up a feature by id.
+pub fn feature(id: FeatureId) -> Option<&'static Feature> {
+    FEATURES.iter().find(|f| f.id == id)
+}
+
+/// All standard purpose ids, in order.
+pub fn all_purpose_ids() -> impl Iterator<Item = PurposeId> {
+    PURPOSES.iter().map(|p| p.id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_complete() {
+        assert_eq!(PURPOSES.len(), 5);
+        assert_eq!(FEATURES.len(), 3);
+        for (i, p) in PURPOSES.iter().enumerate() {
+            assert_eq!(p.id.0 as usize, i + 1);
+            assert!(!p.name.is_empty());
+            assert!(!p.description.is_empty());
+        }
+        for (i, f) in FEATURES.iter().enumerate() {
+            assert_eq!(f.id.0 as usize, i + 1);
+        }
+    }
+
+    #[test]
+    fn lookup_by_id() {
+        assert_eq!(
+            purpose(PurposeId(1)).unwrap().name,
+            "Information storage and access"
+        );
+        assert_eq!(purpose(PurposeId(5)).unwrap().name, "Measurement");
+        assert_eq!(purpose(PurposeId(6)), None);
+        assert_eq!(feature(FeatureId(2)).unwrap().name, "Device linking");
+        assert_eq!(feature(FeatureId(0)), None);
+    }
+
+    #[test]
+    fn purpose_iterator() {
+        let ids: Vec<u8> = all_purpose_ids().map(|p| p.0).collect();
+        assert_eq!(ids, [1, 2, 3, 4, 5]);
+    }
+}

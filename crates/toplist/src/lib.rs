@@ -1,0 +1,17 @@
+//! # consent-toplist
+//!
+//! Tranco-style toplist machinery: Dowdall-rule aggregation of noisy
+//! provider rankings ([`tranco`], [`provider`]) and the paper's seed-URL
+//! resolution ladder for turning toplist domains into crawlable URLs
+//! ([`seed`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod provider;
+pub mod seed;
+pub mod tranco;
+
+pub use provider::{default_providers, observe, ProviderConfig};
+pub use seed::{resolve_all, resolve_seed, ProbeResult, Prober, SeedScheme, SeedUrl};
+pub use tranco::{AggregationRule, ProviderList, Toplist};

@@ -1,0 +1,160 @@
+//! Synthetic provider rankings.
+//!
+//! Tranco aggregates four provider lists whose rankings broadly agree but
+//! differ in detail (Alexa is panel-based, Umbrella DNS-based, …). We
+//! synthesize that disagreement: starting from a ground-truth popularity
+//! order, each provider observes a *noisy* permutation of it, with noise
+//! growing toward the tail — exactly the structure Scheitle et al. (IMC
+//! 2018) report for real toplists.
+
+use crate::tranco::ProviderList;
+use consent_util::SeedTree;
+use rand::Rng;
+
+/// Configuration for one synthetic provider.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProviderConfig {
+    /// Provider name (used for seed derivation, so renaming changes the
+    /// noise realization).
+    pub name: String,
+    /// Relative rank-noise magnitude: a domain at true rank `r` appears
+    /// near `r * (1 + noise * g)` where `g` is standard normal. Real lists
+    /// have noise around 0.1–0.5.
+    pub noise: f64,
+    /// Fraction of the ground-truth tail this provider simply does not
+    /// observe (dropped uniformly from the bottom half).
+    pub coverage_loss: f64,
+}
+
+impl ProviderConfig {
+    /// The four providers Tranco aggregates, with plausible noise levels.
+    pub fn default_four() -> Vec<ProviderConfig> {
+        vec![
+            ProviderConfig {
+                name: "alexa".into(),
+                noise: 0.15,
+                coverage_loss: 0.02,
+            },
+            ProviderConfig {
+                name: "umbrella".into(),
+                noise: 0.35,
+                coverage_loss: 0.05,
+            },
+            ProviderConfig {
+                name: "majestic".into(),
+                noise: 0.25,
+                coverage_loss: 0.03,
+            },
+            ProviderConfig {
+                name: "quantcast".into(),
+                noise: 0.45,
+                coverage_loss: 0.10,
+            },
+        ]
+    }
+}
+
+/// Generate a provider's observed ranking of `ground_truth` (true rank
+/// order, best first). Deterministic in `(seed, config.name)`.
+pub fn observe(
+    ground_truth: &[String],
+    config: &ProviderConfig,
+    seed: SeedTree,
+) -> ProviderList {
+    let mut rng = seed.child("provider").child(&config.name).rng();
+    let n = ground_truth.len();
+    let mut keyed: Vec<(f64, &String)> = ground_truth
+        .iter()
+        .enumerate()
+        .filter_map(|(i, d)| {
+            let true_rank = (i + 1) as f64;
+            // Tail coverage loss: drop bottom-half entries with the
+            // configured probability.
+            if i >= n / 2 && rng.gen::<f64>() < config.coverage_loss {
+                return None;
+            }
+            let g = consent_stats::distributions::standard_normal(&mut rng);
+            let observed = true_rank * (1.0 + config.noise * g).max(0.05);
+            Some((observed, d))
+        })
+        .collect();
+    keyed.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite keys"));
+    ProviderList::new(
+        config.name.clone(),
+        keyed.into_iter().map(|(_, d)| d.clone()).collect(),
+    )
+}
+
+/// Generate all four default provider lists for a ground-truth ranking.
+pub fn default_providers(ground_truth: &[String], seed: SeedTree) -> Vec<ProviderList> {
+    ProviderConfig::default_four()
+        .iter()
+        .map(|c| observe(ground_truth, c, seed))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tranco::{AggregationRule, Toplist};
+
+    fn truth(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("site{i:05}.com")).collect()
+    }
+
+    #[test]
+    fn observation_is_deterministic() {
+        let gt = truth(500);
+        let cfg = &ProviderConfig::default_four()[0];
+        let a = observe(&gt, cfg, SeedTree::new(1));
+        let b = observe(&gt, cfg, SeedTree::new(1));
+        assert_eq!(a, b);
+        let c = observe(&gt, cfg, SeedTree::new(2));
+        assert_ne!(a.domains, c.domains);
+    }
+
+    #[test]
+    fn providers_disagree_with_each_other() {
+        let gt = truth(500);
+        let lists = default_providers(&gt, SeedTree::new(3));
+        assert_eq!(lists.len(), 4);
+        assert_ne!(lists[0].domains, lists[1].domains);
+        assert_ne!(lists[1].domains, lists[2].domains);
+    }
+
+    #[test]
+    fn head_is_roughly_preserved() {
+        let gt = truth(1000);
+        let cfg = &ProviderConfig::default_four()[0]; // low noise
+        let list = observe(&gt, cfg, SeedTree::new(4));
+        // The true top-10 should mostly appear in the observed top-30.
+        let head: Vec<&String> = list.domains.iter().take(30).collect();
+        let recovered = gt[..10].iter().filter(|d| head.contains(d)).count();
+        assert!(recovered >= 8, "only {recovered}/10 of head recovered");
+    }
+
+    #[test]
+    fn coverage_loss_shrinks_list() {
+        let gt = truth(2000);
+        let lossy = ProviderConfig {
+            name: "lossy".into(),
+            noise: 0.1,
+            coverage_loss: 0.5,
+        };
+        let list = observe(&gt, &lossy, SeedTree::new(5));
+        assert!(list.len() < 2000);
+        assert!(list.len() > 1200); // only bottom half is eligible to drop
+    }
+
+    #[test]
+    fn aggregation_recovers_ground_truth_head() {
+        let gt = truth(1000);
+        let lists = default_providers(&gt, SeedTree::new(6));
+        let toplist = Toplist::aggregate(&lists, AggregationRule::Dowdall);
+        // Dowdall aggregation should put most of the true top-20 in the
+        // aggregated top-40 despite per-provider noise.
+        let top40: Vec<&str> = toplist.top(40).collect();
+        let recovered = gt[..20].iter().filter(|d| top40.contains(&d.as_str())).count();
+        assert!(recovered >= 15, "only {recovered}/20 recovered");
+    }
+}

@@ -1,0 +1,265 @@
+//! Seed-URL resolution for toplist crawls.
+//!
+//! Toplists contain bare domains, not crawlable URLs. The paper's protocol
+//! (§3.2): for each domain, try a validated TLS connection to
+//! `www.<domain>:443` and use `https://www.<domain>/`; else try TCP to
+//! `www.<domain>:80` and use `http://www.<domain>/`; else fall back to
+//! `http://<domain>/`. The whole process is repeated three times over a
+//! week to catch temporarily unavailable domains.
+//!
+//! Connectivity itself is abstracted behind [`Prober`], implemented by the
+//! synthetic web in `consent-httpsim`; tests here use a table-driven fake.
+
+use consent_util::Day;
+
+/// Outcome of probing one `(host, port)` endpoint on a given day.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProbeResult {
+    /// TCP + TLS handshake succeeded and the certificate validates for the
+    /// probed hostname against the Mozilla trust store.
+    TlsValid,
+    /// TCP connected but TLS failed (or certificate invalid). Only
+    /// meaningful for port 443.
+    TlsInvalid,
+    /// TCP connection succeeded (port 80 probes).
+    TcpOpen,
+    /// Nothing is listening / timeout.
+    Unreachable,
+}
+
+/// Connectivity oracle for seed resolution.
+pub trait Prober {
+    /// Probe `host:443` with TLS certificate validation.
+    fn probe_tls(&self, host: &str, day: Day) -> ProbeResult;
+    /// Probe `host:80` with a plain TCP connect.
+    fn probe_tcp(&self, host: &str, day: Day) -> ProbeResult;
+}
+
+/// How a seed URL was derived, in decreasing order of preference.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SeedScheme {
+    /// `https://www.<domain>/`
+    HttpsWww,
+    /// `http://www.<domain>/`
+    HttpWww,
+    /// `http://<domain>/` (last resort, also used when all probes fail).
+    HttpApex,
+}
+
+/// A resolved seed URL for one toplist domain.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SeedUrl {
+    /// The toplist domain the seed was derived from.
+    pub domain: String,
+    /// Full seed URL.
+    pub url: String,
+    /// Which rung of the fallback ladder produced it.
+    pub scheme: SeedScheme,
+    /// True if every probe failed and the apex fallback is speculative.
+    pub speculative: bool,
+    /// How many of the retry rounds reached the domain at all.
+    pub reachable_rounds: u8,
+}
+
+/// Resolve a seed URL for `domain`, probing on each day in `attempt_days`
+/// (the paper uses three attempts spread over a week). The best outcome
+/// across rounds wins: one successful TLS probe is enough for an HTTPS
+/// seed even if the other rounds time out.
+pub fn resolve_seed(domain: &str, prober: &impl Prober, attempt_days: &[Day]) -> SeedUrl {
+    assert!(!attempt_days.is_empty(), "need at least one attempt day");
+    let www = format!("www.{domain}");
+    let mut best: Option<SeedScheme> = None;
+    let mut reachable_rounds = 0u8;
+    for &day in attempt_days {
+        let mut round_reachable = false;
+        match prober.probe_tls(&www, day) {
+            ProbeResult::TlsValid => {
+                round_reachable = true;
+                best = Some(best.map_or(SeedScheme::HttpsWww, |b| b.min(SeedScheme::HttpsWww)));
+            }
+            ProbeResult::TlsInvalid | ProbeResult::TcpOpen => {
+                round_reachable = true;
+            }
+            ProbeResult::Unreachable => {}
+        }
+        if best != Some(SeedScheme::HttpsWww) {
+            match prober.probe_tcp(&www, day) {
+                ProbeResult::TcpOpen | ProbeResult::TlsValid | ProbeResult::TlsInvalid => {
+                    round_reachable = true;
+                    best = Some(best.map_or(SeedScheme::HttpWww, |b| b.min(SeedScheme::HttpWww)));
+                }
+                ProbeResult::Unreachable => {}
+            }
+        }
+        if round_reachable {
+            reachable_rounds += 1;
+        }
+    }
+    let (scheme, speculative) = match best {
+        Some(s) => (s, false),
+        None => (SeedScheme::HttpApex, true),
+    };
+    let url = match scheme {
+        SeedScheme::HttpsWww => format!("https://www.{domain}/"),
+        SeedScheme::HttpWww => format!("http://www.{domain}/"),
+        SeedScheme::HttpApex => format!("http://{domain}/"),
+    };
+    SeedUrl {
+        domain: domain.to_owned(),
+        url,
+        scheme,
+        speculative,
+        reachable_rounds,
+    }
+}
+
+/// Resolve seeds for a whole toplist slice.
+pub fn resolve_all(
+    domains: impl IntoIterator<Item = String>,
+    prober: &impl Prober,
+    attempt_days: &[Day],
+) -> Vec<SeedUrl> {
+    domains
+        .into_iter()
+        .map(|d| resolve_seed(&d, prober, attempt_days))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    /// Table-driven fake: maps host → (tls, tcp) results, optionally
+    /// flipping to unreachable on specific days.
+    struct FakeProber {
+        tls: HashMap<String, ProbeResult>,
+        tcp: HashMap<String, ProbeResult>,
+        down_on: Vec<Day>,
+    }
+
+    impl FakeProber {
+        fn new() -> FakeProber {
+            FakeProber {
+                tls: HashMap::new(),
+                tcp: HashMap::new(),
+                down_on: Vec::new(),
+            }
+        }
+    }
+
+    impl Prober for FakeProber {
+        fn probe_tls(&self, host: &str, day: Day) -> ProbeResult {
+            if self.down_on.contains(&day) {
+                return ProbeResult::Unreachable;
+            }
+            *self.tls.get(host).unwrap_or(&ProbeResult::Unreachable)
+        }
+        fn probe_tcp(&self, host: &str, day: Day) -> ProbeResult {
+            if self.down_on.contains(&day) {
+                return ProbeResult::Unreachable;
+            }
+            *self.tcp.get(host).unwrap_or(&ProbeResult::Unreachable)
+        }
+    }
+
+    fn days() -> Vec<Day> {
+        let d0 = Day::from_ymd(2020, 1, 30);
+        vec![d0, d0 + 3, d0 + 6]
+    }
+
+    #[test]
+    fn https_preferred() {
+        let mut p = FakeProber::new();
+        p.tls.insert("www.example.com".into(), ProbeResult::TlsValid);
+        p.tcp.insert("www.example.com".into(), ProbeResult::TcpOpen);
+        let s = resolve_seed("example.com", &p, &days());
+        assert_eq!(s.url, "https://www.example.com/");
+        assert_eq!(s.scheme, SeedScheme::HttpsWww);
+        assert!(!s.speculative);
+        assert_eq!(s.reachable_rounds, 3);
+    }
+
+    #[test]
+    fn invalid_cert_falls_back_to_http() {
+        let mut p = FakeProber::new();
+        p.tls.insert("www.example.com".into(), ProbeResult::TlsInvalid);
+        p.tcp.insert("www.example.com".into(), ProbeResult::TcpOpen);
+        let s = resolve_seed("example.com", &p, &days());
+        assert_eq!(s.url, "http://www.example.com/");
+        assert_eq!(s.scheme, SeedScheme::HttpWww);
+        assert!(!s.speculative);
+    }
+
+    #[test]
+    fn fully_unreachable_uses_apex_speculatively() {
+        let p = FakeProber::new();
+        let s = resolve_seed("dead.example", &p, &days());
+        assert_eq!(s.url, "http://dead.example/");
+        assert_eq!(s.scheme, SeedScheme::HttpApex);
+        assert!(s.speculative);
+        assert_eq!(s.reachable_rounds, 0);
+    }
+
+    #[test]
+    fn retry_rounds_catch_temporary_outage() {
+        let mut p = FakeProber::new();
+        p.tls.insert("www.flaky.com".into(), ProbeResult::TlsValid);
+        // Down on the first two attempts, up on the third.
+        let ds = days();
+        p.down_on = vec![ds[0], ds[1]];
+        let s = resolve_seed("flaky.com", &p, &ds);
+        assert_eq!(s.scheme, SeedScheme::HttpsWww);
+        assert_eq!(s.reachable_rounds, 1);
+        assert!(!s.speculative);
+    }
+
+    #[test]
+    fn best_scheme_across_rounds_wins() {
+        // TLS works only on day 3; TCP works always. HTTPS must still win.
+        struct DayDependent;
+        impl Prober for DayDependent {
+            fn probe_tls(&self, _host: &str, day: Day) -> ProbeResult {
+                if day == Day::from_ymd(2020, 2, 5) {
+                    ProbeResult::TlsValid
+                } else {
+                    ProbeResult::Unreachable
+                }
+            }
+            fn probe_tcp(&self, _host: &str, _day: Day) -> ProbeResult {
+                ProbeResult::TcpOpen
+            }
+        }
+        let ds = vec![
+            Day::from_ymd(2020, 1, 30),
+            Day::from_ymd(2020, 2, 2),
+            Day::from_ymd(2020, 2, 5),
+        ];
+        let s = resolve_seed("example.org", &DayDependent, &ds);
+        assert_eq!(s.scheme, SeedScheme::HttpsWww);
+        assert_eq!(s.reachable_rounds, 3);
+    }
+
+    #[test]
+    fn resolve_all_preserves_order() {
+        let mut p = FakeProber::new();
+        p.tls.insert("www.a.com".into(), ProbeResult::TlsValid);
+        let seeds = resolve_all(
+            vec!["a.com".to_owned(), "b.com".to_owned()],
+            &p,
+            &days(),
+        );
+        assert_eq!(seeds.len(), 2);
+        assert_eq!(seeds[0].domain, "a.com");
+        assert_eq!(seeds[0].scheme, SeedScheme::HttpsWww);
+        assert_eq!(seeds[1].domain, "b.com");
+        assert_eq!(seeds[1].scheme, SeedScheme::HttpApex);
+    }
+
+    #[test]
+    #[should_panic]
+    fn requires_attempt_days() {
+        let p = FakeProber::new();
+        resolve_seed("x.com", &p, &[]);
+    }
+}

@@ -1,0 +1,236 @@
+//! Tranco-style toplist aggregation.
+//!
+//! The paper ranks websites with the Tranco list (Le Pochat et al., NDSS
+//! 2019), which aggregates several provider lists (Alexa, Cisco Umbrella,
+//! Majestic, Quantcast) with the *Dowdall rule*: a domain at rank `r` on a
+//! provider list scores `1/r`, scores are summed across lists, and domains
+//! are ordered by total score. Tranco is an algorithm over provider data;
+//! we implement the algorithm and (in [`crate::provider`]) synthesize
+//! provider data with realistic rank noise.
+
+use std::collections::HashMap;
+
+/// A single provider's ranked list of domains (rank 1 first).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProviderList {
+    /// Provider name, e.g. `"alexa"`.
+    pub name: String,
+    /// Domains in rank order.
+    pub domains: Vec<String>,
+}
+
+impl ProviderList {
+    /// Create a provider list. Duplicate domains keep their best rank.
+    pub fn new(name: impl Into<String>, domains: Vec<String>) -> ProviderList {
+        ProviderList {
+            name: name.into(),
+            domains,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// True if the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.domains.is_empty()
+    }
+}
+
+/// Aggregation rule for combining provider ranks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AggregationRule {
+    /// Dowdall: rank `r` scores `1/r` (Tranco's default). Emphasizes
+    /// agreement at the head of the lists.
+    Dowdall,
+    /// Borda: rank `r` on a list of length `n` scores `n - r + 1`.
+    /// Included for the ablation bench; more sensitive to tail noise.
+    Borda,
+}
+
+/// An aggregated toplist with stable, reproducible ordering.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Toplist {
+    entries: Vec<(String, f64)>,
+    index: HashMap<String, usize>,
+}
+
+impl Toplist {
+    /// Aggregate provider lists under `rule`.
+    ///
+    /// Ties are broken by domain name (ascending) so the output is fully
+    /// deterministic, mirroring Tranco's reproducibility goal.
+    pub fn aggregate(providers: &[ProviderList], rule: AggregationRule) -> Toplist {
+        let mut scores: HashMap<&str, f64> = HashMap::new();
+        let mut seen_on_list: HashMap<&str, Vec<bool>> = HashMap::new();
+        for (li, list) in providers.iter().enumerate() {
+            for (i, domain) in list.domains.iter().enumerate() {
+                // Duplicate entries on one list keep the best (first) rank.
+                let seen = seen_on_list
+                    .entry(domain.as_str())
+                    .or_insert_with(|| vec![false; providers.len()]);
+                if seen[li] {
+                    continue;
+                }
+                seen[li] = true;
+                let rank = (i + 1) as f64;
+                let score = match rule {
+                    AggregationRule::Dowdall => 1.0 / rank,
+                    AggregationRule::Borda => (list.domains.len() as f64) - rank + 1.0,
+                };
+                *scores.entry(domain.as_str()).or_insert(0.0) += score;
+            }
+        }
+        let mut entries: Vec<(String, f64)> = scores
+            .into_iter()
+            .map(|(d, s)| (d.to_owned(), s))
+            .collect();
+        entries.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("scores are finite")
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        let index = entries
+            .iter()
+            .enumerate()
+            .map(|(i, (d, _))| (d.clone(), i))
+            .collect();
+        Toplist { entries, index }
+    }
+
+    /// Number of distinct domains.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Domain at 1-based rank `r`.
+    pub fn domain_at(&self, rank: usize) -> Option<&str> {
+        self.entries.get(rank.checked_sub(1)?).map(|(d, _)| d.as_str())
+    }
+
+    /// 1-based rank of `domain`, if ranked.
+    pub fn rank_of(&self, domain: &str) -> Option<usize> {
+        self.index.get(domain).map(|i| i + 1)
+    }
+
+    /// Aggregated score of `domain`.
+    pub fn score_of(&self, domain: &str) -> Option<f64> {
+        self.index.get(domain).map(|&i| self.entries[i].1)
+    }
+
+    /// The top `n` domains in rank order.
+    pub fn top(&self, n: usize) -> impl Iterator<Item = &str> {
+        self.entries.iter().take(n).map(|(d, _)| d.as_str())
+    }
+
+    /// Iterate `(rank, domain)` pairs, rank starting at 1.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &str)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(i, (d, _))| (i + 1, d.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lists() -> Vec<ProviderList> {
+        vec![
+            ProviderList::new("a", vec!["x.com".into(), "y.com".into(), "z.com".into()]),
+            ProviderList::new("b", vec!["y.com".into(), "x.com".into(), "w.com".into()]),
+        ]
+    }
+
+    #[test]
+    fn dowdall_scores() {
+        let t = Toplist::aggregate(&lists(), AggregationRule::Dowdall);
+        // x: 1 + 1/2 = 1.5; y: 1/2 + 1 = 1.5; z: 1/3; w: 1/3.
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.score_of("x.com"), Some(1.5));
+        assert_eq!(t.score_of("y.com"), Some(1.5));
+        // Tie broken lexicographically: x before y; w before z.
+        assert_eq!(t.domain_at(1), Some("x.com"));
+        assert_eq!(t.domain_at(2), Some("y.com"));
+        assert_eq!(t.domain_at(3), Some("w.com"));
+        assert_eq!(t.domain_at(4), Some("z.com"));
+        assert_eq!(t.rank_of("z.com"), Some(4));
+        assert_eq!(t.rank_of("absent.com"), None);
+        assert_eq!(t.domain_at(0), None);
+    }
+
+    #[test]
+    fn borda_differs_from_dowdall() {
+        // Borda weighs mid-list agreement much more than Dowdall.
+        let providers = vec![
+            ProviderList::new(
+                "a",
+                vec!["top.com".into(), "mid1.com".into(), "mid2.com".into(), "mid3.com".into()],
+            ),
+            ProviderList::new(
+                "b",
+                vec!["mid1.com".into(), "mid2.com".into(), "mid3.com".into(), "other.com".into()],
+            ),
+        ];
+        let dowdall = Toplist::aggregate(&providers, AggregationRule::Dowdall);
+        let borda = Toplist::aggregate(&providers, AggregationRule::Borda);
+        // Under Borda, mid1 (scores 3 + 4 = 7) beats top (4).
+        assert_eq!(borda.domain_at(1), Some("mid1.com"));
+        // Under Dowdall, mid1 (1/2 + 1 = 1.5) also beats top (1.0) — but
+        // relative orderings further down differ between the two rules.
+        assert_eq!(dowdall.domain_at(1), Some("mid1.com"));
+        let d_ranks: Vec<_> = dowdall.iter().map(|(_, d)| d.to_owned()).collect();
+        let b_ranks: Vec<_> = borda.iter().map(|(_, d)| d.to_owned()).collect();
+        assert_ne!(d_ranks, b_ranks);
+    }
+
+    #[test]
+    fn duplicates_keep_best_rank() {
+        let providers = vec![ProviderList::new(
+            "a",
+            vec!["x.com".into(), "x.com".into(), "y.com".into()],
+        )];
+        let t = Toplist::aggregate(&providers, AggregationRule::Dowdall);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.score_of("x.com"), Some(1.0)); // not 1 + 1/2
+    }
+
+    #[test]
+    fn top_iterator() {
+        let t = Toplist::aggregate(&lists(), AggregationRule::Dowdall);
+        let top2: Vec<&str> = t.top(2).collect();
+        assert_eq!(top2, ["x.com", "y.com"]);
+        assert_eq!(t.iter().count(), 4);
+        assert_eq!(t.iter().next(), Some((1, "x.com")));
+    }
+
+    #[test]
+    fn empty_aggregation() {
+        let t = Toplist::aggregate(&[], AggregationRule::Dowdall);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.domain_at(1), None);
+    }
+
+    #[test]
+    fn single_list_preserves_order() {
+        let providers = vec![ProviderList::new(
+            "a",
+            (0..100).map(|i| format!("d{i:03}.com")).collect(),
+        )];
+        assert!(!providers[0].is_empty());
+        assert_eq!(providers[0].len(), 100);
+        let t = Toplist::aggregate(&providers, AggregationRule::Dowdall);
+        for i in 0..100 {
+            assert_eq!(t.domain_at(i + 1), Some(format!("d{i:03}.com").as_str()));
+        }
+    }
+}

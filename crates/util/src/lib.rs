@@ -1,0 +1,21 @@
+//! # consent-util
+//!
+//! Foundation utilities for the consent-observatory workspace: civil-date
+//! arithmetic ([`date`]), a minimal JSON codec ([`json`]) for the IAB
+//! Global Vendor List wire format, deterministic seed derivation ([`rng`]),
+//! and plain-text table rendering ([`table`]).
+//!
+//! These exist in-repo (rather than as external crates) to keep the
+//! workspace within its approved dependency set; see DESIGN.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod date;
+pub mod json;
+pub mod rng;
+pub mod table;
+
+pub use date::{Day, SimInstant};
+pub use json::Json;
+pub use rng::SeedTree;

@@ -1,0 +1,208 @@
+//! Plain-text table rendering for experiment output.
+//!
+//! Every experiment harness in `consent-core` prints its result in the same
+//! row/column layout the paper uses. This module provides a small,
+//! dependency-free text-table builder with column alignment, so benches and
+//! examples produce readable, diffable output.
+
+use std::fmt;
+
+/// Column alignment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Align {
+    /// Pad on the right.
+    Left,
+    /// Pad on the left (for numbers).
+    Right,
+}
+
+/// A text table with a header row and aligned columns.
+///
+/// ```
+/// use consent_util::table::{Table, Align};
+/// let mut t = Table::new(vec!["CMP".into(), "Count".into()]);
+/// t.align(1, Align::Right);
+/// t.row(vec!["OneTrust".into(), "414".into()]);
+/// t.row(vec!["Quantcast".into(), "233".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("OneTrust"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+    aligns: Vec<Align>,
+    title: Option<String>,
+}
+
+impl Table {
+    /// Create a table with the given header.
+    pub fn new(header: Vec<String>) -> Table {
+        let n = header.len();
+        Table {
+            header,
+            rows: Vec::new(),
+            aligns: vec![Align::Left; n],
+            title: None,
+        }
+    }
+
+    /// Convenience constructor from string slices.
+    pub fn with_columns(cols: &[&str]) -> Table {
+        Table::new(cols.iter().map(|c| (*c).to_owned()).collect())
+    }
+
+    /// Set a title printed above the table.
+    pub fn title(&mut self, t: impl Into<String>) -> &mut Table {
+        self.title = Some(t.into());
+        self
+    }
+
+    /// Set the alignment of column `idx`.
+    pub fn align(&mut self, idx: usize, a: Align) -> &mut Table {
+        if idx < self.aligns.len() {
+            self.aligns[idx] = a;
+        }
+        self
+    }
+
+    /// Right-align every column except the first (the common layout for
+    /// label + numbers tables).
+    pub fn numeric(&mut self) -> &mut Table {
+        for a in self.aligns.iter_mut().skip(1) {
+            *a = Align::Right;
+        }
+        self
+    }
+
+    /// Append a data row. Short rows are padded with empty cells; long rows
+    /// are truncated to the header width.
+    pub fn row(&mut self, mut cells: Vec<String>) -> &mut Table {
+        cells.resize(self.header.len(), String::new());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Append a row built from `Display` values.
+    pub fn row_display<D: fmt::Display>(&mut self, cells: &[D]) -> &mut Table {
+        self.row(cells.iter().map(|c| c.to_string()).collect())
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(ncols) {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        if let Some(t) = &self.title {
+            writeln!(f, "{t}")?;
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, cell) in cells.iter().enumerate().take(ncols) {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                let pad = widths[i].saturating_sub(cell.chars().count());
+                match self.aligns[i] {
+                    Align::Left => {
+                        write!(f, "{cell}")?;
+                        if i + 1 < ncols {
+                            write!(f, "{}", " ".repeat(pad))?;
+                        }
+                    }
+                    Align::Right => write!(f, "{}{cell}", " ".repeat(pad))?,
+                }
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.header)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Format a fraction as a percentage with one decimal, e.g. `0.123 -> "12.3%"`.
+pub fn pct(frac: f64) -> String {
+    format!("{:.1}%", frac * 100.0)
+}
+
+/// Format a count with thousands separators, e.g. `1234567 -> "1,234,567"`.
+pub fn thousands(n: u64) -> String {
+    let s = n.to_string();
+    let mut out = String::with_capacity(s.len() + s.len() / 3);
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::with_columns(&["CMP", "US", "EU"]);
+        t.numeric();
+        t.row_display(&["OneTrust", "341", "368"]);
+        t.row_display(&["Quantcast", "173", "207"]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("CMP"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Numbers are right-aligned in their columns.
+        assert!(lines[2].ends_with("368"));
+        assert!(lines[3].ends_with("207"));
+    }
+
+    #[test]
+    fn pads_and_truncates_rows() {
+        let mut t = Table::with_columns(&["a", "b"]);
+        t.row(vec!["only-one".into()]);
+        t.row(vec!["1".into(), "2".into(), "3".into()]);
+        assert_eq!(t.len(), 2);
+        let s = t.to_string();
+        assert!(!s.contains('3'));
+    }
+
+    #[test]
+    fn title_is_printed() {
+        let mut t = Table::with_columns(&["x"]);
+        t.title("Table 1: CMP occurrence");
+        t.row(vec!["y".into()]);
+        assert!(t.to_string().starts_with("Table 1: CMP occurrence\n"));
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.1234), "12.3%");
+        assert_eq!(pct(1.0), "100.0%");
+        assert_eq!(thousands(0), "0");
+        assert_eq!(thousands(999), "999");
+        assert_eq!(thousands(1000), "1,000");
+        assert_eq!(thousands(161_214_215), "161,214,215");
+    }
+}

@@ -1,0 +1,449 @@
+//! CMP adoption trajectories: who adopts, which CMP, when, and switches.
+//!
+//! This is the calibrated heart of the synthetic web. Each site's
+//! trajectory is generated deterministically from its rank and a seed and
+//! reproduces the paper's findings:
+//!
+//! * **Rank profile (Fig 5)** — no adoption among the very largest sites
+//!   (in-house solutions), a peak around ranks 1k–5k (~15 %), ~9 % across
+//!   the Tranco 10k, declining to ~1.5 % cumulative over the top 1M.
+//! * **Brand mix by rank (Fig 5)** — Quantcast leads the top 100, OneTrust
+//!   leads the 500–50k band, Quantcast is more common again in the tail.
+//! * **Time profile (Fig 6)** — <1 % of the 10k in early 2018, spikes when
+//!   GDPR and CCPA come into effect, roughly doubling June 2018 → June
+//!   2019 → June 2020, approaching 10 % by September 2020.
+//! * **Switching (Fig 4)** — Quantcast and OneTrust trade customers both
+//!   ways; Cookiebot loses an order of magnitude more sites than it gains
+//!   ("gateway CMP").
+
+use crate::cmp::{Cmp, ALL_CMPS};
+use consent_util::{Day, SeedTree};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// One continuous period during which a site embeds a given CMP.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Segment {
+    /// The embedded CMP.
+    pub cmp: Cmp,
+    /// First day of the embed.
+    pub from: Day,
+    /// Day the embed ends (exclusive); `None` = still active at the end
+    /// of the observation window.
+    pub until: Option<Day>,
+}
+
+impl Segment {
+    /// True if the segment covers `day`.
+    pub fn covers(&self, day: Day) -> bool {
+        day >= self.from && self.until.is_none_or(|u| day < u)
+    }
+}
+
+/// A site's full CMP history (possibly empty; ordered, non-overlapping).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Trajectory {
+    /// Ordered segments.
+    pub segments: Vec<Segment>,
+}
+
+impl Trajectory {
+    /// The CMP embedded on `day`, if any.
+    pub fn cmp_on(&self, day: Day) -> Option<Cmp> {
+        self.segments.iter().find(|s| s.covers(day)).map(|s| s.cmp)
+    }
+
+    /// True if the site ever adopts a CMP.
+    pub fn ever_adopts(&self) -> bool {
+        !self.segments.is_empty()
+    }
+
+    /// The switch event `(day, from, to)` if the trajectory contains one.
+    pub fn switch_event(&self) -> Option<(Day, Cmp, Cmp)> {
+        self.segments.windows(2).find_map(|w| {
+            let end = w[0].until?;
+            (end == w[1].from).then_some((end, w[0].cmp, w[1].cmp))
+        })
+    }
+}
+
+/// Adoption-model parameters. Defaults are calibrated to the paper; the
+/// bench ablations perturb individual fields.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AdoptionConfig {
+    /// End of the observation window (right censor).
+    pub window_end: Day,
+    /// Global multiplier on adoption density (1.0 = calibrated level).
+    pub density_scale: f64,
+    /// Probability scale on switching (1.0 = calibrated level).
+    pub switch_scale: f64,
+    /// Probability a site abandons CMPs entirely after adopting.
+    pub abandon_prob: f64,
+}
+
+impl Default for AdoptionConfig {
+    fn default() -> AdoptionConfig {
+        AdoptionConfig {
+            window_end: Day::from_ymd(2020, 9, 30),
+            density_scale: 1.0,
+            switch_scale: 1.0,
+            abandon_prob: 0.02,
+        }
+    }
+}
+
+/// Probability that a site of the given Tranco rank embeds one of the six
+/// CMPs by the *end* of the window (September 2020). Piecewise in rank,
+/// log-linear across the tail decades.
+pub fn adoption_density(rank: u32) -> f64 {
+    let r = rank.max(1) as f64;
+    match rank {
+        0..=50 => 0.005,
+        51..=100 => 0.075,
+        101..=1_000 => 0.15,
+        1_001..=5_000 => 0.16,
+        5_001..=10_000 => 0.042,
+        10_001..=100_000 => log_interp(r, 1e4, 0.038, 1e5, 0.018),
+        _ => log_interp(r, 1e5, 0.017, 1e6, 0.011),
+    }
+}
+
+/// Log-rank linear interpolation between two anchor points.
+fn log_interp(r: f64, r0: f64, d0: f64, r1: f64, d1: f64) -> f64 {
+    let t = ((r.ln() - r0.ln()) / (r1.ln() - r0.ln())).clamp(0.0, 1.0);
+    d0 + (d1 - d0) * t
+}
+
+/// Initial brand mix by rank band, in [`ALL_CMPS`] order
+/// (OneTrust, Quantcast, TrustArc, Cookiebot, LiveRamp, Crownpeak).
+pub fn brand_weights(rank: u32) -> [f64; 6] {
+    match rank {
+        0..=100 => [0.17, 0.52, 0.11, 0.13, 0.01, 0.06],
+        101..=1_000 => [0.34, 0.30, 0.15, 0.16, 0.02, 0.03],
+        1_001..=10_000 => [0.44, 0.22, 0.17, 0.15, 0.015, 0.005],
+        10_001..=100_000 => [0.40, 0.27, 0.14, 0.15, 0.02, 0.02],
+        _ => [0.27, 0.37, 0.11, 0.19, 0.02, 0.04],
+    }
+}
+
+/// Adoption-date mixture: interval boundaries shared by all brands.
+fn date_intervals() -> [(Day, Day); 6] {
+    [
+        (Day::from_ymd(2017, 8, 1), Day::from_ymd(2018, 5, 1)), // pre-GDPR
+        (Day::from_ymd(2018, 5, 1), Day::from_ymd(2018, 8, 1)), // GDPR spike
+        (Day::from_ymd(2018, 8, 1), Day::from_ymd(2019, 6, 1)),
+        (Day::from_ymd(2019, 6, 1), Day::from_ymd(2019, 12, 1)),
+        (Day::from_ymd(2019, 12, 1), Day::from_ymd(2020, 2, 15)), // CCPA spike
+        (Day::from_ymd(2020, 2, 15), Day::from_ymd(2020, 9, 30)),
+    ]
+}
+
+/// Per-brand weights over [`date_intervals`]. Quantcast and Cookiebot are
+/// GDPR-era adopters; OneTrust's mass shifts toward CCPA; LiveRamp only
+/// exists after December 2019.
+fn date_weights(cmp: Cmp) -> [f64; 6] {
+    match cmp {
+        Cmp::OneTrust => [0.02, 0.10, 0.20, 0.22, 0.26, 0.20],
+        Cmp::Quantcast => [0.06, 0.42, 0.30, 0.12, 0.05, 0.05],
+        Cmp::TrustArc => [0.04, 0.14, 0.22, 0.22, 0.22, 0.16],
+        Cmp::Cookiebot => [0.12, 0.46, 0.28, 0.08, 0.03, 0.03],
+        Cmp::LiveRamp => [0.0, 0.0, 0.0, 0.0, 0.55, 0.45],
+        Cmp::Crownpeak => [0.15, 0.30, 0.25, 0.15, 0.08, 0.07],
+    }
+}
+
+/// Probability that a site initially adopting `cmp` later switches away,
+/// and the destination mix when it does (in [`ALL_CMPS`] order).
+/// Cookiebot's 0.38 makes it the big net loser of Figure 4.
+fn switch_profile(cmp: Cmp) -> (f64, [f64; 6]) {
+    match cmp {
+        Cmp::OneTrust => (0.06, [0.0, 0.55, 0.20, 0.05, 0.10, 0.10]),
+        Cmp::Quantcast => (0.08, [0.60, 0.0, 0.15, 0.05, 0.10, 0.10]),
+        Cmp::TrustArc => (0.07, [0.50, 0.30, 0.0, 0.05, 0.10, 0.05]),
+        Cmp::Cookiebot => (0.38, [0.50, 0.30, 0.10, 0.0, 0.05, 0.05]),
+        Cmp::LiveRamp => (0.02, [0.50, 0.50, 0.0, 0.0, 0.0, 0.0]),
+        Cmp::Crownpeak => (0.10, [0.50, 0.40, 0.10, 0.0, 0.0, 0.0]),
+    }
+}
+
+/// Generate the trajectory for the site at `rank`. Deterministic in
+/// `(seed, rank)`; the seed node should already be site-specific.
+pub fn trajectory(rank: u32, config: &AdoptionConfig, site_seed: SeedTree) -> Trajectory {
+    let mut rng = site_seed.child("adoption").rng();
+    let density = (adoption_density(rank) * config.density_scale).min(1.0);
+    if rng.gen::<f64>() >= density {
+        return Trajectory::default();
+    }
+
+    let first_cmp = sample_brand(&brand_weights(rank), &mut rng);
+    let adopted = sample_date(first_cmp, &mut rng).max(first_cmp.launch_date());
+    if adopted >= config.window_end {
+        return Trajectory::default();
+    }
+
+    let mut segments = Vec::with_capacity(2);
+    let (p_switch, dest_weights) = switch_profile(first_cmp);
+    let switches = rng.gen::<f64>() < p_switch * config.switch_scale;
+    let abandons = !switches && rng.gen::<f64>() < config.abandon_prob;
+
+    if switches || abandons {
+        // Event date: uniform in (adopted + 90d, window end), if room.
+        let earliest = adopted + 90;
+        if earliest < config.window_end {
+            let event = Day(rng.gen_range(earliest.0..config.window_end.0));
+            segments.push(Segment {
+                cmp: first_cmp,
+                from: adopted,
+                until: Some(event),
+            });
+            if switches {
+                let mut dest = sample_brand(&dest_weights, &mut rng);
+                // A switch to a not-yet-launched CMP falls back to the
+                // market leader at the time.
+                if dest.launch_date() > event {
+                    dest = Cmp::OneTrust;
+                }
+                segments.push(Segment {
+                    cmp: dest,
+                    from: event,
+                    until: None,
+                });
+            }
+            return Trajectory { segments };
+        }
+    }
+    segments.push(Segment {
+        cmp: first_cmp,
+        from: adopted,
+        until: None,
+    });
+    Trajectory { segments }
+}
+
+fn sample_brand(weights: &[f64; 6], rng: &mut StdRng) -> Cmp {
+    let total: f64 = weights.iter().sum();
+    let mut u = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        u -= w;
+        if u <= 0.0 {
+            return ALL_CMPS[i];
+        }
+    }
+    *ALL_CMPS.last().expect("non-empty")
+}
+
+fn sample_date(cmp: Cmp, rng: &mut StdRng) -> Day {
+    let weights = date_weights(cmp);
+    let intervals = date_intervals();
+    let total: f64 = weights.iter().sum();
+    let mut u = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        u -= w;
+        if u <= 0.0 {
+            let (lo, hi) = intervals[i];
+            return Day(rng.gen_range(lo.0..hi.0));
+        }
+    }
+    let (lo, hi) = intervals[intervals.len() - 1];
+    Day(rng.gen_range(lo.0..hi.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traj(rank: u32, salt: u64) -> Trajectory {
+        trajectory(
+            rank,
+            &AdoptionConfig::default(),
+            SeedTree::new(salt).child_idx(u64::from(rank)),
+        )
+    }
+
+    #[test]
+    fn deterministic() {
+        for rank in [10u32, 500, 5_000, 50_000] {
+            assert_eq!(traj(rank, 1), traj(rank, 1));
+        }
+    }
+
+    #[test]
+    fn density_profile_matches_paper() {
+        // Mid-market peak, thin head, long tail (§4.1 / Fig 5).
+        assert!(adoption_density(10) < 0.01);
+        assert!(adoption_density(2_000) > 0.10);
+        assert!(adoption_density(2_000) > adoption_density(80));
+        assert!(adoption_density(2_000) > adoption_density(50_000));
+        assert!(adoption_density(50_000) > adoption_density(900_000));
+        assert!(adoption_density(900_000) > 0.005, "long tail never vanishes");
+        // Tail interpolation is monotone.
+        assert!(adoption_density(20_000) > adoption_density(60_000));
+        assert!(adoption_density(200_000) > adoption_density(800_000));
+    }
+
+    #[test]
+    fn aggregate_top10k_rate_near_ten_percent() {
+        let config = AdoptionConfig::default();
+        let seed = SeedTree::new(7);
+        let end = Day::from_ymd(2020, 9, 15);
+        let adopted = (1..=10_000u32)
+            .filter(|&r| {
+                trajectory(r, &config, seed.child_idx(u64::from(r)))
+                    .cmp_on(end)
+                    .is_some()
+            })
+            .count();
+        assert!(
+            (700..=1200).contains(&adopted),
+            "top-10k adopters at Sep 2020: {adopted}"
+        );
+    }
+
+    #[test]
+    fn adoption_roughly_doubles_yearly() {
+        let config = AdoptionConfig::default();
+        let seed = SeedTree::new(7);
+        let count_at = |d: Day| {
+            (1..=10_000u32)
+                .filter(|&r| {
+                    trajectory(r, &config, seed.child_idx(u64::from(r)))
+                        .cmp_on(d)
+                        .is_some()
+                })
+                .count()
+        };
+        let jun18 = count_at(Day::from_ymd(2018, 6, 15));
+        let jun19 = count_at(Day::from_ymd(2019, 6, 15));
+        let jun20 = count_at(Day::from_ymd(2020, 6, 15));
+        let feb18 = count_at(Day::from_ymd(2018, 2, 15));
+        assert!(feb18 < 120, "Feb 2018 should be <1.2%: {feb18}");
+        let r1 = jun19 as f64 / jun18 as f64;
+        let r2 = jun20 as f64 / jun19 as f64;
+        assert!((1.5..=3.2).contains(&r1), "Jun18→Jun19 ratio {r1}");
+        assert!((1.4..=2.8).contains(&r2), "Jun19→Jun20 ratio {r2}");
+    }
+
+    #[test]
+    fn quantcast_leads_the_head_onetrust_the_middle() {
+        let config = AdoptionConfig::default();
+        let seed = SeedTree::new(11);
+        let end = Day::from_ymd(2020, 5, 15);
+        let count = |lo: u32, hi: u32| -> (usize, usize) {
+            let mut q = 0;
+            let mut o = 0;
+            for r in lo..=hi {
+                match trajectory(r, &config, seed.child_idx(u64::from(r))).cmp_on(end) {
+                    Some(Cmp::Quantcast) => q += 1,
+                    Some(Cmp::OneTrust) => o += 1,
+                    _ => {}
+                }
+            }
+            (q, o)
+        };
+        // 1k-10k band: OneTrust clearly ahead.
+        let (q_mid, o_mid) = count(1_001, 10_000);
+        assert!(o_mid > q_mid, "OneTrust {o_mid} vs Quantcast {q_mid} in 1k-10k");
+    }
+
+    #[test]
+    fn cookiebot_is_net_loser() {
+        let config = AdoptionConfig::default();
+        let seed = SeedTree::new(13);
+        let mut lost = 0usize;
+        let mut gained = 0usize;
+        for r in 1..=60_000u32 {
+            let t = trajectory(r, &config, seed.child_idx(u64::from(r)));
+            if let Some((_, from, to)) = t.switch_event() {
+                if from == Cmp::Cookiebot {
+                    lost += 1;
+                }
+                if to == Cmp::Cookiebot {
+                    gained += 1;
+                }
+            }
+        }
+        assert!(lost >= 5 * gained.max(1), "Cookiebot lost {lost}, gained {gained}");
+        assert!(lost > 20, "expected substantial Cookiebot churn, lost {lost}");
+    }
+
+    #[test]
+    fn liveramp_only_after_launch() {
+        let config = AdoptionConfig::default();
+        let seed = SeedTree::new(17);
+        for r in 1..=60_000u32 {
+            let t = trajectory(r, &config, seed.child_idx(u64::from(r)));
+            for s in &t.segments {
+                if s.cmp == Cmp::LiveRamp {
+                    assert!(
+                        s.from >= Cmp::LiveRamp.launch_date(),
+                        "LiveRamp segment before launch at rank {r}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn segments_are_ordered_and_disjoint() {
+        let config = AdoptionConfig::default();
+        let seed = SeedTree::new(19);
+        for r in (1..=100_000u32).step_by(37) {
+            let t = trajectory(r, &config, seed.child_idx(u64::from(r)));
+            for w in t.segments.windows(2) {
+                let end = w[0].until.expect("non-final segment must end");
+                assert!(end <= w[1].from);
+                assert!(w[0].from < end);
+            }
+            if let Some(last) = t.segments.last() {
+                if let Some(u) = last.until {
+                    assert!(last.from < u);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn segment_cover_and_lookup() {
+        let s = Segment {
+            cmp: Cmp::Quantcast,
+            from: Day::from_ymd(2018, 6, 1),
+            until: Some(Day::from_ymd(2019, 6, 1)),
+        };
+        assert!(!s.covers(Day::from_ymd(2018, 5, 31)));
+        assert!(s.covers(Day::from_ymd(2018, 6, 1)));
+        assert!(s.covers(Day::from_ymd(2019, 5, 31)));
+        assert!(!s.covers(Day::from_ymd(2019, 6, 1)));
+        let t = Trajectory {
+            segments: vec![
+                s,
+                Segment {
+                    cmp: Cmp::OneTrust,
+                    from: Day::from_ymd(2019, 6, 1),
+                    until: None,
+                },
+            ],
+        };
+        assert_eq!(t.cmp_on(Day::from_ymd(2018, 7, 1)), Some(Cmp::Quantcast));
+        assert_eq!(t.cmp_on(Day::from_ymd(2020, 1, 1)), Some(Cmp::OneTrust));
+        assert_eq!(t.cmp_on(Day::from_ymd(2017, 1, 1)), None);
+        assert_eq!(
+            t.switch_event(),
+            Some((Day::from_ymd(2019, 6, 1), Cmp::Quantcast, Cmp::OneTrust))
+        );
+        assert!(t.ever_adopts());
+        assert!(!Trajectory::default().ever_adopts());
+        assert_eq!(Trajectory::default().switch_event(), None);
+    }
+
+    #[test]
+    fn density_scale_works() {
+        let config = AdoptionConfig {
+            density_scale: 0.0,
+            ..AdoptionConfig::default()
+        };
+        let seed = SeedTree::new(23);
+        for r in 1..=2_000u32 {
+            assert!(!trajectory(r, &config, seed.child_idx(u64::from(r))).ever_adopts());
+        }
+    }
+}

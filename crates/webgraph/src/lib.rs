@@ -1,0 +1,27 @@
+//! # consent-webgraph
+//!
+//! The synthetic web: a deterministic generative model of 1M+ ranked
+//! websites whose CMP adoption reproduces the paper's measurements —
+//! rank profile (Fig 5), time profile with GDPR/CCPA spikes (Fig 6),
+//! inter-CMP switching with Cookiebot as the big loser (Fig 4),
+//! publisher customization (§4.1), and the measurement-distortion
+//! behaviours behind Table 1 (geo gating, anti-bot CDNs, slow loads).
+//!
+//! The paper crawled the live 2018–2020 web; that population no longer
+//! exists, so we regenerate one with the same statistical structure and
+//! run the identical measurement pipeline against it (see DESIGN.md).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adoption;
+pub mod cmp;
+pub mod site;
+pub mod site_config;
+pub mod world;
+
+pub use adoption::{AdoptionConfig, Segment, Trajectory};
+pub use cmp::{Cmp, ALL_CMPS};
+pub use site::{Rank, Region};
+pub use site_config::{AcceptWording, DialogStyle, GeoBehavior, SiteBehavior};
+pub use world::{Reachability, SiteProfile, World, WorldConfig};

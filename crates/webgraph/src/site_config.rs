@@ -1,0 +1,389 @@
+//! Per-site configuration: geo gating, anti-bot CDNs, load speed, and
+//! publisher customization of the embedded consent dialog (paper §4.1).
+//!
+//! All draws are deterministic functions of the site seed, so the same
+//! world always produces the same behaviours.
+
+use crate::cmp::Cmp;
+use consent_util::{date::known, Day, SeedTree};
+
+/// How a site's CMP embed reacts to the visitor's apparent location.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GeoBehavior {
+    /// CMP framework always embedded (possibly with the dialog shown only
+    /// to EU visitors — the framework request is still observable).
+    EmbedAlways,
+    /// CMP embedded only when the visitor appears to be in the EU.
+    EmbedOnlyEu,
+    /// CMP hidden from EU visitors (CCPA-only products, §4.1 TrustArc).
+    HideFromEu,
+    /// The site responds HTTP 451 to EU visitors entirely (§3.5).
+    Block451Eu,
+}
+
+/// Publisher customization class of an embedded dialog, unifying the
+/// §4.1 taxonomies across CMPs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DialogStyle {
+    /// Conventional cookie banner: 1-click accept, link to more info
+    /// (OneTrust majority: 61 %).
+    ConventionalBanner,
+    /// Banner with an explicit opt-out button ("Do Not Sell", "Deny All").
+    OptOutButtonBanner {
+        /// 40 % of such banners still require a confirmation click.
+        needs_confirm: bool,
+    },
+    /// "Script banner": accept + reject/manage *scripts* (OneTrust 5.5 %).
+    ScriptBanner,
+    /// No banner; only a footer link to privacy controls (OneTrust 7.5 %).
+    FooterLinkOnly,
+    /// Quantcast-style modal with a direct reject button (55 % of
+    /// Quantcast sites).
+    DirectReject,
+    /// Quantcast-style modal where the second button is "More Options"
+    /// (45 %) — rejecting takes extra steps.
+    MoreOptions,
+    /// TrustArc instant 1-click opt-out (7 %).
+    InstantOptOut,
+    /// TrustArc opt-out that must contact multiple partners (12 %) — the
+    /// Figure 9 waiting-time case.
+    MultiPartnerOptOut,
+    /// First-page button implying user autonomy without real controls
+    /// (TrustArc 44 %).
+    AutonomyButton,
+    /// Link or button that does not imply control (TrustArc 31 %).
+    NoControlLink,
+    /// The site uses the CMP's API only and draws its own dialog (~8 %
+    /// of CMP sites overall).
+    CustomApiOnly,
+}
+
+/// Wording class of the affirmative button (Quantcast §4.1: 87 % use an
+/// "I agree/consent/accept" variant; 13 % free-form like "Whatever").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AcceptWording {
+    /// Conventional affirmative wording.
+    AgreeVariant,
+    /// Free-form text that may not qualify as affirmative consent.
+    FreeForm,
+}
+
+/// Full behavioural configuration of one CMP-embedding site.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SiteBehavior {
+    /// Geo gating of the embed.
+    pub geo: GeoBehavior,
+    /// Site sits behind an anti-bot CDN that serves interstitials to
+    /// cloud-datacenter IPs (§3.5: hides ~10 % of CMPs from cloud crawls).
+    pub anti_bot_cdn: bool,
+    /// CMP resources load late; missed under the crawler's aggressive
+    /// timeouts (§3.5: ~2 %).
+    pub slow_load: bool,
+    /// Publisher's dialog customization.
+    pub dialog: DialogStyle,
+    /// Accept-button wording.
+    pub wording: AcceptWording,
+    /// Site embeds a *second* CMP (0.01 % of captures, §3.5).
+    pub second_cmp: Option<Cmp>,
+    /// The privacy-policy subsite carries no external scripts at all
+    /// (true for a minority of sites; exercises the ≥⅓-captures
+    /// heuristic, §3.5).
+    pub bare_privacy_page: bool,
+    /// For [`GeoBehavior::EmbedOnlyEu`] sites: the day the publisher
+    /// reconfigured the embed for US visitors too (CCPA compliance).
+    /// `None` = never. Drives the US-coverage growth between the paper's
+    /// January and May 2020 snapshots (Table A.3 → Table 1).
+    pub ccpa_adapted: Option<Day>,
+}
+
+/// Draw the behaviour for a site embedding `cmp`, adopted on `adopted`.
+///
+/// Geo gating depends on the adoption era: GDPR-era adopters often embed
+/// only for EU visitors, while CCPA-era adopters target US visitors too —
+/// which is why US-vantage coverage grows between the paper's January and
+/// May 2020 snapshots (Table A.3 vs Table 1).
+pub fn behavior_for(cmp: Cmp, adopted: Day, site_seed: SeedTree) -> SiteBehavior {
+    let s = site_seed.child("behavior");
+    let geo = {
+        let u = s.child("geo").unit_f64();
+        let p_451 = 0.001;
+        let era_mult = if adopted < known::ccpa_effective() {
+            1.8
+        } else {
+            0.25
+        };
+        let p_only_eu = (cmp.embed_only_eu_share() * era_mult).min(0.6);
+        let p_hide_eu = cmp.hide_from_eu_share();
+        if u < p_451 {
+            GeoBehavior::Block451Eu
+        } else if u < p_451 + p_only_eu {
+            GeoBehavior::EmbedOnlyEu
+        } else if u < p_451 + p_only_eu + p_hide_eu {
+            GeoBehavior::HideFromEu
+        } else {
+            GeoBehavior::EmbedAlways
+        }
+    };
+    let anti_bot_cdn = s.child("antibot").unit_f64() < 0.10;
+    let slow_load = s.child("slow").unit_f64() < 0.023;
+    let api_only = s.child("api-only").unit_f64() < 0.08;
+    let dialog = if api_only {
+        DialogStyle::CustomApiOnly
+    } else {
+        dialog_for(cmp, s.child("dialog"))
+    };
+    let wording = if s.child("wording").unit_f64() < wording_freeform_share(cmp) {
+        AcceptWording::FreeForm
+    } else {
+        AcceptWording::AgreeVariant
+    };
+    let second_cmp = if s.child("second").unit_f64() < 0.0001 {
+        Some(if cmp == Cmp::OneTrust {
+            Cmp::Quantcast
+        } else {
+            Cmp::OneTrust
+        })
+    } else {
+        None
+    };
+    let bare_privacy_page = s.child("bare-privacy").unit_f64() < 0.3;
+    // 65 % of EU-only embeds get reconfigured for CCPA at some point
+    // between December 2019 and July 2020.
+    let ccpa_adapted = if geo == GeoBehavior::EmbedOnlyEu
+        && s.child("ccpa-adapt").unit_f64() < 0.65
+    {
+        let lo = Day::from_ymd(2019, 12, 1);
+        let hi = Day::from_ymd(2020, 7, 31);
+        let frac = s.child("ccpa-date").unit_f64();
+        Some(lo + ((hi - lo) as f64 * frac) as i32)
+    } else {
+        None
+    };
+    SiteBehavior {
+        geo,
+        anti_bot_cdn,
+        slow_load,
+        dialog,
+        wording,
+        second_cmp,
+        bare_privacy_page,
+        ccpa_adapted,
+    }
+}
+
+/// Per-CMP dialog-style distributions from §4.1.
+fn dialog_for(cmp: Cmp, seed: SeedTree) -> DialogStyle {
+    let u = seed.unit_f64();
+    match cmp {
+        Cmp::OneTrust => {
+            // 61 % banner, 2.4 % opt-out button (40 % needing confirm),
+            // 5.5 % script banner, 7.5 % footer link, rest conventional-ish
+            // variants we fold into ConventionalBanner.
+            if u < 0.61 {
+                DialogStyle::ConventionalBanner
+            } else if u < 0.61 + 0.024 {
+                DialogStyle::OptOutButtonBanner {
+                    needs_confirm: seed.child("confirm").unit_f64() < 0.40,
+                }
+            } else if u < 0.61 + 0.024 + 0.055 {
+                DialogStyle::ScriptBanner
+            } else if u < 0.61 + 0.024 + 0.055 + 0.075 {
+                DialogStyle::FooterLinkOnly
+            } else {
+                DialogStyle::ConventionalBanner
+            }
+        }
+        Cmp::Quantcast => {
+            // 55 % direct reject, 45 % "More Options".
+            if u < 0.55 {
+                DialogStyle::DirectReject
+            } else {
+                DialogStyle::MoreOptions
+            }
+        }
+        Cmp::TrustArc => {
+            // 7 % instant opt-out, 12 % multi-partner opt-out, 44 %
+            // autonomy-implying button, 31 % no-control link; the small
+            // remainder behaves like a conventional banner. (The 4.4 %
+            // hidden-from-EU class is modelled as geo behaviour.)
+            if u < 0.07 {
+                DialogStyle::InstantOptOut
+            } else if u < 0.07 + 0.12 {
+                DialogStyle::MultiPartnerOptOut
+            } else if u < 0.07 + 0.12 + 0.44 {
+                DialogStyle::AutonomyButton
+            } else if u < 0.07 + 0.12 + 0.44 + 0.31 {
+                DialogStyle::NoControlLink
+            } else {
+                DialogStyle::ConventionalBanner
+            }
+        }
+        Cmp::Cookiebot | Cmp::Crownpeak => {
+            if u < 0.7 {
+                DialogStyle::ConventionalBanner
+            } else if u < 0.85 {
+                DialogStyle::DirectReject
+            } else {
+                DialogStyle::MoreOptions
+            }
+        }
+        Cmp::LiveRamp => {
+            if u < 0.5 {
+                DialogStyle::DirectReject
+            } else {
+                DialogStyle::MoreOptions
+            }
+        }
+    }
+}
+
+/// Share of sites with free-form accept wording; the paper reports 13 %
+/// for Quantcast (whose buttons are openly customizable).
+fn wording_freeform_share(cmp: Cmp) -> f64 {
+    match cmp {
+        Cmp::Quantcast => 0.13,
+        Cmp::OneTrust => 0.05,
+        Cmp::TrustArc => 0.02, // wording barely customizable (§4.1)
+        _ => 0.06,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(cmp: Cmp, n: u64) -> Vec<SiteBehavior> {
+        // Mixed adoption eras, weighted like the real population
+        // (~85 % pre-CCPA adopters by May 2020).
+        (0..n)
+            .map(|i| {
+                let adopted = if i % 20 < 17 {
+                    Day::from_ymd(2018, 7, 1)
+                } else {
+                    Day::from_ymd(2020, 2, 1)
+                };
+                behavior_for(cmp, adopted, SeedTree::new(77).child_idx(i))
+            })
+            .collect()
+    }
+
+    fn frac(xs: &[SiteBehavior], f: impl Fn(&SiteBehavior) -> bool) -> f64 {
+        xs.iter().filter(|b| f(b)).count() as f64 / xs.len() as f64
+    }
+
+    #[test]
+    fn deterministic() {
+        let d = Day::from_ymd(2019, 1, 1);
+        let a = behavior_for(Cmp::OneTrust, d, SeedTree::new(1).child_idx(5));
+        let b = behavior_for(Cmp::OneTrust, d, SeedTree::new(1).child_idx(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ccpa_era_adopters_rarely_gate_to_eu() {
+        let pre: Vec<SiteBehavior> = (0..20_000)
+            .map(|i| {
+                behavior_for(
+                    Cmp::Quantcast,
+                    Day::from_ymd(2018, 7, 1),
+                    SeedTree::new(5).child_idx(i),
+                )
+            })
+            .collect();
+        let post: Vec<SiteBehavior> = (0..20_000)
+            .map(|i| {
+                behavior_for(
+                    Cmp::Quantcast,
+                    Day::from_ymd(2020, 2, 1),
+                    SeedTree::new(5).child_idx(i),
+                )
+            })
+            .collect();
+        let pre_eu = frac(&pre, |b| b.geo == GeoBehavior::EmbedOnlyEu);
+        let post_eu = frac(&post, |b| b.geo == GeoBehavior::EmbedOnlyEu);
+        assert!(
+            pre_eu > 3.0 * post_eu,
+            "pre-CCPA {pre_eu} should dwarf post-CCPA {post_eu}"
+        );
+    }
+
+    #[test]
+    fn quantcast_split_55_45() {
+        let xs = sample(Cmp::Quantcast, 10_000);
+        let direct = frac(&xs, |b| {
+            b.dialog == DialogStyle::DirectReject
+        });
+        // 8 % API-only eats into both classes proportionally.
+        assert!((direct - 0.55 * 0.92).abs() < 0.03, "direct {direct}");
+        let more = frac(&xs, |b| b.dialog == DialogStyle::MoreOptions);
+        assert!((more - 0.45 * 0.92).abs() < 0.03, "more {more}");
+        let freeform = frac(&xs, |b| b.wording == AcceptWording::FreeForm);
+        assert!((freeform - 0.13).abs() < 0.02, "freeform {freeform}");
+    }
+
+    #[test]
+    fn onetrust_customization_shares() {
+        let xs = sample(Cmp::OneTrust, 20_000);
+        let optout = frac(&xs, |b| {
+            matches!(b.dialog, DialogStyle::OptOutButtonBanner { .. })
+        });
+        assert!((optout - 0.024 * 0.92).abs() < 0.01, "optout {optout}");
+        let script = frac(&xs, |b| b.dialog == DialogStyle::ScriptBanner);
+        assert!((script - 0.055 * 0.92).abs() < 0.01, "script {script}");
+        let footer = frac(&xs, |b| b.dialog == DialogStyle::FooterLinkOnly);
+        assert!((footer - 0.075 * 0.92).abs() < 0.01, "footer {footer}");
+        // Among opt-out banners, ~40 % need a confirmation click.
+        let optouts: Vec<&SiteBehavior> = xs
+            .iter()
+            .filter(|b| matches!(b.dialog, DialogStyle::OptOutButtonBanner { .. }))
+            .collect();
+        let confirm = optouts
+            .iter()
+            .filter(|b| matches!(b.dialog, DialogStyle::OptOutButtonBanner { needs_confirm: true }))
+            .count() as f64
+            / optouts.len().max(1) as f64;
+        assert!((confirm - 0.40).abs() < 0.1, "confirm {confirm}");
+    }
+
+    #[test]
+    fn trustarc_customization_shares() {
+        let xs = sample(Cmp::TrustArc, 20_000);
+        let instant = frac(&xs, |b| b.dialog == DialogStyle::InstantOptOut);
+        assert!((instant - 0.07 * 0.92).abs() < 0.01, "instant {instant}");
+        let multi = frac(&xs, |b| b.dialog == DialogStyle::MultiPartnerOptOut);
+        assert!((multi - 0.12 * 0.92).abs() < 0.012, "multi {multi}");
+        let hide_eu = frac(&xs, |b| b.geo == GeoBehavior::HideFromEu);
+        assert!((hide_eu - 0.044).abs() < 0.008, "hide_eu {hide_eu}");
+    }
+
+    #[test]
+    fn api_only_share_near_eight_percent() {
+        for cmp in [Cmp::OneTrust, Cmp::Quantcast, Cmp::TrustArc] {
+            let xs = sample(cmp, 10_000);
+            let api = frac(&xs, |b| b.dialog == DialogStyle::CustomApiOnly);
+            assert!((api - 0.08).abs() < 0.015, "{cmp}: api-only {api}");
+        }
+    }
+
+    #[test]
+    fn measurement_distortion_rates() {
+        let xs = sample(Cmp::OneTrust, 20_000);
+        let antibot = frac(&xs, |b| b.anti_bot_cdn);
+        assert!((antibot - 0.10).abs() < 0.01, "antibot {antibot}");
+        let slow = frac(&xs, |b| b.slow_load);
+        assert!((slow - 0.023).abs() < 0.006, "slow {slow}");
+        let second = frac(&xs, |b| b.second_cmp.is_some());
+        assert!(second < 0.001, "second CMP too common: {second}");
+        let blocked = frac(&xs, |b| b.geo == GeoBehavior::Block451Eu);
+        assert!(blocked < 0.004, "451 too common: {blocked}");
+    }
+
+    #[test]
+    fn quantcast_embeds_eu_only_more_than_cookiebot() {
+        let q = sample(Cmp::Quantcast, 20_000);
+        let c = sample(Cmp::Cookiebot, 20_000);
+        let q_eu = frac(&q, |b| b.geo == GeoBehavior::EmbedOnlyEu);
+        let c_eu = frac(&c, |b| b.geo == GeoBehavior::EmbedOnlyEu);
+        assert!(q_eu > c_eu, "quantcast {q_eu} vs cookiebot {c_eu}");
+    }
+}

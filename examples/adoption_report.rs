@@ -1,0 +1,30 @@
+//! Longitudinal CMP adoption report: Figure 6 (adoption over time),
+//! Figure 4 (switching flows), Figure 5 (market share by toplist size),
+//! and the methodology statistics, from one social-feed run.
+//!
+//! ```sh
+//! cargo run --release --bin adoption_report            # reduced scale
+//! cargo run --release --bin adoption_report -- --full  # paper scale
+//! ```
+
+use consent_core::{experiments, Study, StudyConfig};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let study = if full {
+        println!("Running at paper scale (1M sites, full window) — this takes a while.\n");
+        Study::new(StudyConfig::default())
+    } else {
+        Study::quick()
+    };
+
+    let f6 = experiments::fig6::fig6(&study);
+    println!("{}", f6.render());
+    println!("{}", f6.render_switching());
+
+    let f5 = experiments::fig5::fig5(&study);
+    println!("{}", f5.render());
+
+    let m = experiments::methodology::methodology(&study, &f6);
+    println!("{}", m.render());
+}

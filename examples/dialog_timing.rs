@@ -1,0 +1,43 @@
+//! The user-interface experiments in isolation: the randomized Quantcast
+//! field experiment (Figure 10) and the TrustArc opt-out probes
+//! (Figure 9), with distribution detail beyond the paper's medians.
+//!
+//! ```sh
+//! cargo run --release --bin dialog_timing
+//! ```
+
+use consent_core::{experiments, Study};
+use consent_stats::{median_ci, Histogram};
+
+fn main() {
+    let study = Study::quick();
+
+    let f10 = experiments::fig10::fig10(&study);
+    println!("{}", f10.render());
+
+    // Distribution detail: histogram of reject times in the
+    // "More Options" arm, where the paper finds the doubled median.
+    let rejects = &f10.experiment.more_options.reject_times;
+    let mut h = Histogram::new(0.0, 20.0, 10);
+    h.record_all(rejects.iter().copied());
+    println!("Reject-time distribution, \"More Options\" arm (seconds):");
+    println!("{}", h.render(40));
+
+    // Bootstrap CI on the headline medians.
+    for (name, xs) in [
+        ("accept (direct)", &f10.experiment.direct.accept_times),
+        ("reject (direct)", &f10.experiment.direct.reject_times),
+        ("reject (more options)", &f10.experiment.more_options.reject_times),
+    ] {
+        if let Some(ci) = median_ci(xs, 1_000, 0.95, study.seed().child(name)) {
+            println!(
+                "median {name}: {:.2}s (95% CI {:.2}–{:.2})",
+                ci.estimate, ci.lower, ci.upper
+            );
+        }
+    }
+    println!();
+
+    let f9 = experiments::fig9::fig9(&study);
+    println!("{}", f9.render());
+}

@@ -1,0 +1,55 @@
+//! Audit the Global Vendor List history: Figures 7 and 8, plus a dump of
+//! one version in the `vendor-list.json` wire format and a consent
+//! string round-trip against it — the auditing workflow the paper's
+//! §5.2 suggests regulators could adopt.
+//!
+//! ```sh
+//! cargo run --release --bin gvl_audit
+//! ```
+
+use consent_core::{experiments, Study};
+use consent_tcf::{ConsentString, PurposeId, VendorEncoding, VendorList};
+
+fn main() {
+    let study = Study::quick();
+    let r = experiments::fig7_8::gvl_figures(&study);
+
+    println!("{}", r.render_fig7());
+    println!("{}", r.render_fig8());
+    println!(
+        "Net shift toward consent across the window: {:+}\n",
+        r.net_toward_consent()
+    );
+
+    // Serialize the final version to the wire format and read it back.
+    let last = r.history.last().expect("non-empty history");
+    let json = last.to_json().to_compact();
+    println!(
+        "Final GVL: version {}, {} vendors, {} bytes of JSON",
+        last.vendor_list_version,
+        last.len(),
+        json.len()
+    );
+    let parsed = VendorList::from_json_text(&json).expect("own output parses");
+    assert_eq!(&parsed, last);
+
+    // Build an accept-all consent string against it, as a CMP would.
+    let consent = ConsentString::new(10, last.vendor_list_version, last.max_vendor_id())
+        .accept_all(consent_tcf::purposes::all_purpose_ids());
+    let encoded = consent.encode(VendorEncoding::Auto);
+    println!("Accept-all consent string ({} chars): {encoded}", encoded.len());
+    let decoded = ConsentString::decode(&encoded).expect("round-trips");
+    println!(
+        "Decoded: {} vendor consents, purpose 1 allowed: {}",
+        decoded.consent_count(),
+        decoded.purpose_allowed(PurposeId(1))
+    );
+
+    // Who claims legitimate interest for purpose 3 (ad selection)?
+    let li3 = last.leg_int_count(PurposeId(3));
+    println!(
+        "\nVendors claiming legitimate interest for purpose 3: {li3} of {} ({:.0}%)",
+        last.len(),
+        li3 as f64 / last.len() as f64 * 100.0
+    );
+}

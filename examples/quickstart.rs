@@ -1,0 +1,33 @@
+//! Quickstart: build a study and reproduce the paper's headline results
+//! at reduced scale.
+//!
+//! ```sh
+//! cargo run --release --bin quickstart
+//! ```
+
+use consent_core::{experiments, Study};
+
+fn main() {
+    println!("consent-observatory quickstart");
+    println!("==============================\n");
+    println!("Building a reduced-scale study (50k sites, seeded)...\n");
+    let study = Study::quick();
+
+    // Table A.2: the fingerprints everything below relies on.
+    println!("{}", experiments::tables_a::table_a2());
+    println!();
+
+    // Table 1: CMP occurrence by vantage point.
+    let t1 = experiments::table1::table1(&study);
+    println!("{}", t1.render());
+
+    // Figure 10: the time-to-consent field experiment.
+    let f10 = experiments::fig10::fig10(&study);
+    println!("{}", f10.render());
+
+    // Figure 9: the TrustArc opt-out cost.
+    let f9 = experiments::fig9::fig9_with_hours(&study, 72);
+    println!("{}", f9.render());
+
+    println!("Done. See EXPERIMENTS.md for the full paper-vs-measured index.");
+}

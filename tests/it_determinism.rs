@@ -1,0 +1,53 @@
+//! Determinism guarantees: identical seeds must reproduce identical
+//! results byte-for-byte across every experiment surface.
+
+use consent_core::{experiments, Study, StudyConfig};
+
+fn study() -> Study {
+    Study::new(StudyConfig::quick())
+}
+
+#[test]
+fn table1_renders_identically() {
+    let a = experiments::table1::table1(&study()).render();
+    let b = experiments::table1::table1(&study()).render();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn fig10_identical_statistics() {
+    let a = experiments::fig10::fig10(&study());
+    let b = experiments::fig10::fig10(&study());
+    assert_eq!(
+        a.experiment.direct.accept_times,
+        b.experiment.direct.accept_times
+    );
+    assert_eq!(a.render(), b.render());
+}
+
+#[test]
+fn gvl_history_identical_json() {
+    let a = experiments::fig7_8::gvl_figures(&study());
+    let b = experiments::fig7_8::gvl_figures(&study());
+    let ja = a.history.last().unwrap().to_json().to_compact();
+    let jb = b.history.last().unwrap().to_json().to_compact();
+    assert_eq!(ja, jb);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let mut config = StudyConfig::quick();
+    config.seed = 1;
+    let a = experiments::fig9::fig9_with_hours(&Study::new(config.clone()), 48);
+    config.seed = 2;
+    let b = experiments::fig9::fig9_with_hours(&Study::new(config), 48);
+    assert_ne!(a.median_wait_s, b.median_wait_s);
+}
+
+#[test]
+fn fig9_stable_across_runs() {
+    let a = experiments::fig9::fig9_with_hours(&study(), 48);
+    let b = experiments::fig9::fig9_with_hours(&study(), 48);
+    assert_eq!(a.median_wait_s, b.median_wait_s);
+    assert_eq!(a.probes, b.probes);
+}

@@ -1,0 +1,85 @@
+//! Extensions beyond the paper's core results: the TCF v2 migration path
+//! and the consent-coalition dynamics of §5.2.
+
+use consent_dialog::{
+    run_experiment, simulate_coalitions, CoalitionConfig, Decision, ExperimentConfig,
+};
+use consent_tcf::{upgrade_from_v1, ConsentString, PurposeId, TcStringV2};
+use consent_util::SeedTree;
+use consent_webgraph::Cmp;
+
+#[test]
+fn field_experiment_consents_upgrade_to_v2() {
+    // Every consent string produced by the Figure 10 experiment must
+    // upgrade losslessly to TCF v2 and round-trip on the v2 wire format.
+    let r = run_experiment(&ExperimentConfig::default(), SeedTree::new(11));
+    let mut checked = 0;
+    for visit in r.direct.visits.iter().chain(&r.more_options.visits) {
+        let Some(s) = &visit.consent_string else {
+            continue;
+        };
+        let v1 = ConsentString::decode(s).expect("experiment emits valid v1");
+        let v2 = upgrade_from_v1(&v1);
+        let wire = v2.encode();
+        assert!(wire.starts_with('C'), "v2 signature");
+        let back = TcStringV2::decode(&wire).unwrap();
+        assert_eq!(back.vendor_consents, v1.vendor_consents);
+        assert_eq!(back.purposes_consent, v1.purposes_allowed);
+        match visit.decision {
+            Decision::Accepted => {
+                assert!(back.vendor_allowed(1));
+                assert!(back.purposes_consent.contains(&1));
+            }
+            Decision::Rejected => {
+                assert!(back.vendor_consents.is_empty());
+            }
+            Decision::None => unreachable!("no consent string without a decision"),
+        }
+        checked += 1;
+    }
+    assert!(checked > 2_000, "only {checked} strings checked");
+}
+
+#[test]
+fn coalition_network_effect_scales_with_size() {
+    // Doubling every coalition's size must not increase any prompt rate,
+    // and the big-vs-small gradient must persist.
+    let base = CoalitionConfig::default();
+    let mut doubled = base.clone();
+    for v in doubled.coalition_sizes.values_mut() {
+        *v *= 2;
+    }
+    let r1 = simulate_coalitions(&base, SeedTree::new(5));
+    let r2 = simulate_coalitions(&doubled, SeedTree::new(5));
+    // Same users, more sites: per-coalition prompt counts are bounded by
+    // users, so rates cannot blow up; the ordering stays.
+    for r in [&r1, &r2] {
+        let big = r.per_cmp[&Cmp::OneTrust].prompt_rate();
+        let small = r.per_cmp[&Cmp::Crownpeak].prompt_rate();
+        assert!(big < small, "big {big} !< small {small}");
+    }
+    // Global scope keeps overall prompting rare.
+    assert!(r1.overall_prompt_rate() < 0.25, "{}", r1.overall_prompt_rate());
+}
+
+#[test]
+fn v2_publisher_restrictions_survive_upgrade_pipeline() {
+    // Build a v2 string with restrictions on top of an upgraded v1 and
+    // confirm wire fidelity — the part of v2 with no v1 counterpart.
+    let v1 = ConsentString::new(5, 200, 100).accept_all(consent_tcf::purposes::all_purpose_ids());
+    let mut v2 = upgrade_from_v1(&v1);
+    v2.purposes_li_transparency = [2, 3].into();
+    v2.publisher_restrictions.insert(
+        (3, consent_tcf::RestrictionType::RequireConsent),
+        [10, 11, 12, 50].into(),
+    );
+    v2.publisher_restrictions.insert(
+        (1, consent_tcf::RestrictionType::NotAllowed),
+        [99].into(),
+    );
+    let wire = v2.encode();
+    let back = TcStringV2::decode(&wire).unwrap();
+    assert_eq!(back, v2);
+    assert!(back.purposes_consent.contains(&PurposeId(1).0));
+    assert_eq!(back.publisher_restrictions.len(), 2);
+}

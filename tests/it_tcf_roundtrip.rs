@@ -1,0 +1,90 @@
+//! Cross-crate TCF properties: consent strings built against generated
+//! GVL versions, exchanged through the __cmp API model.
+
+use consent_tcf::{
+    generate_history, purposes::all_purpose_ids, CmpApi, ConsentString, HistoryConfig, PurposeId,
+    VendorEncoding, VendorList,
+};
+use consent_util::{SeedTree, SimInstant};
+use proptest::prelude::*;
+
+fn history() -> Vec<VendorList> {
+    generate_history(&HistoryConfig::default(), SeedTree::new(42))
+}
+
+#[test]
+fn consent_string_tracks_gvl_versions() {
+    let history = history();
+    for v in history.iter().step_by(40) {
+        let consent = ConsentString::new(10, v.vendor_list_version, v.max_vendor_id())
+            .accept_all(all_purpose_ids());
+        let s = consent.encode(VendorEncoding::Auto);
+        let decoded = ConsentString::decode(&s).unwrap();
+        assert_eq!(decoded.vendor_list_version, v.vendor_list_version);
+        assert_eq!(decoded.consent_count(), usize::from(v.max_vendor_id()));
+        // Every vendor on the list is covered.
+        for vendor in v.vendors.iter().step_by(25) {
+            assert!(decoded.vendor_allowed(vendor.id.0));
+        }
+    }
+}
+
+#[test]
+fn cmp_api_round_trips_decisions() {
+    let history = history();
+    let last = history.last().unwrap();
+    let mut cmp = CmpApi::new(true);
+    cmp.script_loaded(SimInstant::from_millis(500));
+    assert!(cmp.show_dialog(SimInstant::from_millis(900)));
+    let mut consent = ConsentString::new(10, last.vendor_list_version, last.max_vendor_id());
+    // Consent only to vendors that do NOT claim legitimate interest for
+    // purpose 1 (a plausible selective decision).
+    consent.purposes_allowed = [1u8, 5].into();
+    consent.vendor_consents = last
+        .vendors
+        .iter()
+        .filter(|v| !v.leg_int_purpose_ids.contains(&PurposeId(1)))
+        .map(|v| v.id.0)
+        .collect();
+    let expected = consent.vendor_consents.len();
+    cmp.store_decision(consent, SimInstant::from_secs(5));
+    let s = cmp.get_consent_data().consent_data.unwrap();
+    let decoded = ConsentString::decode(&s).unwrap();
+    assert_eq!(decoded.consent_count(), expected);
+    assert!(decoded.purpose_allowed(PurposeId(5)));
+    assert!(!decoded.purpose_allowed(PurposeId(2)));
+}
+
+#[test]
+fn gvl_json_roundtrip_across_full_history() {
+    let history = history();
+    for v in history.iter().step_by(30) {
+        let text = v.to_json().to_pretty();
+        let parsed = VendorList::from_json_text(&text).unwrap();
+        assert_eq!(&parsed, v);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn prop_selective_consent_roundtrips(
+        vendor_bits in proptest::collection::vec(any::<bool>(), 1..500),
+        purposes in proptest::collection::btree_set(1u8..=24, 0..8),
+    ) {
+        let max = vendor_bits.len() as u16;
+        let mut c = ConsentString::new(21, 180, max);
+        c.purposes_allowed = purposes;
+        c.vendor_consents = vendor_bits
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(i, _)| i as u16 + 1)
+            .collect();
+        for enc in [VendorEncoding::BitField, VendorEncoding::Range, VendorEncoding::Auto] {
+            let s = c.encode(enc);
+            prop_assert_eq!(ConsentString::decode(&s).unwrap(), c.clone());
+        }
+    }
+}

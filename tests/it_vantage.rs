@@ -1,0 +1,111 @@
+//! Vantage-point mechanics across crates: the same site measured from
+//! different locations/timings yields the paper's systematic differences.
+
+use consent_fingerprint::Detector;
+use consent_httpsim::{CaptureOptions, Engine, Location, Timing, Vantage};
+use consent_util::{Day, SeedTree};
+use consent_webgraph::{
+    AdoptionConfig, GeoBehavior, Reachability, World, WorldConfig,
+};
+
+fn world() -> World {
+    World::new(WorldConfig {
+        n_sites: 40_000,
+        seed: 2_024,
+        adoption: AdoptionConfig::default(),
+    })
+}
+
+/// Count detections over a rank range at one vantage.
+fn count(w: &World, vantage: Vantage, day: Day, upto: u32) -> usize {
+    let engine = Engine::new(w, SeedTree::new(3));
+    let det = Detector::hostname_only();
+    (1..=upto)
+        .filter(|&r| {
+            let p = w.profile(r);
+            if p.reachability != Reachability::Ok {
+                return false;
+            }
+            let c = engine.capture(
+                &format!("https://{}/", p.domain),
+                day,
+                vantage,
+                CaptureOptions::default(),
+            );
+            !det.detect(&c).is_empty()
+        })
+        .count()
+}
+
+#[test]
+fn us_vantage_misses_eu_gated_cmps() {
+    let w = world();
+    let day = Day::from_ymd(2020, 5, 15);
+    let us = count(&w, Vantage::us_cloud(), day, 4_000);
+    let eu = count(&w, Vantage::eu_cloud(), day, 4_000);
+    assert!(us < eu, "US {us} should be below EU {eu}");
+    let ratio = us as f64 / eu as f64;
+    // Paper Table 1: 729/807 ≈ 0.90 between the two clouds.
+    assert!((0.78..0.99).contains(&ratio), "US/EU ratio {ratio}");
+}
+
+#[test]
+fn university_beats_cloud_by_antibot_margin() {
+    let w = world();
+    let day = Day::from_ymd(2020, 5, 15);
+    let eu_cloud = count(&w, Vantage::eu_cloud(), day, 4_000);
+    let uni = count(
+        &w,
+        Vantage {
+            location: Location::EuUniversity,
+            timing: Timing::Aggressive,
+            language: consent_httpsim::Language::EnUs,
+        },
+        day,
+        4_000,
+    );
+    assert!(uni > eu_cloud, "university {uni} !> cloud {eu_cloud}");
+    let miss = 1.0 - eu_cloud as f64 / uni as f64;
+    // Paper §3.5: cloud address space misses about 10%.
+    assert!((0.04..0.20).contains(&miss), "anti-bot miss rate {miss}");
+}
+
+#[test]
+fn extended_timing_catches_slow_loaders() {
+    let w = world();
+    let day = Day::from_ymd(2020, 5, 15);
+    let uni = |timing| Vantage {
+        location: Location::EuUniversity,
+        timing,
+        language: consent_httpsim::Language::EnUs,
+    };
+    let fast = count(&w, uni(Timing::Aggressive), day, 4_000);
+    let ext = count(&w, uni(Timing::Extended), day, 4_000);
+    assert!(ext >= fast);
+    let miss = 1.0 - fast as f64 / ext as f64;
+    // Paper §3.5: aggressive timeouts miss about 2%.
+    assert!(miss < 0.08, "timeout miss rate {miss}");
+}
+
+#[test]
+fn hide_from_eu_sites_visible_only_from_us() {
+    let w = world();
+    let day = Day::from_ymd(2020, 5, 15);
+    let engine = Engine::new(&w, SeedTree::new(4));
+    let det = Detector::hostname_only();
+    let p = (1..=40_000u32)
+        .map(|r| w.profile(r))
+        .find(|p| {
+            p.cmp_on(day).is_some()
+                && p.reachability == Reachability::Ok
+                && p.behavior.as_ref().is_some_and(|b| {
+                    b.geo == GeoBehavior::HideFromEu && !b.anti_bot_cdn && !b.slow_load
+                })
+        })
+        .expect("CCPA-gated site exists");
+    let url = format!("https://{}/", p.domain);
+    let us = engine.capture(&url, day, Vantage::us_cloud(), CaptureOptions::default());
+    let eu = engine.capture(&url, day, Vantage::eu_cloud(), CaptureOptions::default());
+    assert!(!det.detect(&us).is_empty(), "visible from the US");
+    assert!(det.detect(&eu).is_empty(), "hidden from the EU");
+}

@@ -1,0 +1,17 @@
+//! Shared helpers for the integration tests.
+
+use consent_core::{Study, StudyConfig};
+
+/// A mid-sized study: larger than `Study::quick()` for statistical
+/// stability, still fast enough for CI.
+pub fn midsize_study() -> Study {
+    Study::new(StudyConfig {
+        seed: 7_777,
+        n_sites: 80_000,
+        toplist_size: 3_000,
+        feed_urls_per_day: 600,
+        window_start: consent_util::Day::from_ymd(2018, 3, 1),
+        window_end: consent_util::Day::from_ymd(2020, 9, 30),
+        fig5_stratum_sample: 600,
+    })
+}
