@@ -97,7 +97,10 @@ pub fn classify_wording(dom: &DomSnapshot) -> ObservedWording {
         None => ObservedWording::None,
         Some(t) => {
             let t = t.to_lowercase();
-            if t.contains("accept") && !t.contains("move on") || t.contains("agree") || t.contains("consent") {
+            if t.contains("accept") && !t.contains("move on")
+                || t.contains("agree")
+                || t.contains("consent")
+            {
                 ObservedWording::AgreeVariant
             } else {
                 ObservedWording::FreeForm
@@ -214,14 +217,30 @@ mod tests {
 
     #[test]
     fn style_classification() {
-        let d = dom(Some("I ACCEPT"), Some("I DO NOT ACCEPT"), &["qc-cmp2-container"]);
+        let d = dom(
+            Some("I ACCEPT"),
+            Some("I DO NOT ACCEPT"),
+            &["qc-cmp2-container"],
+        );
         assert_eq!(classify_style(&d, true), ObservedStyle::DirectReject);
         assert_eq!(classify_style(&d, false), ObservedStyle::NoDialog);
-        let d = dom(Some("I agree"), Some("MORE OPTIONS"), &["qc-cmp2-container"]);
+        let d = dom(
+            Some("I agree"),
+            Some("MORE OPTIONS"),
+            &["qc-cmp2-container"],
+        );
         assert_eq!(classify_style(&d, true), ObservedStyle::MoreOptions);
-        let d = dom(Some("Accept all"), Some("Do Not Sell"), &["onetrust-banner-sdk"]);
+        let d = dom(
+            Some("Accept all"),
+            Some("Do Not Sell"),
+            &["onetrust-banner-sdk"],
+        );
         assert_eq!(classify_style(&d, true), ObservedStyle::OptOutButton);
-        let d = dom(Some("OK"), Some("Cookie Settings"), &["site-consent-banner"]);
+        let d = dom(
+            Some("OK"),
+            Some("Cookie Settings"),
+            &["site-consent-banner"],
+        );
         assert_eq!(classify_style(&d, true), ObservedStyle::CustomApiOnly);
         let d = dom(None, None, &[]);
         assert_eq!(classify_style(&d, true), ObservedStyle::FooterLinkOnly);
@@ -256,10 +275,8 @@ mod tests {
             &[vantage],
             SeedTree::new(9),
         );
-        let report = customization_report(
-            result.column(vantage).unwrap(),
-            &Detector::hostname_only(),
-        );
+        let report =
+            customization_report(result.column(vantage).unwrap(), &Detector::hostname_only());
         // Quantcast: ~55 % direct reject among classified sites; ~13 %
         // free-form wording.
         let q_direct = report.style_share(Cmp::Quantcast, ObservedStyle::DirectReject);

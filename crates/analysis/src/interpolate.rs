@@ -94,7 +94,15 @@ impl Timeline {
                 }
             })
             .collect();
-        Timeline { observations }
+        let timeline = Timeline { observations };
+        if consent_telemetry::enabled() {
+            // Gap lengths between consecutive observation days — the
+            // paper's interpolation operates exactly on these.
+            for pair in timeline.observations.windows(2) {
+                consent_telemetry::observe("analysis.gap_days", (pair[1].day - pair[0].day) as u64);
+            }
+        }
+        timeline
     }
 
     /// The CMP presumed active on `day`, applying interpolation and the
@@ -110,6 +118,9 @@ impl Timeline {
             (Some(b), Some(a)) => {
                 // Interpolate only when both boundaries agree (§3.2).
                 if b.cmp == a.cmp {
+                    if b.cmp.is_some() {
+                        consent_telemetry::count("analysis.interpolated_days", 1);
+                    }
                     b.cmp
                 } else {
                     None
@@ -187,11 +198,7 @@ mod tests {
     fn day_classification_one_third_rule() {
         let d = Day::from_ymd(2020, 1, 1);
         // 1 of 3 captures has the CMP → exactly one third → classified.
-        let history = vec![
-            cap(d, Some(Cmp::Quantcast)),
-            cap(d, None),
-            cap(d, None),
-        ];
+        let history = vec![cap(d, Some(Cmp::Quantcast)), cap(d, None), cap(d, None)];
         let t = Timeline::from_history(&history);
         assert_eq!(t.observations.len(), 1);
         assert_eq!(t.observations[0].cmp, Some(Cmp::Quantcast));
@@ -220,7 +227,10 @@ mod tests {
     #[test]
     fn interpolation_between_agreeing_boundaries() {
         let d = Day::from_ymd(2020, 1, 1);
-        let history = vec![cap(d, Some(Cmp::Quantcast)), cap(d + 30, Some(Cmp::Quantcast))];
+        let history = vec![
+            cap(d, Some(Cmp::Quantcast)),
+            cap(d + 30, Some(Cmp::Quantcast)),
+        ];
         let t = Timeline::from_history(&history);
         // The paper's example: seen a month ago and today → assume
         // present throughout.
@@ -232,7 +242,10 @@ mod tests {
     #[test]
     fn disagreement_blocks_interpolation() {
         let d = Day::from_ymd(2020, 1, 1);
-        let history = vec![cap(d, Some(Cmp::Cookiebot)), cap(d + 40, Some(Cmp::OneTrust))];
+        let history = vec![
+            cap(d, Some(Cmp::Cookiebot)),
+            cap(d + 40, Some(Cmp::OneTrust)),
+        ];
         let t = Timeline::from_history(&history);
         assert_eq!(t.cmp_on(d + 20), None);
         assert_eq!(t.cmp_on(d), Some(Cmp::Cookiebot));

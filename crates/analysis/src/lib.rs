@@ -28,5 +28,7 @@ pub use interpolate::{DayObservation, Timeline, DAY_SHARE_THRESHOLD, FADE_OUT_DA
 pub use jurisdiction::{jurisdiction_report, JurisdictionReport};
 pub use marketshare::{marketshare_curve, standard_sizes, MarketshareCurve, RankObservation};
 pub use quality::{bimodal_share, missing_data_report, MissingDataReport};
-pub use timeseries::{adoption_series, build_timelines, switch_matrix, AdoptionPoint, SwitchMatrix};
+pub use timeseries::{
+    adoption_series, build_timelines, switch_matrix, AdoptionPoint, SwitchMatrix,
+};
 pub use vantage_table::{vantage_table, VantageTable};

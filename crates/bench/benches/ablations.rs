@@ -71,7 +71,10 @@ fn ablation_detector(c: &mut Criterion) {
     for (label, det) in [
         ("hostname-only (tier 3)", Detector::hostname_only()),
         ("hostname+url (tier 2+)", Detector::with_min_specificity(2)),
-        ("all rules incl. text (tier 0+)", Detector::with_min_specificity(0)),
+        (
+            "all rules incl. text (tier 0+)",
+            Detector::with_min_specificity(0),
+        ),
     ] {
         let mut s = Screening::default();
         for (truth, cap) in &captures {
@@ -111,14 +114,18 @@ fn ablation_consent_encoding(c: &mut Criterion) {
         s.vendor_consents = (1..=600).filter(|i| i % 50 == 0).collect();
         s
     };
-    let dense = ConsentString::new(10, 215, 600)
-        .accept_all(consent_tcf::purposes::all_purpose_ids());
+    let dense =
+        ConsentString::new(10, 215, 600).accept_all(consent_tcf::purposes::all_purpose_ids());
     let alternating = {
         let mut s = ConsentString::new(10, 215, 600);
         s.vendor_consents = (1..=600).filter(|i| i % 2 == 0).collect();
         s
     };
-    for (label, cs) in [("sparse", &sparse), ("accept_all", &dense), ("alternating", &alternating)] {
+    for (label, cs) in [
+        ("sparse", &sparse),
+        ("accept_all", &dense),
+        ("alternating", &alternating),
+    ] {
         println!(
             "{label}: bitfield {} chars, range {} chars, auto {} chars",
             cs.encode(VendorEncoding::BitField).len(),

@@ -46,9 +46,8 @@ impl Fig10Result {
             "z",
             "p",
         ]);
-        t.numeric().title(
-            "Figure 10: Interaction time by dialog design (Quantcast field experiment)",
-        );
+        t.numeric()
+            .title("Figure 10: Interaction time by dialog design (Quantcast field experiment)");
         for arm in [&self.experiment.direct, &self.experiment.more_options] {
             let name = match arm.config {
                 consent_dialog::QuantcastConfig::DirectReject => "Direct reject button",
@@ -145,4 +144,9 @@ mod tests {
         assert!(s.contains("Consent rate"));
         assert!(s.contains("2910"));
     }
+}
+
+/// [`fig10`] with telemetry: records a run report named `fig10`.
+pub fn fig10_reported(study: &Study) -> Fig10Result {
+    super::run_reported(study, "fig10", || fig10(study))
 }

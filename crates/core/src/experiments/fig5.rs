@@ -43,11 +43,7 @@ impl Fig5Result {
                 consent_util::table::thousands(u64::from(size)),
                 pct(self.curve.total_share(i)),
             ];
-            row.extend(
-                ALL_CMPS
-                    .iter()
-                    .map(|&c| pct(self.curve.share_of(i, c))),
-            );
+            row.extend(ALL_CMPS.iter().map(|&c| pct(self.curve.share_of(i, c))));
             t.row(row);
         }
         t.to_string()
@@ -96,7 +92,12 @@ pub fn fig5_at(study: &Study, snapshot: Day) -> Fig5Result {
         for rank in ranks {
             let profile = world.profile(rank);
             let url = format!("https://{}/", profile.domain);
-            let capture = engine.capture(&url, snapshot, Vantage::eu_cloud(), CaptureOptions::default());
+            let capture = engine.capture(
+                &url,
+                snapshot,
+                Vantage::eu_cloud(),
+                CaptureOptions::default(),
+            );
             crawled += 1;
             let cmp: Option<Cmp> = detector.detect(&capture).into_iter().next();
             observations.push(RankObservation { rank, weight, cmp });
@@ -151,4 +152,9 @@ mod tests {
             may20.curve.total_share(idx)
         );
     }
+}
+
+/// [`fig5`] with telemetry: records a run report named `fig5`.
+pub fn fig5_reported(study: &Study) -> Fig5Result {
+    super::run_reported(study, "fig5", || fig5(study))
 }

@@ -32,8 +32,8 @@ impl GvlResult {
     /// Render Figure 7 at a monthly cadence.
     pub fn render_fig7(&self) -> String {
         let mut t = Table::with_columns(&[
-            "Date", "Version", "Vendors", "P1", "P2", "P3", "P4", "P5", "LI1", "LI2", "LI3",
-            "LI4", "LI5",
+            "Date", "Version", "Vendors", "P1", "P2", "P3", "P4", "P5", "LI1", "LI2", "LI3", "LI4",
+            "LI5",
         ]);
         t.numeric()
             .title("Figure 7: Vendors and purposes in the IAB Global Vendor List");
@@ -129,7 +129,9 @@ mod tests {
         let may18: usize = r
             .fig8
             .iter()
-            .filter(|m| m.month == Day::from_ymd(2018, 5, 1) || m.month == Day::from_ymd(2018, 6, 1))
+            .filter(|m| {
+                m.month == Day::from_ymd(2018, 5, 1) || m.month == Day::from_ymd(2018, 6, 1)
+            })
             .map(Fig8Month::total)
             .sum();
         let quiet: usize = r
@@ -161,4 +163,9 @@ mod tests {
         let f8 = r.render_fig8();
         assert!(f8.contains("LI→Consent"));
     }
+}
+
+/// [`gvl_figures`] with telemetry: records a run report named `fig7_8`.
+pub fn gvl_figures_reported(study: &Study) -> GvlResult {
+    super::run_reported(study, "fig7_8", || gvl_figures(study))
 }

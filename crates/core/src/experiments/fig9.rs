@@ -143,7 +143,11 @@ mod tests {
             "domains {} (paper: 25)",
             r.median_extra_domains
         );
-        assert!((0.9..1.5).contains(&r.median_extra_mb), "{} MB", r.median_extra_mb);
+        assert!(
+            (0.9..1.5).contains(&r.median_extra_mb),
+            "{} MB",
+            r.median_extra_mb
+        );
         assert!(
             (4.5..7.0).contains(&r.median_extra_mb_uncompressed),
             "{} MB",
@@ -163,4 +167,9 @@ mod tests {
         assert!(s.contains("Total:"));
         assert!(s.contains("compressed"));
     }
+}
+
+/// [`fig9`] with telemetry: records a run report named `fig9`.
+pub fn fig9_reported(study: &Study) -> Fig9Result {
+    super::run_reported(study, "fig9", || fig9(study))
 }

@@ -29,7 +29,11 @@ impl I3Result {
         t.title("I3: Publisher customization of consent dialogs (EU university vantage)");
         t.row(vec![
             "OneTrust".into(),
-            r.sites.get(&Cmp::OneTrust).copied().unwrap_or(0).to_string(),
+            r.sites
+                .get(&Cmp::OneTrust)
+                .copied()
+                .unwrap_or(0)
+                .to_string(),
             format!(
                 "banner {} | opt-out button {} | script banner {} | footer link {}",
                 pct(r.style_share(Cmp::OneTrust, ObservedStyle::ConventionalBanner)),
@@ -40,7 +44,11 @@ impl I3Result {
         ]);
         t.row(vec![
             "Quantcast".into(),
-            r.sites.get(&Cmp::Quantcast).copied().unwrap_or(0).to_string(),
+            r.sites
+                .get(&Cmp::Quantcast)
+                .copied()
+                .unwrap_or(0)
+                .to_string(),
             format!(
                 "direct reject {} | more-options {} | free-form wording {}",
                 pct(r.style_share(Cmp::Quantcast, ObservedStyle::DirectReject)),
@@ -50,7 +58,11 @@ impl I3Result {
         ]);
         t.row(vec![
             "TrustArc".into(),
-            r.sites.get(&Cmp::TrustArc).copied().unwrap_or(0).to_string(),
+            r.sites
+                .get(&Cmp::TrustArc)
+                .copied()
+                .unwrap_or(0)
+                .to_string(),
             format!(
                 "instant opt-out {} | multi-partner {} | autonomy {} | no-control {}",
                 pct(r.style_share(Cmp::TrustArc, ObservedStyle::InstantOptOut)),
@@ -107,8 +119,12 @@ mod tests {
         assert!(r.report.sites.get(&Cmp::OneTrust).copied().unwrap_or(0) > 10);
         assert!(r.report.sites.get(&Cmp::Quantcast).copied().unwrap_or(0) > 5);
         // Quantcast splits between the two modal styles.
-        let d = r.report.style_share(Cmp::Quantcast, ObservedStyle::DirectReject);
-        let m = r.report.style_share(Cmp::Quantcast, ObservedStyle::MoreOptions);
+        let d = r
+            .report
+            .style_share(Cmp::Quantcast, ObservedStyle::DirectReject);
+        let m = r
+            .report
+            .style_share(Cmp::Quantcast, ObservedStyle::MoreOptions);
         assert!(d > 0.2 && m > 0.2, "direct {d} more {m}");
         let rendered = r.render();
         assert!(rendered.contains("direct reject"));
@@ -130,4 +146,15 @@ mod tests {
         );
         assert!(j.render().contains("EU+UK"));
     }
+}
+
+/// [`i3_customization`] with telemetry: records a run report named `i3`.
+pub fn i3_customization_reported(study: &crate::Study, table1: &Table1Result) -> I3Result {
+    super::run_reported(study, "i3", || i3_customization(table1))
+}
+
+/// [`jurisdiction`] with telemetry: records a run report named
+/// `jurisdiction`.
+pub fn jurisdiction_reported(study: &crate::Study, table1: &Table1Result) -> JurisdictionReport {
+    super::run_reported(study, "jurisdiction", || jurisdiction(table1))
 }

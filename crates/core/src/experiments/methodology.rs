@@ -109,9 +109,17 @@ mod tests {
         let study = Study::quick();
         let f6 = fig6(&study);
         let m = methodology(&study, &f6);
-        assert!((m.twitter_share - 0.8).abs() < 0.05, "twitter {}", m.twitter_share);
+        assert!(
+            (m.twitter_share - 0.8).abs() < 0.05,
+            "twitter {}",
+            m.twitter_share
+        );
         assert!((0.2..0.6).contains(&m.skip_rate), "skip {}", m.skip_rate);
-        assert!((0.05..0.2).contains(&m.redirect_rate), "redirect {}", m.redirect_rate);
+        assert!(
+            (0.05..0.2).contains(&m.redirect_rate),
+            "redirect {}",
+            m.redirect_rate
+        );
         assert!(m.multi_cmp_rate < 0.005, "multi {}", m.multi_cmp_rate);
         assert!(m.bimodal_share > 0.95, "bimodal {}", m.bimodal_share);
         assert!(m.missing.never_shared > 0);
@@ -119,4 +127,10 @@ mod tests {
         assert!(rendered.contains("Dedup skip rate"));
         assert!(rendered.contains("99.8%"));
     }
+}
+
+/// [`methodology`] with telemetry: records a run report named
+/// `methodology`.
+pub fn methodology_reported(study: &Study, fig6: &Fig6Result) -> MethodologyResult {
+    super::run_reported(study, "methodology", || methodology(study, fig6))
 }

@@ -1,4 +1,14 @@
 //! One module per paper table/figure; see DESIGN.md's experiment index.
+//!
+//! Every experiment has a plain entry point plus a `*_reported` variant
+//! that wraps it in [`run_reported`]: the run is timed, the global
+//! telemetry registry is snapshotted before and after, and the resulting
+//! [`consent_telemetry::RunReport`] — capture counts per vantage and
+//! `CaptureStatus`, retries, dedup skips — is recorded on the
+//! [`Study`](crate::Study). With telemetry disabled (the default) the
+//! wrappers cost two empty snapshots and a clock read.
+
+use crate::Study;
 
 pub mod fig1;
 pub mod fig10;
@@ -10,3 +20,12 @@ pub mod i3;
 pub mod methodology;
 pub mod table1;
 pub mod tables_a;
+
+/// Run `f` against the global telemetry registry and record the
+/// resulting run report on `study`. Returns `f`'s value unchanged.
+pub fn run_reported<T>(study: &Study, name: &str, f: impl FnOnce() -> T) -> T {
+    let (value, report) =
+        consent_telemetry::RunReport::collect(consent_telemetry::global(), name, f);
+    study.record_report(report);
+    value
+}

@@ -17,7 +17,11 @@ pub fn table_a1() -> String {
     for feat in &FEATURES {
         let mut def = feat.description.to_owned();
         def.truncate(70);
-        f.row(vec![feat.id.0.to_string(), feat.name.into(), format!("{def}…")]);
+        f.row(vec![
+            feat.id.0.to_string(),
+            feat.name.into(),
+            format!("{def}…"),
+        ]);
     }
     format!("{t}\n{f}")
 }
@@ -53,4 +57,14 @@ mod tests {
             assert!(s.contains(cmp.name()));
         }
     }
+}
+
+/// [`table_a1`] with telemetry: records a run report named `table_a1`.
+pub fn table_a1_reported(study: &crate::Study) -> String {
+    super::run_reported(study, "table_a1", table_a1)
+}
+
+/// [`table_a2`] with telemetry: records a run report named `table_a2`.
+pub fn table_a2_reported(study: &crate::Study) -> String {
+    super::run_reported(study, "table_a2", table_a2)
 }

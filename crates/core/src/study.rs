@@ -6,8 +6,10 @@
 //! tests and examples while `StudyConfig::default()` is the full
 //! paper-scale configuration used by the benches.
 
+use consent_telemetry::RunReport;
 use consent_util::{date::known, Day, SeedTree};
 use consent_webgraph::{AdoptionConfig, World, WorldConfig};
+use std::sync::Mutex;
 
 /// Scale and seed parameters of a study.
 #[derive(Clone, Debug)]
@@ -64,6 +66,7 @@ pub struct Study {
     config: StudyConfig,
     world: World,
     seed: SeedTree,
+    reports: Mutex<Vec<RunReport>>,
 }
 
 impl Study {
@@ -79,6 +82,7 @@ impl Study {
             config,
             world,
             seed,
+            reports: Mutex::new(Vec::new()),
         }
     }
 
@@ -100,6 +104,29 @@ impl Study {
     /// The study-level seed node.
     pub fn seed(&self) -> SeedTree {
         self.seed
+    }
+
+    /// Record a telemetry run report (the `*_reported` experiment
+    /// wrappers call this).
+    pub fn record_report(&self, report: RunReport) {
+        self.reports
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(report);
+    }
+
+    /// All run reports recorded so far, in execution order.
+    pub fn reports(&self) -> Vec<RunReport> {
+        self.reports
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Aggregate table over every recorded run report — the study's
+    /// analogue of the paper's Table 1 quality columns.
+    pub fn report_summary(&self) -> String {
+        consent_telemetry::summary_table(&self.reports())
     }
 }
 

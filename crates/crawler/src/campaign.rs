@@ -64,6 +64,7 @@ pub fn run_campaign(
     vantages: &[Vantage],
     seed: SeedTree,
 ) -> CampaignResult {
+    let _span = consent_telemetry::span("campaign.run");
     let engine = Engine::new(world, seed.child("engine"));
     let prober = WorldProber::new(world, seed.child("prober"));
     // Three resolution rounds over a week (§3.2).
@@ -91,6 +92,10 @@ pub fn run_campaign(
                 if usable {
                     break;
                 }
+            }
+            if consent_telemetry::enabled() {
+                consent_telemetry::observe("campaign.attempts", u64::from(attempts));
+                consent_telemetry::count("campaign.retries", u64::from(attempts) - 1);
             }
             captures.push(CampaignCapture {
                 rank: i + 1,

@@ -8,8 +8,8 @@
 
 use consent_httpsim::{Capture, CaptureStatus, Location};
 use consent_psl::PublicSuffixList;
-use consent_webgraph::{Cmp, ALL_CMPS};
 use consent_util::Day;
+use consent_webgraph::{Cmp, ALL_CMPS};
 use std::collections::BTreeMap;
 
 /// Compact bitmask of detected CMPs.
@@ -43,8 +43,59 @@ impl CmpSet {
     }
 
     /// Iterate members in [`ALL_CMPS`] order.
-    pub fn iter(&self) -> impl Iterator<Item = Cmp> + '_ {
-        ALL_CMPS.into_iter().filter(|&c| self.contains(c))
+    pub fn iter(&self) -> CmpSetIter {
+        CmpSetIter { set: *self, pos: 0 }
+    }
+}
+
+/// Iterator over a [`CmpSet`]'s members, in [`ALL_CMPS`] order.
+#[derive(Clone, Debug)]
+pub struct CmpSetIter {
+    set: CmpSet,
+    pos: usize,
+}
+
+impl Iterator for CmpSetIter {
+    type Item = Cmp;
+
+    fn next(&mut self) -> Option<Cmp> {
+        while self.pos < ALL_CMPS.len() {
+            let cmp = ALL_CMPS[self.pos];
+            self.pos += 1;
+            if self.set.contains(cmp) {
+                return Some(cmp);
+            }
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        // Remaining members are exactly the set bits not yet visited.
+        let remaining = ALL_CMPS[self.pos..]
+            .iter()
+            .filter(|&&c| self.set.contains(c))
+            .count();
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for CmpSetIter {}
+
+impl IntoIterator for CmpSet {
+    type Item = Cmp;
+    type IntoIter = CmpSetIter;
+
+    fn into_iter(self) -> CmpSetIter {
+        self.iter()
+    }
+}
+
+impl IntoIterator for &CmpSet {
+    type Item = Cmp;
+    type IntoIter = CmpSetIter;
+
+    fn into_iter(self) -> CmpSetIter {
+        self.iter()
     }
 }
 
@@ -122,7 +173,22 @@ impl CaptureDb {
     }
 
     /// Insert a pre-built summary.
+    ///
+    /// This is the telemetry reconciliation anchor: the
+    /// `capture_db.insert{location,status}` counter family increments
+    /// here and nowhere else, so its sum always equals [`len`](Self::len)
+    /// across all databases touched while recording was on.
     pub fn insert(&mut self, summary: CaptureSummary) {
+        if consent_telemetry::enabled() {
+            consent_telemetry::count_labeled(
+                consent_telemetry::CAPTURE_FAMILY,
+                &[
+                    ("location", &summary.location.to_string()),
+                    ("status", summary.status.name()),
+                ],
+                1,
+            );
+        }
         self.total += 1;
         if summary.redirected {
             self.redirected += 1;
@@ -171,11 +237,13 @@ impl CaptureDb {
 
     /// All captures of one domain, in insertion (time) order.
     pub fn domain_history(&self, domain: &str) -> &[CaptureSummary] {
+        consent_telemetry::count("capture_db.query.domain_history", 1);
         self.by_domain.get(domain).map_or(&[], Vec::as_slice)
     }
 
     /// Iterate all `(domain, history)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &[CaptureSummary])> {
+        consent_telemetry::count("capture_db.query.scan", 1);
         self.by_domain
             .iter()
             .map(|(d, v)| (d.as_str(), v.as_slice()))
@@ -216,11 +284,43 @@ mod tests {
     }
 
     #[test]
+    fn cmp_set_into_iterator() {
+        // The full set round-trips through IntoIterator in ALL_CMPS order.
+        let full = CmpSet::from_iter(ALL_CMPS);
+        let members: Vec<Cmp> = full.into_iter().collect();
+        assert_eq!(members, ALL_CMPS);
+        assert_eq!(full.iter().len(), ALL_CMPS.len());
+
+        // Both owned and by-reference forms drive a for loop.
+        let set = CmpSet::from_iter([Cmp::Cookiebot, Cmp::OneTrust]);
+        let mut seen = Vec::new();
+        for cmp in &set {
+            seen.push(cmp);
+        }
+        for cmp in set {
+            assert!(seen.contains(&cmp));
+        }
+        assert_eq!(seen.len(), 2);
+        assert_eq!(CmpSet::empty().into_iter().count(), 0);
+
+        // size_hint stays exact midway through iteration.
+        let mut it = full.iter();
+        assert_eq!(it.size_hint(), (ALL_CMPS.len(), Some(ALL_CMPS.len())));
+        it.next();
+        assert_eq!(it.len(), ALL_CMPS.len() - 1);
+    }
+
+    #[test]
     fn db_counters() {
         let mut db = CaptureDb::new();
         assert!(db.is_empty());
         let d = Day::from_ymd(2020, 1, 1);
-        db.insert(summary("a.com", d, CmpSet::from_iter([Cmp::OneTrust]), false));
+        db.insert(summary(
+            "a.com",
+            d,
+            CmpSet::from_iter([Cmp::OneTrust]),
+            false,
+        ));
         db.insert(summary("a.com", d + 1, CmpSet::empty(), true));
         db.insert(summary(
             "b.com",

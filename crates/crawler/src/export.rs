@@ -224,14 +224,8 @@ mod tests {
             "{good_header}a.com\t2020-05-01\teu\tok\tNotACmp\t0\t0\n"
         ))
         .is_err());
-        assert!(import(&format!(
-            "{good_header}a.com\tnot-a-date\teu\tok\t\t0\t0\n"
-        ))
-        .is_err());
-        assert!(import(&format!(
-            "{good_header}a.com\t2020-05-01\teu\tok\t\t2\t0\n"
-        ))
-        .is_err());
+        assert!(import(&format!("{good_header}a.com\tnot-a-date\teu\tok\t\t0\t0\n")).is_err());
+        assert!(import(&format!("{good_header}a.com\t2020-05-01\teu\tok\t\t2\t0\n")).is_err());
         // Error display includes the line number.
         let e = import(&format!("{good_header}bad line\n")).unwrap_err();
         assert!(e.to_string().contains("line 2"));

@@ -89,6 +89,7 @@ impl<'w> Feed<'w> {
 
     /// Generate the feed items for one day, in submission-time order.
     pub fn day_items(&self, day: Day) -> Vec<FeedItem> {
+        let _span = consent_telemetry::span("feed.day_items");
         let mut rng = self.seed.child_idx(day.0 as u64).rng();
         let mut items = Vec::with_capacity(self.config.urls_per_day);
         for _ in 0..self.config.urls_per_day {
@@ -97,6 +98,19 @@ impl<'w> Feed<'w> {
             }
         }
         items.sort_by_key(|i| i.seconds);
+        if consent_telemetry::enabled() {
+            let twitter = items
+                .iter()
+                .filter(|i| i.source == FeedSource::Twitter)
+                .count() as u64;
+            consent_telemetry::count_labeled("feed.items", &[("source", "Twitter")], twitter);
+            consent_telemetry::count_labeled(
+                "feed.items",
+                &[("source", "Reddit")],
+                items.len() as u64 - twitter,
+            );
+            consent_telemetry::observe("feed.day_volume", items.len() as u64);
+        }
         items
     }
 

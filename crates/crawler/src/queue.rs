@@ -52,6 +52,20 @@ impl DedupQueue {
     /// Offer a URL at time `now`. Submissions must arrive in
     /// non-decreasing time order.
     pub fn offer(&mut self, url: &str, now: Ts) -> Admission {
+        let decision = self.decide(url, now);
+        if consent_telemetry::enabled() {
+            let label = match decision {
+                Admission::Accepted => "Accepted",
+                Admission::SkippedDomain => "SkippedDomain",
+                Admission::SkippedUrl => "SkippedUrl",
+            };
+            consent_telemetry::count_labeled("queue.offer", &[("decision", label)], 1);
+            consent_telemetry::gauge_set("queue.tracked_urls", self.last_url.len() as i64);
+        }
+        decision
+    }
+
+    fn decide(&mut self, url: &str, now: Ts) -> Admission {
         if let Some(&t) = self.last_url.get(url) {
             if now - t < URL_WINDOW {
                 self.skipped_url += 1;
@@ -148,7 +162,10 @@ mod tests {
         // Private-suffix domains count separately.
         assert_eq!(q.offer("https://x.github.io/", 2), Admission::Accepted);
         assert_eq!(q.offer("https://y.github.io/", 3), Admission::Accepted);
-        assert_eq!(q.offer("https://x.github.io/p", 4), Admission::SkippedDomain);
+        assert_eq!(
+            q.offer("https://x.github.io/p", 4),
+            Admission::SkippedDomain
+        );
     }
 
     #[test]

@@ -119,7 +119,10 @@ pub fn simulate(config: &CoalitionConfig, seed: SeedTree) -> CoalitionResult {
         let size = config.coalition_sizes.get(&cmp).copied().unwrap_or(0);
         site_cmp.extend(std::iter::repeat_n(cmp, size as usize));
     }
-    assert!(!site_cmp.is_empty(), "at least one coalition must have members");
+    assert!(
+        !site_cmp.is_empty(),
+        "at least one coalition must have members"
+    );
     {
         use rand::seq::SliceRandom;
         let mut shuffle_rng = seed.child("layout").rng();

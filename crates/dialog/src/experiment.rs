@@ -160,12 +160,18 @@ mod tests {
         // direct button.
         assert!((acc - 3.2).abs() < 0.4, "accept median {acc}");
         assert!(rej_direct > acc, "reject should be slower than accept");
-        assert!((rej_direct - 3.6).abs() < 0.5, "direct reject median {rej_direct}");
+        assert!(
+            (rej_direct - 3.6).abs() < 0.5,
+            "direct reject median {rej_direct}"
+        );
         assert!(
             rej_more > rej_direct * 1.5,
             "reject without direct button should roughly double: {rej_more} vs {rej_direct}"
         );
-        assert!((rej_more - 6.7).abs() < 1.5, "more-options reject median {rej_more}");
+        assert!(
+            (rej_more - 6.7).abs() < 1.5,
+            "more-options reject median {rej_more}"
+        );
     }
 
     #[test]
@@ -186,8 +192,15 @@ mod tests {
         let t2 = r.more_options.test.expect("enough data");
         // Paper: p < 0.01 for the direct arm, p < 0.001 for the other.
         assert!(t1.p_two_sided < 0.05, "direct arm p {}", t1.p_two_sided);
-        assert!(t2.p_two_sided < 0.001, "more-options arm p {}", t2.p_two_sided);
-        assert!(t1.z < 0.0 && t2.z < 0.0, "accept times stochastically smaller");
+        assert!(
+            t2.p_two_sided < 0.001,
+            "more-options arm p {}",
+            t2.p_two_sided
+        );
+        assert!(
+            t1.z < 0.0 && t2.z < 0.0,
+            "accept times stochastically smaller"
+        );
         assert!(t2.z.abs() > t1.z.abs());
     }
 

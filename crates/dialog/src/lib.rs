@@ -18,7 +18,9 @@ pub mod quantcast;
 pub mod trustarc;
 pub mod user_model;
 
-pub use coalition::{simulate as simulate_coalitions, CoalitionConfig, CoalitionResult, CoalitionStats};
+pub use coalition::{
+    simulate as simulate_coalitions, CoalitionConfig, CoalitionResult, CoalitionStats,
+};
 pub use experiment::{run_experiment, ArmResult, ExperimentConfig, ExperimentResult};
 pub use quantcast::{visit, Decision, QuantcastConfig, VisitRecord};
 pub use trustarc::{accept, hourly_probes, opt_out, AcceptRun, OptOutRun, Phase, Probe};

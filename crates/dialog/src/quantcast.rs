@@ -119,11 +119,7 @@ pub fn visit(config: QuantcastConfig, visitor: &Visitor, rng: &mut StdRng) -> Vi
     };
 
     let consent_string = closed.map(|t| {
-        let base = ConsentString::new(
-            Cmp::Quantcast.iab_cmp_id(),
-            215,
-            GVL_VENDOR_COUNT,
-        );
+        let base = ConsentString::new(Cmp::Quantcast.iab_cmp_id(), 215, GVL_VENDOR_COUNT);
         let consent = match decision {
             Decision::Accepted => base.accept_all(all_purpose_ids()),
             _ => base.reject_all(),
@@ -167,7 +163,11 @@ mod tests {
     #[test]
     fn accepting_is_one_click() {
         let mut r = rng();
-        let rec = visit(QuantcastConfig::DirectReject, &visitor(Intent::Accept), &mut r);
+        let rec = visit(
+            QuantcastConfig::DirectReject,
+            &visitor(Intent::Accept),
+            &mut r,
+        );
         assert_eq!(rec.decision, Decision::Accepted);
         assert_eq!(rec.clicks, 1);
         let t = rec.interaction_secs().unwrap();
@@ -182,8 +182,16 @@ mod tests {
     #[test]
     fn direct_reject_is_one_click_and_slightly_slower() {
         let mut r = rng();
-        let acc = visit(QuantcastConfig::DirectReject, &visitor(Intent::Accept), &mut r);
-        let rej = visit(QuantcastConfig::DirectReject, &visitor(Intent::Reject), &mut r);
+        let acc = visit(
+            QuantcastConfig::DirectReject,
+            &visitor(Intent::Accept),
+            &mut r,
+        );
+        let rej = visit(
+            QuantcastConfig::DirectReject,
+            &visitor(Intent::Reject),
+            &mut r,
+        );
         assert_eq!(rej.decision, Decision::Rejected);
         assert_eq!(rej.clicks, 1);
         assert!(rej.interaction_secs().unwrap() > acc.interaction_secs().unwrap() * 0.95);
@@ -194,7 +202,11 @@ mod tests {
     #[test]
     fn more_options_reject_needs_three_clicks_and_doubles_time() {
         let mut r = rng();
-        let rec = visit(QuantcastConfig::MoreOptions, &visitor(Intent::Reject), &mut r);
+        let rec = visit(
+            QuantcastConfig::MoreOptions,
+            &visitor(Intent::Reject),
+            &mut r,
+        );
         assert_eq!(rec.decision, Decision::Rejected);
         assert_eq!(rec.clicks, 3);
         let t = rec.interaction_secs().unwrap();
@@ -217,7 +229,11 @@ mod tests {
     #[test]
     fn abandoner_excluded() {
         let mut r = rng();
-        let rec = visit(QuantcastConfig::DirectReject, &visitor(Intent::Abandon), &mut r);
+        let rec = visit(
+            QuantcastConfig::DirectReject,
+            &visitor(Intent::Abandon),
+            &mut r,
+        );
         assert_eq!(rec.decision, Decision::None);
         assert_eq!(rec.dialog_closed, None);
         assert_eq!(rec.interaction_secs(), None);

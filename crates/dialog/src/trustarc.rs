@@ -85,9 +85,8 @@ pub fn opt_out(rng: &mut StdRng) -> OptOutRun {
 
     // The partner fan-out runs in batches with fixed JS timeouts between
     // them; ~20 s of the 34 s total.
-    let fanout_ms = 14_000
-        + u64::from(extra_requests) * rng.gen_range(18u64..26)
-        + rng.gen_range(0..1_500);
+    let fanout_ms =
+        14_000 + u64::from(extra_requests) * rng.gen_range(18u64..26) + rng.gen_range(0..1_500);
 
     let phases = vec![
         Phase {
@@ -191,7 +190,11 @@ mod tests {
             "median requests {median_reqs} (paper: 279)"
         );
         let p0 = &probes[0].run;
-        assert!((20..=30).contains(&p0.extra_domains), "{}", p0.extra_domains);
+        assert!(
+            (20..=30).contains(&p0.extra_domains),
+            "{}",
+            p0.extra_domains
+        );
         let mb = p0.extra_bytes_compressed as f64 / 1e6;
         assert!((0.8..1.6).contains(&mb), "compressed {mb} MB (paper: 1.2)");
         let ratio = p0.extra_bytes_uncompressed as f64 / p0.extra_bytes_compressed as f64;
@@ -200,8 +203,14 @@ mod tests {
 
     #[test]
     fn probes_deterministic() {
-        assert_eq!(hourly_probes(24, SeedTree::new(5)), hourly_probes(24, SeedTree::new(5)));
-        assert_ne!(hourly_probes(24, SeedTree::new(5)), hourly_probes(24, SeedTree::new(6)));
+        assert_eq!(
+            hourly_probes(24, SeedTree::new(5)),
+            hourly_probes(24, SeedTree::new(5))
+        );
+        assert_ne!(
+            hourly_probes(24, SeedTree::new(5)),
+            hourly_probes(24, SeedTree::new(6))
+        );
     }
 
     #[test]
@@ -209,7 +218,10 @@ mod tests {
         let run = opt_out(&mut rng());
         assert_eq!(run.phases.len(), 5);
         assert_eq!(run.phases[0].name, "open preference center");
-        assert!(run.phases[3].wait_ms > run.phases[0].wait_ms, "fan-out dominates");
+        assert!(
+            run.phases[3].wait_ms > run.phases[0].wait_ms,
+            "fan-out dominates"
+        );
         // The fan-out phase needs no user clicks.
         assert_eq!(run.phases[3].clicks, 0);
     }

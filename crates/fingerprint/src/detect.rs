@@ -57,6 +57,7 @@ impl Detector {
     pub fn detect(&self, capture: &Capture) -> BTreeSet<Cmp> {
         let mut found = BTreeSet::new();
         if !capture.usable() {
+            consent_telemetry::count("fingerprint.detect.unusable", 1);
             return found;
         }
         for rule in &self.rules {
@@ -77,6 +78,19 @@ impl Detector {
             };
             if hit {
                 found.insert(rule.cmp);
+            }
+        }
+        if consent_telemetry::enabled() {
+            if found.is_empty() {
+                consent_telemetry::count("fingerprint.detect.miss", 1);
+            } else {
+                for cmp in &found {
+                    consent_telemetry::count_labeled(
+                        "fingerprint.detect.hit",
+                        &[("cmp", cmp.name())],
+                        1,
+                    );
+                }
             }
         }
         found

@@ -56,6 +56,20 @@ pub enum CaptureStatus {
     ConnectionFailed,
 }
 
+impl CaptureStatus {
+    /// Stable name for telemetry labels and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CaptureStatus::Ok => "Ok",
+            CaptureStatus::Timeout => "Timeout",
+            CaptureStatus::AntiBotInterstitial => "AntiBotInterstitial",
+            CaptureStatus::LegallyBlocked => "LegallyBlocked",
+            CaptureStatus::HttpError => "HttpError",
+            CaptureStatus::ConnectionFailed => "ConnectionFailed",
+        }
+    }
+}
+
 /// DOM-derived observations, stored only for toplist crawls from the EU
 /// university vantage (§3.2: "we additionally stored the browser's DOM
 /// tree including the computed CSS styles").

@@ -53,6 +53,38 @@ impl<'w> Engine<'w> {
 
     /// Crawl one URL.
     pub fn capture(&self, url: &str, day: Day, vantage: Vantage, opts: CaptureOptions) -> Capture {
+        let _span = consent_telemetry::span("engine.capture");
+        let capture = self.capture_inner(url, day, vantage, opts);
+        if consent_telemetry::enabled() {
+            consent_telemetry::count_labeled(
+                "engine.capture.outcome",
+                &[
+                    ("vantage", &vantage.label()),
+                    ("status", capture.status.name()),
+                ],
+                1,
+            );
+            consent_telemetry::observe("engine.capture.requests", capture.requests.len() as u64);
+            consent_telemetry::observe("engine.capture.bytes", capture.total_bytes());
+            // Simulated page-load time vs. the wall time the span records.
+            let sim_ms = capture
+                .requests
+                .iter()
+                .map(|r| r.started.as_millis())
+                .max()
+                .unwrap_or(0);
+            consent_telemetry::observe("engine.capture.sim_ms", sim_ms);
+        }
+        capture
+    }
+
+    fn capture_inner(
+        &self,
+        url: &str,
+        day: Day,
+        vantage: Vantage,
+        opts: CaptureOptions,
+    ) -> Capture {
         let (host, path) = split_url(url);
         let mut rng = self
             .seed
@@ -97,7 +129,13 @@ impl<'w> Engine<'w> {
             .is_some_and(|b| b.geo == GeoBehavior::Block451Eu)
             && vantage.location.appears_eu()
         {
-            let mut c = failed(url, &final_host, day, vantage, CaptureStatus::LegallyBlocked);
+            let mut c = failed(
+                url,
+                &final_host,
+                day,
+                vantage,
+                CaptureStatus::LegallyBlocked,
+            );
             c.final_url = final_url;
             c.requests.push(RequestRecord {
                 url: c.final_url.clone(),
@@ -111,11 +149,7 @@ impl<'w> Engine<'w> {
         }
 
         // Anti-bot CDN interstitial for cloud crawlers (§3.5).
-        if profile
-            .behavior
-            .as_ref()
-            .is_some_and(|b| b.anti_bot_cdn)
-            && vantage.location.is_cloud()
+        if profile.behavior.as_ref().is_some_and(|b| b.anti_bot_cdn) && vantage.location.is_cloud()
         {
             let mut c = failed(
                 url,
@@ -145,7 +179,15 @@ impl<'w> Engine<'w> {
         }
 
         self.load_page(
-            url, &profile, redirected, &final_host, &final_url, &path, day, vantage, opts,
+            url,
+            &profile,
+            redirected,
+            &final_host,
+            &final_url,
+            &path,
+            day,
+            vantage,
+            opts,
             &mut rng,
         )
     }
@@ -257,8 +299,7 @@ impl<'w> Engine<'w> {
                 // EU-only embeds become globally visible once the site
                 // adapts to CCPA (§3.5: US coverage grows Jan→May 2020).
                 GeoBehavior::EmbedOnlyEu => {
-                    vantage.location.appears_eu()
-                        || behavior.ccpa_adapted.is_some_and(|d| d <= day)
+                    vantage.location.appears_eu() || behavior.ccpa_adapted.is_some_and(|d| d <= day)
                 }
                 GeoBehavior::HideFromEu => !vantage.location.appears_eu(),
                 GeoBehavior::Block451Eu => true, // handled earlier for EU
@@ -305,9 +346,9 @@ impl<'w> Engine<'w> {
         requests.retain(|r| r.started.as_millis() < cutoff);
         requests.sort_by_key(|r| r.started);
 
-        let dom = opts.collect_dom.then(|| {
-            dom_snapshot(profile, visible_cmp, dialog_visible, rng)
-        });
+        let dom = opts
+            .collect_dom
+            .then(|| dom_snapshot(profile, visible_cmp, dialog_visible, rng));
 
         Capture {
             seed_url: seed_url.to_owned(),
@@ -495,9 +536,7 @@ mod tests {
                 p.cmp_on(day).is_some()
                     && p.reachability == Reachability::Ok
                     && p.behavior.as_ref().is_some_and(|b| {
-                        !b.anti_bot_cdn
-                            && !b.slow_load
-                            && b.geo == GeoBehavior::EmbedAlways
+                        !b.anti_bot_cdn && !b.slow_load && b.geo == GeoBehavior::EmbedAlways
                     })
             })
             .expect("world contains a clean adopter")

@@ -230,7 +230,10 @@ mod tests {
     #[test]
     fn basic_splits() {
         let psl = tiny();
-        assert_eq!(psl.registrable_domain("example.com").as_deref(), Some("example.com"));
+        assert_eq!(
+            psl.registrable_domain("example.com").as_deref(),
+            Some("example.com")
+        );
         assert_eq!(
             psl.registrable_domain("www.example.com").as_deref(),
             Some("example.com")
@@ -239,7 +242,10 @@ mod tests {
             psl.registrable_domain("a.b.example.co.uk").as_deref(),
             Some("example.co.uk")
         );
-        assert_eq!(psl.public_suffix("a.b.example.co.uk").as_deref(), Some("co.uk"));
+        assert_eq!(
+            psl.public_suffix("a.b.example.co.uk").as_deref(),
+            Some("co.uk")
+        );
     }
 
     #[test]
@@ -331,7 +337,8 @@ mod tests {
             Some("cookielaw.org")
         );
         assert_eq!(
-            psl.registrable_domain("quantcast.mgr.consensu.org").as_deref(),
+            psl.registrable_domain("quantcast.mgr.consensu.org")
+                .as_deref(),
             Some("consensu.org")
         );
     }

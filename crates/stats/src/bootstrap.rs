@@ -49,7 +49,10 @@ where
     if xs.is_empty() || resamples == 0 {
         return None;
     }
-    assert!((0.0..1.0).contains(&level) && level > 0.5, "level must be in (0.5, 1)");
+    assert!(
+        (0.0..1.0).contains(&level) && level > 0.5,
+        "level must be in (0.5, 1)"
+    );
     let estimate = statistic(xs);
     let mut rng = seed.child("bootstrap").rng();
     let mut stats = Vec::with_capacity(resamples);

@@ -126,7 +126,9 @@ mod tests {
         assert_eq!(mean(&[3.0]), Some(3.0));
         assert_eq!(mean(&[1.0, 2.0, 3.0, 4.0]), Some(2.5));
         assert_eq!(variance(&[5.0]), None);
-        assert!((variance(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap() - 4.571428).abs() < 1e-5);
+        assert!(
+            (variance(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap() - 4.571428).abs() < 1e-5
+        );
         assert!((std_dev(&[1.0, 2.0]).unwrap() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
     }
 

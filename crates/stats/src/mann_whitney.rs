@@ -199,7 +199,11 @@ mod tests {
         let r = mann_whitney_u(&[1.0, 2.0, 3.0, 4.0, 5.0], &[3.0, 4.0, 5.0, 6.0, 7.0]).unwrap();
         assert_eq!(r.u1, 4.5);
         assert!((r.z + 1.5811).abs() < 1e-3, "z = {}", r.z);
-        assert!((r.p_two_sided - 0.1138).abs() < 0.001, "p = {}", r.p_two_sided);
+        assert!(
+            (r.p_two_sided - 0.1138).abs() < 0.001,
+            "p = {}",
+            r.p_two_sided
+        );
     }
 
     #[test]

@@ -145,8 +145,7 @@ impl<'a> BitReader<'a> {
     }
 }
 
-const B64_ALPHABET: &[u8; 64] =
-    b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-_";
+const B64_ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-_";
 
 /// Encode bytes as base64url without padding (the TCF wire format).
 pub fn base64url_encode(data: &[u8]) -> String {

@@ -139,7 +139,9 @@ impl CmpApi {
             None => vendor_ids.iter().map(|&id| (id, false)).collect(),
             Some(c) => {
                 if vendor_ids.is_empty() {
-                    (1..=c.max_vendor_id).map(|id| (id, c.vendor_allowed(id))).collect()
+                    (1..=c.max_vendor_id)
+                        .map(|id| (id, c.vendor_allowed(id)))
+                        .collect()
                 } else {
                     vendor_ids
                         .iter()

@@ -145,9 +145,7 @@ impl ConsentString {
         let use_range = match encoding {
             VendorEncoding::BitField => false,
             VendorEncoding::Range => true,
-            VendorEncoding::Auto => {
-                self.range_section_bits() < usize::from(self.max_vendor_id)
-            }
+            VendorEncoding::Auto => self.range_section_bits() < usize::from(self.max_vendor_id),
         };
         let mut w = BitWriter::new();
         w.write(u64::from(self.version), 6);
@@ -192,7 +190,8 @@ impl ConsentString {
         let bytes = base64url_decode(s).map_err(|e| DecodeError::Base64(e.to_string()))?;
         let mut r = BitReader::new(&bytes);
         let rd = |r: &mut BitReader<'_>, w: u8| {
-            r.read(w).map_err(|e| DecodeError::Truncated { at_bit: e.at_bit })
+            r.read(w)
+                .map_err(|e| DecodeError::Truncated { at_bit: e.at_bit })
         };
         let version = rd(&mut r, 6)? as u8;
         if version != 1 {
@@ -359,8 +358,7 @@ mod tests {
 
     #[test]
     fn accept_and_reject_all() {
-        let c = ConsentString::new(10, 100, 50)
-            .accept_all(crate::purposes::all_purpose_ids());
+        let c = ConsentString::new(10, 100, 50).accept_all(crate::purposes::all_purpose_ids());
         assert_eq!(c.consent_count(), 50);
         assert!(c.purpose_allowed(PurposeId(1)));
         assert!(c.vendor_allowed(50));

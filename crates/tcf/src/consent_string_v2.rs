@@ -183,7 +183,8 @@ impl TcStringV2 {
         let bytes = base64url_decode(core).map_err(|e| DecodeError::Base64(e.to_string()))?;
         let mut r = BitReader::new(&bytes);
         let rd = |r: &mut BitReader<'_>, w: u8| {
-            r.read(w).map_err(|e| DecodeError::Truncated { at_bit: e.at_bit })
+            r.read(w)
+                .map_err(|e| DecodeError::Truncated { at_bit: e.at_bit })
         };
         let letter = |r: &mut BitReader<'_>| {
             r.read_letter()
@@ -229,19 +230,22 @@ impl TcStringV2 {
         let mut publisher_restrictions = BTreeMap::new();
         for _ in 0..num_restrictions {
             let purpose = rd(&mut r, 6)? as u8;
-            let rtype = RestrictionType::from_bits(rd(&mut r, 2)?).ok_or(
-                DecodeError::InvalidRange {
+            let rtype =
+                RestrictionType::from_bits(rd(&mut r, 2)?).ok_or(DecodeError::InvalidRange {
                     start: 0,
                     end: 0,
                     max: 0,
-                },
-            )?;
+                })?;
             let entries = rd(&mut r, 12)? as usize;
             let mut vendors = BTreeSet::new();
             for _ in 0..entries {
                 let is_range = rd(&mut r, 1)? == 1;
                 let start = rd(&mut r, 16)? as u16;
-                let end = if is_range { rd(&mut r, 16)? as u16 } else { start };
+                let end = if is_range {
+                    rd(&mut r, 16)? as u16
+                } else {
+                    start
+                };
                 if start == 0 || start > end {
                     return Err(DecodeError::InvalidRange {
                         start,
@@ -298,10 +302,11 @@ fn write_vendor_section(w: &mut BitWriter, vendors: &BTreeSet<u16>) {
     let ranges = to_ranges(vendors);
     // v2 drops the default-consent bit; pick whichever encoding is
     // smaller, like real CMP SDKs.
-    let range_bits = 12 + ranges
-        .iter()
-        .map(|&(s, e)| if s == e { 17 } else { 33 })
-        .sum::<usize>();
+    let range_bits = 12
+        + ranges
+            .iter()
+            .map(|&(s, e)| if s == e { 17 } else { 33 })
+            .sum::<usize>();
     if range_bits < usize::from(max) {
         w.write_bit(true);
         w.write(ranges.len() as u64, 12);
@@ -325,7 +330,8 @@ fn write_vendor_section(w: &mut BitWriter, vendors: &BTreeSet<u16>) {
 
 fn read_vendor_section(r: &mut BitReader<'_>) -> Result<BTreeSet<u16>, DecodeError> {
     let rd = |r: &mut BitReader<'_>, w: u8| {
-        r.read(w).map_err(|e| DecodeError::Truncated { at_bit: e.at_bit })
+        r.read(w)
+            .map_err(|e| DecodeError::Truncated { at_bit: e.at_bit })
     };
     let max = rd(r, 16)? as u16;
     let is_range = rd(r, 1)? == 1;
@@ -335,7 +341,11 @@ fn read_vendor_section(r: &mut BitReader<'_>) -> Result<BTreeSet<u16>, DecodeErr
         for _ in 0..entries {
             let entry_is_range = rd(r, 1)? == 1;
             let start = rd(r, 16)? as u16;
-            let end = if entry_is_range { rd(r, 16)? as u16 } else { start };
+            let end = if entry_is_range {
+                rd(r, 16)? as u16
+            } else {
+                start
+            };
             if start == 0 || start > end || end > max {
                 return Err(DecodeError::InvalidRange { start, end, max });
             }

@@ -110,7 +110,10 @@ impl VendorList {
 
     /// Vendors requesting consent for purpose `p`.
     pub fn consent_count(&self, p: PurposeId) -> usize {
-        self.vendors.iter().filter(|v| v.purpose_ids.contains(&p)).count()
+        self.vendors
+            .iter()
+            .filter(|v| v.purpose_ids.contains(&p))
+            .count()
     }
 
     /// Vendors claiming legitimate interest for purpose `p`.

@@ -252,11 +252,7 @@ mod tests {
 
     #[test]
     fn basis_lookup() {
-        let l = list(
-            1,
-            Day::from_ymd(2018, 5, 1),
-            vec![vendor(1, &[1, 2], &[3])],
-        );
+        let l = list(1, Day::from_ymd(2018, 5, 1), vec![vendor(1, &[1, 2], &[3])]);
         assert_eq!(basis_of(&l, VendorId(1), PurposeId(1)), Basis::Consent);
         assert_eq!(
             basis_of(&l, VendorId(1), PurposeId(3)),
@@ -397,8 +393,7 @@ mod tests {
         let net: i64 = months.iter().map(|m| m.net_toward_consent()).sum();
         assert!(net > 0, "expected net shift toward consent, got {net}");
         // Burst months (GDPR; Mar/Apr 2020) should dominate activity.
-        let by_month: BTreeMap<Day, usize> =
-            months.iter().map(|m| (m.month, m.total())).collect();
+        let by_month: BTreeMap<Day, usize> = months.iter().map(|m| (m.month, m.total())).collect();
         let may18 = by_month
             .get(&Day::from_ymd(2018, 5, 1))
             .copied()

@@ -299,10 +299,7 @@ mod tests {
         let end_2019 = count_at(Day::from_ymd(2019, 12, 15));
         let may_2020 = count_at(Day::from_ymd(2020, 5, 14));
         assert!(before < 120, "pre-GDPR count {before}");
-        assert!(
-            after > before * 3,
-            "no GDPR spike: {before} -> {after}"
-        );
+        assert!(after > before * 3, "no GDPR spike: {before} -> {after}");
         assert!(end_2019 > after, "no continued growth");
         assert!(
             (450..=850).contains(&may_2020),

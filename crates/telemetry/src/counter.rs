@@ -1,0 +1,145 @@
+//! Sharded atomic counters and gauges.
+//!
+//! Counters are write-hot (every simulated request bumps one), so each
+//! counter spreads its increments over cache-line-padded shards indexed
+//! by a per-thread slot; reads sum the shards. Gauges are read-mostly
+//! point-in-time values (queue depth) and stay a single atomic.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+
+/// Number of shards per counter; increments from up to this many
+/// threads proceed without cache-line contention.
+pub const SHARDS: usize = 16;
+
+/// One cache line worth of counter state.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct Shard(AtomicU64);
+
+thread_local! {
+    static SHARD_SLOT: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// The shard this thread writes to (assigned round-robin on first use).
+fn shard_slot() -> usize {
+    SHARD_SLOT.with(|slot| {
+        let mut s = slot.get();
+        if s == usize::MAX {
+            static NEXT: AtomicUsize = AtomicUsize::new(0);
+            s = NEXT.fetch_add(1, Ordering::Relaxed) % SHARDS;
+            slot.set(s);
+        }
+        s
+    })
+}
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    shards: [Shard; SHARDS],
+}
+
+impl Counter {
+    /// Create a zeroed counter.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.shards[shard_slot()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current total across all shards.
+    pub fn get(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// A settable point-in-time value (possibly negative).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Create a zeroed gauge.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, value: i64) {
+        self.value.store(value, Ordering::Relaxed);
+    }
+
+    /// Adjust the value by `delta`.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counter_basics() {
+        let c = Counter::new();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn concurrent_increments_sum_exactly() {
+        const THREADS: usize = 8;
+        const PER_THREAD: u64 = 100_000;
+        let c = Arc::new(Counter::new());
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..PER_THREAD {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(), THREADS as u64 * PER_THREAD);
+    }
+
+    #[test]
+    fn gauge_set_and_adjust() {
+        let g = Gauge::new();
+        g.set(10);
+        g.add(-3);
+        g.add(1);
+        assert_eq!(g.get(), 8);
+        g.set(-5);
+        assert_eq!(g.get(), -5);
+    }
+}

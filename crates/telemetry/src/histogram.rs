@@ -1,0 +1,283 @@
+//! Log-bucketed histograms with quantile estimation.
+//!
+//! Values below [`EXACT_LIMIT`] get one bucket each (request counts,
+//! retry counts); larger values share log-linear buckets — each
+//! power-of-two octave split into [`SUB_BUCKETS`] equal sub-buckets —
+//! so relative error is bounded by `1/SUB_BUCKETS` across the full
+//! `u64` range while the whole histogram stays ~4 KiB of atomics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Values below this limit are counted exactly.
+pub const EXACT_LIMIT: u64 = 16;
+
+/// Sub-buckets per power-of-two octave above the exact range.
+pub const SUB_BUCKETS: usize = 8;
+
+/// log2(EXACT_LIMIT): first octave with sub-bucketing.
+const FIRST_OCTAVE: u32 = 4;
+
+/// Total bucket count: 16 exact + 60 octaves × 8 sub-buckets.
+const BUCKETS: usize = EXACT_LIMIT as usize + (64 - FIRST_OCTAVE as usize) * SUB_BUCKETS;
+
+/// Map a value to its bucket index.
+fn bucket_index(value: u64) -> usize {
+    if value < EXACT_LIMIT {
+        return value as usize;
+    }
+    let msb = 63 - value.leading_zeros();
+    let sub = ((value >> (msb - 3)) & (SUB_BUCKETS as u64 - 1)) as usize;
+    EXACT_LIMIT as usize + (msb - FIRST_OCTAVE) as usize * SUB_BUCKETS + sub
+}
+
+/// The smallest value mapping to bucket `index`.
+fn bucket_lower(index: usize) -> u64 {
+    if index < EXACT_LIMIT as usize {
+        return index as u64;
+    }
+    let rel = index - EXACT_LIMIT as usize;
+    let msb = FIRST_OCTAVE + (rel / SUB_BUCKETS) as u32;
+    let sub = (rel % SUB_BUCKETS) as u64;
+    (SUB_BUCKETS as u64 + sub) << (msb - 3)
+}
+
+/// The largest value mapping to bucket `index`.
+fn bucket_upper(index: usize) -> u64 {
+    if index < EXACT_LIMIT as usize {
+        return index as u64;
+    }
+    if index + 1 >= BUCKETS {
+        return u64::MAX;
+    }
+    bucket_lower(index + 1) - 1
+}
+
+/// A concurrent histogram of `u64` samples.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Create an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        let v = self.min.load(Ordering::Relaxed);
+        if v == u64::MAX && self.count() == 0 {
+            0
+        } else {
+            v
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean of recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`). Exact below
+    /// [`EXACT_LIMIT`]; above it, the bucket midpoint clamped to the
+    /// observed min/max.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                let mid = bucket_lower(i) + (bucket_upper(i) - bucket_lower(i)) / 2;
+                return mid.clamp(self.min(), self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// The median.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// The 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// The 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Snapshot the headline statistics.
+    pub fn summary(&self) -> HistSummary {
+        HistSummary {
+            count: self.count(),
+            sum: self.sum(),
+            mean: self.mean(),
+            min: self.min(),
+            max: self.max(),
+            p50: self.p50(),
+            p95: self.p95(),
+            p99: self.p99(),
+        }
+    }
+}
+
+/// Point-in-time summary of a [`Histogram`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct HistSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Mean sample.
+    pub mean: f64,
+    /// Smallest sample.
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Median.
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_exact_and_contiguous() {
+        // Exact region: identity.
+        for v in 0..EXACT_LIMIT {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_lower(v as usize), v);
+            assert_eq!(bucket_upper(v as usize), v);
+        }
+        // Every bucket's lower bound maps back to that bucket, and
+        // bucket ranges tile the number line without gaps.
+        for i in EXACT_LIMIT as usize..BUCKETS {
+            let lo = bucket_lower(i);
+            let hi = bucket_upper(i);
+            assert_eq!(bucket_index(lo), i, "lower bound of bucket {i}");
+            assert_eq!(bucket_index(hi), i, "upper bound of bucket {i}");
+            if i + 1 < BUCKETS {
+                assert_eq!(bucket_lower(i + 1), hi + 1, "gap after bucket {i}");
+            }
+        }
+        // Spot checks at octave boundaries.
+        assert_eq!(bucket_index(16), EXACT_LIMIT as usize);
+        assert_eq!(bucket_index(31), EXACT_LIMIT as usize + SUB_BUCKETS - 1);
+        assert_eq!(bucket_index(32), EXACT_LIMIT as usize + SUB_BUCKETS);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_on_known_uniform_distribution() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.sum(), 500_500);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 1000);
+        assert!((h.mean() - 500.5).abs() < 1e-9);
+        // Log-bucketed above 16: allow the documented 1/SUB_BUCKETS
+        // relative error.
+        let p50 = h.p50() as f64;
+        let p95 = h.p95() as f64;
+        let p99 = h.p99() as f64;
+        assert!((p50 - 500.0).abs() / 500.0 < 0.125, "p50 {p50}");
+        assert!((p95 - 950.0).abs() / 950.0 < 0.125, "p95 {p95}");
+        assert!((p99 - 990.0).abs() / 990.0 < 0.125, "p99 {p99}");
+    }
+
+    #[test]
+    fn quantiles_exact_in_exact_region() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 4, 5, 6, 7, 8, 9] {
+            h.record(v);
+        }
+        assert_eq!(h.p50(), 4);
+        assert_eq!(h.quantile(1.0), 9);
+        assert_eq!(h.quantile(0.0), 0);
+    }
+
+    #[test]
+    fn skewed_distribution_orders_quantiles() {
+        let h = Histogram::new();
+        for _ in 0..99 {
+            h.record(10);
+        }
+        h.record(1_000_000);
+        assert_eq!(h.p50(), 10);
+        assert_eq!(h.p95(), 10);
+        assert!(h.p99() == 10 || h.p99() >= 10);
+        assert!(h.quantile(1.0) >= 900_000);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        let s = h.summary();
+        assert_eq!(
+            (s.count, s.sum, s.min, s.max, s.p50, s.p95, s.p99),
+            (0, 0, 0, 0, 0, 0, 0)
+        );
+        assert_eq!(s.mean, 0.0);
+    }
+}

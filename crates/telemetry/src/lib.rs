@@ -1,0 +1,149 @@
+//! # consent-telemetry
+//!
+//! Observability for the capture pipeline: sharded atomic counters and
+//! gauges ([`counter`]), log-bucketed latency/size histograms with
+//! p50/p95/p99 ([`histogram`]), RAII span timers ([`span`]), a labeled
+//! metric [`registry`], and per-experiment [`report::RunReport`]s — the
+//! simulator's analogue of the paper's §3.5 data-quality accounting
+//! (capture outcomes per vantage, retries, timeouts) that Table 1
+//! reports before any adoption number is trusted.
+//!
+//! Everything funnels through a process-global [`Registry`] that is
+//! **disabled by default**: every free function first checks one
+//! relaxed atomic, so an un-instrumented run (e.g. the benches) pays a
+//! load-and-branch per site and nothing else. Call [`enable`] (as the
+//! experiment entry points and `examples/telemetry_report.rs` do) to
+//! start recording. Exporters: human tables via `consent_util::table`
+//! ([`Snapshot::render`]) and JSONL via `consent_util::Json`
+//! ([`Snapshot::to_jsonl`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod counter;
+pub mod histogram;
+pub mod registry;
+pub mod report;
+pub mod span;
+
+pub use counter::{Counter, Gauge};
+pub use histogram::{HistSummary, Histogram};
+pub use registry::{Registry, Snapshot};
+pub use report::{summary_table, RunReport, CAPTURE_FAMILY};
+pub use span::Span;
+
+use std::sync::OnceLock;
+
+/// The process-global registry, created disabled.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::disabled)
+}
+
+/// Turn on recording for the global registry.
+pub fn enable() {
+    global().set_enabled(true);
+}
+
+/// Turn off recording for the global registry.
+pub fn disable() {
+    global().set_enabled(false);
+}
+
+/// Is the global registry recording? Guard any instrumentation that
+/// must allocate (label strings etc.) behind this.
+#[inline]
+pub fn enabled() -> bool {
+    global().enabled()
+}
+
+/// Add `n` to the global counter `name` (no-op while disabled).
+#[inline]
+pub fn count(name: &str, n: u64) {
+    let g = global();
+    if g.enabled() {
+        g.counter(name).add(n);
+    }
+}
+
+/// Add `n` to the global counter `name` with labels (no-op while
+/// disabled). Labels become part of the metric key, in caller order:
+/// `name{k=v,k2=v2}`.
+#[inline]
+pub fn count_labeled(name: &str, labels: &[(&str, &str)], n: u64) {
+    let g = global();
+    if g.enabled() {
+        g.counter_labeled(name, labels).add(n);
+    }
+}
+
+/// Record `value` into the global histogram `name` (no-op while
+/// disabled).
+#[inline]
+pub fn observe(name: &str, value: u64) {
+    let g = global();
+    if g.enabled() {
+        g.histogram(name).record(value);
+    }
+}
+
+/// Set the global gauge `name` (no-op while disabled).
+#[inline]
+pub fn gauge_set(name: &str, value: i64) {
+    let g = global();
+    if g.enabled() {
+        g.gauge(name).set(value);
+    }
+}
+
+/// Add to the global gauge `name` (no-op while disabled).
+#[inline]
+pub fn gauge_add(name: &str, delta: i64) {
+    let g = global();
+    if g.enabled() {
+        g.gauge(name).add(delta);
+    }
+}
+
+/// Start a timing span recording into the global histogram `name`
+/// (micros) when dropped. Returns an inert span while disabled.
+#[inline]
+#[must_use = "a span records on drop; binding it to _ discards the timing immediately"]
+pub fn span(name: &str) -> Span {
+    global().span(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The global registry is shared by every test in this binary, so
+    // this is the only test that touches it: it flips the flag and
+    // restores the disabled default before exiting.
+    #[test]
+    fn global_disabled_by_default_and_toggles() {
+        assert!(!enabled());
+        count("lib.ignored", 5);
+        assert_eq!(global().snapshot().counter("lib.ignored"), 0);
+
+        enable();
+        assert!(enabled());
+        count("lib.counted", 2);
+        count_labeled("lib.labeled", &[("k", "v")], 3);
+        observe("lib.hist", 10);
+        gauge_set("lib.gauge", -4);
+        gauge_add("lib.gauge", 1);
+        {
+            let _s = span("lib.span");
+        }
+        let snap = global().snapshot();
+        assert_eq!(snap.counter("lib.counted"), 2);
+        assert_eq!(snap.counter("lib.labeled{k=v}"), 3);
+        assert_eq!(snap.gauges.get("lib.gauge"), Some(&-3));
+        assert_eq!(snap.histograms.get("lib.hist").unwrap().count, 1);
+        assert_eq!(snap.histograms.get("lib.span").unwrap().count, 1);
+
+        disable();
+        assert!(!enabled());
+    }
+}

@@ -1,0 +1,110 @@
+//! RAII span timers.
+//!
+//! A [`Span`] measures the wall time between its creation and drop and
+//! records it (in microseconds) into a histogram. Spans nest: a
+//! thread-local depth is maintained so tests and exporters can observe
+//! nesting, and a disabled registry hands out inert spans that record
+//! nothing.
+
+use crate::histogram::Histogram;
+use std::cell::Cell;
+use std::sync::Arc;
+use std::time::Instant;
+
+thread_local! {
+    static DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// A running timer that records its elapsed micros on drop.
+#[derive(Debug)]
+#[must_use = "a span records on drop; binding it to _ discards the timing immediately"]
+pub struct Span {
+    sink: Option<Arc<Histogram>>,
+    start: Instant,
+}
+
+impl Span {
+    /// A span recording into `sink` on drop.
+    pub(crate) fn active(sink: Arc<Histogram>) -> Span {
+        DEPTH.with(|d| d.set(d.get() + 1));
+        Span {
+            sink: Some(sink),
+            start: Instant::now(),
+        }
+    }
+
+    /// An inert span: tracks nothing, records nothing.
+    pub(crate) fn inert() -> Span {
+        Span {
+            sink: None,
+            start: Instant::now(),
+        }
+    }
+
+    /// Elapsed time so far, in microseconds.
+    pub fn elapsed_micros(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+
+    /// How many active spans the current thread has open.
+    pub fn current_depth() -> usize {
+        DEPTH.with(Cell::get)
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(sink) = self.sink.take() {
+            sink.record(self.elapsed_micros());
+            DEPTH.with(|d| d.set(d.get() - 1));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn spans_nest_and_unwind() {
+        let reg = Registry::new();
+        assert_eq!(Span::current_depth(), 0);
+        {
+            let outer = reg.span("outer");
+            assert_eq!(Span::current_depth(), 1);
+            {
+                let _inner = reg.span("inner");
+                assert_eq!(Span::current_depth(), 2);
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            assert_eq!(Span::current_depth(), 1);
+            drop(outer);
+        }
+        assert_eq!(Span::current_depth(), 0);
+
+        let snap = reg.snapshot();
+        let outer = snap.histograms.get("outer").unwrap();
+        let inner = snap.histograms.get("inner").unwrap();
+        assert_eq!(outer.count, 1);
+        assert_eq!(inner.count, 1);
+        // The inner span is strictly contained in the outer one.
+        assert!(
+            outer.sum >= inner.sum,
+            "outer {} inner {}",
+            outer.sum,
+            inner.sum
+        );
+        assert!(inner.sum >= 2_000, "sleep should register: {}", inner.sum);
+    }
+
+    #[test]
+    fn disabled_registry_spans_are_inert() {
+        let reg = Registry::disabled();
+        {
+            let _s = reg.span("nothing");
+            assert_eq!(Span::current_depth(), 0);
+        }
+        assert!(reg.snapshot().histograms.is_empty());
+    }
+}

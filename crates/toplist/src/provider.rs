@@ -56,11 +56,7 @@ impl ProviderConfig {
 
 /// Generate a provider's observed ranking of `ground_truth` (true rank
 /// order, best first). Deterministic in `(seed, config.name)`.
-pub fn observe(
-    ground_truth: &[String],
-    config: &ProviderConfig,
-    seed: SeedTree,
-) -> ProviderList {
+pub fn observe(ground_truth: &[String], config: &ProviderConfig, seed: SeedTree) -> ProviderList {
     let mut rng = seed.child("provider").child(&config.name).rng();
     let n = ground_truth.len();
     let mut keyed: Vec<(f64, &String)> = ground_truth
@@ -154,7 +150,10 @@ mod tests {
         // Dowdall aggregation should put most of the true top-20 in the
         // aggregated top-40 despite per-provider noise.
         let top40: Vec<&str> = toplist.top(40).collect();
-        let recovered = gt[..20].iter().filter(|d| top40.contains(&d.as_str())).count();
+        let recovered = gt[..20]
+            .iter()
+            .filter(|d| top40.contains(&d.as_str()))
+            .count();
         assert!(recovered >= 15, "only {recovered}/20 recovered");
     }
 }

@@ -171,7 +171,8 @@ mod tests {
     #[test]
     fn https_preferred() {
         let mut p = FakeProber::new();
-        p.tls.insert("www.example.com".into(), ProbeResult::TlsValid);
+        p.tls
+            .insert("www.example.com".into(), ProbeResult::TlsValid);
         p.tcp.insert("www.example.com".into(), ProbeResult::TcpOpen);
         let s = resolve_seed("example.com", &p, &days());
         assert_eq!(s.url, "https://www.example.com/");
@@ -183,7 +184,8 @@ mod tests {
     #[test]
     fn invalid_cert_falls_back_to_http() {
         let mut p = FakeProber::new();
-        p.tls.insert("www.example.com".into(), ProbeResult::TlsInvalid);
+        p.tls
+            .insert("www.example.com".into(), ProbeResult::TlsInvalid);
         p.tcp.insert("www.example.com".into(), ProbeResult::TcpOpen);
         let s = resolve_seed("example.com", &p, &days());
         assert_eq!(s.url, "http://www.example.com/");
@@ -244,11 +246,7 @@ mod tests {
     fn resolve_all_preserves_order() {
         let mut p = FakeProber::new();
         p.tls.insert("www.a.com".into(), ProbeResult::TlsValid);
-        let seeds = resolve_all(
-            vec!["a.com".to_owned(), "b.com".to_owned()],
-            &p,
-            &days(),
-        );
+        let seeds = resolve_all(vec!["a.com".to_owned(), "b.com".to_owned()], &p, &days());
         assert_eq!(seeds.len(), 2);
         assert_eq!(seeds[0].domain, "a.com");
         assert_eq!(seeds[0].scheme, SeedScheme::HttpsWww);

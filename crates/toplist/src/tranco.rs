@@ -83,10 +83,8 @@ impl Toplist {
                 *scores.entry(domain.as_str()).or_insert(0.0) += score;
             }
         }
-        let mut entries: Vec<(String, f64)> = scores
-            .into_iter()
-            .map(|(d, s)| (d.to_owned(), s))
-            .collect();
+        let mut entries: Vec<(String, f64)> =
+            scores.into_iter().map(|(d, s)| (d.to_owned(), s)).collect();
         entries.sort_by(|a, b| {
             b.1.partial_cmp(&a.1)
                 .expect("scores are finite")
@@ -112,7 +110,9 @@ impl Toplist {
 
     /// Domain at 1-based rank `r`.
     pub fn domain_at(&self, rank: usize) -> Option<&str> {
-        self.entries.get(rank.checked_sub(1)?).map(|(d, _)| d.as_str())
+        self.entries
+            .get(rank.checked_sub(1)?)
+            .map(|(d, _)| d.as_str())
     }
 
     /// 1-based rank of `domain`, if ranked.
@@ -173,11 +173,21 @@ mod tests {
         let providers = vec![
             ProviderList::new(
                 "a",
-                vec!["top.com".into(), "mid1.com".into(), "mid2.com".into(), "mid3.com".into()],
+                vec![
+                    "top.com".into(),
+                    "mid1.com".into(),
+                    "mid2.com".into(),
+                    "mid3.com".into(),
+                ],
             ),
             ProviderList::new(
                 "b",
-                vec!["mid1.com".into(), "mid2.com".into(), "mid3.com".into(), "other.com".into()],
+                vec![
+                    "mid1.com".into(),
+                    "mid2.com".into(),
+                    "mid3.com".into(),
+                    "other.com".into(),
+                ],
             ),
         ];
         let dowdall = Toplist::aggregate(&providers, AggregationRule::Dowdall);

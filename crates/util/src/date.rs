@@ -48,10 +48,7 @@ impl Day {
     /// debug builds; values are otherwise normalized arithmetically.
     pub fn from_ymd(year: i32, month: u8, day: u8) -> Day {
         debug_assert!((1..=12).contains(&month), "month out of range: {month}");
-        debug_assert!(
-            (1..=31).contains(&day),
-            "day of month out of range: {day}"
-        );
+        debug_assert!((1..=31).contains(&day), "day of month out of range: {day}");
         // Hinnant's days_from_civil.
         let y = i64::from(year) - i64::from(month <= 2);
         let era = if y >= 0 { y } else { y - 399 } / 400;

@@ -362,7 +362,9 @@ impl<'a> Parser<'a> {
     fn hex4(&mut self) -> Result<u32, JsonError> {
         let mut v = 0u32;
         for _ in 0..4 {
-            let b = self.bump().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let b = self
+                .bump()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
             let d = (b as char)
                 .to_digit(16)
                 .ok_or_else(|| self.err("invalid hex digit"))?;
@@ -520,7 +522,10 @@ mod tests {
         let v = Json::parse(r#"{"a": [1, 2, {"b": null}], "c": "d"}"#).unwrap();
         assert_eq!(v.get("c").unwrap().as_str(), Some("d"));
         assert_eq!(v.get("a").unwrap().at(1).unwrap().as_u32(), Some(2));
-        assert_eq!(v.get("a").unwrap().at(2).unwrap().get("b"), Some(&Json::Null));
+        assert_eq!(
+            v.get("a").unwrap().at(2).unwrap().get("b"),
+            Some(&Json::Null)
+        );
         assert_eq!(Json::parse("[]").unwrap(), Json::Array(vec![]));
         assert_eq!(Json::parse("{}").unwrap(), Json::object([]));
     }
@@ -540,8 +545,18 @@ mod tests {
     #[test]
     fn parse_errors() {
         for bad in [
-            "", "{", "[1,", "tru", "01", "1.", "\"\\x\"", "\"\u{1}\"", "[1]2", "nulll",
-            r#""\ud83d""#, r#"{"a" 1}"#,
+            "",
+            "{",
+            "[1,",
+            "tru",
+            "01",
+            "1.",
+            "\"\\x\"",
+            "\"\u{1}\"",
+            "[1]2",
+            "nulll",
+            r#""\ud83d""#,
+            r#"{"a" 1}"#,
         ] {
             assert!(Json::parse(bad).is_err(), "should fail: {bad:?}");
         }

@@ -38,7 +38,9 @@ impl SeedTree {
         for &b in label.as_bytes() {
             h = splitmix64(h ^ u64::from(b).wrapping_mul(0x100_0000_01B3));
         }
-        SeedTree { state: splitmix64(h) }
+        SeedTree {
+            state: splitmix64(h),
+        }
     }
 
     /// Derive a child node labelled by an integer index (cheaper than

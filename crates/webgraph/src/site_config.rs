@@ -149,8 +149,7 @@ pub fn behavior_for(cmp: Cmp, adopted: Day, site_seed: SeedTree) -> SiteBehavior
     let bare_privacy_page = s.child("bare-privacy").unit_f64() < 0.3;
     // 65 % of EU-only embeds get reconfigured for CCPA at some point
     // between December 2019 and July 2020.
-    let ccpa_adapted = if geo == GeoBehavior::EmbedOnlyEu
-        && s.child("ccpa-adapt").unit_f64() < 0.65
+    let ccpa_adapted = if geo == GeoBehavior::EmbedOnlyEu && s.child("ccpa-adapt").unit_f64() < 0.65
     {
         let lo = Day::from_ymd(2019, 12, 1);
         let hi = Day::from_ymd(2020, 7, 31);
@@ -310,9 +309,7 @@ mod tests {
     #[test]
     fn quantcast_split_55_45() {
         let xs = sample(Cmp::Quantcast, 10_000);
-        let direct = frac(&xs, |b| {
-            b.dialog == DialogStyle::DirectReject
-        });
+        let direct = frac(&xs, |b| b.dialog == DialogStyle::DirectReject);
         // 8 % API-only eats into both classes proportionally.
         assert!((direct - 0.55 * 0.92).abs() < 0.03, "direct {direct}");
         let more = frac(&xs, |b| b.dialog == DialogStyle::MoreOptions);
@@ -339,7 +336,14 @@ mod tests {
             .collect();
         let confirm = optouts
             .iter()
-            .filter(|b| matches!(b.dialog, DialogStyle::OptOutButtonBanner { needs_confirm: true }))
+            .filter(|b| {
+                matches!(
+                    b.dialog,
+                    DialogStyle::OptOutButtonBanner {
+                        needs_confirm: true
+                    }
+                )
+            })
             .count() as f64
             / optouts.len().max(1) as f64;
         assert!((confirm - 0.40).abs() < 0.1, "confirm {confirm}");

@@ -138,7 +138,10 @@ impl World {
             return Arc::clone(p);
         }
         let p = Arc::new(self.generate(rank));
-        self.cache.write().entry(rank).or_insert_with(|| Arc::clone(&p));
+        self.cache
+            .write()
+            .entry(rank)
+            .or_insert_with(|| Arc::clone(&p));
         p
     }
 
@@ -158,10 +161,7 @@ impl World {
 
         // Region: CMP customers inherit their brand's EU-TLD skew (§4.1);
         // the rest of the web uses the global mix.
-        let eu_share = traj
-            .segments
-            .last()
-            .map_or(0.25, |s| s.cmp.eu_tld_share());
+        let eu_share = traj.segments.last().map_or(0.25, |s| s.cmp.eu_tld_share());
         let region = region_for(site_seed, eu_share);
         let domain = domain_for(rank, site_seed, region);
 
@@ -170,8 +170,7 @@ impl World {
             .last()
             .map(|s| behavior_for(s.cmp, s.from, site_seed));
 
-        let alias = (site_seed.child("alias").unit_f64() < 0.08)
-            .then(|| alias_domain_for(rank));
+        let alias = (site_seed.child("alias").unit_f64() < 0.08).then(|| alias_domain_for(rank));
 
         // §3.5 "Missing Data" rates over the Tranco 10k, applied globally.
         let reachability = {
@@ -184,17 +183,14 @@ impl World {
                 Reachability::HttpError
             } else if u < 0.0315 + 0.0004 + 0.007 + 0.0192 {
                 // Redirect target: a deterministic other site.
-                let target = (u64::from(rank) * 7919 + 13)
-                    % u64::from(self.config.n_sites)
-                    + 1;
+                let target = (u64::from(rank) * 7919 + 13) % u64::from(self.config.n_sites) + 1;
                 Reachability::RedirectsTo(target as Rank)
             } else {
                 Reachability::Ok
             }
         };
         // CMP adopters are real consumer sites, never infrastructure.
-        let infrastructure =
-            !traj.ever_adopts() && site_seed.child("infra").unit_f64() < 0.045;
+        let infrastructure = !traj.ever_adopts() && site_seed.child("infra").unit_f64() < 0.045;
 
         SiteProfile {
             rank,
@@ -292,7 +288,10 @@ mod tests {
         assert!((600..=1300).contains(&total), "top-10k total {total}");
         let onetrust = counts.get(&Cmp::OneTrust).copied().unwrap_or(0);
         let quantcast = counts.get(&Cmp::Quantcast).copied().unwrap_or(0);
-        assert!(onetrust > quantcast, "OneTrust {onetrust} <= Quantcast {quantcast}");
+        assert!(
+            onetrust > quantcast,
+            "OneTrust {onetrust} <= Quantcast {quantcast}"
+        );
         // Early 2018: almost nothing.
         let early = w.true_cmp_counts(10_000, Day::from_ymd(2018, 2, 15));
         let early_total: usize = early.values().sum();
@@ -323,7 +322,10 @@ mod tests {
         }
         // §3.5: 315 unreachable, 192 redirecting, ~450 infrastructure
         // out of 10k.
-        assert!((200..=450).contains(&unreachable), "unreachable {unreachable}");
+        assert!(
+            (200..=450).contains(&unreachable),
+            "unreachable {unreachable}"
+        );
         assert!((100..=300).contains(&redirects), "redirects {redirects}");
         assert!((300..=650).contains(&infra), "infrastructure {infra}");
     }
@@ -361,7 +363,13 @@ mod tests {
         let q_share = q_eu as f64 / q_total.max(1) as f64;
         let o_share = o_eu as f64 / o_total.max(1) as f64;
         // §4.1: Quantcast 38.3 % EU+UK vs OneTrust 16.3 %.
-        assert!((q_share - 0.383).abs() < 0.07, "quantcast EU share {q_share}");
-        assert!((o_share - 0.163).abs() < 0.05, "onetrust EU share {o_share}");
+        assert!(
+            (q_share - 0.383).abs() < 0.07,
+            "quantcast EU share {q_share}"
+        );
+        assert!(
+            (o_share - 0.163).abs() < 0.05,
+            "onetrust EU share {o_share}"
+        );
     }
 }

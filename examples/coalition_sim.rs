@@ -17,7 +17,10 @@ use consent_webgraph::ALL_CMPS;
 fn main() {
     let seed = SeedTree::new(2020);
 
-    for (label, global) in [("global consent (TCF v1 scope)", true), ("service-specific (v2 mode)", false)] {
+    for (label, global) in [
+        ("global consent (TCF v1 scope)", true),
+        ("service-specific (v2 mode)", false),
+    ] {
         let config = CoalitionConfig {
             global_scope: global,
             ..CoalitionConfig::default()
@@ -32,7 +35,9 @@ fn main() {
         ]);
         t.numeric().title(format!("Coalition simulation — {label}"));
         for cmp in ALL_CMPS {
-            let Some(stats) = r.per_cmp.get(&cmp) else { continue };
+            let Some(stats) = r.per_cmp.get(&cmp) else {
+                continue;
+            };
             t.row(vec![
                 cmp.name().into(),
                 config.coalition_sizes[&cmp].to_string(),
@@ -42,7 +47,10 @@ fn main() {
             ]);
         }
         println!("{t}");
-        println!("Overall prompts per visit: {}\n", pct(r.overall_prompt_rate()));
+        println!(
+            "Overall prompts per visit: {}\n",
+            pct(r.overall_prompt_rate())
+        );
     }
 
     println!(

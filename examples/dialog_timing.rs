@@ -27,7 +27,10 @@ fn main() {
     for (name, xs) in [
         ("accept (direct)", &f10.experiment.direct.accept_times),
         ("reject (direct)", &f10.experiment.direct.reject_times),
-        ("reject (more options)", &f10.experiment.more_options.reject_times),
+        (
+            "reject (more options)",
+            &f10.experiment.more_options.reject_times,
+        ),
     ] {
         if let Some(ci) = median_ci(xs, 1_000, 0.95, study.seed().child(name)) {
             println!(

@@ -37,7 +37,10 @@ fn main() {
     let consent = ConsentString::new(10, last.vendor_list_version, last.max_vendor_id())
         .accept_all(consent_tcf::purposes::all_purpose_ids());
     let encoded = consent.encode(VendorEncoding::Auto);
-    println!("Accept-all consent string ({} chars): {encoded}", encoded.len());
+    println!(
+        "Accept-all consent string ({} chars): {encoded}",
+        encoded.len()
+    );
     let decoded = ConsentString::decode(&encoded).expect("round-trips");
     println!(
         "Decoded: {} vendor consents, purpose 1 allowed: {}",

@@ -18,9 +18,11 @@ fn main() {
     println!("{}", jan.render());
     println!("{}", may.render());
 
-    println!("US-cloud coverage: {} (January) -> {} (May)",
+    println!(
+        "US-cloud coverage: {} (January) -> {} (May)",
         pct(jan.table.coverage(0)),
-        pct(may.table.coverage(0)));
+        pct(may.table.coverage(0))
+    );
     println!("Paper: 70% -> 79%, driven by CCPA adoption outside the EU.\n");
 
     // The customization analysis reuses the May campaign's EU-university

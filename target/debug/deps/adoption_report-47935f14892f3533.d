@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/adoption_report-47935f14892f3533.d: examples/adoption_report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadoption_report-47935f14892f3533.rmeta: examples/adoption_report.rs Cargo.toml
+
+examples/adoption_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

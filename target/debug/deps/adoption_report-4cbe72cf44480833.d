@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adoption_report-4cbe72cf44480833.d: examples/adoption_report.rs
+
+/root/repo/target/debug/deps/adoption_report-4cbe72cf44480833: examples/adoption_report.rs
+
+examples/adoption_report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adoption_report-69d8e940fcd68f13.d: examples/adoption_report.rs
+
+/root/repo/target/debug/deps/adoption_report-69d8e940fcd68f13: examples/adoption_report.rs
+
+examples/adoption_report.rs:

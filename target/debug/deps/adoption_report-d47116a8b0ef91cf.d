@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adoption_report-d47116a8b0ef91cf.d: examples/adoption_report.rs
+
+/root/repo/target/debug/deps/adoption_report-d47116a8b0ef91cf: examples/adoption_report.rs
+
+examples/adoption_report.rs:

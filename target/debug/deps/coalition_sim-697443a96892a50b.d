@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/coalition_sim-697443a96892a50b.d: examples/coalition_sim.rs
+
+/root/repo/target/debug/deps/coalition_sim-697443a96892a50b: examples/coalition_sim.rs
+
+examples/coalition_sim.rs:

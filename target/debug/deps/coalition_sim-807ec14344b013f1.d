@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/coalition_sim-807ec14344b013f1.d: examples/coalition_sim.rs
+
+/root/repo/target/debug/deps/coalition_sim-807ec14344b013f1: examples/coalition_sim.rs
+
+examples/coalition_sim.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/coalition_sim-e7dec8345798dd93.d: examples/coalition_sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoalition_sim-e7dec8345798dd93.rmeta: examples/coalition_sim.rs Cargo.toml
+
+examples/coalition_sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/coalition_sim-fe6453883a3ea756.d: examples/coalition_sim.rs
+
+/root/repo/target/debug/deps/coalition_sim-fe6453883a3ea756: examples/coalition_sim.rs
+
+examples/coalition_sim.rs:

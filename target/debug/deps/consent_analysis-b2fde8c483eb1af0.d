@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/consent_analysis-b2fde8c483eb1af0.d: crates/analysis/src/lib.rs crates/analysis/src/customization.rs crates/analysis/src/interpolate.rs crates/analysis/src/jurisdiction.rs crates/analysis/src/marketshare.rs crates/analysis/src/quality.rs crates/analysis/src/timeseries.rs crates/analysis/src/vantage_table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconsent_analysis-b2fde8c483eb1af0.rmeta: crates/analysis/src/lib.rs crates/analysis/src/customization.rs crates/analysis/src/interpolate.rs crates/analysis/src/jurisdiction.rs crates/analysis/src/marketshare.rs crates/analysis/src/quality.rs crates/analysis/src/timeseries.rs crates/analysis/src/vantage_table.rs Cargo.toml
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/customization.rs:
+crates/analysis/src/interpolate.rs:
+crates/analysis/src/jurisdiction.rs:
+crates/analysis/src/marketshare.rs:
+crates/analysis/src/quality.rs:
+crates/analysis/src/timeseries.rs:
+crates/analysis/src/vantage_table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/consent_analysis-e41bde1a7cf7b259.d: crates/analysis/src/lib.rs crates/analysis/src/customization.rs crates/analysis/src/interpolate.rs crates/analysis/src/jurisdiction.rs crates/analysis/src/marketshare.rs crates/analysis/src/quality.rs crates/analysis/src/timeseries.rs crates/analysis/src/vantage_table.rs
+
+/root/repo/target/debug/deps/consent_analysis-e41bde1a7cf7b259: crates/analysis/src/lib.rs crates/analysis/src/customization.rs crates/analysis/src/interpolate.rs crates/analysis/src/jurisdiction.rs crates/analysis/src/marketshare.rs crates/analysis/src/quality.rs crates/analysis/src/timeseries.rs crates/analysis/src/vantage_table.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/customization.rs:
+crates/analysis/src/interpolate.rs:
+crates/analysis/src/jurisdiction.rs:
+crates/analysis/src/marketshare.rs:
+crates/analysis/src/quality.rs:
+crates/analysis/src/timeseries.rs:
+crates/analysis/src/vantage_table.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/consent_analysis-e968baa945d8c561.d: crates/analysis/src/lib.rs crates/analysis/src/customization.rs crates/analysis/src/interpolate.rs crates/analysis/src/jurisdiction.rs crates/analysis/src/marketshare.rs crates/analysis/src/quality.rs crates/analysis/src/timeseries.rs crates/analysis/src/vantage_table.rs
+
+/root/repo/target/debug/deps/libconsent_analysis-e968baa945d8c561.rlib: crates/analysis/src/lib.rs crates/analysis/src/customization.rs crates/analysis/src/interpolate.rs crates/analysis/src/jurisdiction.rs crates/analysis/src/marketshare.rs crates/analysis/src/quality.rs crates/analysis/src/timeseries.rs crates/analysis/src/vantage_table.rs
+
+/root/repo/target/debug/deps/libconsent_analysis-e968baa945d8c561.rmeta: crates/analysis/src/lib.rs crates/analysis/src/customization.rs crates/analysis/src/interpolate.rs crates/analysis/src/jurisdiction.rs crates/analysis/src/marketshare.rs crates/analysis/src/quality.rs crates/analysis/src/timeseries.rs crates/analysis/src/vantage_table.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/customization.rs:
+crates/analysis/src/interpolate.rs:
+crates/analysis/src/jurisdiction.rs:
+crates/analysis/src/marketshare.rs:
+crates/analysis/src/quality.rs:
+crates/analysis/src/timeseries.rs:
+crates/analysis/src/vantage_table.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/consent_bench-0a3306786078537e.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libconsent_bench-0a3306786078537e.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libconsent_bench-0a3306786078537e.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/consent_bench-17b636d6d0dd9540.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconsent_bench-17b636d6d0dd9540.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/consent_bench-6d3a8429fbb99f89.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/consent_bench-6d3a8429fbb99f89: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

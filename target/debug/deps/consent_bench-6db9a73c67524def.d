@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/consent_bench-6db9a73c67524def.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libconsent_bench-6db9a73c67524def.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libconsent_bench-6db9a73c67524def.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/consent_bench-951f8fdc408bfc70.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/consent_bench-951f8fdc408bfc70: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

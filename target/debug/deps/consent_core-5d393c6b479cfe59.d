@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/consent_core-5d393c6b479cfe59.d: crates/core/src/lib.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/fig1.rs crates/core/src/experiments/fig10.rs crates/core/src/experiments/fig5.rs crates/core/src/experiments/fig6.rs crates/core/src/experiments/fig7_8.rs crates/core/src/experiments/fig9.rs crates/core/src/experiments/i3.rs crates/core/src/experiments/methodology.rs crates/core/src/experiments/table1.rs crates/core/src/experiments/tables_a.rs crates/core/src/study.rs
+
+/root/repo/target/debug/deps/libconsent_core-5d393c6b479cfe59.rlib: crates/core/src/lib.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/fig1.rs crates/core/src/experiments/fig10.rs crates/core/src/experiments/fig5.rs crates/core/src/experiments/fig6.rs crates/core/src/experiments/fig7_8.rs crates/core/src/experiments/fig9.rs crates/core/src/experiments/i3.rs crates/core/src/experiments/methodology.rs crates/core/src/experiments/table1.rs crates/core/src/experiments/tables_a.rs crates/core/src/study.rs
+
+/root/repo/target/debug/deps/libconsent_core-5d393c6b479cfe59.rmeta: crates/core/src/lib.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/fig1.rs crates/core/src/experiments/fig10.rs crates/core/src/experiments/fig5.rs crates/core/src/experiments/fig6.rs crates/core/src/experiments/fig7_8.rs crates/core/src/experiments/fig9.rs crates/core/src/experiments/i3.rs crates/core/src/experiments/methodology.rs crates/core/src/experiments/table1.rs crates/core/src/experiments/tables_a.rs crates/core/src/study.rs
+
+crates/core/src/lib.rs:
+crates/core/src/experiments/mod.rs:
+crates/core/src/experiments/fig1.rs:
+crates/core/src/experiments/fig10.rs:
+crates/core/src/experiments/fig5.rs:
+crates/core/src/experiments/fig6.rs:
+crates/core/src/experiments/fig7_8.rs:
+crates/core/src/experiments/fig9.rs:
+crates/core/src/experiments/i3.rs:
+crates/core/src/experiments/methodology.rs:
+crates/core/src/experiments/table1.rs:
+crates/core/src/experiments/tables_a.rs:
+crates/core/src/study.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/consent_core-9c0ba2f6dfa9c60d.d: crates/core/src/lib.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/fig1.rs crates/core/src/experiments/fig10.rs crates/core/src/experiments/fig5.rs crates/core/src/experiments/fig6.rs crates/core/src/experiments/fig7_8.rs crates/core/src/experiments/fig9.rs crates/core/src/experiments/i3.rs crates/core/src/experiments/methodology.rs crates/core/src/experiments/table1.rs crates/core/src/experiments/tables_a.rs crates/core/src/study.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconsent_core-9c0ba2f6dfa9c60d.rmeta: crates/core/src/lib.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/fig1.rs crates/core/src/experiments/fig10.rs crates/core/src/experiments/fig5.rs crates/core/src/experiments/fig6.rs crates/core/src/experiments/fig7_8.rs crates/core/src/experiments/fig9.rs crates/core/src/experiments/i3.rs crates/core/src/experiments/methodology.rs crates/core/src/experiments/table1.rs crates/core/src/experiments/tables_a.rs crates/core/src/study.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/experiments/mod.rs:
+crates/core/src/experiments/fig1.rs:
+crates/core/src/experiments/fig10.rs:
+crates/core/src/experiments/fig5.rs:
+crates/core/src/experiments/fig6.rs:
+crates/core/src/experiments/fig7_8.rs:
+crates/core/src/experiments/fig9.rs:
+crates/core/src/experiments/i3.rs:
+crates/core/src/experiments/methodology.rs:
+crates/core/src/experiments/table1.rs:
+crates/core/src/experiments/tables_a.rs:
+crates/core/src/study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

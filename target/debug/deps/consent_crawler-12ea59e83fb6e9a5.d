@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/consent_crawler-12ea59e83fb6e9a5.d: crates/crawler/src/lib.rs crates/crawler/src/campaign.rs crates/crawler/src/capture_db.rs crates/crawler/src/export.rs crates/crawler/src/feed.rs crates/crawler/src/platform.rs crates/crawler/src/queue.rs
+
+/root/repo/target/debug/deps/libconsent_crawler-12ea59e83fb6e9a5.rlib: crates/crawler/src/lib.rs crates/crawler/src/campaign.rs crates/crawler/src/capture_db.rs crates/crawler/src/export.rs crates/crawler/src/feed.rs crates/crawler/src/platform.rs crates/crawler/src/queue.rs
+
+/root/repo/target/debug/deps/libconsent_crawler-12ea59e83fb6e9a5.rmeta: crates/crawler/src/lib.rs crates/crawler/src/campaign.rs crates/crawler/src/capture_db.rs crates/crawler/src/export.rs crates/crawler/src/feed.rs crates/crawler/src/platform.rs crates/crawler/src/queue.rs
+
+crates/crawler/src/lib.rs:
+crates/crawler/src/campaign.rs:
+crates/crawler/src/capture_db.rs:
+crates/crawler/src/export.rs:
+crates/crawler/src/feed.rs:
+crates/crawler/src/platform.rs:
+crates/crawler/src/queue.rs:

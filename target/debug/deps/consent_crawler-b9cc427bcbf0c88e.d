@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/consent_crawler-b9cc427bcbf0c88e.d: crates/crawler/src/lib.rs crates/crawler/src/campaign.rs crates/crawler/src/capture_db.rs crates/crawler/src/export.rs crates/crawler/src/feed.rs crates/crawler/src/platform.rs crates/crawler/src/queue.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconsent_crawler-b9cc427bcbf0c88e.rmeta: crates/crawler/src/lib.rs crates/crawler/src/campaign.rs crates/crawler/src/capture_db.rs crates/crawler/src/export.rs crates/crawler/src/feed.rs crates/crawler/src/platform.rs crates/crawler/src/queue.rs Cargo.toml
+
+crates/crawler/src/lib.rs:
+crates/crawler/src/campaign.rs:
+crates/crawler/src/capture_db.rs:
+crates/crawler/src/export.rs:
+crates/crawler/src/feed.rs:
+crates/crawler/src/platform.rs:
+crates/crawler/src/queue.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

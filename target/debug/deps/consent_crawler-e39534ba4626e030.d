@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/consent_crawler-e39534ba4626e030.d: crates/crawler/src/lib.rs crates/crawler/src/campaign.rs crates/crawler/src/capture_db.rs crates/crawler/src/export.rs crates/crawler/src/feed.rs crates/crawler/src/platform.rs crates/crawler/src/queue.rs
+
+/root/repo/target/debug/deps/consent_crawler-e39534ba4626e030: crates/crawler/src/lib.rs crates/crawler/src/campaign.rs crates/crawler/src/capture_db.rs crates/crawler/src/export.rs crates/crawler/src/feed.rs crates/crawler/src/platform.rs crates/crawler/src/queue.rs
+
+crates/crawler/src/lib.rs:
+crates/crawler/src/campaign.rs:
+crates/crawler/src/capture_db.rs:
+crates/crawler/src/export.rs:
+crates/crawler/src/feed.rs:
+crates/crawler/src/platform.rs:
+crates/crawler/src/queue.rs:

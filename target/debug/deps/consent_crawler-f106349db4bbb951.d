@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/consent_crawler-f106349db4bbb951.d: crates/crawler/src/lib.rs crates/crawler/src/campaign.rs crates/crawler/src/capture_db.rs crates/crawler/src/export.rs crates/crawler/src/feed.rs crates/crawler/src/platform.rs crates/crawler/src/queue.rs
+
+/root/repo/target/debug/deps/libconsent_crawler-f106349db4bbb951.rlib: crates/crawler/src/lib.rs crates/crawler/src/campaign.rs crates/crawler/src/capture_db.rs crates/crawler/src/export.rs crates/crawler/src/feed.rs crates/crawler/src/platform.rs crates/crawler/src/queue.rs
+
+/root/repo/target/debug/deps/libconsent_crawler-f106349db4bbb951.rmeta: crates/crawler/src/lib.rs crates/crawler/src/campaign.rs crates/crawler/src/capture_db.rs crates/crawler/src/export.rs crates/crawler/src/feed.rs crates/crawler/src/platform.rs crates/crawler/src/queue.rs
+
+crates/crawler/src/lib.rs:
+crates/crawler/src/campaign.rs:
+crates/crawler/src/capture_db.rs:
+crates/crawler/src/export.rs:
+crates/crawler/src/feed.rs:
+crates/crawler/src/platform.rs:
+crates/crawler/src/queue.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/consent_dialog-0a19bf1bc45a0dec.d: crates/dialog/src/lib.rs crates/dialog/src/coalition.rs crates/dialog/src/experiment.rs crates/dialog/src/quantcast.rs crates/dialog/src/trustarc.rs crates/dialog/src/user_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconsent_dialog-0a19bf1bc45a0dec.rmeta: crates/dialog/src/lib.rs crates/dialog/src/coalition.rs crates/dialog/src/experiment.rs crates/dialog/src/quantcast.rs crates/dialog/src/trustarc.rs crates/dialog/src/user_model.rs Cargo.toml
+
+crates/dialog/src/lib.rs:
+crates/dialog/src/coalition.rs:
+crates/dialog/src/experiment.rs:
+crates/dialog/src/quantcast.rs:
+crates/dialog/src/trustarc.rs:
+crates/dialog/src/user_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

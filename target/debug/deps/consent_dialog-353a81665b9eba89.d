@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/consent_dialog-353a81665b9eba89.d: crates/dialog/src/lib.rs crates/dialog/src/coalition.rs crates/dialog/src/experiment.rs crates/dialog/src/quantcast.rs crates/dialog/src/trustarc.rs crates/dialog/src/user_model.rs
+
+/root/repo/target/debug/deps/libconsent_dialog-353a81665b9eba89.rlib: crates/dialog/src/lib.rs crates/dialog/src/coalition.rs crates/dialog/src/experiment.rs crates/dialog/src/quantcast.rs crates/dialog/src/trustarc.rs crates/dialog/src/user_model.rs
+
+/root/repo/target/debug/deps/libconsent_dialog-353a81665b9eba89.rmeta: crates/dialog/src/lib.rs crates/dialog/src/coalition.rs crates/dialog/src/experiment.rs crates/dialog/src/quantcast.rs crates/dialog/src/trustarc.rs crates/dialog/src/user_model.rs
+
+crates/dialog/src/lib.rs:
+crates/dialog/src/coalition.rs:
+crates/dialog/src/experiment.rs:
+crates/dialog/src/quantcast.rs:
+crates/dialog/src/trustarc.rs:
+crates/dialog/src/user_model.rs:

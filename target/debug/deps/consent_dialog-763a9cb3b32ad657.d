@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/consent_dialog-763a9cb3b32ad657.d: crates/dialog/src/lib.rs crates/dialog/src/coalition.rs crates/dialog/src/experiment.rs crates/dialog/src/quantcast.rs crates/dialog/src/trustarc.rs crates/dialog/src/user_model.rs
+
+/root/repo/target/debug/deps/libconsent_dialog-763a9cb3b32ad657.rlib: crates/dialog/src/lib.rs crates/dialog/src/coalition.rs crates/dialog/src/experiment.rs crates/dialog/src/quantcast.rs crates/dialog/src/trustarc.rs crates/dialog/src/user_model.rs
+
+/root/repo/target/debug/deps/libconsent_dialog-763a9cb3b32ad657.rmeta: crates/dialog/src/lib.rs crates/dialog/src/coalition.rs crates/dialog/src/experiment.rs crates/dialog/src/quantcast.rs crates/dialog/src/trustarc.rs crates/dialog/src/user_model.rs
+
+crates/dialog/src/lib.rs:
+crates/dialog/src/coalition.rs:
+crates/dialog/src/experiment.rs:
+crates/dialog/src/quantcast.rs:
+crates/dialog/src/trustarc.rs:
+crates/dialog/src/user_model.rs:

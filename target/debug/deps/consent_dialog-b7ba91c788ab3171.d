@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/consent_dialog-b7ba91c788ab3171.d: crates/dialog/src/lib.rs crates/dialog/src/coalition.rs crates/dialog/src/experiment.rs crates/dialog/src/quantcast.rs crates/dialog/src/trustarc.rs crates/dialog/src/user_model.rs
+
+/root/repo/target/debug/deps/consent_dialog-b7ba91c788ab3171: crates/dialog/src/lib.rs crates/dialog/src/coalition.rs crates/dialog/src/experiment.rs crates/dialog/src/quantcast.rs crates/dialog/src/trustarc.rs crates/dialog/src/user_model.rs
+
+crates/dialog/src/lib.rs:
+crates/dialog/src/coalition.rs:
+crates/dialog/src/experiment.rs:
+crates/dialog/src/quantcast.rs:
+crates/dialog/src/trustarc.rs:
+crates/dialog/src/user_model.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/consent_fingerprint-28abcb90accccc8a.d: crates/fingerprint/src/lib.rs crates/fingerprint/src/detect.rs crates/fingerprint/src/rules.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconsent_fingerprint-28abcb90accccc8a.rmeta: crates/fingerprint/src/lib.rs crates/fingerprint/src/detect.rs crates/fingerprint/src/rules.rs Cargo.toml
+
+crates/fingerprint/src/lib.rs:
+crates/fingerprint/src/detect.rs:
+crates/fingerprint/src/rules.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

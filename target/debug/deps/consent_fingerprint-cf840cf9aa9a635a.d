@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/consent_fingerprint-cf840cf9aa9a635a.d: crates/fingerprint/src/lib.rs crates/fingerprint/src/detect.rs crates/fingerprint/src/rules.rs
+
+/root/repo/target/debug/deps/libconsent_fingerprint-cf840cf9aa9a635a.rlib: crates/fingerprint/src/lib.rs crates/fingerprint/src/detect.rs crates/fingerprint/src/rules.rs
+
+/root/repo/target/debug/deps/libconsent_fingerprint-cf840cf9aa9a635a.rmeta: crates/fingerprint/src/lib.rs crates/fingerprint/src/detect.rs crates/fingerprint/src/rules.rs
+
+crates/fingerprint/src/lib.rs:
+crates/fingerprint/src/detect.rs:
+crates/fingerprint/src/rules.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/consent_fingerprint-e6c1f79aa500f37a.d: crates/fingerprint/src/lib.rs crates/fingerprint/src/detect.rs crates/fingerprint/src/rules.rs
+
+/root/repo/target/debug/deps/consent_fingerprint-e6c1f79aa500f37a: crates/fingerprint/src/lib.rs crates/fingerprint/src/detect.rs crates/fingerprint/src/rules.rs
+
+crates/fingerprint/src/lib.rs:
+crates/fingerprint/src/detect.rs:
+crates/fingerprint/src/rules.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/consent_fingerprint-f947e41ff99c6701.d: crates/fingerprint/src/lib.rs crates/fingerprint/src/detect.rs crates/fingerprint/src/rules.rs
+
+/root/repo/target/debug/deps/libconsent_fingerprint-f947e41ff99c6701.rlib: crates/fingerprint/src/lib.rs crates/fingerprint/src/detect.rs crates/fingerprint/src/rules.rs
+
+/root/repo/target/debug/deps/libconsent_fingerprint-f947e41ff99c6701.rmeta: crates/fingerprint/src/lib.rs crates/fingerprint/src/detect.rs crates/fingerprint/src/rules.rs
+
+crates/fingerprint/src/lib.rs:
+crates/fingerprint/src/detect.rs:
+crates/fingerprint/src/rules.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/consent_httpsim-0d4b8797369c5482.d: crates/httpsim/src/lib.rs crates/httpsim/src/capture.rs crates/httpsim/src/engine.rs crates/httpsim/src/prober.rs crates/httpsim/src/vantage.rs
+
+/root/repo/target/debug/deps/libconsent_httpsim-0d4b8797369c5482.rlib: crates/httpsim/src/lib.rs crates/httpsim/src/capture.rs crates/httpsim/src/engine.rs crates/httpsim/src/prober.rs crates/httpsim/src/vantage.rs
+
+/root/repo/target/debug/deps/libconsent_httpsim-0d4b8797369c5482.rmeta: crates/httpsim/src/lib.rs crates/httpsim/src/capture.rs crates/httpsim/src/engine.rs crates/httpsim/src/prober.rs crates/httpsim/src/vantage.rs
+
+crates/httpsim/src/lib.rs:
+crates/httpsim/src/capture.rs:
+crates/httpsim/src/engine.rs:
+crates/httpsim/src/prober.rs:
+crates/httpsim/src/vantage.rs:

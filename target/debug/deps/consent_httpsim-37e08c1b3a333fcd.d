@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/consent_httpsim-37e08c1b3a333fcd.d: crates/httpsim/src/lib.rs crates/httpsim/src/capture.rs crates/httpsim/src/engine.rs crates/httpsim/src/prober.rs crates/httpsim/src/vantage.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconsent_httpsim-37e08c1b3a333fcd.rmeta: crates/httpsim/src/lib.rs crates/httpsim/src/capture.rs crates/httpsim/src/engine.rs crates/httpsim/src/prober.rs crates/httpsim/src/vantage.rs Cargo.toml
+
+crates/httpsim/src/lib.rs:
+crates/httpsim/src/capture.rs:
+crates/httpsim/src/engine.rs:
+crates/httpsim/src/prober.rs:
+crates/httpsim/src/vantage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

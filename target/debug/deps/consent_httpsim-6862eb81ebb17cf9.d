@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/consent_httpsim-6862eb81ebb17cf9.d: crates/httpsim/src/lib.rs crates/httpsim/src/capture.rs crates/httpsim/src/engine.rs crates/httpsim/src/prober.rs crates/httpsim/src/vantage.rs
+
+/root/repo/target/debug/deps/libconsent_httpsim-6862eb81ebb17cf9.rlib: crates/httpsim/src/lib.rs crates/httpsim/src/capture.rs crates/httpsim/src/engine.rs crates/httpsim/src/prober.rs crates/httpsim/src/vantage.rs
+
+/root/repo/target/debug/deps/libconsent_httpsim-6862eb81ebb17cf9.rmeta: crates/httpsim/src/lib.rs crates/httpsim/src/capture.rs crates/httpsim/src/engine.rs crates/httpsim/src/prober.rs crates/httpsim/src/vantage.rs
+
+crates/httpsim/src/lib.rs:
+crates/httpsim/src/capture.rs:
+crates/httpsim/src/engine.rs:
+crates/httpsim/src/prober.rs:
+crates/httpsim/src/vantage.rs:

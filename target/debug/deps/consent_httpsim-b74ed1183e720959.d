@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/consent_httpsim-b74ed1183e720959.d: crates/httpsim/src/lib.rs crates/httpsim/src/capture.rs crates/httpsim/src/engine.rs crates/httpsim/src/prober.rs crates/httpsim/src/vantage.rs
+
+/root/repo/target/debug/deps/consent_httpsim-b74ed1183e720959: crates/httpsim/src/lib.rs crates/httpsim/src/capture.rs crates/httpsim/src/engine.rs crates/httpsim/src/prober.rs crates/httpsim/src/vantage.rs
+
+crates/httpsim/src/lib.rs:
+crates/httpsim/src/capture.rs:
+crates/httpsim/src/engine.rs:
+crates/httpsim/src/prober.rs:
+crates/httpsim/src/vantage.rs:

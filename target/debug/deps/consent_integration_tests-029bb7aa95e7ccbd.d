@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/consent_integration_tests-029bb7aa95e7ccbd.d: tests/lib.rs
+
+/root/repo/target/debug/deps/libconsent_integration_tests-029bb7aa95e7ccbd.rlib: tests/lib.rs
+
+/root/repo/target/debug/deps/libconsent_integration_tests-029bb7aa95e7ccbd.rmeta: tests/lib.rs
+
+tests/lib.rs:

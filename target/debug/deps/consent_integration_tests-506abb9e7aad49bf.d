@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/consent_integration_tests-506abb9e7aad49bf.d: tests/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconsent_integration_tests-506abb9e7aad49bf.rmeta: tests/lib.rs Cargo.toml
+
+tests/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

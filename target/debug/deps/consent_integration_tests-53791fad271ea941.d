@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/consent_integration_tests-53791fad271ea941.d: tests/lib.rs
+
+/root/repo/target/debug/deps/libconsent_integration_tests-53791fad271ea941.rlib: tests/lib.rs
+
+/root/repo/target/debug/deps/libconsent_integration_tests-53791fad271ea941.rmeta: tests/lib.rs
+
+tests/lib.rs:

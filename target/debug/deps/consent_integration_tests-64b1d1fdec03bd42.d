@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/consent_integration_tests-64b1d1fdec03bd42.d: tests/lib.rs
+
+/root/repo/target/debug/deps/consent_integration_tests-64b1d1fdec03bd42: tests/lib.rs
+
+tests/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/consent_integration_tests-95ab42a67447f573.d: tests/lib.rs
+
+/root/repo/target/debug/deps/consent_integration_tests-95ab42a67447f573: tests/lib.rs
+
+tests/lib.rs:

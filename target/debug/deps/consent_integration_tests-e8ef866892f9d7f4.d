@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/consent_integration_tests-e8ef866892f9d7f4.d: tests/lib.rs
+
+/root/repo/target/debug/deps/libconsent_integration_tests-e8ef866892f9d7f4.rlib: tests/lib.rs
+
+/root/repo/target/debug/deps/libconsent_integration_tests-e8ef866892f9d7f4.rmeta: tests/lib.rs
+
+tests/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/consent_psl-36180d0e3a9b4534.d: crates/psl/src/lib.rs crates/psl/src/list.rs crates/psl/src/rules.rs crates/psl/src/snapshot.rs
+
+/root/repo/target/debug/deps/libconsent_psl-36180d0e3a9b4534.rlib: crates/psl/src/lib.rs crates/psl/src/list.rs crates/psl/src/rules.rs crates/psl/src/snapshot.rs
+
+/root/repo/target/debug/deps/libconsent_psl-36180d0e3a9b4534.rmeta: crates/psl/src/lib.rs crates/psl/src/list.rs crates/psl/src/rules.rs crates/psl/src/snapshot.rs
+
+crates/psl/src/lib.rs:
+crates/psl/src/list.rs:
+crates/psl/src/rules.rs:
+crates/psl/src/snapshot.rs:

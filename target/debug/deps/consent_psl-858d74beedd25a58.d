@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/consent_psl-858d74beedd25a58.d: crates/psl/src/lib.rs crates/psl/src/list.rs crates/psl/src/rules.rs crates/psl/src/snapshot.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconsent_psl-858d74beedd25a58.rmeta: crates/psl/src/lib.rs crates/psl/src/list.rs crates/psl/src/rules.rs crates/psl/src/snapshot.rs Cargo.toml
+
+crates/psl/src/lib.rs:
+crates/psl/src/list.rs:
+crates/psl/src/rules.rs:
+crates/psl/src/snapshot.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/consent_psl-dc5661adb4f03bde.d: crates/psl/src/lib.rs crates/psl/src/list.rs crates/psl/src/rules.rs crates/psl/src/snapshot.rs
+
+/root/repo/target/debug/deps/consent_psl-dc5661adb4f03bde: crates/psl/src/lib.rs crates/psl/src/list.rs crates/psl/src/rules.rs crates/psl/src/snapshot.rs
+
+crates/psl/src/lib.rs:
+crates/psl/src/list.rs:
+crates/psl/src/rules.rs:
+crates/psl/src/snapshot.rs:

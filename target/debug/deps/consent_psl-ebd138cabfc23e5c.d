@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/consent_psl-ebd138cabfc23e5c.d: crates/psl/src/lib.rs crates/psl/src/list.rs crates/psl/src/rules.rs crates/psl/src/snapshot.rs
+
+/root/repo/target/debug/deps/libconsent_psl-ebd138cabfc23e5c.rlib: crates/psl/src/lib.rs crates/psl/src/list.rs crates/psl/src/rules.rs crates/psl/src/snapshot.rs
+
+/root/repo/target/debug/deps/libconsent_psl-ebd138cabfc23e5c.rmeta: crates/psl/src/lib.rs crates/psl/src/list.rs crates/psl/src/rules.rs crates/psl/src/snapshot.rs
+
+crates/psl/src/lib.rs:
+crates/psl/src/list.rs:
+crates/psl/src/rules.rs:
+crates/psl/src/snapshot.rs:

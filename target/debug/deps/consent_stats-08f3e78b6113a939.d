@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/consent_stats-08f3e78b6113a939.d: crates/stats/src/lib.rs crates/stats/src/bootstrap.rs crates/stats/src/descriptive.rs crates/stats/src/distributions.rs crates/stats/src/histogram.rs crates/stats/src/mann_whitney.rs crates/stats/src/normal.rs crates/stats/src/proportion.rs
+
+/root/repo/target/debug/deps/consent_stats-08f3e78b6113a939: crates/stats/src/lib.rs crates/stats/src/bootstrap.rs crates/stats/src/descriptive.rs crates/stats/src/distributions.rs crates/stats/src/histogram.rs crates/stats/src/mann_whitney.rs crates/stats/src/normal.rs crates/stats/src/proportion.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/bootstrap.rs:
+crates/stats/src/descriptive.rs:
+crates/stats/src/distributions.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/mann_whitney.rs:
+crates/stats/src/normal.rs:
+crates/stats/src/proportion.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/consent_stats-def28da5f8bfb2fc.d: crates/stats/src/lib.rs crates/stats/src/bootstrap.rs crates/stats/src/descriptive.rs crates/stats/src/distributions.rs crates/stats/src/histogram.rs crates/stats/src/mann_whitney.rs crates/stats/src/normal.rs crates/stats/src/proportion.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconsent_stats-def28da5f8bfb2fc.rmeta: crates/stats/src/lib.rs crates/stats/src/bootstrap.rs crates/stats/src/descriptive.rs crates/stats/src/distributions.rs crates/stats/src/histogram.rs crates/stats/src/mann_whitney.rs crates/stats/src/normal.rs crates/stats/src/proportion.rs Cargo.toml
+
+crates/stats/src/lib.rs:
+crates/stats/src/bootstrap.rs:
+crates/stats/src/descriptive.rs:
+crates/stats/src/distributions.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/mann_whitney.rs:
+crates/stats/src/normal.rs:
+crates/stats/src/proportion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

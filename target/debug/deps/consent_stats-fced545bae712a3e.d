@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/consent_stats-fced545bae712a3e.d: crates/stats/src/lib.rs crates/stats/src/bootstrap.rs crates/stats/src/descriptive.rs crates/stats/src/distributions.rs crates/stats/src/histogram.rs crates/stats/src/mann_whitney.rs crates/stats/src/normal.rs crates/stats/src/proportion.rs
+
+/root/repo/target/debug/deps/libconsent_stats-fced545bae712a3e.rlib: crates/stats/src/lib.rs crates/stats/src/bootstrap.rs crates/stats/src/descriptive.rs crates/stats/src/distributions.rs crates/stats/src/histogram.rs crates/stats/src/mann_whitney.rs crates/stats/src/normal.rs crates/stats/src/proportion.rs
+
+/root/repo/target/debug/deps/libconsent_stats-fced545bae712a3e.rmeta: crates/stats/src/lib.rs crates/stats/src/bootstrap.rs crates/stats/src/descriptive.rs crates/stats/src/distributions.rs crates/stats/src/histogram.rs crates/stats/src/mann_whitney.rs crates/stats/src/normal.rs crates/stats/src/proportion.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/bootstrap.rs:
+crates/stats/src/descriptive.rs:
+crates/stats/src/distributions.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/mann_whitney.rs:
+crates/stats/src/normal.rs:
+crates/stats/src/proportion.rs:

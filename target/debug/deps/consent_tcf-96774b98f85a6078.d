@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/consent_tcf-96774b98f85a6078.d: crates/tcf/src/lib.rs crates/tcf/src/bits.rs crates/tcf/src/cmp_api.rs crates/tcf/src/consent_string.rs crates/tcf/src/consent_string_v2.rs crates/tcf/src/gvl.rs crates/tcf/src/gvl_diff.rs crates/tcf/src/gvl_history.rs crates/tcf/src/purposes.rs
+
+/root/repo/target/debug/deps/consent_tcf-96774b98f85a6078: crates/tcf/src/lib.rs crates/tcf/src/bits.rs crates/tcf/src/cmp_api.rs crates/tcf/src/consent_string.rs crates/tcf/src/consent_string_v2.rs crates/tcf/src/gvl.rs crates/tcf/src/gvl_diff.rs crates/tcf/src/gvl_history.rs crates/tcf/src/purposes.rs
+
+crates/tcf/src/lib.rs:
+crates/tcf/src/bits.rs:
+crates/tcf/src/cmp_api.rs:
+crates/tcf/src/consent_string.rs:
+crates/tcf/src/consent_string_v2.rs:
+crates/tcf/src/gvl.rs:
+crates/tcf/src/gvl_diff.rs:
+crates/tcf/src/gvl_history.rs:
+crates/tcf/src/purposes.rs:

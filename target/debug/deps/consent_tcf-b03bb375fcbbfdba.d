@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/consent_tcf-b03bb375fcbbfdba.d: crates/tcf/src/lib.rs crates/tcf/src/bits.rs crates/tcf/src/cmp_api.rs crates/tcf/src/consent_string.rs crates/tcf/src/consent_string_v2.rs crates/tcf/src/gvl.rs crates/tcf/src/gvl_diff.rs crates/tcf/src/gvl_history.rs crates/tcf/src/purposes.rs
+
+/root/repo/target/debug/deps/libconsent_tcf-b03bb375fcbbfdba.rlib: crates/tcf/src/lib.rs crates/tcf/src/bits.rs crates/tcf/src/cmp_api.rs crates/tcf/src/consent_string.rs crates/tcf/src/consent_string_v2.rs crates/tcf/src/gvl.rs crates/tcf/src/gvl_diff.rs crates/tcf/src/gvl_history.rs crates/tcf/src/purposes.rs
+
+/root/repo/target/debug/deps/libconsent_tcf-b03bb375fcbbfdba.rmeta: crates/tcf/src/lib.rs crates/tcf/src/bits.rs crates/tcf/src/cmp_api.rs crates/tcf/src/consent_string.rs crates/tcf/src/consent_string_v2.rs crates/tcf/src/gvl.rs crates/tcf/src/gvl_diff.rs crates/tcf/src/gvl_history.rs crates/tcf/src/purposes.rs
+
+crates/tcf/src/lib.rs:
+crates/tcf/src/bits.rs:
+crates/tcf/src/cmp_api.rs:
+crates/tcf/src/consent_string.rs:
+crates/tcf/src/consent_string_v2.rs:
+crates/tcf/src/gvl.rs:
+crates/tcf/src/gvl_diff.rs:
+crates/tcf/src/gvl_history.rs:
+crates/tcf/src/purposes.rs:

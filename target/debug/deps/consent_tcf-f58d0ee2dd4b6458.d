@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/consent_tcf-f58d0ee2dd4b6458.d: crates/tcf/src/lib.rs crates/tcf/src/bits.rs crates/tcf/src/cmp_api.rs crates/tcf/src/consent_string.rs crates/tcf/src/consent_string_v2.rs crates/tcf/src/gvl.rs crates/tcf/src/gvl_diff.rs crates/tcf/src/gvl_history.rs crates/tcf/src/purposes.rs
+
+/root/repo/target/debug/deps/libconsent_tcf-f58d0ee2dd4b6458.rlib: crates/tcf/src/lib.rs crates/tcf/src/bits.rs crates/tcf/src/cmp_api.rs crates/tcf/src/consent_string.rs crates/tcf/src/consent_string_v2.rs crates/tcf/src/gvl.rs crates/tcf/src/gvl_diff.rs crates/tcf/src/gvl_history.rs crates/tcf/src/purposes.rs
+
+/root/repo/target/debug/deps/libconsent_tcf-f58d0ee2dd4b6458.rmeta: crates/tcf/src/lib.rs crates/tcf/src/bits.rs crates/tcf/src/cmp_api.rs crates/tcf/src/consent_string.rs crates/tcf/src/consent_string_v2.rs crates/tcf/src/gvl.rs crates/tcf/src/gvl_diff.rs crates/tcf/src/gvl_history.rs crates/tcf/src/purposes.rs
+
+crates/tcf/src/lib.rs:
+crates/tcf/src/bits.rs:
+crates/tcf/src/cmp_api.rs:
+crates/tcf/src/consent_string.rs:
+crates/tcf/src/consent_string_v2.rs:
+crates/tcf/src/gvl.rs:
+crates/tcf/src/gvl_diff.rs:
+crates/tcf/src/gvl_history.rs:
+crates/tcf/src/purposes.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/consent_tcf-fe0a4cfaba238cb4.d: crates/tcf/src/lib.rs crates/tcf/src/bits.rs crates/tcf/src/cmp_api.rs crates/tcf/src/consent_string.rs crates/tcf/src/consent_string_v2.rs crates/tcf/src/gvl.rs crates/tcf/src/gvl_diff.rs crates/tcf/src/gvl_history.rs crates/tcf/src/purposes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconsent_tcf-fe0a4cfaba238cb4.rmeta: crates/tcf/src/lib.rs crates/tcf/src/bits.rs crates/tcf/src/cmp_api.rs crates/tcf/src/consent_string.rs crates/tcf/src/consent_string_v2.rs crates/tcf/src/gvl.rs crates/tcf/src/gvl_diff.rs crates/tcf/src/gvl_history.rs crates/tcf/src/purposes.rs Cargo.toml
+
+crates/tcf/src/lib.rs:
+crates/tcf/src/bits.rs:
+crates/tcf/src/cmp_api.rs:
+crates/tcf/src/consent_string.rs:
+crates/tcf/src/consent_string_v2.rs:
+crates/tcf/src/gvl.rs:
+crates/tcf/src/gvl_diff.rs:
+crates/tcf/src/gvl_history.rs:
+crates/tcf/src/purposes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/consent_telemetry-a545e99ac064d16a.d: crates/telemetry/src/lib.rs crates/telemetry/src/counter.rs crates/telemetry/src/histogram.rs crates/telemetry/src/registry.rs crates/telemetry/src/report.rs crates/telemetry/src/span.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconsent_telemetry-a545e99ac064d16a.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/counter.rs crates/telemetry/src/histogram.rs crates/telemetry/src/registry.rs crates/telemetry/src/report.rs crates/telemetry/src/span.rs Cargo.toml
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/counter.rs:
+crates/telemetry/src/histogram.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/report.rs:
+crates/telemetry/src/span.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/consent_telemetry-b09b775d974662e9.d: crates/telemetry/src/lib.rs crates/telemetry/src/counter.rs crates/telemetry/src/histogram.rs crates/telemetry/src/registry.rs crates/telemetry/src/report.rs crates/telemetry/src/span.rs
+
+/root/repo/target/debug/deps/consent_telemetry-b09b775d974662e9: crates/telemetry/src/lib.rs crates/telemetry/src/counter.rs crates/telemetry/src/histogram.rs crates/telemetry/src/registry.rs crates/telemetry/src/report.rs crates/telemetry/src/span.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/counter.rs:
+crates/telemetry/src/histogram.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/report.rs:
+crates/telemetry/src/span.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/consent_telemetry-d227579dc8b14c56.d: crates/telemetry/src/lib.rs crates/telemetry/src/counter.rs crates/telemetry/src/histogram.rs crates/telemetry/src/registry.rs crates/telemetry/src/report.rs crates/telemetry/src/span.rs
+
+/root/repo/target/debug/deps/libconsent_telemetry-d227579dc8b14c56.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/counter.rs crates/telemetry/src/histogram.rs crates/telemetry/src/registry.rs crates/telemetry/src/report.rs crates/telemetry/src/span.rs
+
+/root/repo/target/debug/deps/libconsent_telemetry-d227579dc8b14c56.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/counter.rs crates/telemetry/src/histogram.rs crates/telemetry/src/registry.rs crates/telemetry/src/report.rs crates/telemetry/src/span.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/counter.rs:
+crates/telemetry/src/histogram.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/report.rs:
+crates/telemetry/src/span.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/consent_toplist-16ff389e47044d64.d: crates/toplist/src/lib.rs crates/toplist/src/provider.rs crates/toplist/src/seed.rs crates/toplist/src/tranco.rs
+
+/root/repo/target/debug/deps/libconsent_toplist-16ff389e47044d64.rlib: crates/toplist/src/lib.rs crates/toplist/src/provider.rs crates/toplist/src/seed.rs crates/toplist/src/tranco.rs
+
+/root/repo/target/debug/deps/libconsent_toplist-16ff389e47044d64.rmeta: crates/toplist/src/lib.rs crates/toplist/src/provider.rs crates/toplist/src/seed.rs crates/toplist/src/tranco.rs
+
+crates/toplist/src/lib.rs:
+crates/toplist/src/provider.rs:
+crates/toplist/src/seed.rs:
+crates/toplist/src/tranco.rs:

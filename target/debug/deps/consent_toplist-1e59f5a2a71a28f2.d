@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/consent_toplist-1e59f5a2a71a28f2.d: crates/toplist/src/lib.rs crates/toplist/src/provider.rs crates/toplist/src/seed.rs crates/toplist/src/tranco.rs
+
+/root/repo/target/debug/deps/consent_toplist-1e59f5a2a71a28f2: crates/toplist/src/lib.rs crates/toplist/src/provider.rs crates/toplist/src/seed.rs crates/toplist/src/tranco.rs
+
+crates/toplist/src/lib.rs:
+crates/toplist/src/provider.rs:
+crates/toplist/src/seed.rs:
+crates/toplist/src/tranco.rs:

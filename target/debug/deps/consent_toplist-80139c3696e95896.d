@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/consent_toplist-80139c3696e95896.d: crates/toplist/src/lib.rs crates/toplist/src/provider.rs crates/toplist/src/seed.rs crates/toplist/src/tranco.rs
+
+/root/repo/target/debug/deps/libconsent_toplist-80139c3696e95896.rlib: crates/toplist/src/lib.rs crates/toplist/src/provider.rs crates/toplist/src/seed.rs crates/toplist/src/tranco.rs
+
+/root/repo/target/debug/deps/libconsent_toplist-80139c3696e95896.rmeta: crates/toplist/src/lib.rs crates/toplist/src/provider.rs crates/toplist/src/seed.rs crates/toplist/src/tranco.rs
+
+crates/toplist/src/lib.rs:
+crates/toplist/src/provider.rs:
+crates/toplist/src/seed.rs:
+crates/toplist/src/tranco.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/consent_toplist-ea9bce746a0d5f34.d: crates/toplist/src/lib.rs crates/toplist/src/provider.rs crates/toplist/src/seed.rs crates/toplist/src/tranco.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconsent_toplist-ea9bce746a0d5f34.rmeta: crates/toplist/src/lib.rs crates/toplist/src/provider.rs crates/toplist/src/seed.rs crates/toplist/src/tranco.rs Cargo.toml
+
+crates/toplist/src/lib.rs:
+crates/toplist/src/provider.rs:
+crates/toplist/src/seed.rs:
+crates/toplist/src/tranco.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/consent_util-3ab6c92ab37c0a04.d: crates/util/src/lib.rs crates/util/src/date.rs crates/util/src/json.rs crates/util/src/rng.rs crates/util/src/table.rs
+
+/root/repo/target/debug/deps/libconsent_util-3ab6c92ab37c0a04.rlib: crates/util/src/lib.rs crates/util/src/date.rs crates/util/src/json.rs crates/util/src/rng.rs crates/util/src/table.rs
+
+/root/repo/target/debug/deps/libconsent_util-3ab6c92ab37c0a04.rmeta: crates/util/src/lib.rs crates/util/src/date.rs crates/util/src/json.rs crates/util/src/rng.rs crates/util/src/table.rs
+
+crates/util/src/lib.rs:
+crates/util/src/date.rs:
+crates/util/src/json.rs:
+crates/util/src/rng.rs:
+crates/util/src/table.rs:

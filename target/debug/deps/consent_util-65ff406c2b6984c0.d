@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/consent_util-65ff406c2b6984c0.d: crates/util/src/lib.rs crates/util/src/date.rs crates/util/src/json.rs crates/util/src/rng.rs crates/util/src/table.rs
+
+/root/repo/target/debug/deps/consent_util-65ff406c2b6984c0: crates/util/src/lib.rs crates/util/src/date.rs crates/util/src/json.rs crates/util/src/rng.rs crates/util/src/table.rs
+
+crates/util/src/lib.rs:
+crates/util/src/date.rs:
+crates/util/src/json.rs:
+crates/util/src/rng.rs:
+crates/util/src/table.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/consent_util-7272983554ed42c6.d: crates/util/src/lib.rs crates/util/src/date.rs crates/util/src/json.rs crates/util/src/rng.rs crates/util/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconsent_util-7272983554ed42c6.rmeta: crates/util/src/lib.rs crates/util/src/date.rs crates/util/src/json.rs crates/util/src/rng.rs crates/util/src/table.rs Cargo.toml
+
+crates/util/src/lib.rs:
+crates/util/src/date.rs:
+crates/util/src/json.rs:
+crates/util/src/rng.rs:
+crates/util/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/consent_util-c7688500e37fa4ef.d: crates/util/src/lib.rs crates/util/src/date.rs crates/util/src/json.rs crates/util/src/rng.rs crates/util/src/table.rs
+
+/root/repo/target/debug/deps/libconsent_util-c7688500e37fa4ef.rlib: crates/util/src/lib.rs crates/util/src/date.rs crates/util/src/json.rs crates/util/src/rng.rs crates/util/src/table.rs
+
+/root/repo/target/debug/deps/libconsent_util-c7688500e37fa4ef.rmeta: crates/util/src/lib.rs crates/util/src/date.rs crates/util/src/json.rs crates/util/src/rng.rs crates/util/src/table.rs
+
+crates/util/src/lib.rs:
+crates/util/src/date.rs:
+crates/util/src/json.rs:
+crates/util/src/rng.rs:
+crates/util/src/table.rs:

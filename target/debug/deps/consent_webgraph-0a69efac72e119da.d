@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/consent_webgraph-0a69efac72e119da.d: crates/webgraph/src/lib.rs crates/webgraph/src/adoption.rs crates/webgraph/src/cmp.rs crates/webgraph/src/site.rs crates/webgraph/src/site_config.rs crates/webgraph/src/world.rs
+
+/root/repo/target/debug/deps/consent_webgraph-0a69efac72e119da: crates/webgraph/src/lib.rs crates/webgraph/src/adoption.rs crates/webgraph/src/cmp.rs crates/webgraph/src/site.rs crates/webgraph/src/site_config.rs crates/webgraph/src/world.rs
+
+crates/webgraph/src/lib.rs:
+crates/webgraph/src/adoption.rs:
+crates/webgraph/src/cmp.rs:
+crates/webgraph/src/site.rs:
+crates/webgraph/src/site_config.rs:
+crates/webgraph/src/world.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/consent_webgraph-7facde2dd2bbed26.d: crates/webgraph/src/lib.rs crates/webgraph/src/adoption.rs crates/webgraph/src/cmp.rs crates/webgraph/src/site.rs crates/webgraph/src/site_config.rs crates/webgraph/src/world.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconsent_webgraph-7facde2dd2bbed26.rmeta: crates/webgraph/src/lib.rs crates/webgraph/src/adoption.rs crates/webgraph/src/cmp.rs crates/webgraph/src/site.rs crates/webgraph/src/site_config.rs crates/webgraph/src/world.rs Cargo.toml
+
+crates/webgraph/src/lib.rs:
+crates/webgraph/src/adoption.rs:
+crates/webgraph/src/cmp.rs:
+crates/webgraph/src/site.rs:
+crates/webgraph/src/site_config.rs:
+crates/webgraph/src/world.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

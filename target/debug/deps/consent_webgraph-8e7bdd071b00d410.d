@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/consent_webgraph-8e7bdd071b00d410.d: crates/webgraph/src/lib.rs crates/webgraph/src/adoption.rs crates/webgraph/src/cmp.rs crates/webgraph/src/site.rs crates/webgraph/src/site_config.rs crates/webgraph/src/world.rs
+
+/root/repo/target/debug/deps/libconsent_webgraph-8e7bdd071b00d410.rlib: crates/webgraph/src/lib.rs crates/webgraph/src/adoption.rs crates/webgraph/src/cmp.rs crates/webgraph/src/site.rs crates/webgraph/src/site_config.rs crates/webgraph/src/world.rs
+
+/root/repo/target/debug/deps/libconsent_webgraph-8e7bdd071b00d410.rmeta: crates/webgraph/src/lib.rs crates/webgraph/src/adoption.rs crates/webgraph/src/cmp.rs crates/webgraph/src/site.rs crates/webgraph/src/site_config.rs crates/webgraph/src/world.rs
+
+crates/webgraph/src/lib.rs:
+crates/webgraph/src/adoption.rs:
+crates/webgraph/src/cmp.rs:
+crates/webgraph/src/site.rs:
+crates/webgraph/src/site_config.rs:
+crates/webgraph/src/world.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dialog_timing-1f70bfc6f022778e.d: examples/dialog_timing.rs
+
+/root/repo/target/debug/deps/dialog_timing-1f70bfc6f022778e: examples/dialog_timing.rs
+
+examples/dialog_timing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dialog_timing-7b5ee08d1d59316e.d: examples/dialog_timing.rs
+
+/root/repo/target/debug/deps/dialog_timing-7b5ee08d1d59316e: examples/dialog_timing.rs
+
+examples/dialog_timing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dialog_timing-8ab6e5f86ae93956.d: examples/dialog_timing.rs
+
+/root/repo/target/debug/deps/dialog_timing-8ab6e5f86ae93956: examples/dialog_timing.rs
+
+examples/dialog_timing.rs:

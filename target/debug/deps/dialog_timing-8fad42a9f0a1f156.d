@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dialog_timing-8fad42a9f0a1f156.d: examples/dialog_timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdialog_timing-8fad42a9f0a1f156.rmeta: examples/dialog_timing.rs Cargo.toml
+
+examples/dialog_timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

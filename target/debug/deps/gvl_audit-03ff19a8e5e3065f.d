@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gvl_audit-03ff19a8e5e3065f.d: examples/gvl_audit.rs
+
+/root/repo/target/debug/deps/gvl_audit-03ff19a8e5e3065f: examples/gvl_audit.rs
+
+examples/gvl_audit.rs:

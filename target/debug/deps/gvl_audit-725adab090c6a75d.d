@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gvl_audit-725adab090c6a75d.d: examples/gvl_audit.rs
+
+/root/repo/target/debug/deps/gvl_audit-725adab090c6a75d: examples/gvl_audit.rs
+
+examples/gvl_audit.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gvl_audit-b6bb98dc2ce92763.d: examples/gvl_audit.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgvl_audit-b6bb98dc2ce92763.rmeta: examples/gvl_audit.rs Cargo.toml
+
+examples/gvl_audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gvl_audit-d19b712d01363372.d: examples/gvl_audit.rs
+
+/root/repo/target/debug/deps/gvl_audit-d19b712d01363372: examples/gvl_audit.rs
+
+examples/gvl_audit.rs:

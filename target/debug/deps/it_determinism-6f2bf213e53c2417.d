@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/it_determinism-6f2bf213e53c2417.d: tests/it_determinism.rs
+
+/root/repo/target/debug/deps/it_determinism-6f2bf213e53c2417: tests/it_determinism.rs
+
+tests/it_determinism.rs:

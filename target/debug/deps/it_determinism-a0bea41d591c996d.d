@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/it_determinism-a0bea41d591c996d.d: tests/it_determinism.rs
+
+/root/repo/target/debug/deps/it_determinism-a0bea41d591c996d: tests/it_determinism.rs
+
+tests/it_determinism.rs:

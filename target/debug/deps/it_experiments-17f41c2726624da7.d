@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/it_experiments-17f41c2726624da7.d: tests/it_experiments.rs
+
+/root/repo/target/debug/deps/it_experiments-17f41c2726624da7: tests/it_experiments.rs
+
+tests/it_experiments.rs:

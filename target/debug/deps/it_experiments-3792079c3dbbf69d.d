@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/it_experiments-3792079c3dbbf69d.d: tests/it_experiments.rs
+
+/root/repo/target/debug/deps/it_experiments-3792079c3dbbf69d: tests/it_experiments.rs
+
+tests/it_experiments.rs:

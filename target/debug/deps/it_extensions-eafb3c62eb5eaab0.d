@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/it_extensions-eafb3c62eb5eaab0.d: tests/it_extensions.rs
+
+/root/repo/target/debug/deps/it_extensions-eafb3c62eb5eaab0: tests/it_extensions.rs
+
+tests/it_extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/it_extensions-f227c813d3df77c0.d: tests/it_extensions.rs
+
+/root/repo/target/debug/deps/it_extensions-f227c813d3df77c0: tests/it_extensions.rs
+
+tests/it_extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/it_pipeline-684a73df656cfa68.d: tests/it_pipeline.rs
+
+/root/repo/target/debug/deps/it_pipeline-684a73df656cfa68: tests/it_pipeline.rs
+
+tests/it_pipeline.rs:

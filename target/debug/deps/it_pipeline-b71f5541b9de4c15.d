@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/it_pipeline-b71f5541b9de4c15.d: tests/it_pipeline.rs
+
+/root/repo/target/debug/deps/it_pipeline-b71f5541b9de4c15: tests/it_pipeline.rs
+
+tests/it_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/it_properties-017c448beba6fafb.d: tests/it_properties.rs
+
+/root/repo/target/debug/deps/it_properties-017c448beba6fafb: tests/it_properties.rs
+
+tests/it_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/it_properties-e19f64702a817a90.d: tests/it_properties.rs
+
+/root/repo/target/debug/deps/it_properties-e19f64702a817a90: tests/it_properties.rs
+
+tests/it_properties.rs:

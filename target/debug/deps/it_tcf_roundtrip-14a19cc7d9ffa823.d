@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/it_tcf_roundtrip-14a19cc7d9ffa823.d: tests/it_tcf_roundtrip.rs
+
+/root/repo/target/debug/deps/it_tcf_roundtrip-14a19cc7d9ffa823: tests/it_tcf_roundtrip.rs
+
+tests/it_tcf_roundtrip.rs:

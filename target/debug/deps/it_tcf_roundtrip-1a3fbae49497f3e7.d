@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/it_tcf_roundtrip-1a3fbae49497f3e7.d: tests/it_tcf_roundtrip.rs
+
+/root/repo/target/debug/deps/it_tcf_roundtrip-1a3fbae49497f3e7: tests/it_tcf_roundtrip.rs
+
+tests/it_tcf_roundtrip.rs:

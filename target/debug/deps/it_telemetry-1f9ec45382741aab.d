@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/it_telemetry-1f9ec45382741aab.d: tests/it_telemetry.rs
+
+/root/repo/target/debug/deps/it_telemetry-1f9ec45382741aab: tests/it_telemetry.rs
+
+tests/it_telemetry.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/it_telemetry-6044d1365121641c.d: tests/it_telemetry.rs
+
+/root/repo/target/debug/deps/it_telemetry-6044d1365121641c: tests/it_telemetry.rs
+
+tests/it_telemetry.rs:

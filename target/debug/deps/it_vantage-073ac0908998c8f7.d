@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/it_vantage-073ac0908998c8f7.d: tests/it_vantage.rs
+
+/root/repo/target/debug/deps/it_vantage-073ac0908998c8f7: tests/it_vantage.rs
+
+tests/it_vantage.rs:

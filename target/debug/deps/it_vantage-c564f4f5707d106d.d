@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/it_vantage-c564f4f5707d106d.d: tests/it_vantage.rs
+
+/root/repo/target/debug/deps/it_vantage-c564f4f5707d106d: tests/it_vantage.rs
+
+tests/it_vantage.rs:

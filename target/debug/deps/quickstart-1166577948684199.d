@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quickstart-1166577948684199.d: examples/quickstart.rs
+
+/root/repo/target/debug/deps/quickstart-1166577948684199: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quickstart-3ee54e76919e5e0f.d: examples/quickstart.rs
+
+/root/repo/target/debug/deps/quickstart-3ee54e76919e5e0f: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quickstart-6464563367079773.d: examples/quickstart.rs
+
+/root/repo/target/debug/deps/quickstart-6464563367079773: examples/quickstart.rs
+
+examples/quickstart.rs:

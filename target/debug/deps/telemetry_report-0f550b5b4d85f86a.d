@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/telemetry_report-0f550b5b4d85f86a.d: examples/telemetry_report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtelemetry_report-0f550b5b4d85f86a.rmeta: examples/telemetry_report.rs Cargo.toml
+
+examples/telemetry_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

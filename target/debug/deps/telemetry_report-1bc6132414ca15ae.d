@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry_report-1bc6132414ca15ae.d: examples/telemetry_report.rs
+
+/root/repo/target/debug/deps/telemetry_report-1bc6132414ca15ae: examples/telemetry_report.rs
+
+examples/telemetry_report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry_report-572aaeba5a0d2519.d: examples/telemetry_report.rs
+
+/root/repo/target/debug/deps/telemetry_report-572aaeba5a0d2519: examples/telemetry_report.rs
+
+examples/telemetry_report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vantage_compare-5470fdfc72bbe6c1.d: examples/vantage_compare.rs
+
+/root/repo/target/debug/deps/vantage_compare-5470fdfc72bbe6c1: examples/vantage_compare.rs
+
+examples/vantage_compare.rs:

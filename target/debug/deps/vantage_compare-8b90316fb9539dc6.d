@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vantage_compare-8b90316fb9539dc6.d: examples/vantage_compare.rs
+
+/root/repo/target/debug/deps/vantage_compare-8b90316fb9539dc6: examples/vantage_compare.rs
+
+examples/vantage_compare.rs:

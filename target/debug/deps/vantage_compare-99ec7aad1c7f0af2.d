@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vantage_compare-99ec7aad1c7f0af2.d: examples/vantage_compare.rs
+
+/root/repo/target/debug/deps/vantage_compare-99ec7aad1c7f0af2: examples/vantage_compare.rs
+
+examples/vantage_compare.rs:

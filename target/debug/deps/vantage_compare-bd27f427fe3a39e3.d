@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vantage_compare-bd27f427fe3a39e3.d: examples/vantage_compare.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvantage_compare-bd27f427fe3a39e3.rmeta: examples/vantage_compare.rs Cargo.toml
+
+examples/vantage_compare.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

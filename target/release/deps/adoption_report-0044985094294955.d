@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/adoption_report-0044985094294955.d: examples/adoption_report.rs
+
+/root/repo/target/release/deps/adoption_report-0044985094294955: examples/adoption_report.rs
+
+examples/adoption_report.rs:

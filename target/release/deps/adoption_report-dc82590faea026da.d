@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/adoption_report-dc82590faea026da.d: examples/adoption_report.rs
+
+/root/repo/target/release/deps/adoption_report-dc82590faea026da: examples/adoption_report.rs
+
+examples/adoption_report.rs:

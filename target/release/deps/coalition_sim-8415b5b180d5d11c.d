@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/coalition_sim-8415b5b180d5d11c.d: examples/coalition_sim.rs
+
+/root/repo/target/release/deps/coalition_sim-8415b5b180d5d11c: examples/coalition_sim.rs
+
+examples/coalition_sim.rs:

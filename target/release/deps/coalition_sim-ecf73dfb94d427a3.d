@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/coalition_sim-ecf73dfb94d427a3.d: examples/coalition_sim.rs
+
+/root/repo/target/release/deps/coalition_sim-ecf73dfb94d427a3: examples/coalition_sim.rs
+
+examples/coalition_sim.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/consent_analysis-b9572268f53a0ddb.d: crates/analysis/src/lib.rs crates/analysis/src/customization.rs crates/analysis/src/interpolate.rs crates/analysis/src/jurisdiction.rs crates/analysis/src/marketshare.rs crates/analysis/src/quality.rs crates/analysis/src/timeseries.rs crates/analysis/src/vantage_table.rs
+
+/root/repo/target/release/deps/libconsent_analysis-b9572268f53a0ddb.rlib: crates/analysis/src/lib.rs crates/analysis/src/customization.rs crates/analysis/src/interpolate.rs crates/analysis/src/jurisdiction.rs crates/analysis/src/marketshare.rs crates/analysis/src/quality.rs crates/analysis/src/timeseries.rs crates/analysis/src/vantage_table.rs
+
+/root/repo/target/release/deps/libconsent_analysis-b9572268f53a0ddb.rmeta: crates/analysis/src/lib.rs crates/analysis/src/customization.rs crates/analysis/src/interpolate.rs crates/analysis/src/jurisdiction.rs crates/analysis/src/marketshare.rs crates/analysis/src/quality.rs crates/analysis/src/timeseries.rs crates/analysis/src/vantage_table.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/customization.rs:
+crates/analysis/src/interpolate.rs:
+crates/analysis/src/jurisdiction.rs:
+crates/analysis/src/marketshare.rs:
+crates/analysis/src/quality.rs:
+crates/analysis/src/timeseries.rs:
+crates/analysis/src/vantage_table.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/consent_bench-772a3e46e0e1eba7.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libconsent_bench-772a3e46e0e1eba7.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libconsent_bench-772a3e46e0e1eba7.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/consent_bench-924ffbd633219e5e.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libconsent_bench-924ffbd633219e5e.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libconsent_bench-924ffbd633219e5e.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

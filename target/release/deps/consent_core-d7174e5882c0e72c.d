@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/consent_core-d7174e5882c0e72c.d: crates/core/src/lib.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/fig1.rs crates/core/src/experiments/fig10.rs crates/core/src/experiments/fig5.rs crates/core/src/experiments/fig6.rs crates/core/src/experiments/fig7_8.rs crates/core/src/experiments/fig9.rs crates/core/src/experiments/i3.rs crates/core/src/experiments/methodology.rs crates/core/src/experiments/table1.rs crates/core/src/experiments/tables_a.rs crates/core/src/study.rs
+
+/root/repo/target/release/deps/libconsent_core-d7174e5882c0e72c.rlib: crates/core/src/lib.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/fig1.rs crates/core/src/experiments/fig10.rs crates/core/src/experiments/fig5.rs crates/core/src/experiments/fig6.rs crates/core/src/experiments/fig7_8.rs crates/core/src/experiments/fig9.rs crates/core/src/experiments/i3.rs crates/core/src/experiments/methodology.rs crates/core/src/experiments/table1.rs crates/core/src/experiments/tables_a.rs crates/core/src/study.rs
+
+/root/repo/target/release/deps/libconsent_core-d7174e5882c0e72c.rmeta: crates/core/src/lib.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/fig1.rs crates/core/src/experiments/fig10.rs crates/core/src/experiments/fig5.rs crates/core/src/experiments/fig6.rs crates/core/src/experiments/fig7_8.rs crates/core/src/experiments/fig9.rs crates/core/src/experiments/i3.rs crates/core/src/experiments/methodology.rs crates/core/src/experiments/table1.rs crates/core/src/experiments/tables_a.rs crates/core/src/study.rs
+
+crates/core/src/lib.rs:
+crates/core/src/experiments/mod.rs:
+crates/core/src/experiments/fig1.rs:
+crates/core/src/experiments/fig10.rs:
+crates/core/src/experiments/fig5.rs:
+crates/core/src/experiments/fig6.rs:
+crates/core/src/experiments/fig7_8.rs:
+crates/core/src/experiments/fig9.rs:
+crates/core/src/experiments/i3.rs:
+crates/core/src/experiments/methodology.rs:
+crates/core/src/experiments/table1.rs:
+crates/core/src/experiments/tables_a.rs:
+crates/core/src/study.rs:

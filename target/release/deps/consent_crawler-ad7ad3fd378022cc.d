@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/consent_crawler-ad7ad3fd378022cc.d: crates/crawler/src/lib.rs crates/crawler/src/campaign.rs crates/crawler/src/capture_db.rs crates/crawler/src/export.rs crates/crawler/src/feed.rs crates/crawler/src/platform.rs crates/crawler/src/queue.rs
+
+/root/repo/target/release/deps/libconsent_crawler-ad7ad3fd378022cc.rlib: crates/crawler/src/lib.rs crates/crawler/src/campaign.rs crates/crawler/src/capture_db.rs crates/crawler/src/export.rs crates/crawler/src/feed.rs crates/crawler/src/platform.rs crates/crawler/src/queue.rs
+
+/root/repo/target/release/deps/libconsent_crawler-ad7ad3fd378022cc.rmeta: crates/crawler/src/lib.rs crates/crawler/src/campaign.rs crates/crawler/src/capture_db.rs crates/crawler/src/export.rs crates/crawler/src/feed.rs crates/crawler/src/platform.rs crates/crawler/src/queue.rs
+
+crates/crawler/src/lib.rs:
+crates/crawler/src/campaign.rs:
+crates/crawler/src/capture_db.rs:
+crates/crawler/src/export.rs:
+crates/crawler/src/feed.rs:
+crates/crawler/src/platform.rs:
+crates/crawler/src/queue.rs:

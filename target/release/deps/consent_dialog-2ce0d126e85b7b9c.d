@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/consent_dialog-2ce0d126e85b7b9c.d: crates/dialog/src/lib.rs crates/dialog/src/coalition.rs crates/dialog/src/experiment.rs crates/dialog/src/quantcast.rs crates/dialog/src/trustarc.rs crates/dialog/src/user_model.rs
+
+/root/repo/target/release/deps/libconsent_dialog-2ce0d126e85b7b9c.rlib: crates/dialog/src/lib.rs crates/dialog/src/coalition.rs crates/dialog/src/experiment.rs crates/dialog/src/quantcast.rs crates/dialog/src/trustarc.rs crates/dialog/src/user_model.rs
+
+/root/repo/target/release/deps/libconsent_dialog-2ce0d126e85b7b9c.rmeta: crates/dialog/src/lib.rs crates/dialog/src/coalition.rs crates/dialog/src/experiment.rs crates/dialog/src/quantcast.rs crates/dialog/src/trustarc.rs crates/dialog/src/user_model.rs
+
+crates/dialog/src/lib.rs:
+crates/dialog/src/coalition.rs:
+crates/dialog/src/experiment.rs:
+crates/dialog/src/quantcast.rs:
+crates/dialog/src/trustarc.rs:
+crates/dialog/src/user_model.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/consent_fingerprint-26e2a35f4a4084fd.d: crates/fingerprint/src/lib.rs crates/fingerprint/src/detect.rs crates/fingerprint/src/rules.rs
+
+/root/repo/target/release/deps/libconsent_fingerprint-26e2a35f4a4084fd.rlib: crates/fingerprint/src/lib.rs crates/fingerprint/src/detect.rs crates/fingerprint/src/rules.rs
+
+/root/repo/target/release/deps/libconsent_fingerprint-26e2a35f4a4084fd.rmeta: crates/fingerprint/src/lib.rs crates/fingerprint/src/detect.rs crates/fingerprint/src/rules.rs
+
+crates/fingerprint/src/lib.rs:
+crates/fingerprint/src/detect.rs:
+crates/fingerprint/src/rules.rs:

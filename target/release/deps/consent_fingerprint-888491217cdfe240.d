@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/consent_fingerprint-888491217cdfe240.d: crates/fingerprint/src/lib.rs crates/fingerprint/src/detect.rs crates/fingerprint/src/rules.rs
+
+/root/repo/target/release/deps/libconsent_fingerprint-888491217cdfe240.rlib: crates/fingerprint/src/lib.rs crates/fingerprint/src/detect.rs crates/fingerprint/src/rules.rs
+
+/root/repo/target/release/deps/libconsent_fingerprint-888491217cdfe240.rmeta: crates/fingerprint/src/lib.rs crates/fingerprint/src/detect.rs crates/fingerprint/src/rules.rs
+
+crates/fingerprint/src/lib.rs:
+crates/fingerprint/src/detect.rs:
+crates/fingerprint/src/rules.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/consent_httpsim-4af95a1cc56b4cec.d: crates/httpsim/src/lib.rs crates/httpsim/src/capture.rs crates/httpsim/src/engine.rs crates/httpsim/src/prober.rs crates/httpsim/src/vantage.rs
+
+/root/repo/target/release/deps/libconsent_httpsim-4af95a1cc56b4cec.rlib: crates/httpsim/src/lib.rs crates/httpsim/src/capture.rs crates/httpsim/src/engine.rs crates/httpsim/src/prober.rs crates/httpsim/src/vantage.rs
+
+/root/repo/target/release/deps/libconsent_httpsim-4af95a1cc56b4cec.rmeta: crates/httpsim/src/lib.rs crates/httpsim/src/capture.rs crates/httpsim/src/engine.rs crates/httpsim/src/prober.rs crates/httpsim/src/vantage.rs
+
+crates/httpsim/src/lib.rs:
+crates/httpsim/src/capture.rs:
+crates/httpsim/src/engine.rs:
+crates/httpsim/src/prober.rs:
+crates/httpsim/src/vantage.rs:

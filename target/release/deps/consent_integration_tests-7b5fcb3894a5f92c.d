@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/consent_integration_tests-7b5fcb3894a5f92c.d: tests/lib.rs
+
+/root/repo/target/release/deps/libconsent_integration_tests-7b5fcb3894a5f92c.rlib: tests/lib.rs
+
+/root/repo/target/release/deps/libconsent_integration_tests-7b5fcb3894a5f92c.rmeta: tests/lib.rs
+
+tests/lib.rs:

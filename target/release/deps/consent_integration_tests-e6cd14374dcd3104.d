@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/consent_integration_tests-e6cd14374dcd3104.d: tests/lib.rs
+
+/root/repo/target/release/deps/libconsent_integration_tests-e6cd14374dcd3104.rlib: tests/lib.rs
+
+/root/repo/target/release/deps/libconsent_integration_tests-e6cd14374dcd3104.rmeta: tests/lib.rs
+
+tests/lib.rs:

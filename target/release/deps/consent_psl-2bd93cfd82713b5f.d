@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/consent_psl-2bd93cfd82713b5f.d: crates/psl/src/lib.rs crates/psl/src/list.rs crates/psl/src/rules.rs crates/psl/src/snapshot.rs
+
+/root/repo/target/release/deps/libconsent_psl-2bd93cfd82713b5f.rlib: crates/psl/src/lib.rs crates/psl/src/list.rs crates/psl/src/rules.rs crates/psl/src/snapshot.rs
+
+/root/repo/target/release/deps/libconsent_psl-2bd93cfd82713b5f.rmeta: crates/psl/src/lib.rs crates/psl/src/list.rs crates/psl/src/rules.rs crates/psl/src/snapshot.rs
+
+crates/psl/src/lib.rs:
+crates/psl/src/list.rs:
+crates/psl/src/rules.rs:
+crates/psl/src/snapshot.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/consent_stats-40c86cbb5fb69dcc.d: crates/stats/src/lib.rs crates/stats/src/bootstrap.rs crates/stats/src/descriptive.rs crates/stats/src/distributions.rs crates/stats/src/histogram.rs crates/stats/src/mann_whitney.rs crates/stats/src/normal.rs crates/stats/src/proportion.rs
+
+/root/repo/target/release/deps/libconsent_stats-40c86cbb5fb69dcc.rlib: crates/stats/src/lib.rs crates/stats/src/bootstrap.rs crates/stats/src/descriptive.rs crates/stats/src/distributions.rs crates/stats/src/histogram.rs crates/stats/src/mann_whitney.rs crates/stats/src/normal.rs crates/stats/src/proportion.rs
+
+/root/repo/target/release/deps/libconsent_stats-40c86cbb5fb69dcc.rmeta: crates/stats/src/lib.rs crates/stats/src/bootstrap.rs crates/stats/src/descriptive.rs crates/stats/src/distributions.rs crates/stats/src/histogram.rs crates/stats/src/mann_whitney.rs crates/stats/src/normal.rs crates/stats/src/proportion.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/bootstrap.rs:
+crates/stats/src/descriptive.rs:
+crates/stats/src/distributions.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/mann_whitney.rs:
+crates/stats/src/normal.rs:
+crates/stats/src/proportion.rs:

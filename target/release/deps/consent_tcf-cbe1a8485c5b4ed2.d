@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/consent_tcf-cbe1a8485c5b4ed2.d: crates/tcf/src/lib.rs crates/tcf/src/bits.rs crates/tcf/src/cmp_api.rs crates/tcf/src/consent_string.rs crates/tcf/src/consent_string_v2.rs crates/tcf/src/gvl.rs crates/tcf/src/gvl_diff.rs crates/tcf/src/gvl_history.rs crates/tcf/src/purposes.rs
+
+/root/repo/target/release/deps/libconsent_tcf-cbe1a8485c5b4ed2.rlib: crates/tcf/src/lib.rs crates/tcf/src/bits.rs crates/tcf/src/cmp_api.rs crates/tcf/src/consent_string.rs crates/tcf/src/consent_string_v2.rs crates/tcf/src/gvl.rs crates/tcf/src/gvl_diff.rs crates/tcf/src/gvl_history.rs crates/tcf/src/purposes.rs
+
+/root/repo/target/release/deps/libconsent_tcf-cbe1a8485c5b4ed2.rmeta: crates/tcf/src/lib.rs crates/tcf/src/bits.rs crates/tcf/src/cmp_api.rs crates/tcf/src/consent_string.rs crates/tcf/src/consent_string_v2.rs crates/tcf/src/gvl.rs crates/tcf/src/gvl_diff.rs crates/tcf/src/gvl_history.rs crates/tcf/src/purposes.rs
+
+crates/tcf/src/lib.rs:
+crates/tcf/src/bits.rs:
+crates/tcf/src/cmp_api.rs:
+crates/tcf/src/consent_string.rs:
+crates/tcf/src/consent_string_v2.rs:
+crates/tcf/src/gvl.rs:
+crates/tcf/src/gvl_diff.rs:
+crates/tcf/src/gvl_history.rs:
+crates/tcf/src/purposes.rs:

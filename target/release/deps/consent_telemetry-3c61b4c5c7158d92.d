@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/consent_telemetry-3c61b4c5c7158d92.d: crates/telemetry/src/lib.rs crates/telemetry/src/counter.rs crates/telemetry/src/histogram.rs crates/telemetry/src/registry.rs crates/telemetry/src/report.rs crates/telemetry/src/span.rs
+
+/root/repo/target/release/deps/libconsent_telemetry-3c61b4c5c7158d92.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/counter.rs crates/telemetry/src/histogram.rs crates/telemetry/src/registry.rs crates/telemetry/src/report.rs crates/telemetry/src/span.rs
+
+/root/repo/target/release/deps/libconsent_telemetry-3c61b4c5c7158d92.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/counter.rs crates/telemetry/src/histogram.rs crates/telemetry/src/registry.rs crates/telemetry/src/report.rs crates/telemetry/src/span.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/counter.rs:
+crates/telemetry/src/histogram.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/report.rs:
+crates/telemetry/src/span.rs:

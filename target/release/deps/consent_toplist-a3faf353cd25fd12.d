@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/consent_toplist-a3faf353cd25fd12.d: crates/toplist/src/lib.rs crates/toplist/src/provider.rs crates/toplist/src/seed.rs crates/toplist/src/tranco.rs
+
+/root/repo/target/release/deps/libconsent_toplist-a3faf353cd25fd12.rlib: crates/toplist/src/lib.rs crates/toplist/src/provider.rs crates/toplist/src/seed.rs crates/toplist/src/tranco.rs
+
+/root/repo/target/release/deps/libconsent_toplist-a3faf353cd25fd12.rmeta: crates/toplist/src/lib.rs crates/toplist/src/provider.rs crates/toplist/src/seed.rs crates/toplist/src/tranco.rs
+
+crates/toplist/src/lib.rs:
+crates/toplist/src/provider.rs:
+crates/toplist/src/seed.rs:
+crates/toplist/src/tranco.rs:

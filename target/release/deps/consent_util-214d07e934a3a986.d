@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/consent_util-214d07e934a3a986.d: crates/util/src/lib.rs crates/util/src/date.rs crates/util/src/json.rs crates/util/src/rng.rs crates/util/src/table.rs
+
+/root/repo/target/release/deps/libconsent_util-214d07e934a3a986.rlib: crates/util/src/lib.rs crates/util/src/date.rs crates/util/src/json.rs crates/util/src/rng.rs crates/util/src/table.rs
+
+/root/repo/target/release/deps/libconsent_util-214d07e934a3a986.rmeta: crates/util/src/lib.rs crates/util/src/date.rs crates/util/src/json.rs crates/util/src/rng.rs crates/util/src/table.rs
+
+crates/util/src/lib.rs:
+crates/util/src/date.rs:
+crates/util/src/json.rs:
+crates/util/src/rng.rs:
+crates/util/src/table.rs:

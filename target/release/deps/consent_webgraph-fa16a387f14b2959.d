@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/consent_webgraph-fa16a387f14b2959.d: crates/webgraph/src/lib.rs crates/webgraph/src/adoption.rs crates/webgraph/src/cmp.rs crates/webgraph/src/site.rs crates/webgraph/src/site_config.rs crates/webgraph/src/world.rs
+
+/root/repo/target/release/deps/libconsent_webgraph-fa16a387f14b2959.rlib: crates/webgraph/src/lib.rs crates/webgraph/src/adoption.rs crates/webgraph/src/cmp.rs crates/webgraph/src/site.rs crates/webgraph/src/site_config.rs crates/webgraph/src/world.rs
+
+/root/repo/target/release/deps/libconsent_webgraph-fa16a387f14b2959.rmeta: crates/webgraph/src/lib.rs crates/webgraph/src/adoption.rs crates/webgraph/src/cmp.rs crates/webgraph/src/site.rs crates/webgraph/src/site_config.rs crates/webgraph/src/world.rs
+
+crates/webgraph/src/lib.rs:
+crates/webgraph/src/adoption.rs:
+crates/webgraph/src/cmp.rs:
+crates/webgraph/src/site.rs:
+crates/webgraph/src/site_config.rs:
+crates/webgraph/src/world.rs:

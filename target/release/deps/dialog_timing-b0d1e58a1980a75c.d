@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dialog_timing-b0d1e58a1980a75c.d: examples/dialog_timing.rs
+
+/root/repo/target/release/deps/dialog_timing-b0d1e58a1980a75c: examples/dialog_timing.rs
+
+examples/dialog_timing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dialog_timing-f18def126d097c35.d: examples/dialog_timing.rs
+
+/root/repo/target/release/deps/dialog_timing-f18def126d097c35: examples/dialog_timing.rs
+
+examples/dialog_timing.rs:

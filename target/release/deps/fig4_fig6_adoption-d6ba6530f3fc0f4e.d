@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_fig6_adoption-d6ba6530f3fc0f4e.d: crates/bench/benches/fig4_fig6_adoption.rs
+
+/root/repo/target/release/deps/fig4_fig6_adoption-d6ba6530f3fc0f4e: crates/bench/benches/fig4_fig6_adoption.rs
+
+crates/bench/benches/fig4_fig6_adoption.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gvl_audit-796a98256596f5bb.d: examples/gvl_audit.rs
+
+/root/repo/target/release/deps/gvl_audit-796a98256596f5bb: examples/gvl_audit.rs
+
+examples/gvl_audit.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gvl_audit-8bf285b2eef1f162.d: examples/gvl_audit.rs
+
+/root/repo/target/release/deps/gvl_audit-8bf285b2eef1f162: examples/gvl_audit.rs
+
+examples/gvl_audit.rs:

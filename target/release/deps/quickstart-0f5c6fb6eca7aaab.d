@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/quickstart-0f5c6fb6eca7aaab.d: examples/quickstart.rs
+
+/root/repo/target/release/deps/quickstart-0f5c6fb6eca7aaab: examples/quickstart.rs
+
+examples/quickstart.rs:

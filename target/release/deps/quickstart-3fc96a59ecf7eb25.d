@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/quickstart-3fc96a59ecf7eb25.d: examples/quickstart.rs
+
+/root/repo/target/release/deps/quickstart-3fc96a59ecf7eb25: examples/quickstart.rs
+
+examples/quickstart.rs:

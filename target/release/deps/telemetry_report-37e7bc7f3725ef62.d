@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/telemetry_report-37e7bc7f3725ef62.d: examples/telemetry_report.rs
+
+/root/repo/target/release/deps/telemetry_report-37e7bc7f3725ef62: examples/telemetry_report.rs
+
+examples/telemetry_report.rs:

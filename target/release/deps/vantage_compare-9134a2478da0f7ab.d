@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/vantage_compare-9134a2478da0f7ab.d: examples/vantage_compare.rs
+
+/root/repo/target/release/deps/vantage_compare-9134a2478da0f7ab: examples/vantage_compare.rs
+
+examples/vantage_compare.rs:

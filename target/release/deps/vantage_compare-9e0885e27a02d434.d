@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/vantage_compare-9e0885e27a02d434.d: examples/vantage_compare.rs
+
+/root/repo/target/release/deps/vantage_compare-9e0885e27a02d434: examples/vantage_compare.rs
+
+examples/vantage_compare.rs:

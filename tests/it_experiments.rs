@@ -22,8 +22,14 @@ fn headline_adoption_story_holds() {
     // Early-window measurements ramp in as the feed first covers the
     // toplist (the paper's crawl volume was ~3 orders of magnitude
     // higher), so the first ratio can overshoot the paper's ~2x.
-    assert!((1.3..=9.0).contains(&r1), "2018→2019 growth {r1} ({jun18} → {jun19})");
-    assert!((1.2..=3.2).contains(&r2), "2019→2020 growth {r2} ({jun19} → {jun20})");
+    assert!(
+        (1.3..=9.0).contains(&r1),
+        "2018→2019 growth {r1} ({jun18} → {jun19})"
+    );
+    assert!(
+        (1.2..=3.2).contains(&r2),
+        "2019→2020 growth {r2} ({jun19} → {jun20})"
+    );
 
     // Figure 4: Cookiebot is the clear net loser.
     let cb_net = f6.switching.net(Cmp::Cookiebot);
@@ -63,7 +69,12 @@ fn fig5_mid_market_hump() {
     // §5.1: "From 4% in the Top 100, it reaches 13% in the Top 1k, and
     // then falls in the long-tail."
     assert!(at(100) < at(1_000), "head {} !< 1k {}", at(100), at(1_000));
-    assert!(at(1_000) > at(50_000), "1k {} !> 50k {}", at(1_000), at(50_000));
+    assert!(
+        at(1_000) > at(50_000),
+        "1k {} !> 50k {}",
+        at(1_000),
+        at(50_000)
+    );
     // Quantcast dominates the head; OneTrust leads the 10k band.
     let idx_10k = f5.curve.sizes.iter().position(|&x| x == 10_000).unwrap();
     assert!(
@@ -78,7 +89,10 @@ fn gvl_and_dialog_results_hold_at_midsize() {
     let gvl = experiments::fig7_8::gvl_figures(&study);
     assert!(gvl.net_toward_consent() > 0);
     let final_vendors = gvl.fig7.last().unwrap().vendors;
-    assert!((400..=900).contains(&final_vendors), "vendors {final_vendors}");
+    assert!(
+        (400..=900).contains(&final_vendors),
+        "vendors {final_vendors}"
+    );
 
     let f10 = experiments::fig10::fig10(&study);
     let e = &f10.experiment;

@@ -59,7 +59,11 @@ fn coalition_network_effect_scales_with_size() {
         assert!(big < small, "big {big} !< small {small}");
     }
     // Global scope keeps overall prompting rare.
-    assert!(r1.overall_prompt_rate() < 0.25, "{}", r1.overall_prompt_rate());
+    assert!(
+        r1.overall_prompt_rate() < 0.25,
+        "{}",
+        r1.overall_prompt_rate()
+    );
 }
 
 #[test]
@@ -73,10 +77,8 @@ fn v2_publisher_restrictions_survive_upgrade_pipeline() {
         (3, consent_tcf::RestrictionType::RequireConsent),
         [10, 11, 12, 50].into(),
     );
-    v2.publisher_restrictions.insert(
-        (1, consent_tcf::RestrictionType::NotAllowed),
-        [99].into(),
-    );
+    v2.publisher_restrictions
+        .insert((1, consent_tcf::RestrictionType::NotAllowed), [99].into());
     let wire = v2.encode();
     let back = TcStringV2::decode(&wire).unwrap();
     assert_eq!(back, v2);

@@ -60,7 +60,10 @@ fn ground_truth_recovered_through_full_pipeline() {
         .filter(|t: &&Timeline| t.cmp_on(day).is_some())
         .count();
     assert_eq!(measured, truth, "clean-site measurement must be exact");
-    assert!(truth > 50, "need a meaningful number of adopters, got {truth}");
+    assert!(
+        truth > 50,
+        "need a meaningful number of adopters, got {truth}"
+    );
 }
 
 #[test]

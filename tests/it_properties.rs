@@ -14,19 +14,21 @@ fn capture_strategy() -> impl Strategy<Value = CaptureSummary> {
         any::<bool>(),
         0u8..10,
     )
-        .prop_map(|(day_off, cmp_idx, redirected, status_sel)| CaptureSummary {
-            domain: "site.example".into(),
-            day: Day::from_ymd(2019, 1, 1) + day_off,
-            location: Location::EuCloud,
-            status: if status_sel == 0 {
-                CaptureStatus::AntiBotInterstitial
-            } else {
-                CaptureStatus::Ok
+        .prop_map(
+            |(day_off, cmp_idx, redirected, status_sel)| CaptureSummary {
+                domain: "site.example".into(),
+                day: Day::from_ymd(2019, 1, 1) + day_off,
+                location: Location::EuCloud,
+                status: if status_sel == 0 {
+                    CaptureStatus::AntiBotInterstitial
+                } else {
+                    CaptureStatus::Ok
+                },
+                cmps: cmp_idx.map_or(CmpSet::empty(), |i| CmpSet::from_iter([ALL_CMPS[i]])),
+                redirected,
+                dialog_visible: false,
             },
-            cmps: cmp_idx.map_or(CmpSet::empty(), |i| CmpSet::from_iter([ALL_CMPS[i]])),
-            redirected,
-            dialog_visible: false,
-        })
+        )
 }
 
 proptest! {

@@ -4,9 +4,7 @@
 use consent_fingerprint::Detector;
 use consent_httpsim::{CaptureOptions, Engine, Location, Timing, Vantage};
 use consent_util::{Day, SeedTree};
-use consent_webgraph::{
-    AdoptionConfig, GeoBehavior, Reachability, World, WorldConfig,
-};
+use consent_webgraph::{AdoptionConfig, GeoBehavior, Reachability, World, WorldConfig};
 
 fn world() -> World {
     World::new(WorldConfig {

@@ -1,0 +1,95 @@
+//! Offline, std-only stand-in for the subset of the `bytes` 1.x API
+//! this workspace uses: a growable [`BytesMut`] buffer and the
+//! [`BufMut`] append trait. Backed by a plain `Vec<u8>`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Deref, DerefMut};
+
+/// A growable byte buffer.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Create an empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    /// Create an empty buffer with room for `capacity` bytes.
+    pub fn with_capacity(capacity: usize) -> BytesMut {
+        BytesMut {
+            data: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Copy the contents into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.clone()
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+impl From<BytesMut> for Vec<u8> {
+    fn from(buf: BytesMut) -> Vec<u8> {
+        buf.data
+    }
+}
+
+impl Extend<u8> for BytesMut {
+    fn extend<I: IntoIterator<Item = u8>>(&mut self, iter: I) {
+        self.data.extend(iter);
+    }
+}
+
+/// Append-only writer operations.
+pub trait BufMut {
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8);
+
+    /// Append a slice of bytes.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_and_index() {
+        let mut b = BytesMut::new();
+        b.put_u8(0);
+        b.put_u8(0xff);
+        b[0] |= 0b1000_0000;
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.to_vec(), vec![0x80, 0xff]);
+        b.put_slice(&[1, 2]);
+        assert_eq!(Vec::from(b), vec![0x80, 0xff, 1, 2]);
+    }
+}

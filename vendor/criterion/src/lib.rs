@@ -1,0 +1,203 @@
+//! Offline, std-only stand-in for the subset of the `criterion` 0.5 API
+//! this workspace uses: [`Criterion`], [`Criterion::benchmark_group`]
+//! with `sample_size`/`bench_function`/`finish`, [`Bencher::iter`], and
+//! the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement is simple wall-clock sampling: each sample times a batch
+//! of iterations sized to last roughly a millisecond, and the report
+//! prints min/mean/max per iteration. There is no statistical analysis,
+//! no plotting, and no baseline store — just stable, comparable numbers
+//! on stderr-free stdout.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Criterion {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, self.sample_size, f);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            sample_size: 20,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timing samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{id}", self.name);
+        run_one(&full, self.sample_size, f);
+        self
+    }
+
+    /// End the group (printing nothing extra; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Times the routine under benchmark.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly and record per-iteration timings.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Calibrate: size a batch to take roughly a millisecond, so
+        // very fast routines still get a measurable sample.
+        let calib = Instant::now();
+        black_box(routine());
+        let once = calib.elapsed().max(Duration::from_nanos(1));
+        let per_sample = (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 10_000);
+        self.iters_per_sample = per_sample as u64;
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(routine());
+        }
+        self.samples.push(start.elapsed());
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F) {
+    let mut b = Bencher::default();
+    for _ in 0..sample_size {
+        f(&mut b);
+    }
+    if b.samples.is_empty() {
+        println!("{id:<40} (no samples)");
+        return;
+    }
+    let per_iter: Vec<f64> = b
+        .samples
+        .iter()
+        .map(|d| d.as_nanos() as f64 / b.iters_per_sample.max(1) as f64)
+        .collect();
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = per_iter.iter().cloned().fold(0.0f64, f64::max);
+    println!(
+        "{id:<40} time: [{} {} {}]",
+        format_ns(min),
+        format_ns(mean),
+        format_ns(max)
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Bundle benchmark functions into a group runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Produce a `main` that runs each group, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default();
+        c.sample_size(3).bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+        });
+    }
+
+    #[test]
+    fn groups_run_and_finish() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        g.bench_function("sum", |b| b.iter(|| (0..100u32).sum::<u32>()));
+        g.finish();
+    }
+
+    #[test]
+    fn format_scales() {
+        assert!(format_ns(12.0).contains("ns"));
+        assert!(format_ns(1.2e4).contains("µs"));
+        assert!(format_ns(3.4e6).contains("ms"));
+        assert!(format_ns(5.0e9).contains('s'));
+    }
+}

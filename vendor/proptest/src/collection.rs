@@ -1,0 +1,89 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+/// Strategy for `Vec<T>` with a length drawn from `size`.
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// Generate vectors whose elements come from `element` and whose
+/// length is uniform in `size`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "empty size range");
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.end - self.size.start) as u64;
+        let len = self.size.start + rng.below(span.max(1)) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy for `BTreeSet<T>`; up to `size.end - 1` draws are inserted,
+/// so duplicates may make the set smaller than the drawn length.
+#[derive(Clone, Debug)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// Generate ordered sets whose elements come from `element`.
+pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    assert!(size.start < size.end, "empty size range");
+    BTreeSetStrategy { element, size }
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let span = (self.size.end - self.size.start) as u64;
+        let len = self.size.start + rng.below(span.max(1)) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_respects_size_and_elements() {
+        let mut rng = TestRng::new(10);
+        let s = vec(5u8..8, 2..6);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&e| (5..8).contains(&e)));
+        }
+    }
+
+    #[test]
+    fn btree_set_is_bounded() {
+        let mut rng = TestRng::new(11);
+        let s = btree_set(1u8..=24, 0..10);
+        for _ in 0..100 {
+            let set = s.generate(&mut rng);
+            assert!(set.len() < 10);
+            assert!(set.iter().all(|&e| (1..=24).contains(&e)));
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Offline, std-only stand-in for the subset of the `proptest` 1.x API
+//! this workspace uses.
+//!
+//! The build environment has no network access to a crates registry, so
+//! the workspace vendors a minimal property-testing harness instead of
+//! the real crate: the [`proptest!`] macro (mixed `name in strategy`
+//! and `name: Type` parameters, optional `#![proptest_config(..)]`),
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!`, a [`Strategy`]
+//! trait with `prop_map`, integer-range / tuple / collection / option /
+//! character-class-regex strategies, and [`arbitrary::any`]. Cases are
+//! generated from a fixed deterministic seed; there is no shrinking —
+//! failures report the case index so they can be replayed exactly.
+//!
+//! [`Strategy`]: strategy::Strategy
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod test_runner;
+
+/// The common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declare property tests. Each `fn` inside the block becomes a
+/// `#[test]` that runs the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!({$cfg} $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!({$crate::test_runner::ProptestConfig::default()} $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expand each test item.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ({$cfg:expr}) => {};
+    ({$cfg:expr} $(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_case!({$cfg} {$body} [] [] $($params)*);
+        }
+        $crate::__proptest_items!({$cfg} $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`]: munch the parameter list
+/// into a tuple pattern and a tuple of strategies, then run.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    ({$cfg:expr} {$body:block} [$($pat:ident)*] [$($strat:expr)*]) => {{
+        let __config = $cfg;
+        let __strategy = ($($strat,)*);
+        let mut __runner = $crate::test_runner::TestRunner::new(__config);
+        __runner.run(&__strategy, |($($pat,)*)| {
+            $body
+            ::std::result::Result::Ok(())
+        });
+    }};
+    ({$cfg:expr} {$body:block} [$($pat:ident)*] [$($strat:expr)*] $name:ident in $s:expr) => {
+        $crate::__proptest_case!({$cfg} {$body} [$($pat)* $name] [$($strat)* $s]);
+    };
+    ({$cfg:expr} {$body:block} [$($pat:ident)*] [$($strat:expr)*] $name:ident in $s:expr, $($rest:tt)*) => {
+        $crate::__proptest_case!({$cfg} {$body} [$($pat)* $name] [$($strat)* $s] $($rest)*);
+    };
+    ({$cfg:expr} {$body:block} [$($pat:ident)*] [$($strat:expr)*] $name:ident : $ty:ty) => {
+        $crate::__proptest_case!(
+            {$cfg} {$body} [$($pat)* $name] [$($strat)* $crate::arbitrary::any::<$ty>()]
+        );
+    };
+    ({$cfg:expr} {$body:block} [$($pat:ident)*] [$($strat:expr)*] $name:ident : $ty:ty, $($rest:tt)*) => {
+        $crate::__proptest_case!(
+            {$cfg} {$body} [$($pat)* $name] [$($strat)* $crate::arbitrary::any::<$ty>()] $($rest)*
+        );
+    };
+}
+
+/// Assert a condition inside a property test; on failure the current
+/// case fails with the formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// Assert two values are equal inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            __l == __r,
+            "assertion failed: `{:?}` != `{:?}`", __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            __l == __r,
+            "assertion failed: `{:?}` != `{:?}`: {}", __l, __r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Assert two values are unequal inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            __l != __r,
+            "assertion failed: `{:?}` == `{:?}`", __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            __l != __r,
+            "assertion failed: `{:?}` == `{:?}`: {}", __l, __r, format!($($fmt)*)
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn typed_params_generate(data: Vec<u8>, salt: u64, flag: bool) {
+            prop_assert!(data.len() <= 64);
+            let _ = salt;
+            prop_assert!(flag || !flag);
+        }
+
+        /// Doc comments before the test attribute must pass through.
+        #[test]
+        fn mixed_params(
+            n in 3u32..10,
+            pair in (0u8..4, 1i64..=5),
+            set in crate::collection::btree_set(1u8..=24, 0..10),
+            word in "[a-z]{1,8}",
+            maybe in crate::option::of(0usize..6),
+        ) {
+            prop_assert!((3..10).contains(&n), "n out of range: {}", n);
+            prop_assert!(pair.0 < 4 && (1..=5).contains(&pair.1));
+            prop_assert!(set.len() < 10);
+            prop_assert!(set.iter().all(|&v| (1..=24).contains(&v)));
+            prop_assert!(!word.is_empty() && word.len() <= 8);
+            prop_assert!(word.bytes().all(|b| b.is_ascii_lowercase()));
+            if let Some(v) = maybe {
+                prop_assert!(v < 6);
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(17))]
+
+        #[test]
+        fn config_is_respected(v in crate::collection::vec(any::<bool>(), 0..5)) {
+            prop_assert!(v.len() < 5);
+            prop_assert_ne!(v.len(), 99);
+            prop_assert_eq!(v.len(), v.len());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failures_panic_with_case_number() {
+        let mut runner = crate::test_runner::TestRunner::new(ProptestConfig::with_cases(5));
+        runner.run(&(0u8..10,), |(x,)| {
+            prop_assert!(x > 100, "x was {}", x);
+            Ok(())
+        });
+    }
+
+    proptest! {
+        #[test]
+        fn prop_map_composes(v in (1u32..50).prop_map(|x| x * 2)) {
+            prop_assert!(v % 2 == 0 && v < 100);
+        }
+    }
+}

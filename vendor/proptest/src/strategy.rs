@@ -1,0 +1,223 @@
+//! The [`Strategy`] trait and primitive strategies.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let lo = self.start as i128;
+                let hi = self.end as i128;
+                assert!(lo < hi, "empty range strategy");
+                let span = (hi - lo) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (lo + offset as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let lo = *self.start() as i128;
+                let hi = *self.end() as i128;
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo + 1) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (lo + offset as i128) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+/// `&str` patterns act as a character-class regex strategy. Only the
+/// subset actually used in this workspace is supported: literal
+/// characters, `[a-z08]`-style classes, and `{m}` / `{m,n}` repetition.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let alphabet: Vec<char> = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed class in pattern {pattern:?}"))
+                    + i;
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        for c in chars[j]..=chars[j + 2] {
+                            set.push(c);
+                        }
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                assert!(!set.is_empty(), "empty class in pattern {pattern:?}");
+                i = close + 1;
+                set
+            }
+            '(' | ')' | '|' | '*' | '+' | '?' | '.' => {
+                panic!(
+                    "unsupported regex feature {:?} in pattern {pattern:?}",
+                    chars[i]
+                )
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed repetition in pattern {pattern:?}"))
+                + i;
+            let spec: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match spec.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse::<usize>().expect("bad repetition"),
+                    n.trim().parse::<usize>().expect("bad repetition"),
+                ),
+                None => {
+                    let m = spec.trim().parse::<usize>().expect("bad repetition");
+                    (m, m)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        let count = min + rng.below((max - min + 1) as u64) as usize;
+        for _ in 0..count {
+            out.push(alphabet[rng.below(alphabet.len() as u64) as usize]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_cover_bounds() {
+        let mut rng = TestRng::new(5);
+        let s = 1u8..=3;
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[s.generate(&mut rng) as usize] = true;
+        }
+        assert_eq!(seen, [false, true, true, true]);
+    }
+
+    #[test]
+    fn full_u64_range_is_accepted() {
+        let mut rng = TestRng::new(6);
+        let s = 0u64..u64::MAX;
+        for _ in 0..10 {
+            let _ = s.generate(&mut rng);
+        }
+    }
+
+    #[test]
+    fn regex_subset_shapes() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..100 {
+            let s = "[a-z]{1,8}".generate(&mut rng);
+            assert!((1..=8).contains(&s.len()));
+            assert!(s.bytes().all(|b| b.is_ascii_lowercase()));
+            let t = "x[0-9]{2}".generate(&mut rng);
+            assert_eq!(t.len(), 3);
+            assert!(t.starts_with('x'));
+        }
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let mut rng = TestRng::new(8);
+        let s = (1u32..10).prop_map(|v| v * 100);
+        for _ in 0..50 {
+            let v = s.generate(&mut rng);
+            assert_eq!(v % 100, 0);
+            assert!(v >= 100 && v < 1000);
+        }
+    }
+}

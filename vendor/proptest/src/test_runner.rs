@@ -1,0 +1,116 @@
+//! Case generation and execution.
+
+use crate::strategy::Strategy;
+
+/// Per-block configuration (`#![proptest_config(..)]`).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Deterministic generator feeding the strategies (splitmix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Create a generator from a fixed seed.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+
+    /// Uniform value in `[0, 1)` with 53 bits of precision.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Runs a strategy-driven test body over many generated cases.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: TestRng,
+}
+
+/// Fixed base seed: cases are reproducible run-to-run.
+const BASE_SEED: u64 = 0x70_72_6f_70_74_65_73_74; // "proptest"
+
+impl TestRunner {
+    /// Create a runner for one test.
+    pub fn new(config: ProptestConfig) -> TestRunner {
+        TestRunner {
+            config,
+            rng: TestRng::new(BASE_SEED),
+        }
+    }
+
+    /// Generate `config.cases` inputs and run the body on each,
+    /// panicking on the first failure with the case index.
+    pub fn run<S, F>(&mut self, strategy: &S, mut body: F)
+    where
+        S: Strategy,
+        F: FnMut(S::Value) -> Result<(), String>,
+    {
+        for case in 0..self.config.cases {
+            let value = strategy.generate(&mut self.rng);
+            if let Err(msg) = body(value) {
+                panic!("proptest case {case}/{} failed: {msg}", self.config.cases);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::new(1);
+        let mut b = TestRng::new(1);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn runner_runs_exactly_cases_times() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(37));
+        let mut n = 0u32;
+        runner.run(&(0u8..10,), |_| {
+            n += 1;
+            Ok(())
+        });
+        assert_eq!(n, 37);
+    }
+}
