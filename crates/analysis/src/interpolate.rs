@@ -57,10 +57,10 @@ impl Timeline {
     pub fn from_history(history: &[CaptureSummary]) -> Timeline {
         let mut by_day: BTreeMap<Day, Vec<&CaptureSummary>> = BTreeMap::new();
         for c in history {
-            if matches!(
-                c.status,
-                consent_httpsim::CaptureStatus::Ok | consent_httpsim::CaptureStatus::Timeout
-            ) {
+            // Usable includes degraded (timeout / truncated) captures:
+            // a partial request log can still witness a CMP, and §3.5
+            // counts the degradation separately in the quality report.
+            if c.status.usable() {
                 by_day.entry(c.day).or_default().push(c);
             }
         }

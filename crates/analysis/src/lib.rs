@@ -27,7 +27,9 @@ pub use customization::{
 pub use interpolate::{DayObservation, Timeline, DAY_SHARE_THRESHOLD, FADE_OUT_DAYS};
 pub use jurisdiction::{jurisdiction_report, JurisdictionReport};
 pub use marketshare::{marketshare_curve, standard_sizes, MarketshareCurve, RankObservation};
-pub use quality::{bimodal_share, missing_data_report, MissingDataReport};
+pub use quality::{
+    bimodal_share, capture_quality, missing_data_report, CaptureQualityReport, MissingDataReport,
+};
 pub use timeseries::{
     adoption_series, build_timelines, switch_matrix, AdoptionPoint, SwitchMatrix,
 };

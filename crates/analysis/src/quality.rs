@@ -7,6 +7,7 @@
 
 use crate::interpolate::Timeline;
 use consent_crawler::CaptureDb;
+use consent_httpsim::CaptureStatus;
 use consent_webgraph::{Reachability, World};
 use std::collections::HashSet;
 
@@ -74,6 +75,84 @@ pub fn missing_data_report(
                 if profile.infrastructure {
                     report.infrastructure += 1;
                 }
+            }
+        }
+    }
+    report
+}
+
+/// Capture-quality breakdown: every stored capture mapped onto the §3.5
+/// quality columns. Degraded captures (timeout cut-offs and truncated
+/// records) are *usable* — their partial content is analyzed — but the
+/// paper requires them to be visible in the accounting rather than
+/// silently pooled with clean loads.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CaptureQualityReport {
+    /// All captures in the database.
+    pub total: u64,
+    /// Clean loads.
+    pub ok: u64,
+    /// Loads cut off by the page timeout (degraded, usable).
+    pub timeout: u64,
+    /// Truncated capture records (degraded, usable).
+    pub truncated: u64,
+    /// Anti-bot interstitials.
+    pub interstitial: u64,
+    /// HTTP 451 geo-blocks.
+    pub blocked_451: u64,
+    /// HTTP error statuses from the origin.
+    pub http_error: u64,
+    /// TCP/TLS connection never established.
+    pub connection_failed: u64,
+    /// Connection reset mid-load (transient network fault).
+    pub connection_reset: u64,
+}
+
+impl CaptureQualityReport {
+    /// Captures with analyzable content (ok + degraded).
+    pub fn usable(&self) -> u64 {
+        self.ok + self.timeout + self.truncated
+    }
+
+    /// Usable-but-incomplete captures.
+    pub fn degraded(&self) -> u64 {
+        self.timeout + self.truncated
+    }
+
+    /// Share of captures with analyzable content.
+    pub fn usable_rate(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.usable() as f64 / self.total as f64
+        }
+    }
+
+    /// Share of captures that are degraded.
+    pub fn degraded_rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.degraded() as f64 / self.total as f64
+        }
+    }
+}
+
+/// Tally every capture in the database into the §3.5 quality columns.
+pub fn capture_quality(db: &CaptureDb) -> CaptureQualityReport {
+    let mut report = CaptureQualityReport::default();
+    for (_, history) in db.iter() {
+        for c in history {
+            report.total += 1;
+            match c.status {
+                CaptureStatus::Ok => report.ok += 1,
+                CaptureStatus::Timeout => report.timeout += 1,
+                CaptureStatus::Truncated => report.truncated += 1,
+                CaptureStatus::AntiBotInterstitial => report.interstitial += 1,
+                CaptureStatus::LegallyBlocked => report.blocked_451 += 1,
+                CaptureStatus::HttpError => report.http_error += 1,
+                CaptureStatus::ConnectionFailed => report.connection_failed += 1,
+                CaptureStatus::ConnectionReset => report.connection_reset += 1,
             }
         }
     }
@@ -150,6 +229,61 @@ mod tests {
             report.infrastructure
         );
         let _ = report.unexplained();
+    }
+
+    #[test]
+    fn capture_quality_reconciles_and_surfaces_degradation() {
+        let w = world();
+        let start = Day::from_ymd(2020, 5, 1);
+        let config = FeedConfig {
+            urls_per_day: 800,
+            ..FeedConfig::default()
+        };
+        // Clean run: no injected faults, so no resets/truncations.
+        let clean = Platform::with_faults(
+            &w,
+            config.clone(),
+            consent_faultsim::FaultProfile::none(),
+            SeedTree::new(3),
+        );
+        let (db, stats) = clean.run(start, start + 3);
+        let q = capture_quality(&db);
+        assert_eq!(q.total, stats.captured);
+        assert_eq!(
+            q.ok + q.timeout
+                + q.truncated
+                + q.interstitial
+                + q.blocked_451
+                + q.http_error
+                + q.connection_failed
+                + q.connection_reset,
+            q.total,
+            "columns must partition the database"
+        );
+        assert_eq!(q.truncated + q.connection_reset, 0);
+        assert_eq!(q.degraded(), 0);
+        assert!(q.usable_rate() > 0.8, "usable rate {}", q.usable_rate());
+
+        // Chaos run: injected faults must show up as degraded/reset
+        // columns, and degraded captures must still be analyzable.
+        let chaotic = Platform::with_faults(
+            &w,
+            config,
+            consent_faultsim::FaultProfile::heavy(),
+            SeedTree::new(3),
+        );
+        let (chaos_db, chaos_stats) = chaotic.run(start, start + 3);
+        let cq = capture_quality(&chaos_db);
+        assert_eq!(cq.total, chaos_stats.captured);
+        assert!(cq.degraded() > 0, "heavy profile produced no degradation");
+        assert!(cq.connection_reset > 0);
+        assert!(cq.degraded_rate() > 0.0 && cq.usable_rate() < q.usable_rate());
+        // Degraded captures flow into timelines instead of vanishing.
+        let timelines = build_timelines(&chaos_db, None);
+        assert!(!timelines.is_empty());
+
+        assert_eq!(capture_quality(&CaptureDb::new()).usable_rate(), 1.0);
+        assert_eq!(capture_quality(&CaptureDb::new()).degraded_rate(), 0.0);
     }
 
     #[test]

@@ -6,8 +6,24 @@
 //! timing, and two language variants — with unsuccessful captures retried
 //! three times over a week. DOM snapshots are stored for the university
 //! crawls.
+//!
+//! This module is also where the robustness layer comes together: every
+//! capture runs through the [`FaultyEngine`] chaos wrapper, attempt
+//! scheduling follows an explicit [`RetryPolicy`], permanent failures
+//! short-circuit, a [`CircuitBreaker`](crate::resilience::CircuitBreaker)
+//! stops hammering escalating anti-bot domains, abandoned pairs land in
+//! the [`DeadLetterQueue`], and the whole campaign checkpoints into a
+//! [`CampaignState`] that can be exported, re-imported, and resumed
+//! without re-crawling completed `(domain, vantage)` pairs.
 
-use consent_httpsim::{CaptureOptions, Engine, Location, Vantage, WorldProber};
+use crate::capture_db::{CaptureDb, CmpSet};
+use crate::dead_letter::{AttemptRecord, DeadLetter, DeadLetterQueue};
+use crate::export::{export as export_db, import as import_db, ImportError};
+use crate::resilience::{BreakerConfig, CircuitBreaker, Outcome, RetryPolicy};
+use consent_faultsim::{FaultProfile, FaultyEngine};
+use consent_fingerprint::Detector;
+use consent_httpsim::{CaptureOptions, Location, Vantage, WorldProber};
+use consent_psl::PublicSuffixList;
 use consent_toplist::{default_providers, resolve_all, AggregationRule, SeedUrl, Toplist};
 use consent_util::{Day, SeedTree};
 use consent_webgraph::World;
@@ -23,6 +39,8 @@ pub struct CampaignCapture {
     pub capture: consent_httpsim::Capture,
     /// How many attempts were needed (1 = first try).
     pub attempts: u8,
+    /// Classification of the final attempt.
+    pub outcome: Outcome,
 }
 
 /// Results of a full campaign: one capture list per vantage column.
@@ -41,6 +59,133 @@ impl CampaignResult {
             .find(|(v, _)| *v == vantage)
             .map(|(_, c)| c.as_slice())
     }
+
+    /// Append another partial result's captures column-wise. Both halves
+    /// must come from the same campaign (same seeds, same vantage order);
+    /// since pairs are processed in a deterministic vantage-major order,
+    /// concatenation reconstructs the uninterrupted result.
+    pub fn merge(mut self, other: CampaignResult) -> CampaignResult {
+        for (vantage, captures) in other.columns {
+            match self.columns.iter_mut().find(|(v, _)| *v == vantage) {
+                Some((_, mine)) => mine.extend(captures),
+                None => self.columns.push((vantage, captures)),
+            }
+        }
+        self
+    }
+}
+
+/// How a campaign schedules, retries, and abandons captures.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CampaignConfig {
+    /// The chaos layer. [`FaultProfile::none`] (the default without
+    /// `CONSENT_CHAOS` in the environment) is byte-identical to running
+    /// the unwrapped engine.
+    pub fault_profile: FaultProfile,
+    /// Attempt schedule and retry classification (§3.2).
+    pub retry: RetryPolicy,
+    /// Anti-bot circuit breaker.
+    pub breaker: BreakerConfig,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> CampaignConfig {
+        CampaignConfig {
+            fault_profile: FaultProfile::from_env(),
+            retry: RetryPolicy::paper(),
+            breaker: BreakerConfig::default(),
+        }
+    }
+}
+
+/// The checkpointable campaign state: everything a resumed run needs.
+#[derive(Debug, Default)]
+pub struct CampaignState {
+    /// Capture summaries, one per processed `(domain, vantage)` pair.
+    pub db: CaptureDb,
+    /// Pairs abandoned without a usable capture.
+    pub dead_letters: DeadLetterQueue,
+    /// Cursor into the deterministic vantage-major, rank-minor pair
+    /// order: the number of pairs already processed. Each processed pair
+    /// inserts exactly one [`CaptureDb`] row, so `pairs_done` always
+    /// equals [`CaptureDb::len`].
+    pub pairs_done: u64,
+}
+
+const STATE_HEADER: &str = "#consent-campaign-state v1";
+
+impl CampaignState {
+    /// Fresh state (nothing crawled).
+    pub fn new() -> CampaignState {
+        CampaignState::default()
+    }
+
+    /// Serialize the checkpoint: a cursor line, then the capture-db
+    /// section, then the dead-letter section (each with its own header).
+    pub fn export(&self) -> String {
+        format!(
+            "{STATE_HEADER}\npairs_done={}\n{}{}",
+            self.pairs_done,
+            export_db(&self.db),
+            self.dead_letters.export(),
+        )
+    }
+
+    /// Parse a checkpoint produced by [`export`](Self::export).
+    pub fn import(text: &str) -> Result<CampaignState, ImportError> {
+        let mut lines = text.lines();
+        let bad = |line: usize, message: String| ImportError { line, message };
+        match lines.next() {
+            Some(STATE_HEADER) => {}
+            other => {
+                return Err(bad(0, format!("unsupported state header {other:?}")));
+            }
+        }
+        let pairs_done: u64 = lines
+            .next()
+            .and_then(|l| l.strip_prefix("pairs_done="))
+            .ok_or_else(|| bad(2, "missing pairs_done line".into()))?
+            .parse()
+            .map_err(|e| bad(2, format!("bad pairs_done: {e}")))?;
+        let rest: Vec<&str> = lines.collect();
+        let split = rest
+            .iter()
+            .position(|l| l.starts_with("#consent-dead-letters"))
+            .ok_or_else(|| bad(3, "missing dead-letter section".into()))?;
+        let db_text = rest[..split].join("\n");
+        let dl_text = rest[split..].join("\n");
+        let db = import_db(&db_text)?;
+        let dead_letters = DeadLetterQueue::import(&dl_text)
+            .map_err(|e| bad(e.line, format!("dead-letter section: {}", e.message)))?;
+        let state = CampaignState {
+            db,
+            dead_letters,
+            pairs_done,
+        };
+        if state.pairs_done != state.db.len() {
+            return Err(bad(
+                2,
+                format!(
+                    "cursor {} disagrees with {} stored captures",
+                    state.pairs_done,
+                    state.db.len()
+                ),
+            ));
+        }
+        Ok(state)
+    }
+}
+
+/// A (possibly partial) campaign run: the in-memory result of the pairs
+/// processed by this invocation plus the cumulative checkpoint state.
+pub struct CampaignRun {
+    /// Captures processed by this invocation only. After a resume,
+    /// [`CampaignResult::merge`] the halves to reconstruct the whole.
+    pub result: CampaignResult,
+    /// Cumulative state across this and any prior resumed-from runs.
+    pub state: CampaignState,
+    /// True once every `(domain, vantage)` pair has been processed.
+    pub complete: bool,
 }
 
 /// Build the study's Tranco-style toplist over the synthetic world:
@@ -56,7 +201,9 @@ pub fn build_toplist(world: &World, n: usize, seed: SeedTree) -> Vec<String> {
     toplist.top(n).map(str::to_owned).collect()
 }
 
-/// Run a toplist campaign on `day` for the given vantage columns.
+/// Run a toplist campaign on `day` for the given vantage columns with
+/// the default [`CampaignConfig`] (chaos profile from `CONSENT_CHAOS`,
+/// §3.2 retries, anti-bot breaker).
 pub fn run_campaign(
     world: &World,
     domains: &[String],
@@ -64,55 +211,165 @@ pub fn run_campaign(
     vantages: &[Vantage],
     seed: SeedTree,
 ) -> CampaignResult {
+    run_campaign_with(
+        world,
+        domains,
+        day,
+        vantages,
+        seed,
+        &CampaignConfig::default(),
+    )
+    .result
+}
+
+/// Run a full campaign under an explicit config.
+pub fn run_campaign_with(
+    world: &World,
+    domains: &[String],
+    day: Day,
+    vantages: &[Vantage],
+    seed: SeedTree,
+    config: &CampaignConfig,
+) -> CampaignRun {
+    resume_campaign(
+        world,
+        domains,
+        day,
+        vantages,
+        seed,
+        config,
+        CampaignState::new(),
+        None,
+    )
+}
+
+/// Run (or continue) a campaign from a checkpoint.
+///
+/// Pairs are processed in a deterministic vantage-major, rank-minor
+/// order; the first `state.pairs_done` pairs are skipped without
+/// re-crawling. `max_pairs` caps how many pairs this invocation
+/// processes (useful for incremental checkpointing); `None` runs to
+/// completion. Because every random draw is keyed by `(host, day,
+/// vantage, attempt)` rather than by call order, an interrupted and
+/// resumed campaign is indistinguishable from an uninterrupted one.
+#[allow(clippy::too_many_arguments)]
+pub fn resume_campaign(
+    world: &World,
+    domains: &[String],
+    day: Day,
+    vantages: &[Vantage],
+    seed: SeedTree,
+    config: &CampaignConfig,
+    mut state: CampaignState,
+    max_pairs: Option<u64>,
+) -> CampaignRun {
     let _span = consent_telemetry::span("campaign.run");
-    let engine = Engine::new(world, seed.child("engine"));
+    let engine = FaultyEngine::from_world(world, config.fault_profile, seed);
     let prober = WorldProber::new(world, seed.child("prober"));
-    // Three resolution rounds over a week (§3.2).
+    // Three resolution rounds over a week (§3.2). Resolution is a pure
+    // function of the seed, so a resumed run re-derives identical URLs.
     let attempt_days = [day - 7, day - 4, day - 1];
     let seeds = resolve_all(domains.iter().cloned(), &prober, &attempt_days);
+    let schedule = config.retry.schedule(day);
+    let detector = Detector::hostname_only();
+    let psl = PublicSuffixList::embedded();
 
-    let mut columns = Vec::with_capacity(vantages.len());
-    for &vantage in vantages {
+    let total_pairs = (vantages.len() * seeds.len()) as u64;
+    let budget = max_pairs.unwrap_or(u64::MAX);
+    let mut processed = 0u64;
+    let mut skipped = 0u64;
+    let mut pair_index = 0u64;
+    let mut columns: Vec<(Vantage, Vec<CampaignCapture>)> =
+        vantages.iter().map(|&v| (v, Vec::new())).collect();
+    'all: for (col, &vantage) in vantages.iter().enumerate() {
         let collect_dom = vantage.location == Location::EuUniversity;
-        let mut captures = Vec::with_capacity(seeds.len());
         for (i, s) in seeds.iter().enumerate() {
-            // Initial attempt plus up to three retries over a week.
-            let mut attempts = 0u8;
+            if pair_index < state.pairs_done {
+                pair_index += 1;
+                skipped += 1;
+                continue;
+            }
+            if processed >= budget {
+                break 'all;
+            }
+            pair_index += 1;
+            processed += 1;
+
+            let mut breaker = CircuitBreaker::new(config.breaker);
+            let mut history = Vec::new();
             let mut capture = None;
-            for retry in 0..4 {
-                attempts += 1;
-                let c = engine.capture(
+            let mut outcome = Outcome::Permanent;
+            let mut breaker_opened = false;
+            for (attempt, &attempt_day) in schedule.iter().enumerate() {
+                let c = engine.capture_attempt(
                     &s.url,
-                    day + retry * 2,
+                    attempt_day,
                     vantage,
                     CaptureOptions { collect_dom },
+                    attempt as u8 + 1,
                 );
-                let usable = c.usable();
+                outcome = Outcome::classify(c.status);
+                breaker_opened = breaker.record(c.status);
+                history.push(AttemptRecord {
+                    day: attempt_day,
+                    status: c.status,
+                });
                 capture = Some(c);
-                if usable {
+                if breaker_opened {
+                    consent_telemetry::count("campaign.breaker.open", 1);
+                    consent_telemetry::gauge_add("campaign.breaker.open_pairs", 1);
+                    break;
+                }
+                if !config.retry.should_retry(outcome) {
                     break;
                 }
             }
+            let capture = capture.expect("schedule has at least one attempt");
+            let attempts = history.len() as u8;
             if consent_telemetry::enabled() {
                 consent_telemetry::observe("campaign.attempts", u64::from(attempts));
                 consent_telemetry::count("campaign.retries", u64::from(attempts) - 1);
+                consent_telemetry::count_labeled(
+                    "campaign.outcome",
+                    &[("outcome", outcome.name())],
+                    1,
+                );
             }
-            captures.push(CampaignCapture {
+            let cmps = CmpSet::from_iter(detector.detect(&capture));
+            state.db.ingest(&capture, cmps, &psl);
+            state.pairs_done += 1;
+            if !capture.usable() {
+                state.dead_letters.push(DeadLetter {
+                    domain: s.domain.clone(),
+                    rank: i + 1,
+                    vantage,
+                    attempts: history,
+                    outcome,
+                    breaker_opened,
+                });
+            }
+            columns[col].1.push(CampaignCapture {
                 rank: i + 1,
                 domain: s.domain.clone(),
-                capture: capture.expect("at least one attempt"),
+                capture,
                 attempts,
+                outcome,
             });
         }
-        columns.push((vantage, captures));
     }
-    CampaignResult { columns, seeds }
+    consent_telemetry::count("campaign.pairs_skipped", skipped);
+    let complete = state.pairs_done == total_pairs;
+    CampaignRun {
+        result: CampaignResult { columns, seeds },
+        state,
+        complete,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use consent_httpsim::Timing;
+    use consent_httpsim::{CaptureStatus, Timing};
     use consent_webgraph::{AdoptionConfig, WorldConfig};
 
     fn world() -> World {
@@ -121,6 +378,14 @@ mod tests {
             seed: 42,
             adoption: AdoptionConfig::default(),
         })
+    }
+
+    fn quiet() -> CampaignConfig {
+        CampaignConfig {
+            fault_profile: FaultProfile::none(),
+            retry: RetryPolicy::paper(),
+            breaker: BreakerConfig::default(),
+        }
     }
 
     #[test]
@@ -151,7 +416,11 @@ mod tests {
         let list = build_toplist(&w, 150, SeedTree::new(7));
         let day = Day::from_ymd(2020, 5, 15);
         let vantages = Vantage::table1_columns();
-        let result = run_campaign(&w, &list, day, &vantages, SeedTree::new(9));
+        let run = run_campaign_with(&w, &list, day, &vantages, SeedTree::new(9), &quiet());
+        let result = run.result;
+        assert!(run.complete);
+        assert_eq!(run.state.pairs_done, 6 * 150);
+        assert_eq!(run.state.db.len(), 6 * 150);
         assert_eq!(result.columns.len(), 6);
         assert_eq!(result.seeds.len(), 150);
         for (_, captures) in &result.columns {
@@ -193,11 +462,11 @@ mod tests {
     }
 
     #[test]
-    fn retries_bounded() {
+    fn retries_bounded_and_permanent_failures_short_circuit() {
         let w = world();
         let list = build_toplist(&w, 100, SeedTree::new(7));
         let day = Day::from_ymd(2020, 5, 15);
-        let result = run_campaign(
+        let run = run_campaign_with(
             &w,
             &list,
             day,
@@ -207,9 +476,88 @@ mod tests {
                 language: consent_httpsim::Language::EnUs,
             }],
             SeedTree::new(9),
+            &quiet(),
         );
-        for c in result.column(result.columns[0].0).unwrap() {
+        for c in run.result.column(run.result.columns[0].0).unwrap() {
             assert!((1..=4).contains(&c.attempts));
+            if c.outcome == Outcome::Permanent {
+                // The §3.2 schedule is for *transient* failures; a 451
+                // geo-block or dead host must not burn retry budget.
+                assert_eq!(c.attempts, 1, "{} retried a permanent failure", c.domain);
+                assert_eq!(c.capture.day, day);
+            }
+            if c.outcome == Outcome::Success && c.attempts == 1 {
+                assert_eq!(c.capture.day, day);
+            }
         }
+    }
+
+    #[test]
+    fn legally_blocked_eu_sites_are_dead_lettered_once() {
+        let w = world();
+        let list = build_toplist(&w, 300, SeedTree::new(7));
+        let day = Day::from_ymd(2020, 5, 15);
+        let run = run_campaign_with(
+            &w,
+            &list,
+            day,
+            &[Vantage::eu_cloud()],
+            SeedTree::new(9),
+            &quiet(),
+        );
+        let blocked: Vec<&DeadLetter> = run
+            .state
+            .dead_letters
+            .records()
+            .iter()
+            .filter(|r| {
+                r.attempts
+                    .iter()
+                    .any(|a| a.status == CaptureStatus::LegallyBlocked)
+            })
+            .collect();
+        assert!(!blocked.is_empty(), "no 451 sites in a 300-domain EU crawl");
+        for dl in blocked {
+            assert_eq!(dl.outcome, Outcome::Permanent);
+            assert_eq!(dl.attempts.len(), 1, "{} retried", dl.domain);
+            assert!(!dl.breaker_opened);
+        }
+    }
+
+    #[test]
+    fn state_roundtrips_through_export() {
+        let w = world();
+        let list = build_toplist(&w, 80, SeedTree::new(7));
+        let day = Day::from_ymd(2020, 5, 15);
+        let run = run_campaign_with(
+            &w,
+            &list,
+            day,
+            &[Vantage::us_cloud(), Vantage::eu_cloud()],
+            SeedTree::new(9),
+            &quiet(),
+        );
+        let text = run.state.export();
+        let back = CampaignState::import(&text).unwrap();
+        assert_eq!(back.pairs_done, run.state.pairs_done);
+        assert_eq!(back.db.len(), run.state.db.len());
+        assert_eq!(back.dead_letters, run.state.dead_letters);
+        assert_eq!(back.export(), text);
+    }
+
+    #[test]
+    fn state_import_rejects_corruption() {
+        assert!(CampaignState::import("").is_err());
+        assert!(CampaignState::import("#wrong\n").is_err());
+        assert!(CampaignState::import(STATE_HEADER).is_err());
+        let no_dl = format!("{STATE_HEADER}\npairs_done=0\n#consent-capture-db v2\n");
+        assert!(CampaignState::import(&no_dl).is_err());
+        // A cursor that disagrees with the stored rows is corruption.
+        let bad_cursor = format!(
+            "{STATE_HEADER}\npairs_done=5\n#consent-capture-db v2\n#consent-dead-letters v1\n"
+        );
+        assert!(CampaignState::import(&bad_cursor).is_err());
+        let empty = CampaignState::new().export();
+        assert_eq!(CampaignState::import(&empty).unwrap().pairs_done, 0);
     }
 }

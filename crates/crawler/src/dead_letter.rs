@@ -1,0 +1,356 @@
+//! The dead-letter record: pairs the campaign gave up on.
+//!
+//! Every `(domain, vantage)` pair that never produced a usable capture —
+//! permanent failures, exhausted transient retries, breaker-opened
+//! anti-bot escalations — is recorded here with its full attempt
+//! history and final classification, and persisted alongside the
+//! [`CaptureDb`](crate::CaptureDb) line format so a longitudinal audit
+//! can reconcile what was measured against what was abandoned, §3.5
+//! style.
+
+use crate::export::{status_code, status_from};
+use crate::resilience::Outcome;
+use consent_httpsim::{CaptureStatus, Language, Location, Timing, Vantage};
+use consent_util::Day;
+use std::fmt;
+
+/// One capture attempt inside a dead-lettered pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AttemptRecord {
+    /// Day the attempt ran.
+    pub day: Day,
+    /// Its outcome status.
+    pub status: CaptureStatus,
+}
+
+/// One abandoned `(domain, vantage)` pair.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeadLetter {
+    /// Toplist domain of the seed URL.
+    pub domain: String,
+    /// Toplist rank (1-based).
+    pub rank: usize,
+    /// The vantage column.
+    pub vantage: Vantage,
+    /// Every attempt, in schedule order.
+    pub attempts: Vec<AttemptRecord>,
+    /// Final classification of the pair.
+    pub outcome: Outcome,
+    /// True if the circuit breaker opened and skipped the remaining
+    /// scheduled attempts.
+    pub breaker_opened: bool,
+}
+
+/// The campaign's dead-letter queue.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DeadLetterQueue {
+    records: Vec<DeadLetter>,
+}
+
+/// Import error for the dead-letter line format.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeadLetterImportError {
+    /// 1-based line number (0 for header problems).
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for DeadLetterImportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "dead-letter import error at line {}: {}",
+            self.line, self.message
+        )
+    }
+}
+
+impl std::error::Error for DeadLetterImportError {}
+
+const HEADER: &str = "#consent-dead-letters v1";
+
+impl DeadLetterQueue {
+    /// Empty queue.
+    pub fn new() -> DeadLetterQueue {
+        DeadLetterQueue::default()
+    }
+
+    /// Record an abandoned pair.
+    pub fn push(&mut self, letter: DeadLetter) {
+        consent_telemetry::count_labeled(
+            "campaign.dead_letter",
+            &[("outcome", letter.outcome.name())],
+            1,
+        );
+        consent_telemetry::observe(
+            "campaign.dead_letter.attempts",
+            letter.attempts.len() as u64,
+        );
+        self.records.push(letter);
+    }
+
+    /// All records, in insertion order.
+    pub fn records(&self) -> &[DeadLetter] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if nothing was abandoned.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The records whose breaker opened.
+    pub fn breaker_opened(&self) -> impl Iterator<Item = &DeadLetter> {
+        self.records.iter().filter(|r| r.breaker_opened)
+    }
+
+    /// Serialize to the line format (one record per line, tab-separated,
+    /// attempts as `day:status` comma lists).
+    pub fn export(&self) -> String {
+        let mut out = String::new();
+        out.push_str(HEADER);
+        out.push('\n');
+        for r in &self.records {
+            let attempts: Vec<String> = r
+                .attempts
+                .iter()
+                .map(|a| format!("{}:{}", a.day, status_code(a.status)))
+                .collect();
+            out.push_str(&format!(
+                "{}\t{}\t{}\t{}\t{}\t{}\n",
+                r.domain,
+                r.rank,
+                vantage_code(r.vantage),
+                r.outcome.name(),
+                u8::from(r.breaker_opened),
+                attempts.join(","),
+            ));
+        }
+        out
+    }
+
+    /// Parse the line format back.
+    pub fn import(text: &str) -> Result<DeadLetterQueue, DeadLetterImportError> {
+        let mut lines = text.lines().enumerate();
+        let (_, header) = lines.next().ok_or(DeadLetterImportError {
+            line: 0,
+            message: "empty input".into(),
+        })?;
+        if header != HEADER {
+            return Err(DeadLetterImportError {
+                line: 0,
+                message: format!("unsupported header {header:?}"),
+            });
+        }
+        let mut queue = DeadLetterQueue::new();
+        for (i, line) in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let err = |message: String| DeadLetterImportError {
+                line: i + 1,
+                message,
+            };
+            let fields: Vec<&str> = line.split('\t').collect();
+            if fields.len() != 6 {
+                return Err(err(format!("expected 6 fields, got {}", fields.len())));
+            }
+            let rank: usize = fields[1]
+                .parse()
+                .map_err(|e| err(format!("bad rank: {e}")))?;
+            let vantage = vantage_from(fields[2])
+                .ok_or_else(|| err(format!("bad vantage {:?}", fields[2])))?;
+            let outcome = Outcome::from_name(fields[3])
+                .ok_or_else(|| err(format!("bad outcome {:?}", fields[3])))?;
+            let breaker_opened = match fields[4] {
+                "0" => false,
+                "1" => true,
+                other => return Err(err(format!("bad breaker flag {other:?}"))),
+            };
+            let mut attempts = Vec::new();
+            if !fields[5].is_empty() {
+                for part in fields[5].split(',') {
+                    let (day, status) = part
+                        .split_once(':')
+                        .ok_or_else(|| err(format!("bad attempt {part:?}")))?;
+                    attempts.push(AttemptRecord {
+                        day: day.parse().map_err(|e| err(format!("bad day: {e}")))?,
+                        status: status_from(status)
+                            .ok_or_else(|| err(format!("bad status {status:?}")))?,
+                    });
+                }
+            }
+            // Records go straight into the vec: import must not
+            // re-count telemetry that the original run already counted.
+            queue.records.push(DeadLetter {
+                domain: fields[0].to_owned(),
+                rank,
+                vantage,
+                attempts,
+                outcome,
+                breaker_opened,
+            });
+        }
+        Ok(queue)
+    }
+}
+
+/// Compact stable code for a vantage, e.g. `uni-ext-de`.
+fn vantage_code(v: Vantage) -> String {
+    let loc = match v.location {
+        Location::UsCloud => "us",
+        Location::EuCloud => "eu",
+        Location::EuUniversity => "uni",
+    };
+    let timing = match v.timing {
+        Timing::Aggressive => "fast",
+        Timing::Extended => "ext",
+    };
+    let lang = match v.language {
+        Language::EnUs => "enus",
+        Language::De => "de",
+        Language::EnGb => "engb",
+    };
+    format!("{loc}-{timing}-{lang}")
+}
+
+fn vantage_from(code: &str) -> Option<Vantage> {
+    let mut parts = code.split('-');
+    let location = match parts.next()? {
+        "us" => Location::UsCloud,
+        "eu" => Location::EuCloud,
+        "uni" => Location::EuUniversity,
+        _ => return None,
+    };
+    let timing = match parts.next()? {
+        "fast" => Timing::Aggressive,
+        "ext" => Timing::Extended,
+        _ => return None,
+    };
+    let language = match parts.next()? {
+        "enus" => Language::EnUs,
+        "de" => Language::De,
+        "engb" => Language::EnGb,
+        _ => return None,
+    };
+    if parts.next().is_some() {
+        return None;
+    }
+    Some(Vantage {
+        location,
+        timing,
+        language,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DeadLetterQueue {
+        let mut q = DeadLetterQueue::new();
+        q.push(DeadLetter {
+            domain: "blocked.example".into(),
+            rank: 17,
+            vantage: Vantage::eu_cloud(),
+            attempts: vec![AttemptRecord {
+                day: Day::from_ymd(2020, 5, 15),
+                status: CaptureStatus::LegallyBlocked,
+            }],
+            outcome: Outcome::Permanent,
+            breaker_opened: false,
+        });
+        q.push(DeadLetter {
+            domain: "fortress.example".into(),
+            rank: 203,
+            vantage: Vantage::table1_columns()[4],
+            attempts: vec![
+                AttemptRecord {
+                    day: Day::from_ymd(2020, 5, 15),
+                    status: CaptureStatus::AntiBotInterstitial,
+                },
+                AttemptRecord {
+                    day: Day::from_ymd(2020, 5, 17),
+                    status: CaptureStatus::AntiBotInterstitial,
+                },
+                AttemptRecord {
+                    day: Day::from_ymd(2020, 5, 19),
+                    status: CaptureStatus::AntiBotInterstitial,
+                },
+            ],
+            outcome: Outcome::Transient,
+            breaker_opened: true,
+        });
+        q
+    }
+
+    #[test]
+    fn roundtrip() {
+        let q = sample();
+        let text = q.export();
+        let back = DeadLetterQueue::import(&text).unwrap();
+        assert_eq!(back, q);
+        assert_eq!(back.export(), text);
+        assert_eq!(back.breaker_opened().count(), 1);
+        assert_eq!(
+            back.breaker_opened().next().unwrap().domain,
+            "fortress.example"
+        );
+    }
+
+    #[test]
+    fn vantage_codes_are_unique_and_roundtrip() {
+        let mut codes: Vec<String> = Vantage::table1_columns()
+            .iter()
+            .map(|&v| vantage_code(v))
+            .collect();
+        for (code, &v) in codes.iter().zip(Vantage::table1_columns().iter()) {
+            assert_eq!(vantage_from(code), Some(v));
+        }
+        codes.sort();
+        codes.dedup();
+        assert_eq!(codes.len(), 6);
+        assert_eq!(vantage_from("us-fast"), None);
+        assert_eq!(vantage_from("us-fast-enus-extra"), None);
+        assert_eq!(vantage_from("moon-fast-enus"), None);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(DeadLetterQueue::import("").is_err());
+        assert!(DeadLetterQueue::import("#nope\n").is_err());
+        let h = format!("{HEADER}\n");
+        assert!(DeadLetterQueue::import(&format!("{h}too\tfew\n")).is_err());
+        assert!(
+            DeadLetterQueue::import(&format!("{h}a.com\tNaN\teu-fast-enus\tpermanent\t0\t\n"))
+                .is_err()
+        );
+        assert!(
+            DeadLetterQueue::import(&format!("{h}a.com\t1\teu-fast-enus\tmaybe\t0\t\n")).is_err()
+        );
+        assert!(
+            DeadLetterQueue::import(&format!("{h}a.com\t1\teu-fast-enus\tpermanent\t2\t\n"))
+                .is_err()
+        );
+        assert!(DeadLetterQueue::import(&format!(
+            "{h}a.com\t1\teu-fast-enus\tpermanent\t0\t2020-05-15~ok\n"
+        ))
+        .is_err());
+        let e = DeadLetterQueue::import(&format!("{h}bad\n")).unwrap_err();
+        assert!(e.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn empty_queue_roundtrips() {
+        let q = DeadLetterQueue::new();
+        let back = DeadLetterQueue::import(&q.export()).unwrap();
+        assert!(back.is_empty());
+        assert_eq!(back.len(), 0);
+    }
+}

@@ -12,8 +12,9 @@ use consent_util::Day;
 use consent_webgraph::ALL_CMPS;
 use std::fmt;
 
-/// Current format version.
-pub const FORMAT_VERSION: u32 = 1;
+/// Current format version. v2 added the `reset` and `truncated` status
+/// codes introduced by the fault-injection layer.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Import error with a line number.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -32,7 +33,7 @@ impl fmt::Display for ImportError {
 
 impl std::error::Error for ImportError {}
 
-fn status_code(s: CaptureStatus) -> &'static str {
+pub(crate) fn status_code(s: CaptureStatus) -> &'static str {
     match s {
         CaptureStatus::Ok => "ok",
         CaptureStatus::Timeout => "timeout",
@@ -40,10 +41,12 @@ fn status_code(s: CaptureStatus) -> &'static str {
         CaptureStatus::LegallyBlocked => "blocked451",
         CaptureStatus::HttpError => "httperr",
         CaptureStatus::ConnectionFailed => "connfail",
+        CaptureStatus::ConnectionReset => "reset",
+        CaptureStatus::Truncated => "truncated",
     }
 }
 
-fn status_from(code: &str) -> Option<CaptureStatus> {
+pub(crate) fn status_from(code: &str) -> Option<CaptureStatus> {
     Some(match code {
         "ok" => CaptureStatus::Ok,
         "timeout" => CaptureStatus::Timeout,
@@ -51,6 +54,8 @@ fn status_from(code: &str) -> Option<CaptureStatus> {
         "blocked451" => CaptureStatus::LegallyBlocked,
         "httperr" => CaptureStatus::HttpError,
         "connfail" => CaptureStatus::ConnectionFailed,
+        "reset" => CaptureStatus::ConnectionReset,
+        "truncated" => CaptureStatus::Truncated,
         _ => return None,
     })
 }
@@ -192,6 +197,24 @@ mod tests {
             redirected: false,
             dialog_visible: true,
         });
+        db.insert(CaptureSummary {
+            domain: "c.net".into(),
+            day: Day::from_ymd(2020, 5, 4),
+            location: Location::EuCloud,
+            status: CaptureStatus::Truncated,
+            cmps: CmpSet::empty(),
+            redirected: false,
+            dialog_visible: false,
+        });
+        db.insert(CaptureSummary {
+            domain: "c.net".into(),
+            day: Day::from_ymd(2020, 5, 6),
+            location: Location::UsCloud,
+            status: CaptureStatus::ConnectionReset,
+            cmps: CmpSet::empty(),
+            redirected: false,
+            dialog_visible: false,
+        });
         db
     }
 
@@ -204,6 +227,7 @@ mod tests {
         assert_eq!(back.domain_count(), db.domain_count());
         assert_eq!(back.domain_history("a.com"), db.domain_history("a.com"));
         assert_eq!(back.domain_history("b.co.uk"), db.domain_history("b.co.uk"));
+        assert_eq!(back.domain_history("c.net"), db.domain_history("c.net"));
         assert_eq!(back.redirect_rate(), db.redirect_rate());
         assert_eq!(back.multi_cmp_rate(), db.multi_cmp_rate());
         // Export is deterministic.

@@ -4,22 +4,35 @@
 //! media URL feed ([`feed`]), the 1h/48h deduplication queue ([`queue`]),
 //! the end-to-end capture pipeline with 50/50 US/EU vantage assignment
 //! ([`platform`]), the central capture database and query API
-//! ([`capture_db`]), and toplist crawl campaigns across the six Table 1
-//! vantage configurations ([`campaign`]).
+//! ([`capture_db`]), toplist crawl campaigns across the six Table 1
+//! vantage configurations ([`campaign`]), and the robustness layer:
+//! outcome classification, retry policy, and circuit breaking
+//! ([`resilience`]), dead-letter records for abandoned pairs
+//! ([`dead_letter`]), and checkpoint/resume via
+//! [`campaign::CampaignState`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod campaign;
 pub mod capture_db;
+pub mod dead_letter;
 pub mod export;
 pub mod feed;
 pub mod platform;
 pub mod queue;
+pub mod resilience;
 
-pub use campaign::{build_toplist, run_campaign, CampaignCapture, CampaignResult};
+pub use campaign::{
+    build_toplist, resume_campaign, run_campaign, run_campaign_with, CampaignCapture,
+    CampaignConfig, CampaignResult, CampaignRun, CampaignState,
+};
 pub use capture_db::{CaptureDb, CaptureSummary, CmpSet};
+pub use dead_letter::{AttemptRecord, DeadLetter, DeadLetterQueue};
 pub use export::{export as export_db, import as import_db};
 pub use feed::{Feed, FeedConfig, FeedItem, FeedSource};
 pub use platform::{Platform, RunStats};
 pub use queue::{Admission, DedupQueue};
+pub use resilience::{
+    BreakerConfig, BreakerState, CircuitBreaker, Outcome, RetryPolicy, RetrySpacing,
+};

@@ -9,8 +9,9 @@
 use crate::capture_db::{CaptureDb, CmpSet};
 use crate::feed::{Feed, FeedConfig, FeedItem};
 use crate::queue::{Admission, DedupQueue};
+use consent_faultsim::{FaultProfile, FaultyEngine};
 use consent_fingerprint::Detector;
-use consent_httpsim::{CaptureOptions, Engine, Vantage};
+use consent_httpsim::{CaptureOptions, Vantage};
 use consent_psl::PublicSuffixList;
 use consent_util::{Day, SeedTree};
 use consent_webgraph::World;
@@ -55,7 +56,7 @@ impl RunStats {
 
 /// The measurement platform.
 pub struct Platform<'w> {
-    engine: Engine<'w>,
+    engine: FaultyEngine<'w>,
     feed: Feed<'w>,
     detector: Detector,
     psl: PublicSuffixList,
@@ -63,10 +64,23 @@ pub struct Platform<'w> {
 }
 
 impl<'w> Platform<'w> {
-    /// Assemble the platform over a world.
+    /// Assemble the platform over a world. The capture engine is wrapped
+    /// by the chaos layer configured via `CONSENT_CHAOS` (a no-op — and
+    /// byte-identical to the unwrapped engine — when the variable is
+    /// unset).
     pub fn new(world: &'w World, feed_config: FeedConfig, seed: SeedTree) -> Platform<'w> {
+        Platform::with_faults(world, feed_config, FaultProfile::from_env(), seed)
+    }
+
+    /// Assemble the platform with an explicit fault profile.
+    pub fn with_faults(
+        world: &'w World,
+        feed_config: FeedConfig,
+        profile: FaultProfile,
+        seed: SeedTree,
+    ) -> Platform<'w> {
         Platform {
-            engine: Engine::new(world, seed.child("engine")),
+            engine: FaultyEngine::from_world(world, profile, seed),
             feed: Feed::new(world, feed_config, seed.child("feed")),
             detector: Detector::hostname_only(),
             psl: PublicSuffixList::embedded(),

@@ -1,0 +1,31 @@
+//! # consent-faultsim
+//!
+//! A deterministic chaos layer for the capture pipeline. The simulated
+//! web (`consent-httpsim`) only produces the world's *deterministic*
+//! failure modes — geo blocks, anti-bot CDNs, unreachable hosts. Real
+//! crawls also suffer *transient* faults: dropped connections, network
+//! timeouts, truncated records, and rate-limit escalation after repeated
+//! hits from the same vantage (§3.2 retries "three times over a week"
+//! precisely because of these). This crate injects those faults
+//! reproducibly: a [`FaultPlan`] seeded from a
+//! [`SeedTree`](consent_util::SeedTree) decides, as a pure function of
+//! `(host, day, vantage, attempt)`, whether an attempt fails and how, and
+//! [`FaultyEngine`] applies the decision to
+//! [`Engine::capture`](consent_httpsim::Engine::capture) output.
+//!
+//! [`FaultProfile::none()`] is the identity: the wrapped engine returns
+//! byte-identical captures, so the fault layer can stay permanently wired
+//! into the pipeline. The `CONSENT_CHAOS` environment variable (see
+//! [`FaultProfile::from_env`]) turns on a named profile for whole-suite
+//! chaos runs in CI.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod plan;
+pub mod profile;
+
+pub use engine::FaultyEngine;
+pub use plan::{Fault, FaultPlan};
+pub use profile::FaultProfile;

@@ -53,12 +53,19 @@ impl Detector {
 
     /// Detect every CMP present in a capture. Unusable captures (anti-bot
     /// interstitials, 451s, connection failures) yield nothing by
-    /// construction — there is no page content to match.
+    /// construction — there is no page content to match. Degraded
+    /// captures (timeout cut-offs, truncated records) are matched on
+    /// whatever survived: hostname rules work on a partial request log,
+    /// so detection degrades gracefully rather than failing closed.
     pub fn detect(&self, capture: &Capture) -> BTreeSet<Cmp> {
         let mut found = BTreeSet::new();
         if !capture.usable() {
             consent_telemetry::count("fingerprint.detect.unusable", 1);
             return found;
+        }
+        let degraded = capture.degraded();
+        if degraded {
+            consent_telemetry::count("fingerprint.detect.degraded", 1);
         }
         for rule in &self.rules {
             if rule.specificity < self.min_specificity {
@@ -82,7 +89,13 @@ impl Detector {
         }
         if consent_telemetry::enabled() {
             if found.is_empty() {
-                consent_telemetry::count("fingerprint.detect.miss", 1);
+                // A miss on a degraded capture may just mean the evidence
+                // was cut off — keep it out of the clean-miss count.
+                if degraded {
+                    consent_telemetry::count("fingerprint.detect.miss_degraded", 1);
+                } else {
+                    consent_telemetry::count("fingerprint.detect.miss", 1);
+                }
             } else {
                 for cmp in &found {
                     consent_telemetry::count_labeled(

@@ -54,6 +54,13 @@ pub enum CaptureStatus {
     HttpError,
     /// TCP/TLS connection failed.
     ConnectionFailed,
+    /// The connection was reset mid-load (transient network fault; the
+    /// retry schedule of §3.2 exists for exactly this case).
+    ConnectionReset,
+    /// The capture is present but incomplete: a partial request log
+    /// and/or a missing DOM snapshot. §3.5 requires these to be counted
+    /// as degraded rather than silently analyzed as clean pages.
+    Truncated,
 }
 
 impl CaptureStatus {
@@ -66,7 +73,23 @@ impl CaptureStatus {
             CaptureStatus::LegallyBlocked => "LegallyBlocked",
             CaptureStatus::HttpError => "HttpError",
             CaptureStatus::ConnectionFailed => "ConnectionFailed",
+            CaptureStatus::ConnectionReset => "ConnectionReset",
+            CaptureStatus::Truncated => "Truncated",
         }
+    }
+
+    /// True if a capture with this status carries usable page content.
+    pub fn usable(&self) -> bool {
+        matches!(
+            self,
+            CaptureStatus::Ok | CaptureStatus::Timeout | CaptureStatus::Truncated
+        )
+    }
+
+    /// True if the content is usable but incomplete (cut off or
+    /// truncated): analyzed, but reported separately per §3.5.
+    pub fn degraded(&self) -> bool {
+        matches!(self, CaptureStatus::Timeout | CaptureStatus::Truncated)
     }
 }
 
@@ -141,7 +164,14 @@ impl Capture {
 
     /// True if the capture produced usable page content.
     pub fn usable(&self) -> bool {
-        matches!(self.status, CaptureStatus::Ok | CaptureStatus::Timeout)
+        self.status.usable()
+    }
+
+    /// True if the capture is usable but incomplete: the load was cut
+    /// off (timeout) or the record was truncated. Degraded captures are
+    /// analyzed, but §3.5 accounting must report them separately.
+    pub fn degraded(&self) -> bool {
+        self.status.degraded()
     }
 }
 
@@ -199,11 +229,19 @@ mod tests {
             CaptureStatus::LegallyBlocked,
             CaptureStatus::HttpError,
             CaptureStatus::ConnectionFailed,
+            CaptureStatus::ConnectionReset,
         ] {
             c.status = s;
             assert!(!c.usable(), "{s:?} should be unusable");
         }
         c.status = CaptureStatus::Timeout;
         assert!(c.usable());
+        assert!(c.degraded());
+        c.status = CaptureStatus::Truncated;
+        assert!(c.usable());
+        assert!(c.degraded());
+        c.status = CaptureStatus::Ok;
+        assert!(c.usable());
+        assert!(!c.degraded());
     }
 }

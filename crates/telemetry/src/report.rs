@@ -112,18 +112,41 @@ impl RunReport {
         }
         for (key, label) in [
             ("campaign.retries", "Campaign retries"),
+            ("campaign.breaker.open", "Breaker opens"),
+            ("campaign.pairs_skipped", "Resume skips"),
             ("queue.offer{decision=SkippedUrl}", "Dedup skips (URL)"),
             (
                 "queue.offer{decision=SkippedDomain}",
                 "Dedup skips (domain)",
             ),
             ("fingerprint.detect.miss", "Detector misses"),
+            ("fingerprint.detect.degraded", "Degraded captures analyzed"),
+            (
+                "fingerprint.detect.miss_degraded",
+                "Detector misses (degraded)",
+            ),
             ("analysis.interpolated_days", "Interpolated days"),
         ] {
             let v = self.delta.counter(key);
             if v > 0 {
                 t.row(vec![label.into(), thousands(v)]);
             }
+        }
+        // Labeled robustness families: injected faults, final outcome
+        // classes, and dead-letter records, one row per label value.
+        for (family, label) in [
+            ("faultsim.injected", "Injected fault"),
+            ("campaign.outcome", "Campaign outcome"),
+            ("campaign.dead_letter", "Dead letters"),
+        ] {
+            for (key, n) in self.delta.counters_with_prefix(family) {
+                let (_, labels) = parse_key(key);
+                let value = labels.first().map(|(_, v)| *v).unwrap_or("?");
+                t.row(vec![format!("  {label} {value}"), thousands(n)]);
+            }
+        }
+        if let Some(&open) = self.delta.gauges.get("campaign.breaker.open_pairs") {
+            t.row(vec!["Breaker-opened pairs".into(), open.to_string()]);
         }
         t.to_string()
     }

@@ -1,0 +1,298 @@
+//! Chaos determinism, checkpoint/resume, and failure-policy invariants.
+//!
+//! Telemetry stays disabled here (the global registry belongs to
+//! `it_telemetry`); these tests pin down the *data* guarantees of the
+//! robustness layer: seeded fault injection is reproducible, a none
+//! profile is indistinguishable from the unwrapped engine, permanent
+//! failures never retry, the breaker dead-letters escalating anti-bot
+//! domains, and an interrupted campaign resumes to the exact same state
+//! as an uninterrupted one.
+
+use consent_crawler::{
+    build_toplist, resume_campaign, run_campaign_with, BreakerConfig, CampaignConfig,
+    CampaignState, Outcome, RetryPolicy,
+};
+use consent_faultsim::FaultProfile;
+use consent_httpsim::{CaptureOptions, CaptureStatus, Engine, Location, Vantage};
+use consent_util::{Day, SeedTree};
+use consent_webgraph::{AdoptionConfig, World, WorldConfig};
+
+fn world() -> World {
+    World::new(WorldConfig {
+        n_sites: 5_000,
+        seed: 42,
+        adoption: AdoptionConfig::default(),
+    })
+}
+
+fn config(profile: FaultProfile) -> CampaignConfig {
+    CampaignConfig {
+        fault_profile: profile,
+        retry: RetryPolicy::paper(),
+        breaker: BreakerConfig::default(),
+    }
+}
+
+const DAY: fn() -> Day = || Day::from_ymd(2020, 5, 15);
+
+#[test]
+fn seeded_chaos_is_deterministic() {
+    let w = world();
+    let list = build_toplist(&w, 150, SeedTree::new(7));
+    let vantages = [Vantage::eu_cloud(), Vantage::table1_columns()[3]];
+    let run = |_: u32| {
+        run_campaign_with(
+            &w,
+            &list,
+            DAY(),
+            &vantages,
+            SeedTree::new(9),
+            &config(FaultProfile::heavy()),
+        )
+    };
+    let a = run(0);
+    let b = run(1);
+    assert!(a.complete && b.complete);
+    // Same seed + same profile ⇒ identical capture db, dead letters, and
+    // per-pair attempt histories, down to the serialized byte.
+    assert_eq!(a.state.export(), b.state.export());
+    assert!(
+        !a.state.dead_letters.is_empty(),
+        "heavy chaos produced no dead letters"
+    );
+    for ((va, ca), (vb, cb)) in a.result.columns.iter().zip(b.result.columns.iter()) {
+        assert_eq!(va, vb);
+        for (x, y) in ca.iter().zip(cb.iter()) {
+            assert_eq!(x.capture, y.capture);
+            assert_eq!(x.attempts, y.attempts);
+            assert_eq!(x.outcome, y.outcome);
+        }
+    }
+    // A different fault seed genuinely changes the injected faults.
+    let c = run_campaign_with(
+        &w,
+        &list,
+        DAY(),
+        &vantages,
+        SeedTree::new(10),
+        &config(FaultProfile::heavy()),
+    );
+    assert_ne!(a.state.export(), c.state.export());
+}
+
+#[test]
+fn none_profile_matches_the_unwrapped_engine() {
+    let w = world();
+    let list = build_toplist(&w, 120, SeedTree::new(7));
+    let vantages = [Vantage::us_cloud(), Vantage::table1_columns()[3]];
+    let seed = SeedTree::new(9);
+    let run = run_campaign_with(
+        &w,
+        &list,
+        DAY(),
+        &vantages,
+        seed,
+        &config(FaultProfile::none()),
+    );
+    // Replay every recorded capture through a bare engine built from the
+    // same seed node the campaign uses: the fault layer must have been a
+    // pure passthrough.
+    let bare = Engine::new(&w, seed.child("engine"));
+    for (vantage, captures) in &run.result.columns {
+        let collect_dom = vantage.location == Location::EuUniversity;
+        for c in captures {
+            let url = &run.result.seeds[c.rank - 1].url;
+            let replay = bare.capture(url, c.capture.day, *vantage, CaptureOptions { collect_dom });
+            assert_eq!(
+                c.capture, replay,
+                "{} diverged from the bare engine",
+                c.domain
+            );
+        }
+    }
+    // No injected statuses can exist without a fault profile.
+    for (_, captures) in &run.result.columns {
+        for c in captures {
+            assert!(!matches!(
+                c.capture.status,
+                CaptureStatus::ConnectionReset | CaptureStatus::Truncated | CaptureStatus::Timeout
+            ));
+        }
+    }
+}
+
+#[test]
+fn interrupted_campaign_resumes_to_the_uninterrupted_state() {
+    let w = world();
+    let list = build_toplist(&w, 90, SeedTree::new(7));
+    let vantages = [Vantage::eu_cloud(), Vantage::us_cloud()];
+    let seed = SeedTree::new(9);
+    let cfg = config(FaultProfile::mild());
+
+    let full = run_campaign_with(&w, &list, DAY(), &vantages, seed, &cfg);
+    assert!(full.complete);
+    let total_pairs = (vantages.len() * list.len()) as u64;
+    assert_eq!(full.state.pairs_done, total_pairs);
+
+    // Kill the campaign halfway (mid-column), checkpoint through the
+    // text format, and resume.
+    let half = total_pairs / 2;
+    let first = resume_campaign(
+        &w,
+        &list,
+        DAY(),
+        &vantages,
+        seed,
+        &cfg,
+        CampaignState::new(),
+        Some(half),
+    );
+    assert!(!first.complete);
+    assert_eq!(first.state.pairs_done, half);
+    assert_eq!(first.state.db.len(), half);
+
+    let checkpoint = first.state.export();
+    let restored = CampaignState::import(&checkpoint).expect("checkpoint parses");
+    let second = resume_campaign(&w, &list, DAY(), &vantages, seed, &cfg, restored, None);
+    assert!(second.complete);
+
+    // The merged halves equal the uninterrupted run: same cumulative
+    // state (db rows, dead letters, cursor) and same per-pair captures.
+    assert_eq!(second.state.export(), full.state.export());
+    let merged = first.result.merge(second.result);
+    for (vantage, captures) in &full.result.columns {
+        let m = merged.column(*vantage).unwrap();
+        assert_eq!(m.len(), captures.len());
+        for (x, y) in captures.iter().zip(m.iter()) {
+            assert_eq!(x.rank, y.rank);
+            assert_eq!(x.capture, y.capture);
+            assert_eq!(x.attempts, y.attempts);
+        }
+    }
+}
+
+#[test]
+fn breaker_dead_letters_escalating_antibot_domains() {
+    let w = world();
+    let list = build_toplist(&w, 300, SeedTree::new(7));
+    // Even without injected faults, anti-bot CDN sites serve
+    // interstitials to cloud vantages on every attempt: the breaker must
+    // open at the threshold instead of burning the full schedule.
+    let run = run_campaign_with(
+        &w,
+        &list,
+        DAY(),
+        &[Vantage::eu_cloud()],
+        SeedTree::new(9),
+        &config(FaultProfile::none()),
+    );
+    let opened: Vec<_> = run.state.dead_letters.breaker_opened().collect();
+    assert!(!opened.is_empty(), "no breaker opens in 300 domains");
+    for dl in &opened {
+        assert_eq!(
+            dl.attempts.len(),
+            usize::from(BreakerConfig::default().antibot_threshold)
+        );
+        assert!(dl
+            .attempts
+            .iter()
+            .all(|a| a.status == CaptureStatus::AntiBotInterstitial));
+        assert_eq!(dl.outcome, Outcome::Transient);
+    }
+    // Breaker-opened pairs are in the dead-letter record *and* the db
+    // (one row per pair, final status preserved for §3.5 accounting).
+    assert_eq!(run.state.db.len(), list.len() as u64);
+}
+
+#[test]
+fn degraded_captures_are_kept_not_retried() {
+    let w = world();
+    let list = build_toplist(&w, 100, SeedTree::new(7));
+    // Truncate every capture: all outcomes become Degraded.
+    let profile = FaultProfile {
+        truncation: 1.0,
+        ..FaultProfile::none()
+    };
+    let run = run_campaign_with(
+        &w,
+        &list,
+        DAY(),
+        &[Vantage::us_cloud()],
+        SeedTree::new(9),
+        &config(profile),
+    );
+    let captures = run.result.column(Vantage::us_cloud()).unwrap();
+    let degraded: Vec<_> = captures
+        .iter()
+        .filter(|c| c.outcome == Outcome::Degraded)
+        .collect();
+    assert!(!degraded.is_empty());
+    for c in &degraded {
+        assert_eq!(c.attempts, 1, "degraded capture was retried");
+        assert!(c.capture.usable() && c.capture.degraded());
+        // Kept, not abandoned: degraded pairs are absent from the
+        // dead-letter record.
+        assert!(!run
+            .state
+            .dead_letters
+            .records()
+            .iter()
+            .any(|dl| dl.rank == c.rank));
+    }
+    // Opting in to degraded retries spends more attempts.
+    let eager = CampaignConfig {
+        retry: RetryPolicy {
+            retry_degraded: true,
+            ..RetryPolicy::paper()
+        },
+        ..config(profile)
+    };
+    let eager_run = run_campaign_with(
+        &w,
+        &list,
+        DAY(),
+        &[Vantage::us_cloud()],
+        SeedTree::new(9),
+        &eager,
+    );
+    let eager_attempts: u64 = eager_run
+        .result
+        .column(Vantage::us_cloud())
+        .unwrap()
+        .iter()
+        .map(|c| u64::from(c.attempts))
+        .sum();
+    let lazy_attempts: u64 = captures.iter().map(|c| u64::from(c.attempts)).sum();
+    assert!(eager_attempts > lazy_attempts);
+}
+
+#[test]
+fn schedule_is_explicit_and_stays_inside_the_week() {
+    let day = DAY();
+    let schedule = RetryPolicy::paper().schedule(day);
+    assert_eq!(schedule, vec![day, day + 2, day + 4, day + 6]);
+    assert!(schedule.iter().all(|&d| (d - day) <= 7));
+    // Every attempt day recorded by a campaign comes from that schedule.
+    let w = world();
+    let list = build_toplist(&w, 80, SeedTree::new(7));
+    let run = run_campaign_with(
+        &w,
+        &list,
+        day,
+        &[Vantage::eu_cloud()],
+        SeedTree::new(9),
+        &config(FaultProfile::heavy()),
+    );
+    for dl in run.state.dead_letters.records() {
+        for a in &dl.attempts {
+            assert!(
+                schedule.contains(&a.day),
+                "off-schedule attempt on {}",
+                a.day
+            );
+        }
+    }
+    for c in run.result.column(Vantage::eu_cloud()).unwrap() {
+        assert!(schedule.contains(&c.capture.day));
+    }
+}

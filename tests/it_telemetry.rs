@@ -28,7 +28,7 @@ fn run_reports_reconcile_with_capture_db() {
     let ((db, stats), report) = RunReport::collect(global(), "platform", || {
         platform.run(Day::from_ymd(2020, 5, 1), Day::from_ymd(2020, 5, 3))
     });
-    assert!(db.len() > 0, "pipeline produced no captures");
+    assert!(!db.is_empty(), "pipeline produced no captures");
     assert_eq!(report.captures_total(), db.len());
     assert_eq!(report.captures_total(), stats.captured);
 
@@ -41,21 +41,94 @@ fn run_reports_reconcile_with_capture_db() {
     let by_status = report.captures_by_status();
     assert_eq!(by_status.values().sum::<u64>(), db.len());
 
-    // The engine saw at least as many captures as the db recorded
-    // (identical here, since the platform ingests every capture), and
-    // the dedup queue skipped what the stats say it skipped.
+    // Every platform capture either ran through the engine or was
+    // preempted by a connection-level injected fault (brownout, reset,
+    // anti-bot escalation never reach the origin; injected timeouts and
+    // truncations degrade a real engine capture). With chaos off (no
+    // CONSENT_CHAOS) the fault terms are zero and this reduces to
+    // engine outcomes == captures.
     let outcomes: u64 = report
         .delta
         .counters_with_prefix("engine.capture.outcome")
         .map(|(_, n)| n)
         .sum();
-    assert_eq!(outcomes, stats.captured);
+    let preempting: u64 = ["brownout", "reset", "antibot_escalation"]
+        .iter()
+        .map(|f| {
+            report
+                .delta
+                .counter(&format!("faultsim.injected{{fault={f}}}"))
+        })
+        .sum();
+    assert_eq!(outcomes + preempting, stats.captured);
     let skips = report.delta.counter("queue.offer{decision=SkippedUrl}")
         + report.delta.counter("queue.offer{decision=SkippedDomain}");
     assert_eq!(skips, stats.skipped);
     assert_eq!(
         report.delta.counter("queue.offer{decision=Accepted}"),
         stats.captured
+    );
+
+    // Campaign retry accounting: retries are attempts minus one, summed
+    // over pairs, and permanent failures short-circuit after their first
+    // attempt — a geo-blocked 451 must never burn retry budget, so the
+    // retries counter reconciles exactly with the per-capture attempt
+    // numbers.
+    let toplist = consent_crawler::build_toplist(study.world(), 120, study.seed().child("it-top"));
+    let (run, campaign_report) = RunReport::collect(global(), "campaign", || {
+        consent_crawler::run_campaign_with(
+            study.world(),
+            &toplist,
+            Day::from_ymd(2020, 5, 15),
+            &[consent_httpsim::Vantage::eu_cloud()],
+            study.seed().child("it-campaign"),
+            &consent_crawler::CampaignConfig {
+                fault_profile: consent_faultsim::FaultProfile::none(),
+                ..consent_crawler::CampaignConfig::default()
+            },
+        )
+    });
+    let captures = run
+        .result
+        .column(consent_httpsim::Vantage::eu_cloud())
+        .unwrap();
+    let expected_retries: u64 = captures.iter().map(|c| u64::from(c.attempts) - 1).sum();
+    assert_eq!(
+        campaign_report.delta.counter("campaign.retries"),
+        expected_retries
+    );
+    let permanents = captures
+        .iter()
+        .filter(|c| c.outcome == consent_crawler::Outcome::Permanent)
+        .count() as u64;
+    assert!(permanents > 0, "no permanent failures in 120 EU domains");
+    for c in captures {
+        if c.outcome == consent_crawler::Outcome::Permanent {
+            assert_eq!(c.attempts, 1, "{} retried a permanent failure", c.domain);
+        }
+    }
+    assert_eq!(
+        campaign_report
+            .delta
+            .counter("campaign.outcome{outcome=permanent}"),
+        permanents
+    );
+    // One db row per (domain, vantage) pair, reconciled via the insert
+    // family like the platform above.
+    assert_eq!(campaign_report.captures_total(), run.state.db.len());
+    assert_eq!(run.state.db.len(), toplist.len() as u64);
+    // Dead letters cover exactly the pairs without a usable capture.
+    assert_eq!(
+        run.state.dead_letters.len() as u64,
+        captures.iter().filter(|c| !c.capture.usable()).count() as u64
+    );
+    assert_eq!(
+        campaign_report
+            .delta
+            .counters_with_prefix("campaign.dead_letter{")
+            .map(|(_, n)| n)
+            .sum::<u64>(),
+        run.state.dead_letters.len() as u64
     );
 
     // A reported experiment records onto the study, and a second report
