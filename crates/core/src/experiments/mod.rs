@@ -6,7 +6,10 @@
 //! [`consent_telemetry::RunReport`] — capture counts per vantage and
 //! `CaptureStatus`, retries, dedup skips — is recorded on the
 //! [`Study`](crate::Study). With telemetry disabled (the default) the
-//! wrappers cost two empty snapshots and a clock read.
+//! wrappers cost two empty snapshots and a clock read. For causal
+//! per-capture tracing, [`run_traced`] additionally turns on the global
+//! `consent_trace` log around a closure and hands back the byte-stable
+//! JSONL export (see `examples/trace_explain.rs`).
 
 use crate::Study;
 
@@ -28,4 +31,20 @@ pub fn run_reported<T>(study: &Study, name: &str, f: impl FnOnce() -> T) -> T {
         consent_telemetry::RunReport::collect(consent_telemetry::global(), name, f);
     study.record_report(report);
     value
+}
+
+/// Run `f` with the global trace log recording and return `f`'s value
+/// together with the byte-stable JSONL export of every trace it
+/// recorded. The log is cleared before the run (so the export contains
+/// only this run's traces) and recording is restored to its previous
+/// state afterward, making the helper safe to compose with
+/// [`run_reported`] and with runs that leave tracing off.
+pub fn run_traced<T>(f: impl FnOnce() -> T) -> (T, String) {
+    let was_enabled = consent_trace::enabled();
+    consent_trace::clear();
+    consent_trace::enable();
+    let value = f();
+    let jsonl = consent_trace::global().export_jsonl();
+    consent_trace::global().set_enabled(was_enabled);
+    (value, jsonl)
 }

@@ -15,16 +15,27 @@
 //! the [`DeadLetterQueue`], and the whole campaign checkpoints into a
 //! [`CampaignState`] that can be exported, re-imported, and resumed
 //! without re-crawling completed `(domain, vantage)` pairs.
+//!
+//! Observability: each `(domain, vantage)` pair opens one
+//! `consent_trace` trace (id from [`consent_trace::stable_id`], so
+//! replays and resumes agree), with a child span per attempt and
+//! instant events for injected faults, attempt outcomes, retry
+//! decisions, breaker transitions, and dead-lettering. Independently of
+//! tracing, every pair appends a [`Provenance`] record to the state's
+//! [`ProvenanceLog`] — built unconditionally from the attempt history
+//! and the pure fault plan, so checkpoints are byte-identical whether
+//! tracing was on or off.
 
 use crate::capture_db::{CaptureDb, CmpSet};
-use crate::dead_letter::{AttemptRecord, DeadLetter, DeadLetterQueue};
-use crate::export::{export as export_db, import as import_db, ImportError};
+use crate::dead_letter::{vantage_code, AttemptRecord, DeadLetter, DeadLetterQueue};
+use crate::export::{export as export_db, import as import_db, status_code, ImportError};
 use crate::resilience::{BreakerConfig, CircuitBreaker, Outcome, RetryPolicy};
 use consent_faultsim::{FaultProfile, FaultyEngine};
 use consent_fingerprint::Detector;
-use consent_httpsim::{CaptureOptions, Location, Vantage, WorldProber};
+use consent_httpsim::{split_url, CaptureOptions, Location, Vantage, WorldProber};
 use consent_psl::PublicSuffixList;
 use consent_toplist::{default_providers, resolve_all, AggregationRule, SeedUrl, Toplist};
+use consent_trace::{stable_id, AttemptProvenance, Provenance, ProvenanceLog};
 use consent_util::{Day, SeedTree};
 use consent_webgraph::World;
 
@@ -105,14 +116,18 @@ pub struct CampaignState {
     pub db: CaptureDb,
     /// Pairs abandoned without a usable capture.
     pub dead_letters: DeadLetterQueue,
+    /// One acquisition record per processed pair, in processing order —
+    /// the audit trail joining every [`CaptureDb`] row back to its
+    /// attempt history, injected faults, and trace id.
+    pub provenance: ProvenanceLog,
     /// Cursor into the deterministic vantage-major, rank-minor pair
     /// order: the number of pairs already processed. Each processed pair
-    /// inserts exactly one [`CaptureDb`] row, so `pairs_done` always
-    /// equals [`CaptureDb::len`].
+    /// inserts exactly one [`CaptureDb`] row and one [`ProvenanceLog`]
+    /// record, so `pairs_done` always equals [`CaptureDb::len`].
     pub pairs_done: u64,
 }
 
-const STATE_HEADER: &str = "#consent-campaign-state v1";
+const STATE_HEADER: &str = "#consent-campaign-state v2";
 
 impl CampaignState {
     /// Fresh state (nothing crawled).
@@ -120,14 +135,15 @@ impl CampaignState {
         CampaignState::default()
     }
 
-    /// Serialize the checkpoint: a cursor line, then the capture-db
-    /// section, then the dead-letter section (each with its own header).
+    /// Serialize the checkpoint: a cursor line, then the capture-db,
+    /// dead-letter, and provenance sections (each with its own header).
     pub fn export(&self) -> String {
         format!(
-            "{STATE_HEADER}\npairs_done={}\n{}{}",
+            "{STATE_HEADER}\npairs_done={}\n{}{}{}",
             self.pairs_done,
             export_db(&self.db),
             self.dead_letters.export(),
+            self.provenance.export(),
         )
     }
 
@@ -152,14 +168,25 @@ impl CampaignState {
             .iter()
             .position(|l| l.starts_with("#consent-dead-letters"))
             .ok_or_else(|| bad(3, "missing dead-letter section".into()))?;
+        let prov_split = rest
+            .iter()
+            .position(|l| l.starts_with("#consent-provenance"))
+            .ok_or_else(|| bad(3, "missing provenance section".into()))?;
+        if prov_split < split {
+            return Err(bad(3, "provenance section before dead letters".into()));
+        }
         let db_text = rest[..split].join("\n");
-        let dl_text = rest[split..].join("\n");
+        let dl_text = rest[split..prov_split].join("\n");
+        let prov_text = rest[prov_split..].join("\n");
         let db = import_db(&db_text)?;
         let dead_letters = DeadLetterQueue::import(&dl_text)
             .map_err(|e| bad(e.line, format!("dead-letter section: {}", e.message)))?;
+        let provenance = ProvenanceLog::import(&prov_text)
+            .map_err(|e| bad(e.line, format!("provenance section: {}", e.message)))?;
         let state = CampaignState {
             db,
             dead_letters,
+            provenance,
             pairs_done,
         };
         if state.pairs_done != state.db.len() {
@@ -169,6 +196,16 @@ impl CampaignState {
                     "cursor {} disagrees with {} stored captures",
                     state.pairs_done,
                     state.db.len()
+                ),
+            ));
+        }
+        if state.provenance.len() as u64 != state.pairs_done {
+            return Err(bad(
+                2,
+                format!(
+                    "cursor {} disagrees with {} provenance records",
+                    state.pairs_done,
+                    state.provenance.len()
                 ),
             ));
         }
@@ -295,32 +332,72 @@ pub fn resume_campaign(
             pair_index += 1;
             processed += 1;
 
+            // One trace per pair. The id is a pure function of the pair
+            // identity, so a resumed replay assigns the same ids an
+            // uninterrupted one would.
+            let vcode = vantage_code(vantage);
+            let trace_id = stable_id(&["pair", &s.domain, &vcode, &day.to_string()]);
+            let _trace = consent_trace::start_trace("pair", trace_id, |a| {
+                a.push("domain", s.domain.clone());
+                a.push("rank", (i + 1).to_string());
+                a.push("vantage", vcode.clone());
+                a.push("day", day.to_string());
+            });
+            let (host, _) = split_url(&s.url);
+
             let mut breaker = CircuitBreaker::new(config.breaker);
             let mut history = Vec::new();
+            let mut faults: Vec<Option<String>> = Vec::new();
             let mut capture = None;
             let mut outcome = Outcome::Permanent;
             let mut breaker_opened = false;
             for (attempt, &attempt_day) in schedule.iter().enumerate() {
+                let attempt_no = attempt as u8 + 1;
+                let _span = consent_trace::span("attempt", |a| {
+                    a.push("attempt", attempt_no.to_string());
+                    a.push("day", attempt_day.to_string());
+                });
                 let c = engine.capture_attempt(
                     &s.url,
                     attempt_day,
                     vantage,
                     CaptureOptions { collect_dom },
-                    attempt as u8 + 1,
+                    attempt_no,
                 );
                 outcome = Outcome::classify(c.status);
                 breaker_opened = breaker.record(c.status);
+                consent_trace::event("attempt.outcome", |a| {
+                    a.push("status", status_code(c.status));
+                    a.push("outcome", outcome.name());
+                });
                 history.push(AttemptRecord {
                     day: attempt_day,
                     status: c.status,
                 });
+                // Re-derive the decided fault from the pure plan so the
+                // provenance record is identical with tracing on or off
+                // (and matches the in-trace `fault.injected` event).
+                faults.push(
+                    engine
+                        .plan()
+                        .decide(&host, attempt_day, vantage, attempt_no)
+                        .map(|f| f.name().to_string()),
+                );
                 capture = Some(c);
                 if breaker_opened {
                     consent_telemetry::count("campaign.breaker.open", 1);
                     consent_telemetry::gauge_add("campaign.breaker.open_pairs", 1);
+                    consent_trace::event("breaker.open", |a| {
+                        a.push("attempt", attempt_no.to_string());
+                    });
                     break;
                 }
-                if !config.retry.should_retry(outcome) {
+                let retry = config.retry.should_retry(outcome);
+                consent_trace::event("retry.decision", |a| {
+                    a.push("retry", if retry { "yes" } else { "no" });
+                    a.push("outcome", outcome.name());
+                });
+                if !retry {
                     break;
                 }
             }
@@ -338,7 +415,32 @@ pub fn resume_campaign(
             let cmps = CmpSet::from_iter(detector.detect(&capture));
             state.db.ingest(&capture, cmps, &psl);
             state.pairs_done += 1;
-            if !capture.usable() {
+            let dead_lettered = !capture.usable();
+            state.provenance.push(Provenance {
+                domain: s.domain.clone(),
+                rank: (i + 1) as u64,
+                vantage: vcode,
+                day: day.to_string(),
+                trace_id,
+                attempts: history
+                    .iter()
+                    .zip(&faults)
+                    .map(|(a, fault)| AttemptProvenance {
+                        day: a.day.to_string(),
+                        status: status_code(a.status).to_string(),
+                        fault: fault.clone(),
+                    })
+                    .collect(),
+                outcome: outcome.name().to_string(),
+                final_status: status_code(capture.status).to_string(),
+                breaker_opened,
+                dead_lettered,
+            });
+            if dead_lettered {
+                consent_trace::event("dead_letter", |a| {
+                    a.push("outcome", outcome.name());
+                    a.push("attempts", attempts.to_string());
+                });
                 state.dead_letters.push(DeadLetter {
                     domain: s.domain.clone(),
                     rank: i + 1,
@@ -421,6 +523,19 @@ mod tests {
         assert!(run.complete);
         assert_eq!(run.state.pairs_done, 6 * 150);
         assert_eq!(run.state.db.len(), 6 * 150);
+        assert_eq!(run.state.provenance.len(), 6 * 150);
+        // Under FaultProfile::none no attempt carries an injected fault.
+        for p in run.state.provenance.records() {
+            assert!(p.injected_faults().next().is_none(), "{}", p.domain);
+            assert_eq!(
+                p.dead_lettered,
+                run.state
+                    .dead_letters
+                    .records()
+                    .iter()
+                    .any(|dl| dl.domain == p.domain && vantage_code(dl.vantage) == p.vantage),
+            );
+        }
         assert_eq!(result.columns.len(), 6);
         assert_eq!(result.seeds.len(), 150);
         for (_, captures) in &result.columns {
@@ -542,21 +657,57 @@ mod tests {
         assert_eq!(back.pairs_done, run.state.pairs_done);
         assert_eq!(back.db.len(), run.state.db.len());
         assert_eq!(back.dead_letters, run.state.dead_letters);
+        assert_eq!(back.provenance, run.state.provenance);
         assert_eq!(back.export(), text);
+        // Every db row has a provenance record and vice versa.
+        assert_eq!(back.provenance.len() as u64, back.db.len());
     }
 
     #[test]
     fn state_import_rejects_corruption() {
         assert!(CampaignState::import("").is_err());
         assert!(CampaignState::import("#wrong\n").is_err());
+        // v1 checkpoints (no provenance section) are not importable.
+        assert!(CampaignState::import(
+            "#consent-campaign-state v1\npairs_done=0\n#consent-capture-db v2\n#consent-dead-letters v1\n"
+        )
+        .is_err());
         assert!(CampaignState::import(STATE_HEADER).is_err());
         let no_dl = format!("{STATE_HEADER}\npairs_done=0\n#consent-capture-db v2\n");
         assert!(CampaignState::import(&no_dl).is_err());
+        let no_prov = format!(
+            "{STATE_HEADER}\npairs_done=0\n#consent-capture-db v2\n#consent-dead-letters v1\n"
+        );
+        assert!(CampaignState::import(&no_prov).is_err());
+        // Sections out of order are corruption.
+        let swapped = format!(
+            "{STATE_HEADER}\npairs_done=0\n#consent-capture-db v2\n#consent-provenance v1\n#consent-dead-letters v1\n"
+        );
+        assert!(CampaignState::import(&swapped).is_err());
         // A cursor that disagrees with the stored rows is corruption.
         let bad_cursor = format!(
-            "{STATE_HEADER}\npairs_done=5\n#consent-capture-db v2\n#consent-dead-letters v1\n"
+            "{STATE_HEADER}\npairs_done=5\n#consent-capture-db v2\n#consent-dead-letters v1\n#consent-provenance v1\n"
         );
         assert!(CampaignState::import(&bad_cursor).is_err());
+        // A provenance section shorter than the cursor is corruption
+        // even when the capture-db agrees.
+        let run = {
+            let w = world();
+            let list = build_toplist(&w, 3, SeedTree::new(7));
+            run_campaign_with(
+                &w,
+                &list,
+                Day::from_ymd(2020, 5, 15),
+                &[Vantage::us_cloud()],
+                SeedTree::new(9),
+                &quiet(),
+            )
+        };
+        let text = run.state.export();
+        let prov_header = "#consent-provenance v1\n";
+        let pos = text.find(prov_header).unwrap();
+        let truncated = format!("{}{}", &text[..pos], prov_header);
+        assert!(CampaignState::import(&truncated).is_err());
         let empty = CampaignState::new().export();
         assert_eq!(CampaignState::import(&empty).unwrap().pairs_done, 0);
     }

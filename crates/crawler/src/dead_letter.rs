@@ -201,8 +201,10 @@ impl DeadLetterQueue {
     }
 }
 
-/// Compact stable code for a vantage, e.g. `uni-ext-de`.
-fn vantage_code(v: Vantage) -> String {
+/// Compact stable code for a vantage, e.g. `uni-ext-de`. Shared by the
+/// dead-letter and provenance line formats and by trace attributes, so
+/// every persistence layer names the six Table 1 columns identically.
+pub fn vantage_code(v: Vantage) -> String {
     let loc = match v.location {
         Location::UsCloud => "us",
         Location::EuCloud => "eu",
@@ -220,7 +222,8 @@ fn vantage_code(v: Vantage) -> String {
     format!("{loc}-{timing}-{lang}")
 }
 
-fn vantage_from(code: &str) -> Option<Vantage> {
+/// Parse a [`vantage_code`] back into its [`Vantage`].
+pub fn vantage_from(code: &str) -> Option<Vantage> {
     let mut parts = code.split('-');
     let location = match parts.next()? {
         "us" => Location::UsCloud,

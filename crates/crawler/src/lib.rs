@@ -8,7 +8,8 @@
 //! vantage configurations ([`campaign`]), and the robustness layer:
 //! outcome classification, retry policy, and circuit breaking
 //! ([`resilience`]), dead-letter records for abandoned pairs
-//! ([`dead_letter`]), and checkpoint/resume via
+//! ([`dead_letter`]), per-pair provenance records and causal traces
+//! (`consent_trace`), and checkpoint/resume via
 //! [`campaign::CampaignState`].
 
 #![forbid(unsafe_code)]
@@ -28,7 +29,7 @@ pub use campaign::{
     CampaignConfig, CampaignResult, CampaignRun, CampaignState,
 };
 pub use capture_db::{CaptureDb, CaptureSummary, CmpSet};
-pub use dead_letter::{AttemptRecord, DeadLetter, DeadLetterQueue};
+pub use dead_letter::{vantage_code, vantage_from, AttemptRecord, DeadLetter, DeadLetterQueue};
 pub use export::{export as export_db, import as import_db};
 pub use feed::{Feed, FeedConfig, FeedItem, FeedSource};
 pub use platform::{Platform, RunStats};

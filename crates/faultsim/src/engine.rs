@@ -71,6 +71,10 @@ impl<'w> FaultyEngine<'w> {
             return self.inner.capture(url, day, vantage, opts);
         };
         consent_telemetry::count_labeled("faultsim.injected", &[("fault", fault.name())], 1);
+        consent_trace::event("fault.injected", |a| {
+            a.push("fault", fault.name());
+            a.push("attempt", attempt.to_string());
+        });
         match fault {
             // Connection-level faults preempt the origin entirely.
             Fault::Brownout | Fault::ConnectionReset => {

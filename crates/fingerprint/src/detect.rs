@@ -61,6 +61,9 @@ impl Detector {
         let mut found = BTreeSet::new();
         if !capture.usable() {
             consent_telemetry::count("fingerprint.detect.unusable", 1);
+            consent_trace::event("detect", |a| {
+                a.push("result", "unusable");
+            });
             return found;
         }
         let degraded = capture.degraded();
@@ -87,6 +90,16 @@ impl Detector {
                 found.insert(rule.cmp);
             }
         }
+        consent_trace::event("detect", |a| {
+            let cmps: Vec<&str> = found.iter().map(|c| c.name()).collect();
+            a.push("result", if cmps.is_empty() { "miss" } else { "hit" });
+            if !cmps.is_empty() {
+                a.push("cmps", cmps.join(","));
+            }
+            if degraded {
+                a.push("degraded", "1");
+            }
+        });
         if consent_telemetry::enabled() {
             if found.is_empty() {
                 // A miss on a degraded capture may just mean the evidence

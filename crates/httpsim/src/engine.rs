@@ -54,7 +54,36 @@ impl<'w> Engine<'w> {
     /// Crawl one URL.
     pub fn capture(&self, url: &str, day: Day, vantage: Vantage, opts: CaptureOptions) -> Capture {
         let _span = consent_telemetry::span("engine.capture");
+        let _trace_span = consent_trace::span("page_load", |a| {
+            a.push("url", url);
+            a.push("vantage", vantage.label());
+        });
         let capture = self.capture_inner(url, day, vantage, opts);
+        if consent_trace::active() {
+            // Per-request events are the hot loop of a traced capture;
+            // the whole block is gated so a disabled (or trace-less) run
+            // never iterates the request log here.
+            for r in &capture.requests {
+                consent_trace::event("request", |a| {
+                    a.push("host", r.host.clone());
+                    a.push("status", r.status.to_string());
+                    a.push("ms", r.started.as_millis().to_string());
+                    if r.third_party {
+                        a.push("third_party", "1");
+                    }
+                });
+            }
+            if capture.final_host != split_url(url).0 {
+                consent_trace::event("redirect", |a| {
+                    a.push("to", capture.final_host.clone());
+                });
+            }
+            consent_trace::event("page_load.status", |a| {
+                a.push("status", capture.status.name());
+                a.push("requests", capture.requests.len().to_string());
+                a.push("bytes", capture.total_bytes().to_string());
+            });
+        }
         if consent_telemetry::enabled() {
             consent_telemetry::count_labeled(
                 "engine.capture.outcome",

@@ -28,7 +28,7 @@ pub mod span;
 
 pub use counter::{Counter, Gauge};
 pub use histogram::{HistSummary, Histogram};
-pub use registry::{Registry, Snapshot};
+pub use registry::{CollectGuard, Registry, Snapshot};
 pub use report::{summary_table, RunReport, CAPTURE_FAMILY};
 pub use span::Span;
 

@@ -7,7 +7,7 @@ use consent_util::table::{thousands, Table};
 use consent_util::Json;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Encode a labeled metric key: `name{k=v,k2=v2}` in caller order.
@@ -54,9 +54,23 @@ pub fn parse_key(key: &str) -> (&str, Vec<(&str, &str)>) {
 #[derive(Debug, Default)]
 pub struct Registry {
     enabled: AtomicBool,
+    /// Open `RunReport::collect` windows (see [`Registry::begin_collect`]).
+    collects: AtomicUsize,
     counters: RwLock<BTreeMap<String, Arc<Counter>>>,
     gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
     histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+/// Guard for one open `RunReport::collect` window; closes it on drop.
+#[derive(Debug)]
+pub struct CollectGuard<'a> {
+    registry: &'a Registry,
+}
+
+impl Drop for CollectGuard<'_> {
+    fn drop(&mut self) {
+        self.registry.collects.fetch_sub(1, Ordering::Relaxed);
+    }
 }
 
 impl Registry {
@@ -125,6 +139,26 @@ impl Registry {
         } else {
             Span::inert()
         }
+    }
+
+    /// Open a collect window (called by `RunReport::collect`). In debug
+    /// builds, opening a second window while one is in flight panics:
+    /// snapshot-delta reports attribute *all* registry traffic in their
+    /// window to themselves, so overlapping windows on the same registry
+    /// silently double-count each other's metrics. Release builds only
+    /// track the count.
+    pub fn begin_collect(&self) -> CollectGuard<'_> {
+        let prev = self.collects.fetch_add(1, Ordering::Relaxed);
+        debug_assert_eq!(
+            prev, 0,
+            "overlapping RunReport::collect windows on one registry double-count metrics"
+        );
+        CollectGuard { registry: self }
+    }
+
+    /// How many collect windows are currently open.
+    pub fn open_collects(&self) -> usize {
+        self.collects.load(Ordering::Relaxed)
     }
 
     /// Capture the current value of every metric.

@@ -31,7 +31,37 @@ pub struct RunReport {
 
 impl RunReport {
     /// Run `f` against `registry`, capturing timing and metric deltas.
+    ///
+    /// # Contract: one window at a time
+    ///
+    /// A report is a *snapshot delta*: everything recorded into
+    /// `registry` between the two snapshots is attributed to this run,
+    /// regardless of which thread recorded it. The report is therefore
+    /// only meaningful if this collect window is the registry's sole
+    /// source of traffic — do not run two `collect` calls concurrently
+    /// against the same registry (including the global one), and do not
+    /// nest them: overlapping windows silently attribute each other's
+    /// metrics to both reports. Debug builds enforce this with an
+    /// assertion via [`Registry::begin_collect`]; release builds only
+    /// track the open-window count ([`Registry::open_collects`]).
+    ///
+    /// Traffic from background threads *inside* the window is fine and
+    /// is counted — the contract is one window, not one thread.
+    ///
+    /// ```
+    /// use consent_telemetry::{Registry, RunReport};
+    ///
+    /// let reg = Registry::new();
+    /// let (value, report) = RunReport::collect(&reg, "demo", || {
+    ///     reg.counter("demo.work").add(3);
+    ///     "done"
+    /// });
+    /// assert_eq!(value, "done");
+    /// assert_eq!(report.delta.counter("demo.work"), 3);
+    /// assert_eq!(reg.open_collects(), 0);
+    /// ```
     pub fn collect<T>(registry: &Registry, name: &str, f: impl FnOnce() -> T) -> (T, RunReport) {
+        let _window = registry.begin_collect();
         let before = registry.snapshot();
         let start = Instant::now();
         let value = f();
@@ -119,6 +149,8 @@ impl RunReport {
                 "queue.offer{decision=SkippedDomain}",
                 "Dedup skips (domain)",
             ),
+            ("trace.traces", "Traces recorded"),
+            ("trace.events", "Trace events"),
             ("fingerprint.detect.miss", "Detector misses"),
             ("fingerprint.detect.degraded", "Degraded captures analyzed"),
             (
@@ -133,11 +165,13 @@ impl RunReport {
             }
         }
         // Labeled robustness families: injected faults, final outcome
-        // classes, and dead-letter records, one row per label value.
+        // classes, dead-letter and provenance records, one row per
+        // label value.
         for (family, label) in [
             ("faultsim.injected", "Injected fault"),
             ("campaign.outcome", "Campaign outcome"),
-            ("campaign.dead_letter", "Dead letters"),
+            ("campaign.dead_letter{", "Dead letters"),
+            ("campaign.provenance{", "Provenance"),
         ] {
             for (key, n) in self.delta.counters_with_prefix(family) {
                 let (_, labels) = parse_key(key);

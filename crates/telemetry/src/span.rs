@@ -20,6 +20,13 @@ thread_local! {
 #[must_use = "a span records on drop; binding it to _ discards the timing immediately"]
 pub struct Span {
     sink: Option<Arc<Histogram>>,
+    /// Whether this span incremented the thread-local depth at creation.
+    /// Tracked separately from `sink`: recording and depth accounting
+    /// are different obligations, and tying the decrement to the sink
+    /// (as an earlier version did) leaks depth the moment a drop path
+    /// gives up its sink without unwinding — the counter must stay
+    /// paired with the increment no matter what happens to recording.
+    counted: bool,
     start: Instant,
 }
 
@@ -29,6 +36,7 @@ impl Span {
         DEPTH.with(|d| d.set(d.get() + 1));
         Span {
             sink: Some(sink),
+            counted: true,
             start: Instant::now(),
         }
     }
@@ -37,6 +45,7 @@ impl Span {
     pub(crate) fn inert() -> Span {
         Span {
             sink: None,
+            counted: false,
             start: Instant::now(),
         }
     }
@@ -56,6 +65,9 @@ impl Drop for Span {
     fn drop(&mut self) {
         if let Some(sink) = self.sink.take() {
             sink.record(self.elapsed_micros());
+        }
+        if self.counted {
+            self.counted = false;
             DEPTH.with(|d| d.set(d.get() - 1));
         }
     }
@@ -96,6 +108,35 @@ mod tests {
             inner.sum
         );
         assert!(inner.sum >= 2_000, "sleep should register: {}", inner.sum);
+    }
+
+    #[test]
+    fn depth_stays_paired_across_mid_flight_toggles() {
+        // Regression: the depth decrement used to live inside the
+        // sink-recording branch, pairing it with "has a sink" instead of
+        // "incremented at creation". Toggling the registry while spans
+        // are open must leave the depth balanced either way.
+        let reg = Registry::new();
+        assert_eq!(Span::current_depth(), 0);
+        {
+            let _outer = reg.span("outer");
+            assert_eq!(Span::current_depth(), 1);
+            reg.set_enabled(false);
+            {
+                // Opened while disabled: inert, never counted.
+                let _inner = reg.span("inner");
+                assert_eq!(Span::current_depth(), 1);
+                reg.set_enabled(true);
+                // Re-enabling mid-flight does not retroactively count it.
+            }
+            assert_eq!(Span::current_depth(), 1);
+        }
+        // The outer span was counted while enabled and must uncount on
+        // drop even though the registry was toggled twice underneath it.
+        assert_eq!(Span::current_depth(), 0);
+        let snap = reg.snapshot();
+        assert_eq!(snap.histograms.get("outer").unwrap().count, 1);
+        assert!(!snap.histograms.contains_key("inner"));
     }
 
     #[test]

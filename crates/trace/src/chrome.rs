@@ -1,0 +1,189 @@
+//! Chrome `trace_event` JSON export.
+//!
+//! Produces the JSON Object Format understood by `chrome://tracing` and
+//! Perfetto: a `traceEvents` array of `B`/`E`/`i` events plus
+//! `thread_name` metadata, with one thread track per vantage (read from
+//! the root event's `vantage` attribute) so the six Table 1 columns
+//! render as six parallel swimlanes.
+//!
+//! Timestamps are synthetic: the simulator records no wall clock (that
+//! would break byte-stable replays), so each thread track carries a
+//! logical clock that advances by one per event and leaves a two-tick
+//! gap between traces. The result is loadable, ordered, and
+//! deterministic — durations are event counts, not seconds.
+
+use crate::event::{Phase, TraceEvent};
+use consent_util::Json;
+use std::collections::BTreeMap;
+
+/// Thread label for traces whose root has no `vantage` attribute.
+const DEFAULT_TRACK: &str = "main";
+
+/// Build the Chrome trace-event document from events sorted by
+/// `(trace_id, seq)` (the order [`crate::TraceLog::snapshot`] returns).
+pub fn export_chrome(events: &[TraceEvent]) -> Json {
+    // Group into traces; input order keeps each trace contiguous.
+    let mut traces: Vec<(u64, Vec<&TraceEvent>)> = Vec::new();
+    for e in events {
+        match traces.last_mut() {
+            Some((id, group)) if *id == e.trace_id => group.push(e),
+            _ => traces.push((e.trace_id, vec![e])),
+        }
+    }
+
+    // One thread track per vantage label, tids assigned in sorted order.
+    let mut tids: BTreeMap<&str, u64> = BTreeMap::new();
+    for (_, group) in &traces {
+        let label = group
+            .first()
+            .and_then(|e| e.attr("vantage"))
+            .unwrap_or(DEFAULT_TRACK);
+        tids.entry(label).or_insert(0);
+    }
+    for (i, tid) in tids.values_mut().enumerate() {
+        *tid = i as u64 + 1;
+    }
+
+    let mut out: Vec<Json> = Vec::new();
+    for (label, tid) in &tids {
+        out.push(Json::object([
+            ("ph".to_string(), Json::str("M")),
+            ("pid".to_string(), Json::int(1)),
+            ("tid".to_string(), Json::int(*tid as i64)),
+            ("ts".to_string(), Json::int(0)),
+            ("name".to_string(), Json::str("thread_name")),
+            (
+                "args".to_string(),
+                Json::object([("name".to_string(), Json::str(format!("vantage {label}")))]),
+            ),
+        ]));
+    }
+
+    let mut clocks: BTreeMap<u64, u64> = BTreeMap::new();
+    for (_, group) in &traces {
+        let label = group
+            .first()
+            .and_then(|e| e.attr("vantage"))
+            .unwrap_or(DEFAULT_TRACK);
+        let tid = tids[label];
+        let base = *clocks.entry(tid).or_insert(0);
+        let mut max_seq = 0u64;
+        for e in group {
+            max_seq = max_seq.max(e.seq);
+            let mut fields = vec![
+                ("name".to_string(), Json::str(e.name)),
+                ("ph".to_string(), Json::str(e.phase.code())),
+                ("pid".to_string(), Json::int(1)),
+                ("tid".to_string(), Json::int(tid as i64)),
+                ("ts".to_string(), Json::int((base + e.seq) as i64)),
+            ];
+            if e.phase == Phase::Instant {
+                // Thread-scoped instant marker.
+                fields.push(("s".to_string(), Json::str("t")));
+            }
+            if !e.attrs.is_empty() {
+                fields.push((
+                    "args".to_string(),
+                    Json::object(
+                        e.attrs
+                            .iter()
+                            .map(|(k, v)| (k.to_string(), Json::str(v.clone()))),
+                    ),
+                ));
+            }
+            out.push(Json::object(fields));
+        }
+        clocks.insert(tid, base + max_seq + 2);
+    }
+
+    Json::object([
+        ("traceEvents".to_string(), Json::array(out)),
+        ("displayTimeUnit".to_string(), Json::str("ms")),
+    ])
+}
+
+/// [`export_chrome`] serialized to a compact JSON string.
+pub fn export_chrome_string(events: &[TraceEvent]) -> String {
+    export_chrome(events).to_compact()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(trace_id: u64, vantage: &str) -> Vec<TraceEvent> {
+        vec![
+            TraceEvent {
+                trace_id,
+                span_id: 1,
+                parent: 0,
+                seq: 0,
+                phase: Phase::Begin,
+                name: "pair",
+                attrs: vec![("vantage", vantage.to_string())],
+            },
+            TraceEvent {
+                trace_id,
+                span_id: 2,
+                parent: 1,
+                seq: 1,
+                phase: Phase::Instant,
+                name: "detect",
+                attrs: Vec::new(),
+            },
+            TraceEvent {
+                trace_id,
+                span_id: 1,
+                parent: 0,
+                seq: 2,
+                phase: Phase::End,
+                name: "pair",
+                attrs: Vec::new(),
+            },
+        ]
+    }
+
+    #[test]
+    fn one_track_per_vantage_with_required_keys() {
+        let mut events = pair(3, "eu-fast-enus");
+        events.extend(pair(5, "us-fast-enus"));
+        events.extend(pair(8, "eu-fast-enus"));
+        let text = export_chrome_string(&events);
+        let doc = Json::parse(&text).unwrap();
+        let list = doc.get("traceEvents").and_then(Json::as_array).unwrap();
+        // 2 metadata + 3 traces * 3 events.
+        assert_eq!(list.len(), 2 + 9);
+        let mut tracks = Vec::new();
+        for e in list {
+            for key in ["ph", "ts", "pid", "tid"] {
+                assert!(e.get(key).is_some(), "missing {key}: {e:?}");
+            }
+            if e.get("ph").and_then(Json::as_str) == Some("M") {
+                tracks.push(
+                    e.get("args")
+                        .and_then(|a| a.get("name"))
+                        .and_then(Json::as_str)
+                        .unwrap()
+                        .to_string(),
+                );
+            }
+        }
+        assert_eq!(tracks, vec!["vantage eu-fast-enus", "vantage us-fast-enus"]);
+        // Per-track timestamps strictly increase across traces: the two
+        // EU traces (ids 3 and 8) occupy non-overlapping tick ranges.
+        let eu_ts: Vec<f64> = list
+            .iter()
+            .filter(|e| {
+                e.get("ph").and_then(Json::as_str) != Some("M")
+                    && e.get("tid").and_then(Json::as_f64) == Some(1.0)
+            })
+            .map(|e| e.get("ts").and_then(Json::as_f64).unwrap())
+            .collect();
+        assert_eq!(eu_ts, vec![0.0, 1.0, 2.0, 4.0, 5.0, 6.0]);
+        // Instant events carry the scope marker.
+        assert!(list.iter().any(|e| {
+            e.get("ph").and_then(Json::as_str) == Some("i")
+                && e.get("s").and_then(Json::as_str) == Some("t")
+        }));
+    }
+}

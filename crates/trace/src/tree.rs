@@ -1,0 +1,190 @@
+//! Reconstructing and pretty-printing the causal tree of one trace.
+
+use crate::event::{Phase, TraceEvent};
+
+/// One node of a [`TraceTree`]: a span (with its Begin event and the
+/// seq of its End) or an instant event (a leaf).
+#[derive(Clone, Debug)]
+pub struct TraceNode {
+    /// The Begin event (for spans) or the Instant event (for leaves).
+    pub begin: TraceEvent,
+    /// The sequence number of the matching End event; for instants,
+    /// the event's own seq.
+    pub end_seq: Option<u64>,
+    /// Child spans and instant events, in emission order.
+    pub children: Vec<TraceNode>,
+}
+
+impl TraceNode {
+    /// The node's event name.
+    pub fn name(&self) -> &'static str {
+        self.begin.name
+    }
+
+    /// Attribute lookup on the node's opening event.
+    pub fn attr(&self, key: &str) -> Option<&str> {
+        self.begin.attr(key)
+    }
+
+    /// True for span nodes, false for instant leaves.
+    pub fn is_span(&self) -> bool {
+        self.begin.phase == Phase::Begin
+    }
+
+    /// Every node in this subtree (including `self`) named `name`, in
+    /// depth-first emission order.
+    pub fn find_all<'a>(&'a self, name: &str, out: &mut Vec<&'a TraceNode>) {
+        if self.begin.name == name {
+            out.push(self);
+        }
+        for child in &self.children {
+            child.find_all(name, out);
+        }
+    }
+}
+
+/// The causal tree of one trace.
+#[derive(Clone, Debug)]
+pub struct TraceTree {
+    /// The root span (the `start_trace` span).
+    pub root: TraceNode,
+}
+
+impl TraceTree {
+    /// Rebuild the tree from one trace's events (sorted by `seq`, as
+    /// returned by [`crate::TraceLog::trace`]). Returns `None` for a
+    /// malformed stream: unbalanced Begin/End, an End closing the wrong
+    /// span, events outside the root, or an unclosed root.
+    pub fn build(events: &[TraceEvent]) -> Option<TraceTree> {
+        let mut stack: Vec<TraceNode> = Vec::new();
+        let mut root: Option<TraceNode> = None;
+        for e in events {
+            if root.is_some() {
+                return None; // events after the root closed
+            }
+            match e.phase {
+                Phase::Begin => stack.push(TraceNode {
+                    begin: e.clone(),
+                    end_seq: None,
+                    children: Vec::new(),
+                }),
+                Phase::Instant => stack.last_mut()?.children.push(TraceNode {
+                    begin: e.clone(),
+                    end_seq: Some(e.seq),
+                    children: Vec::new(),
+                }),
+                Phase::End => {
+                    let mut node = stack.pop()?;
+                    if node.begin.span_id != e.span_id {
+                        return None;
+                    }
+                    node.end_seq = Some(e.seq);
+                    match stack.last_mut() {
+                        Some(parent) => parent.children.push(node),
+                        None => root = Some(node),
+                    }
+                }
+            }
+        }
+        if !stack.is_empty() {
+            return None;
+        }
+        root.map(|root| TraceTree { root })
+    }
+
+    /// Every node named `name`, depth-first.
+    pub fn find_all(&self, name: &str) -> Vec<&TraceNode> {
+        let mut out = Vec::new();
+        self.root.find_all(name, &mut out);
+        out
+    }
+
+    /// Pretty-print the tree for single-capture debugging: one line per
+    /// node, spans marked `+`, instants `-`, attributes inline.
+    pub fn render(&self) -> String {
+        let mut out = format!("trace {:016x}\n", self.root.begin.trace_id);
+        render_node(&self.root, 0, &mut out);
+        out
+    }
+}
+
+fn render_node(node: &TraceNode, depth: usize, out: &mut String) {
+    out.push_str(&"  ".repeat(depth));
+    out.push_str(if node.is_span() { "+ " } else { "- " });
+    out.push_str(node.begin.name);
+    for (k, v) in &node.begin.attrs {
+        out.push(' ');
+        out.push_str(k);
+        out.push('=');
+        out.push_str(v);
+    }
+    out.push('\n');
+    for child in &node.children {
+        render_node(child, depth + 1, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(span_id: u64, parent: u64, seq: u64, phase: Phase, name: &'static str) -> TraceEvent {
+        TraceEvent {
+            trace_id: 9,
+            span_id,
+            parent,
+            seq,
+            phase,
+            name,
+            attrs: Vec::new(),
+        }
+    }
+
+    fn sample() -> Vec<TraceEvent> {
+        vec![
+            e(1, 0, 0, Phase::Begin, "pair"),
+            e(2, 1, 1, Phase::Begin, "attempt"),
+            e(3, 2, 2, Phase::Instant, "fault.injected"),
+            e(2, 1, 3, Phase::End, "attempt"),
+            e(4, 1, 4, Phase::Instant, "dead_letter"),
+            e(1, 0, 5, Phase::End, "pair"),
+        ]
+    }
+
+    #[test]
+    fn builds_and_renders_the_tree() {
+        let tree = TraceTree::build(&sample()).unwrap();
+        assert_eq!(tree.root.name(), "pair");
+        assert_eq!(tree.root.end_seq, Some(5));
+        assert_eq!(tree.root.children.len(), 2);
+        let attempts = tree.find_all("attempt");
+        assert_eq!(attempts.len(), 1);
+        assert!(attempts[0].is_span());
+        assert_eq!(attempts[0].children[0].name(), "fault.injected");
+        assert!(!attempts[0].children[0].is_span());
+        let text = tree.render();
+        assert!(text.starts_with("trace 0000000000000009\n"));
+        assert!(text.contains("+ pair"));
+        assert!(text.contains("  + attempt"));
+        assert!(text.contains("    - fault.injected"));
+        assert!(text.contains("  - dead_letter"));
+    }
+
+    #[test]
+    fn rejects_malformed_streams() {
+        // Unclosed root.
+        assert!(TraceTree::build(&sample()[..5]).is_none());
+        // End closing the wrong span.
+        let mut wrong = sample();
+        wrong[3].span_id = 9;
+        assert!(TraceTree::build(&wrong).is_none());
+        // Events after the root closed.
+        let mut tail = sample();
+        tail.push(e(5, 1, 6, Phase::Instant, "late"));
+        assert!(TraceTree::build(&tail).is_none());
+        // Instant before any span opened.
+        assert!(TraceTree::build(&[e(1, 0, 0, Phase::Instant, "x")]).is_none());
+        // Empty stream.
+        assert!(TraceTree::build(&[]).is_none());
+    }
+}

@@ -131,6 +131,44 @@ fn run_reports_reconcile_with_capture_db() {
         run.state.dead_letters.len() as u64
     );
 
+    // Provenance: one record per pair, counted into the
+    // campaign.provenance{outcome=…} family, and the dead-letter queue
+    // is exactly the dead_lettered subset of the provenance log — three
+    // views of the same campaign that must agree record for record.
+    let provenance = &run.state.provenance;
+    assert_eq!(provenance.len() as u64, run.state.pairs_done);
+    assert_eq!(
+        campaign_report
+            .delta
+            .counters_with_prefix("campaign.provenance{")
+            .map(|(_, n)| n)
+            .sum::<u64>(),
+        provenance.len() as u64
+    );
+    let dead: Vec<&consent_trace::Provenance> = provenance
+        .records()
+        .iter()
+        .filter(|p| p.dead_lettered)
+        .collect();
+    assert_eq!(dead.len(), run.state.dead_letters.len());
+    for dl in run.state.dead_letters.records() {
+        let p = provenance
+            .find(&dl.domain, &consent_crawler::vantage_code(dl.vantage))
+            .expect("dead letter without a provenance record");
+        assert!(p.dead_lettered);
+        assert_eq!(p.rank as usize, dl.rank);
+        assert_eq!(p.attempts.len(), dl.attempts.len());
+        assert_eq!(p.outcome, dl.outcome.name());
+        assert_eq!(p.breaker_opened, dl.breaker_opened);
+    }
+    // No chaos profile ⇒ no recorded faults, and per-pair attempt counts
+    // reconcile with the capture column.
+    for (p, c) in provenance.records().iter().zip(captures.iter()) {
+        assert_eq!(p.injected_faults().count(), 0);
+        assert_eq!(p.attempts.len(), usize::from(c.attempts));
+        assert_eq!(p.domain, c.domain);
+    }
+
     // A reported experiment records onto the study, and a second report
     // only contains its own delta (snapshots isolate runs).
     let before_reports = study.reports().len();
