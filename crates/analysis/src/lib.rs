@@ -5,7 +5,7 @@
 //! ([`interpolate`]), the Figure 6 adoption series and Figure 4
 //! switching flows ([`timeseries`]), the Figure 5 market-share-by-size
 //! curve ([`marketshare`]), the Table 1 vantage comparison
-//! ([`vantage_table`]), the §4.1 publisher-customization classifier
+//! ([`vantage_table`](mod@vantage_table)), the §4.1 publisher-customization classifier
 //! ([`customization`]), and the §3.4–3.5 data-quality statistics
 //! ([`quality`]).
 

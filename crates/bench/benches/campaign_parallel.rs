@@ -1,0 +1,47 @@
+//! Sequential vs parallel campaign throughput.
+//!
+//! Times one full campaign (domains × vantages pairs) per thread count,
+//! on a workload small enough for criterion's sampling loop. The
+//! authoritative trajectory numbers come from the JSON entry point
+//! (`cargo run -p consent-bench --release`, see BENCHMARKS.md); this
+//! bench exists so `cargo bench -p consent-bench` shows the same shape
+//! interactively.
+
+use consent_crawler::{build_toplist, run_campaign_parallel, CampaignConfig, ParallelOpts};
+use consent_faultsim::FaultProfile;
+use consent_httpsim::Vantage;
+use consent_util::{Day, SeedTree};
+use consent_webgraph::{AdoptionConfig, World, WorldConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn campaign_throughput(c: &mut Criterion) {
+    let world = World::new(WorldConfig {
+        n_sites: 1_000,
+        seed: 42,
+        adoption: AdoptionConfig::default(),
+    });
+    let list = build_toplist(&world, 40, SeedTree::new(7));
+    let day = Day::from_ymd(2020, 5, 15);
+    let vantages = [Vantage::eu_cloud(), Vantage::us_cloud()];
+    let config = CampaignConfig {
+        fault_profile: FaultProfile::none(),
+        ..CampaignConfig::default()
+    };
+
+    let mut group = c.benchmark_group("campaign_throughput");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        let opts = ParallelOpts {
+            threads,
+            config,
+            max_pairs: None,
+        };
+        group.bench_function(&format!("threads={threads}"), |b| {
+            b.iter(|| run_campaign_parallel(&world, &list, day, &vantages, SeedTree::new(9), &opts))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, campaign_throughput);
+criterion_main!(benches);

@@ -1,1 +1,310 @@
-pub fn placeholder() {}
+//! # consent-bench
+//!
+//! The repo's performance harness. Two consumers share this crate:
+//!
+//! * the criterion benches under `benches/` (paper-table micro-benches
+//!   plus `campaign_parallel`, the sequential-vs-parallel throughput
+//!   comparison), and
+//! * the `cargo run -p consent-bench --release` entry point
+//!   (`src/main.rs`), which sweeps the campaign executor across thread
+//!   counts and writes `BENCH_campaign.json` — the repo's recorded perf
+//!   trajectory (see `BENCHMARKS.md`).
+//!
+//! The JSON schema is deliberately tiny and stable: a document header
+//! ([`bench_document`]) plus one [`BenchRecord`] per swept
+//! configuration, with throughput (pairs/sec) and per-pair latency
+//! quantiles (p50/p95 µs) read from the `campaign.pair` histogram in
+//! `consent-telemetry`. The sweep is also a correctness check: it
+//! asserts that every thread count exports byte-identical
+//! [`CampaignState`](consent_crawler::CampaignState) bytes before it
+//! reports a single number.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use consent_crawler::{
+    build_toplist, run_campaign_parallel, BreakerConfig, CampaignConfig, ParallelOpts, RetryPolicy,
+};
+use consent_faultsim::FaultProfile;
+use consent_httpsim::Vantage;
+use consent_util::{Day, Json, SeedTree};
+use consent_webgraph::{AdoptionConfig, World, WorldConfig};
+use std::time::Instant;
+
+/// Version written into the `schema` field of every `BENCH_*.json`.
+pub const BENCH_SCHEMA_VERSION: i64 = 1;
+
+/// One measured configuration of a bench sweep.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchRecord {
+    /// Record name, e.g. `campaign/threads=4`.
+    pub name: String,
+    /// Worker threads used (1 = the sequential code path).
+    pub threads: usize,
+    /// `(domain, vantage)` pairs processed.
+    pub pairs: u64,
+    /// Wall-clock duration of the run in seconds.
+    pub elapsed_secs: f64,
+    /// Throughput: `pairs / elapsed_secs`.
+    pub pairs_per_sec: f64,
+    /// Median per-pair latency in microseconds, from the
+    /// `campaign.pair` histogram.
+    pub p50_us: u64,
+    /// 95th-percentile per-pair latency in microseconds.
+    pub p95_us: u64,
+}
+
+impl BenchRecord {
+    /// Serialize as one record object of the `BENCH_*.json` schema.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("name".to_string(), Json::str(self.name.clone())),
+            ("threads".to_string(), Json::int(self.threads as i64)),
+            ("pairs".to_string(), Json::int(self.pairs as i64)),
+            ("elapsed_secs".to_string(), Json::Number(self.elapsed_secs)),
+            (
+                "pairs_per_sec".to_string(),
+                Json::Number(self.pairs_per_sec),
+            ),
+            ("p50_us".to_string(), Json::int(self.p50_us as i64)),
+            ("p95_us".to_string(), Json::int(self.p95_us as i64)),
+        ])
+    }
+}
+
+/// Assemble a full `BENCH_*.json` document: `bench` (the sweep name),
+/// `schema` ([`BENCH_SCHEMA_VERSION`]), the caller's `workload`
+/// description, and the `records` array.
+pub fn bench_document(bench: &str, workload: Json, records: &[BenchRecord]) -> Json {
+    Json::object([
+        ("bench".to_string(), Json::str(bench)),
+        ("schema".to_string(), Json::int(BENCH_SCHEMA_VERSION)),
+        ("workload".to_string(), workload),
+        (
+            "records".to_string(),
+            Json::array(records.iter().map(BenchRecord::to_json)),
+        ),
+    ])
+}
+
+/// The campaign throughput sweep: one synthetic world and toplist,
+/// crawled once per entry in [`threads`](CampaignBench::threads).
+#[derive(Clone, Debug)]
+pub struct CampaignBench {
+    /// Synthetic world size.
+    pub n_sites: u32,
+    /// Toplist entries to crawl.
+    pub domains: usize,
+    /// Vantage columns (each multiplies the pair count).
+    pub vantages: Vec<Vantage>,
+    /// Thread counts to sweep, in order.
+    pub threads: Vec<usize>,
+    /// Chaos profile the campaign runs under.
+    pub profile: FaultProfile,
+    /// Human label for the profile (`none`, `mild`, `heavy`) recorded in
+    /// the workload description.
+    pub chaos: String,
+    /// Timed campaign repetitions per thread count (throughput and
+    /// latency aggregate over all of them).
+    pub repeats: usize,
+    /// Root seed for world, toplist, and campaign.
+    pub seed: u64,
+}
+
+impl Default for CampaignBench {
+    /// The CI-sized workload: 4 000 sites, 600 domains × 2 vantages
+    /// (1 200 pairs), threads 1/2/4/8, no chaos. The pair count is
+    /// deliberately large enough that per-pair work dominates the
+    /// worker-pool spawn/merge fixed cost — smaller sweeps measure
+    /// thread overhead, not the executor.
+    fn default() -> CampaignBench {
+        CampaignBench {
+            n_sites: 4_000,
+            domains: 600,
+            vantages: vec![Vantage::eu_cloud(), Vantage::us_cloud()],
+            threads: vec![1, 2, 4, 8],
+            profile: FaultProfile::none(),
+            chaos: "none".to_string(),
+            repeats: 5,
+            seed: 42,
+        }
+    }
+}
+
+impl CampaignBench {
+    /// Total `(domain, vantage)` pairs each swept run processes.
+    pub fn pairs(&self) -> u64 {
+        (self.domains * self.vantages.len()) as u64
+    }
+
+    /// Run the sweep and return one record per thread count.
+    ///
+    /// Uses the **global** telemetry registry: it is reset and enabled
+    /// around every configuration so the `campaign.pair` histogram
+    /// describes exactly one run, then reset and disabled on exit. Do
+    /// not call concurrently with other users of the registry.
+    ///
+    /// Panics if any configuration's `CampaignState` export differs
+    /// from the first one — a bench run that breaks determinism must
+    /// not produce a trajectory point.
+    pub fn run(&self) -> Vec<BenchRecord> {
+        let world = World::new(WorldConfig {
+            n_sites: self.n_sites,
+            seed: self.seed,
+            adoption: AdoptionConfig::default(),
+        });
+        let root = SeedTree::new(self.seed);
+        let list = build_toplist(&world, self.domains, root.child("toplist"));
+        let day = Day::from_ymd(2020, 5, 15);
+        let config = CampaignConfig {
+            fault_profile: self.profile,
+            retry: RetryPolicy::paper(),
+            breaker: BreakerConfig::default(),
+        };
+
+        let repeats = self.repeats.max(1);
+        let campaign_seed = root.child("campaign");
+        let run_once = |threads: usize| {
+            run_campaign_parallel(
+                &world,
+                &list,
+                day,
+                &self.vantages,
+                campaign_seed,
+                &ParallelOpts {
+                    threads,
+                    config,
+                    max_pairs: None,
+                },
+            )
+        };
+        // One untimed warm-up so the first timed configuration does not
+        // additionally pay for allocator growth and cold caches.
+        let warmup = run_once(*self.threads.first().unwrap_or(&1));
+        assert!(warmup.complete, "bench campaign did not complete");
+        let baseline = warmup.state.export();
+
+        let mut records = Vec::with_capacity(self.threads.len());
+        for &threads in &self.threads {
+            consent_telemetry::reset();
+            consent_telemetry::enable();
+            let start = Instant::now();
+            let mut pairs = 0u64;
+            for _ in 0..repeats {
+                let run = run_once(threads);
+                pairs += run.state.pairs_done;
+                assert!(
+                    baseline == run.state.export(),
+                    "CampaignState export diverged at {threads} threads — refusing to record"
+                );
+            }
+            let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+            consent_telemetry::disable();
+            let pair = consent_telemetry::global()
+                .histogram("campaign.pair")
+                .summary();
+
+            records.push(BenchRecord {
+                name: format!("campaign/threads={threads}"),
+                threads,
+                pairs,
+                elapsed_secs: elapsed,
+                pairs_per_sec: pairs as f64 / elapsed,
+                p50_us: pair.p50,
+                p95_us: pair.p95,
+            });
+        }
+        consent_telemetry::reset();
+        records
+    }
+
+    /// The workload object recorded next to the records.
+    pub fn workload(&self) -> Json {
+        Json::object([
+            ("n_sites".to_string(), Json::int(i64::from(self.n_sites))),
+            ("domains".to_string(), Json::int(self.domains as i64)),
+            (
+                "vantages".to_string(),
+                Json::array(self.vantages.iter().map(|v| Json::str(v.label()))),
+            ),
+            ("pairs".to_string(), Json::int(self.pairs() as i64)),
+            ("repeats".to_string(), Json::int(self.repeats.max(1) as i64)),
+            ("chaos".to_string(), Json::str(self.chaos.clone())),
+            ("seed".to_string(), Json::int(self.seed as i64)),
+        ])
+    }
+
+    /// The complete `BENCH_campaign.json` document for `records`.
+    pub fn document(&self, records: &[BenchRecord]) -> Json {
+        bench_document("campaign_throughput", self.workload(), records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_serializes_every_schema_key() {
+        let r = BenchRecord {
+            name: "campaign/threads=2".into(),
+            threads: 2,
+            pairs: 240,
+            elapsed_secs: 1.5,
+            pairs_per_sec: 160.0,
+            p50_us: 900,
+            p95_us: 2_400,
+        };
+        let json = r.to_json();
+        for key in [
+            "name",
+            "threads",
+            "pairs",
+            "elapsed_secs",
+            "pairs_per_sec",
+            "p50_us",
+            "p95_us",
+        ] {
+            assert!(json.get(key).is_some(), "missing {key}");
+        }
+        assert_eq!(json.get("threads").and_then(Json::as_u32), Some(2));
+        assert_eq!(
+            json.get("pairs_per_sec").and_then(Json::as_f64),
+            Some(160.0)
+        );
+    }
+
+    #[test]
+    fn document_roundtrips_through_the_parser() {
+        let bench = CampaignBench {
+            n_sites: 400,
+            domains: 8,
+            vantages: vec![Vantage::us_cloud()],
+            threads: vec![1, 2],
+            repeats: 2,
+            ..CampaignBench::default()
+        };
+        let records = bench.run();
+        assert_eq!(records.len(), 2);
+        for r in &records {
+            assert_eq!(r.pairs, bench.pairs() * 2);
+            assert!(r.pairs_per_sec > 0.0);
+            assert!(r.p50_us <= r.p95_us);
+        }
+        let doc = bench.document(&records);
+        let parsed = Json::parse(&doc.to_pretty()).expect("document parses");
+        assert_eq!(
+            parsed.get("bench").and_then(Json::as_str),
+            Some("campaign_throughput")
+        );
+        assert_eq!(parsed.get("schema").and_then(Json::as_u32), Some(1));
+        let workload = parsed.get("workload").expect("workload");
+        assert_eq!(workload.get("pairs").and_then(Json::as_u32), Some(8));
+        let recs = parsed.get("records").and_then(Json::as_array).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(
+            recs[0].get("name").and_then(Json::as_str),
+            Some("campaign/threads=1")
+        );
+    }
+}

@@ -1,0 +1,85 @@
+//! The `BENCH_campaign.json` entry point.
+//!
+//! Sweeps the campaign executor across thread counts on a synthetic
+//! workload, prints a human summary, and writes the machine-readable
+//! trajectory point. See `BENCHMARKS.md` for the schema and how to
+//! compare two runs.
+//!
+//! ```text
+//! cargo run -p consent-bench --release
+//! ```
+//!
+//! Environment knobs (all optional):
+//!
+//! * `BENCH_SITES`   — synthetic world size (default 4000)
+//! * `BENCH_DOMAINS` — toplist entries to crawl (default 600)
+//! * `BENCH_THREADS` — comma-separated sweep, e.g. `1,2,4,8` (default)
+//! * `BENCH_REPEATS` — timed campaigns per thread count (default 5)
+//! * `BENCH_OUT`     — output path (default `BENCH_campaign.json`)
+//! * `CONSENT_CHAOS` — chaos profile (`none`/`mild`/`heavy`), as everywhere
+
+use consent_bench::CampaignBench;
+use consent_faultsim::FaultProfile;
+use std::env;
+
+fn env_parse<T: std::str::FromStr>(key: &str, default: T) -> T {
+    env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let threads: Vec<usize> = env::var("BENCH_THREADS")
+        .unwrap_or_else(|_| "1,2,4,8".to_string())
+        .split(',')
+        .filter_map(|t| t.trim().parse().ok())
+        .collect();
+    let chaos = env::var("CONSENT_CHAOS").unwrap_or_else(|_| "none".to_string());
+    let bench = CampaignBench {
+        n_sites: env_parse("BENCH_SITES", 4_000),
+        domains: env_parse("BENCH_DOMAINS", 600),
+        threads: if threads.is_empty() {
+            vec![1, 2, 4, 8]
+        } else {
+            threads
+        },
+        profile: FaultProfile::from_env(),
+        chaos,
+        repeats: env_parse("BENCH_REPEATS", 5),
+        ..CampaignBench::default()
+    };
+    let out = env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_campaign.json".to_string());
+
+    eprintln!(
+        "campaign_throughput: {} domains x {} vantages = {} pairs, chaos={}, threads {:?}",
+        bench.domains,
+        bench.vantages.len(),
+        bench.pairs(),
+        bench.chaos,
+        bench.threads
+    );
+    let records = bench.run();
+
+    let base = records
+        .iter()
+        .find(|r| r.threads == 1)
+        .map(|r| r.pairs_per_sec);
+    println!(
+        "{:<24} {:>12} {:>10} {:>10} {:>9}",
+        "bench", "pairs/sec", "p50 µs", "p95 µs", "speedup"
+    );
+    for r in &records {
+        let speedup = base.map_or("-".to_string(), |b| format!("{:.2}x", r.pairs_per_sec / b));
+        println!(
+            "{:<24} {:>12.1} {:>10} {:>10} {:>9}",
+            r.name, r.pairs_per_sec, r.p50_us, r.p95_us, speedup
+        );
+    }
+
+    let doc = bench.document(&records);
+    std::fs::write(&out, format!("{}\n", doc.to_pretty())).unwrap_or_else(|e| {
+        panic!("writing {out}: {e}");
+    });
+    eprintln!("wrote {out}");
+}

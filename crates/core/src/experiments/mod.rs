@@ -5,11 +5,18 @@
 //! telemetry registry is snapshotted before and after, and the resulting
 //! [`consent_telemetry::RunReport`] — capture counts per vantage and
 //! `CaptureStatus`, retries, dedup skips — is recorded on the
-//! [`Study`](crate::Study). With telemetry disabled (the default) the
+//! [`Study`]. With telemetry disabled (the default) the
 //! wrappers cost two empty snapshots and a clock read. For causal
 //! per-capture tracing, [`run_traced`] additionally turns on the global
 //! `consent_trace` log around a closure and hands back the byte-stable
 //! JSONL export (see `examples/trace_explain.rs`).
+//!
+//! Campaign-shaped experiments also have a `*_parallel` variant (e.g.
+//! [`table1::table1_parallel`]) that runs the same crawl on the
+//! worker-pool executor (`consent_crawler::run_campaign_parallel`).
+//! Because the parallel merge is byte-deterministic, the variant returns
+//! exactly the same result at any thread count — it exists purely for
+//! wall-clock speed on multicore hardware.
 
 use crate::Study;
 

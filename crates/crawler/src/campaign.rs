@@ -10,7 +10,7 @@
 //! This module is also where the robustness layer comes together: every
 //! capture runs through the [`FaultyEngine`] chaos wrapper, attempt
 //! scheduling follows an explicit [`RetryPolicy`], permanent failures
-//! short-circuit, a [`CircuitBreaker`](crate::resilience::CircuitBreaker)
+//! short-circuit, a [`CircuitBreaker`]
 //! stops hammering escalating anti-bot domains, abandoned pairs land in
 //! the [`DeadLetterQueue`], and the whole campaign checkpoints into a
 //! [`CampaignState`] that can be exported, re-imported, and resumed
@@ -110,6 +110,48 @@ impl Default for CampaignConfig {
 }
 
 /// The checkpointable campaign state: everything a resumed run needs.
+///
+/// A campaign interrupted at any pair boundary round-trips through the
+/// text checkpoint and resumes to the same bytes an uninterrupted run
+/// produces:
+///
+/// ```
+/// use consent_crawler::{
+///     build_toplist, resume_campaign, run_campaign_with, CampaignConfig, CampaignState,
+/// };
+/// use consent_httpsim::Vantage;
+/// use consent_util::{Day, SeedTree};
+/// use consent_webgraph::{AdoptionConfig, World, WorldConfig};
+///
+/// let world = World::new(WorldConfig {
+///     n_sites: 300,
+///     seed: 42,
+///     adoption: AdoptionConfig::default(),
+/// });
+/// let list = build_toplist(&world, 6, SeedTree::new(7));
+/// let day = Day::from_ymd(2020, 5, 15);
+/// let vantages = [Vantage::us_cloud()];
+/// let config = CampaignConfig::default();
+///
+/// // Process three pairs, then "crash": only the checkpoint text survives.
+/// let partial = resume_campaign(
+///     &world, &list, day, &vantages, SeedTree::new(9),
+///     &config, CampaignState::new(), Some(3),
+/// );
+/// assert!(!partial.complete);
+/// let checkpoint = partial.state.export();
+///
+/// // A fresh process imports the checkpoint and runs to completion.
+/// let restored = CampaignState::import(&checkpoint).unwrap();
+/// let resumed = resume_campaign(
+///     &world, &list, day, &vantages, SeedTree::new(9), &config, restored, None,
+/// );
+/// assert!(resumed.complete);
+///
+/// // Same bytes as never having been interrupted.
+/// let full = run_campaign_with(&world, &list, day, &vantages, SeedTree::new(9), &config);
+/// assert_eq!(resumed.state.export(), full.state.export());
+/// ```
 #[derive(Debug, Default)]
 pub struct CampaignState {
     /// Capture summaries, one per processed `(domain, vantage)` pair.
@@ -319,7 +361,6 @@ pub fn resume_campaign(
     let mut columns: Vec<(Vantage, Vec<CampaignCapture>)> =
         vantages.iter().map(|&v| (v, Vec::new())).collect();
     'all: for (col, &vantage) in vantages.iter().enumerate() {
-        let collect_dom = vantage.location == Location::EuUniversity;
         for (i, s) in seeds.iter().enumerate() {
             if pair_index < state.pairs_done {
                 pair_index += 1;
@@ -331,132 +372,18 @@ pub fn resume_campaign(
             }
             pair_index += 1;
             processed += 1;
-
-            // One trace per pair. The id is a pure function of the pair
-            // identity, so a resumed replay assigns the same ids an
-            // uninterrupted one would.
-            let vcode = vantage_code(vantage);
-            let trace_id = stable_id(&["pair", &s.domain, &vcode, &day.to_string()]);
-            let _trace = consent_trace::start_trace("pair", trace_id, |a| {
-                a.push("domain", s.domain.clone());
-                a.push("rank", (i + 1).to_string());
-                a.push("vantage", vcode.clone());
-                a.push("day", day.to_string());
-            });
-            let (host, _) = split_url(&s.url);
-
-            let mut breaker = CircuitBreaker::new(config.breaker);
-            let mut history = Vec::new();
-            let mut faults: Vec<Option<String>> = Vec::new();
-            let mut capture = None;
-            let mut outcome = Outcome::Permanent;
-            let mut breaker_opened = false;
-            for (attempt, &attempt_day) in schedule.iter().enumerate() {
-                let attempt_no = attempt as u8 + 1;
-                let _span = consent_trace::span("attempt", |a| {
-                    a.push("attempt", attempt_no.to_string());
-                    a.push("day", attempt_day.to_string());
-                });
-                let c = engine.capture_attempt(
-                    &s.url,
-                    attempt_day,
-                    vantage,
-                    CaptureOptions { collect_dom },
-                    attempt_no,
-                );
-                outcome = Outcome::classify(c.status);
-                breaker_opened = breaker.record(c.status);
-                consent_trace::event("attempt.outcome", |a| {
-                    a.push("status", status_code(c.status));
-                    a.push("outcome", outcome.name());
-                });
-                history.push(AttemptRecord {
-                    day: attempt_day,
-                    status: c.status,
-                });
-                // Re-derive the decided fault from the pure plan so the
-                // provenance record is identical with tracing on or off
-                // (and matches the in-trace `fault.injected` event).
-                faults.push(
-                    engine
-                        .plan()
-                        .decide(&host, attempt_day, vantage, attempt_no)
-                        .map(|f| f.name().to_string()),
-                );
-                capture = Some(c);
-                if breaker_opened {
-                    consent_telemetry::count("campaign.breaker.open", 1);
-                    consent_telemetry::gauge_add("campaign.breaker.open_pairs", 1);
-                    consent_trace::event("breaker.open", |a| {
-                        a.push("attempt", attempt_no.to_string());
-                    });
-                    break;
-                }
-                let retry = config.retry.should_retry(outcome);
-                consent_trace::event("retry.decision", |a| {
-                    a.push("retry", if retry { "yes" } else { "no" });
-                    a.push("outcome", outcome.name());
-                });
-                if !retry {
-                    break;
-                }
-            }
-            let capture = capture.expect("schedule has at least one attempt");
-            let attempts = history.len() as u8;
-            if consent_telemetry::enabled() {
-                consent_telemetry::observe("campaign.attempts", u64::from(attempts));
-                consent_telemetry::count("campaign.retries", u64::from(attempts) - 1);
-                consent_telemetry::count_labeled(
-                    "campaign.outcome",
-                    &[("outcome", outcome.name())],
-                    1,
-                );
-            }
-            let cmps = CmpSet::from_iter(detector.detect(&capture));
-            state.db.ingest(&capture, cmps, &psl);
-            state.pairs_done += 1;
-            let dead_lettered = !capture.usable();
-            state.provenance.push(Provenance {
-                domain: s.domain.clone(),
-                rank: (i + 1) as u64,
-                vantage: vcode,
-                day: day.to_string(),
-                trace_id,
-                attempts: history
-                    .iter()
-                    .zip(&faults)
-                    .map(|(a, fault)| AttemptProvenance {
-                        day: a.day.to_string(),
-                        status: status_code(a.status).to_string(),
-                        fault: fault.clone(),
-                    })
-                    .collect(),
-                outcome: outcome.name().to_string(),
-                final_status: status_code(capture.status).to_string(),
-                breaker_opened,
-                dead_lettered,
-            });
-            if dead_lettered {
-                consent_trace::event("dead_letter", |a| {
-                    a.push("outcome", outcome.name());
-                    a.push("attempts", attempts.to_string());
-                });
-                state.dead_letters.push(DeadLetter {
-                    domain: s.domain.clone(),
-                    rank: i + 1,
-                    vantage,
-                    attempts: history,
-                    outcome,
-                    breaker_opened,
-                });
-            }
-            columns[col].1.push(CampaignCapture {
-                rank: i + 1,
-                domain: s.domain.clone(),
-                capture,
-                attempts,
-                outcome,
-            });
+            let out = process_pair(
+                &engine,
+                s,
+                i + 1,
+                col,
+                vantage,
+                day,
+                &schedule,
+                config,
+                &detector,
+            );
+            apply_pair(&mut state, &mut columns, day, out, &psl);
         }
     }
     consent_telemetry::count("campaign.pairs_skipped", skipped);
@@ -466,6 +393,224 @@ pub fn resume_campaign(
         state,
         complete,
     }
+}
+
+/// Everything one processed `(domain, vantage)` pair contributes to the
+/// campaign, produced by [`process_pair`] and folded into the cumulative
+/// state by [`apply_pair`].
+///
+/// The split is what makes the parallel executor
+/// ([`run_campaign_parallel`](crate::parallel::run_campaign_parallel))
+/// deterministic: production is a pure function of the pair identity
+/// (every random draw is keyed by `(host, day, vantage, attempt)` and
+/// trace ids come from [`stable_id`]), so any number of workers can
+/// produce outputs in any order, and the order-restoring merge applies
+/// them in pair order — reproducing the sequential run byte for byte.
+#[derive(Clone, Debug)]
+pub(crate) struct PairOutput {
+    /// Index into the campaign's vantage columns.
+    pub(crate) col: usize,
+    /// 1-based toplist rank.
+    pub(crate) rank: usize,
+    pub(crate) domain: String,
+    pub(crate) vcode: String,
+    pub(crate) trace_id: u64,
+    pub(crate) capture: consent_httpsim::Capture,
+    pub(crate) history: Vec<AttemptRecord>,
+    /// Injected fault per attempt, re-derived from the pure plan.
+    pub(crate) faults: Vec<Option<String>>,
+    pub(crate) outcome: Outcome,
+    pub(crate) breaker_opened: bool,
+    /// CMPs detected on the final capture.
+    pub(crate) cmps: CmpSet,
+}
+
+/// Crawl one `(domain, vantage)` pair: open its trace, walk the retry
+/// schedule through the fault-injecting engine with a per-pair circuit
+/// breaker, run CMP detection, and return everything the merge step
+/// needs. Thread-safe: touches only shared immutable inputs, the
+/// per-thread trace context, and the commutative telemetry registry.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn process_pair(
+    engine: &FaultyEngine<'_>,
+    s: &SeedUrl,
+    rank: usize,
+    col: usize,
+    vantage: Vantage,
+    day: Day,
+    schedule: &[Day],
+    config: &CampaignConfig,
+    detector: &Detector,
+) -> PairOutput {
+    let _pair_span = consent_telemetry::span("campaign.pair");
+    let collect_dom = vantage.location == Location::EuUniversity;
+    // One trace per pair. The id is a pure function of the pair
+    // identity, so a resumed replay assigns the same ids an
+    // uninterrupted one would.
+    let vcode = vantage_code(vantage);
+    let trace_id = stable_id(&["pair", &s.domain, &vcode, &day.to_string()]);
+    let _trace = consent_trace::start_trace("pair", trace_id, |a| {
+        a.push("domain", s.domain.clone());
+        a.push("rank", rank.to_string());
+        a.push("vantage", vcode.clone());
+        a.push("day", day.to_string());
+    });
+    let (host, _) = split_url(&s.url);
+
+    let mut breaker = CircuitBreaker::new(config.breaker);
+    let mut history = Vec::new();
+    let mut faults: Vec<Option<String>> = Vec::new();
+    let mut capture = None;
+    let mut outcome = Outcome::Permanent;
+    let mut breaker_opened = false;
+    for (attempt, &attempt_day) in schedule.iter().enumerate() {
+        let attempt_no = attempt as u8 + 1;
+        let _span = consent_trace::span("attempt", |a| {
+            a.push("attempt", attempt_no.to_string());
+            a.push("day", attempt_day.to_string());
+        });
+        let c = engine.capture_attempt(
+            &s.url,
+            attempt_day,
+            vantage,
+            CaptureOptions { collect_dom },
+            attempt_no,
+        );
+        outcome = Outcome::classify(c.status);
+        breaker_opened = breaker.record(c.status);
+        consent_trace::event("attempt.outcome", |a| {
+            a.push("status", status_code(c.status));
+            a.push("outcome", outcome.name());
+        });
+        history.push(AttemptRecord {
+            day: attempt_day,
+            status: c.status,
+        });
+        // Re-derive the decided fault from the pure plan so the
+        // provenance record is identical with tracing on or off
+        // (and matches the in-trace `fault.injected` event).
+        faults.push(
+            engine
+                .plan()
+                .decide(&host, attempt_day, vantage, attempt_no)
+                .map(|f| f.name().to_string()),
+        );
+        capture = Some(c);
+        if breaker_opened {
+            consent_telemetry::count("campaign.breaker.open", 1);
+            consent_telemetry::gauge_add("campaign.breaker.open_pairs", 1);
+            consent_trace::event("breaker.open", |a| {
+                a.push("attempt", attempt_no.to_string());
+            });
+            break;
+        }
+        let retry = config.retry.should_retry(outcome);
+        consent_trace::event("retry.decision", |a| {
+            a.push("retry", if retry { "yes" } else { "no" });
+            a.push("outcome", outcome.name());
+        });
+        if !retry {
+            break;
+        }
+    }
+    let capture = capture.expect("schedule has at least one attempt");
+    // Detection runs here — on the worker, while the pair's trace is
+    // still open — so its trace events land inside the pair trace with
+    // the same sequence numbers the sequential runner assigns.
+    let cmps = CmpSet::from_iter(detector.detect(&capture));
+    if !capture.usable() {
+        consent_trace::event("dead_letter", |a| {
+            a.push("outcome", outcome.name());
+            a.push("attempts", history.len().to_string());
+        });
+    }
+    PairOutput {
+        col,
+        rank,
+        domain: s.domain.clone(),
+        vcode,
+        trace_id,
+        capture,
+        history,
+        faults,
+        outcome,
+        breaker_opened,
+        cmps,
+    }
+}
+
+/// Fold one [`PairOutput`] into the cumulative campaign state and the
+/// per-vantage result columns. Single-threaded by construction: the
+/// sequential runner calls it right after [`process_pair`], the parallel
+/// runner calls it from the merge loop in ascending pair order, so the
+/// [`CaptureDb`] insertion order — and with it the checkpoint export —
+/// is identical on both paths.
+pub(crate) fn apply_pair(
+    state: &mut CampaignState,
+    columns: &mut [(Vantage, Vec<CampaignCapture>)],
+    day: Day,
+    out: PairOutput,
+    psl: &PublicSuffixList,
+) {
+    let PairOutput {
+        col,
+        rank,
+        domain,
+        vcode,
+        trace_id,
+        capture,
+        history,
+        faults,
+        outcome,
+        breaker_opened,
+        cmps,
+    } = out;
+    let attempts = history.len() as u8;
+    if consent_telemetry::enabled() {
+        consent_telemetry::observe("campaign.attempts", u64::from(attempts));
+        consent_telemetry::count("campaign.retries", u64::from(attempts) - 1);
+        consent_telemetry::count_labeled("campaign.outcome", &[("outcome", outcome.name())], 1);
+    }
+    state.db.ingest(&capture, cmps, psl);
+    state.pairs_done += 1;
+    let dead_lettered = !capture.usable();
+    state.provenance.push(Provenance {
+        domain: domain.clone(),
+        rank: rank as u64,
+        vantage: vcode,
+        day: day.to_string(),
+        trace_id,
+        attempts: history
+            .iter()
+            .zip(&faults)
+            .map(|(a, fault)| AttemptProvenance {
+                day: a.day.to_string(),
+                status: status_code(a.status).to_string(),
+                fault: fault.clone(),
+            })
+            .collect(),
+        outcome: outcome.name().to_string(),
+        final_status: status_code(capture.status).to_string(),
+        breaker_opened,
+        dead_lettered,
+    });
+    if dead_lettered {
+        state.dead_letters.push(DeadLetter {
+            domain: domain.clone(),
+            rank,
+            vantage: columns[col].0,
+            attempts: history,
+            outcome,
+            breaker_opened,
+        });
+    }
+    columns[col].1.push(CampaignCapture {
+        rank,
+        domain,
+        capture,
+        attempts,
+        outcome,
+    });
 }
 
 #[cfg(test)]

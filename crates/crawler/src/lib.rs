@@ -10,7 +10,9 @@
 //! ([`resilience`]), dead-letter records for abandoned pairs
 //! ([`dead_letter`]), per-pair provenance records and causal traces
 //! (`consent_trace`), and checkpoint/resume via
-//! [`campaign::CampaignState`].
+//! [`campaign::CampaignState`]. Campaigns scale across cores with the
+//! deterministic [`parallel`] executor, whose output is byte-identical
+//! to the sequential runner at any thread count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -20,6 +22,7 @@ pub mod capture_db;
 pub mod dead_letter;
 pub mod export;
 pub mod feed;
+pub mod parallel;
 pub mod platform;
 pub mod queue;
 pub mod resilience;
@@ -32,6 +35,7 @@ pub use capture_db::{CaptureDb, CaptureSummary, CmpSet};
 pub use dead_letter::{vantage_code, vantage_from, AttemptRecord, DeadLetter, DeadLetterQueue};
 pub use export::{export as export_db, import as import_db};
 pub use feed::{Feed, FeedConfig, FeedItem, FeedSource};
+pub use parallel::{resume_campaign_parallel, run_campaign_parallel, ParallelOpts};
 pub use platform::{Platform, RunStats};
 pub use queue::{Admission, DedupQueue};
 pub use resilience::{

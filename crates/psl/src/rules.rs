@@ -1,6 +1,6 @@
 //! Public Suffix List rule representation and parsing.
 //!
-//! The PSL file format (https://publicsuffix.org/list/) is a list of rules,
+//! The PSL file format (<https://publicsuffix.org/list/>) is a list of rules,
 //! one per line: plain rules (`com`, `co.uk`), wildcard rules (`*.ck`) and
 //! exception rules (`!www.ck`). Comment lines start with `//`; blank lines
 //! are ignored. Rules are matched against a domain's labels right-to-left.

@@ -2,7 +2,7 @@
 //!
 //! Observability for the capture pipeline: sharded atomic counters and
 //! gauges ([`counter`]), log-bucketed latency/size histograms with
-//! p50/p95/p99 ([`histogram`]), RAII span timers ([`span`]), a labeled
+//! p50/p95/p99 ([`histogram`]), RAII span timers ([`span`](mod@span)), a labeled
 //! metric [`registry`], and per-experiment [`report::RunReport`]s — the
 //! simulator's analogue of the paper's §3.5 data-quality accounting
 //! (capture outcomes per vantage, retries, timeouts) that Table 1
@@ -55,6 +55,12 @@ pub fn disable() {
 #[inline]
 pub fn enabled() -> bool {
     global().enabled()
+}
+
+/// Drop every metric in the global registry (the enable flag is
+/// untouched). See [`Registry::reset`] for the caveats.
+pub fn reset() {
+    global().reset();
 }
 
 /// Add `n` to the global counter `name` (no-op while disabled).

@@ -141,6 +141,20 @@ impl Registry {
         }
     }
 
+    /// Drop every registered metric, leaving the enable flag untouched.
+    ///
+    /// The bench harness calls this between sweep configurations so each
+    /// run's histograms (and their p50/p95) describe that run alone.
+    /// `Arc` handles obtained *before* the reset keep recording into
+    /// their now-detached metrics — take them again afterwards. Do not
+    /// reset inside an open [`RunReport::collect`](crate::RunReport::collect)
+    /// window: the snapshot delta would go negative.
+    pub fn reset(&self) {
+        self.counters.write().clear();
+        self.gauges.write().clear();
+        self.histograms.write().clear();
+    }
+
     /// Open a collect window (called by `RunReport::collect`). In debug
     /// builds, opening a second window while one is in flight panics:
     /// snapshot-delta reports attribute *all* registry traffic in their
@@ -363,6 +377,23 @@ mod tests {
         assert_eq!(base, "cap");
         assert_eq!(labels, vec![("loc", "EU cloud"), ("status", "Ok")]);
         assert_eq!(parse_key("plain"), ("plain", vec![]));
+    }
+
+    #[test]
+    fn reset_clears_metrics_but_not_the_enable_flag() {
+        let reg = Registry::new();
+        reg.counter("c").add(4);
+        reg.gauge("g").set(2);
+        reg.histogram("h").record(7);
+        reg.reset();
+        assert!(reg.enabled());
+        let snap = reg.snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.gauges.is_empty());
+        assert!(snap.histograms.is_empty());
+        // Fresh handles after the reset record normally.
+        reg.counter("c").add(1);
+        assert_eq!(reg.snapshot().counter("c"), 1);
     }
 
     #[test]

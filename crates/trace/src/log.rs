@@ -50,8 +50,8 @@ impl TraceLog {
         self.enabled.store(on, Ordering::Relaxed);
     }
 
-    /// Append one event unconditionally. The free functions in
-    /// [`crate::ctx`] gate on [`enabled`](Self::enabled) *before*
+    /// Append one event unconditionally. The crate's free functions
+    /// gate on [`enabled`](Self::enabled) *before*
     /// building the event; armed guards call this directly on drop so a
     /// span that emitted a Begin always emits its End, keeping trees
     /// well-formed even when recording is disabled mid-flight.
