@@ -8,7 +8,8 @@
 //! * the `cargo run -p consent-bench --release` entry point
 //!   (`src/main.rs`), which sweeps the campaign executor across thread
 //!   counts and writes `BENCH_campaign.json` — the repo's recorded perf
-//!   trajectory (see `BENCHMARKS.md`).
+//!   trajectory (see `BENCHMARKS.md`) — plus the checkpoint durability
+//!   sweep ([`CheckpointBench`]), written to `BENCH_checkpoint.json`.
 //!
 //! The JSON schema is deliberately tiny and stable: a document header
 //! ([`bench_document`]) plus one [`BenchRecord`] per swept
@@ -16,20 +17,23 @@
 //! quantiles (p50/p95 µs) read from the `campaign.pair` histogram in
 //! `consent-telemetry`. The sweep is also a correctness check: it
 //! asserts that every thread count exports byte-identical
-//! [`CampaignState`](consent_crawler::CampaignState) bytes before it
+//! [`CampaignState`] bytes before it
 //! reports a single number.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use consent_checkpoint::CheckpointStore;
 use consent_crawler::{
-    build_toplist, run_campaign_parallel, BreakerConfig, CampaignConfig, ParallelOpts, RetryPolicy,
+    build_toplist, recover_state, run_campaign_parallel, state_sections, BreakerConfig,
+    CampaignConfig, CampaignState, ParallelOpts, RetryPolicy,
 };
 use consent_faultsim::FaultProfile;
 use consent_httpsim::Vantage;
 use consent_util::{Day, Json, SeedTree};
 use consent_webgraph::{AdoptionConfig, World, WorldConfig};
-use std::time::Instant;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
 
 /// Version written into the `schema` field of every `BENCH_*.json`.
 pub const BENCH_SCHEMA_VERSION: i64 = 1;
@@ -240,6 +244,223 @@ impl CampaignBench {
     }
 }
 
+/// The checkpoint durability sweep: write / open / salvage throughput
+/// of the crash-safe [`CheckpointStore`] over a realistic
+/// [`CampaignState`], written to `BENCH_checkpoint.json`.
+///
+/// Three operations are timed, each over [`repeats`](Self::repeats)
+/// iterations:
+///
+/// * `checkpoint_write` — [`CheckpointStore::save`] of the five-section
+///   state snapshot (serialize + CRC + fsync + rename + prune);
+/// * `checkpoint_open` — [`recover_state`] of an intact store (scan,
+///   CRC validation, state reassembly and import);
+/// * `checkpoint_salvage` — [`recover_state`] of a store whose newest
+///   generation has a flipped byte in the `meta` section: quarantine,
+///   per-section salvage, and meta rebuild from the capture count.
+///   Setup (writing and corrupting the doomed generation) is excluded
+///   from the timing.
+#[derive(Clone, Debug)]
+pub struct CheckpointBench {
+    /// Synthetic world size for the state-building campaign.
+    pub n_sites: u32,
+    /// Toplist entries crawled into the benched state.
+    pub domains: usize,
+    /// Vantage columns of the state-building campaign.
+    pub vantages: Vec<Vantage>,
+    /// Timed iterations per operation.
+    pub repeats: usize,
+    /// Root seed for world, toplist, and campaign.
+    pub seed: u64,
+}
+
+impl Default for CheckpointBench {
+    /// The CI-sized workload: a 200-domain × 2-vantage state (400
+    /// captures — large enough that serialization and CRC work dominate
+    /// the per-call fixed cost), 20 iterations per operation.
+    fn default() -> CheckpointBench {
+        CheckpointBench {
+            n_sites: 2_000,
+            domains: 200,
+            vantages: vec![Vantage::eu_cloud(), Vantage::us_cloud()],
+            repeats: 20,
+            seed: 42,
+        }
+    }
+}
+
+impl CheckpointBench {
+    /// Crawl the synthetic world once and return the state every
+    /// checkpoint operation is measured against.
+    pub fn build_state(&self) -> CampaignState {
+        let world = World::new(WorldConfig {
+            n_sites: self.n_sites,
+            seed: self.seed,
+            adoption: AdoptionConfig::default(),
+        });
+        let root = SeedTree::new(self.seed);
+        let list = build_toplist(&world, self.domains, root.child("toplist"));
+        let run = run_campaign_parallel(
+            &world,
+            &list,
+            Day::from_ymd(2020, 5, 15),
+            &self.vantages,
+            root.child("campaign"),
+            &ParallelOpts {
+                threads: 1,
+                config: CampaignConfig {
+                    fault_profile: FaultProfile::none(),
+                    retry: RetryPolicy::paper(),
+                    breaker: BreakerConfig::default(),
+                },
+                max_pairs: None,
+            },
+        );
+        assert!(run.complete, "checkpoint bench campaign did not complete");
+        run.state
+    }
+
+    fn record(name: &str, pairs: u64, elapsed: Duration, histogram: &str) -> BenchRecord {
+        let h = consent_telemetry::global().histogram(histogram).summary();
+        let elapsed_secs = elapsed.as_secs_f64().max(1e-9);
+        BenchRecord {
+            name: name.to_string(),
+            threads: 1,
+            pairs,
+            elapsed_secs,
+            pairs_per_sec: pairs as f64 / elapsed_secs,
+            p50_us: h.p50,
+            p95_us: h.p95,
+        }
+    }
+
+    /// Run the sweep and return one record per operation.
+    ///
+    /// Like [`CampaignBench::run`] this uses the **global** telemetry
+    /// registry (reset and enabled around every operation, reset on
+    /// exit — do not call concurrently with other users), and it is a
+    /// correctness check too: it panics if an opened or salvaged state
+    /// does not export byte-identical to the one that was saved.
+    pub fn run(&self) -> Vec<BenchRecord> {
+        let state = self.build_state();
+        let baseline = state.export();
+        let sections = state_sections(&state, "");
+        let pairs = state.pairs_done;
+        let repeats = self.repeats.max(1) as u64;
+        let dir = bench_tmp_dir();
+        let store = CheckpointStore::open(&dir).expect("open checkpoint store");
+        let mut records = Vec::with_capacity(3);
+
+        consent_telemetry::reset();
+        consent_telemetry::enable();
+        let start = Instant::now();
+        for _ in 0..repeats {
+            store.save(&sections).expect("checkpoint save");
+        }
+        records.push(Self::record(
+            "checkpoint_write",
+            pairs * repeats,
+            start.elapsed(),
+            "checkpoint.write",
+        ));
+
+        consent_telemetry::reset();
+        consent_telemetry::enable();
+        let start = Instant::now();
+        for _ in 0..repeats {
+            let (back, _, report) = recover_state(&store).expect("recover intact store");
+            assert!(report.is_clean(), "intact store produced salvage actions");
+            assert!(
+                back.export() == baseline,
+                "recovered state diverged from the saved one — refusing to record"
+            );
+        }
+        records.push(Self::record(
+            "checkpoint_open",
+            pairs * repeats,
+            start.elapsed(),
+            "checkpoint.open",
+        ));
+
+        consent_telemetry::reset();
+        consent_telemetry::enable();
+        let mut salvage_elapsed = Duration::ZERO;
+        for _ in 0..repeats {
+            let g = store.save(&sections).expect("checkpoint save");
+            corrupt_meta_byte(&store.path_for(g));
+            let start = Instant::now();
+            let (back, _, report) = recover_state(&store).expect("salvage corrupt store");
+            salvage_elapsed += start.elapsed();
+            assert!(!report.is_clean(), "corrupt generation went unnoticed");
+            assert!(
+                back.export() == baseline,
+                "salvaged state diverged from the saved one — refusing to record"
+            );
+        }
+        records.push(Self::record(
+            "checkpoint_salvage",
+            pairs * repeats,
+            salvage_elapsed,
+            "checkpoint.open",
+        ));
+
+        consent_telemetry::reset();
+        let _ = std::fs::remove_dir_all(&dir);
+        records
+    }
+
+    /// Total `(domain, vantage)` pairs in the benched state.
+    pub fn pairs(&self) -> u64 {
+        (self.domains * self.vantages.len()) as u64
+    }
+
+    /// The workload object recorded next to the records.
+    pub fn workload(&self) -> Json {
+        Json::object([
+            ("n_sites".to_string(), Json::int(i64::from(self.n_sites))),
+            ("domains".to_string(), Json::int(self.domains as i64)),
+            (
+                "vantages".to_string(),
+                Json::array(self.vantages.iter().map(|v| Json::str(v.label()))),
+            ),
+            ("pairs".to_string(), Json::int(self.pairs() as i64)),
+            ("repeats".to_string(), Json::int(self.repeats.max(1) as i64)),
+            ("seed".to_string(), Json::int(self.seed as i64)),
+        ])
+    }
+
+    /// The complete `BENCH_checkpoint.json` document for `records`.
+    pub fn document(&self, records: &[BenchRecord]) -> Json {
+        bench_document("checkpoint_durability", self.workload(), records)
+    }
+}
+
+/// A unique scratch directory for one bench run.
+fn bench_tmp_dir() -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static N: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "consent-bench-ckpt-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Flip one byte inside the first section body (`meta`) of a checkpoint
+/// file, so that recovery has to quarantine it and rebuild the cursor
+/// from the intact `capture-db` section.
+fn corrupt_meta_byte(path: &std::path::Path) {
+    let mut bytes = std::fs::read(path).expect("read checkpoint");
+    let marker = b"#end-header\n";
+    let start = bytes
+        .windows(marker.len())
+        .position(|w| w == marker)
+        .expect("checkpoint has a header terminator")
+        + marker.len();
+    bytes[start + 1] ^= 0x01;
+    std::fs::write(path, &bytes).expect("write corrupted checkpoint");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -305,6 +526,41 @@ mod tests {
         assert_eq!(
             recs[0].get("name").and_then(Json::as_str),
             Some("campaign/threads=1")
+        );
+    }
+
+    #[test]
+    fn checkpoint_sweep_covers_write_open_and_salvage() {
+        let bench = CheckpointBench {
+            n_sites: 400,
+            domains: 8,
+            vantages: vec![Vantage::eu_cloud()],
+            repeats: 2,
+            ..CheckpointBench::default()
+        };
+        let records = bench.run();
+        assert_eq!(
+            records.iter().map(|r| r.name.as_str()).collect::<Vec<_>>(),
+            vec!["checkpoint_write", "checkpoint_open", "checkpoint_salvage"],
+        );
+        for r in &records {
+            assert_eq!(r.pairs, bench.pairs() * 2);
+            assert!(r.pairs_per_sec > 0.0);
+            assert!(r.p50_us <= r.p95_us);
+        }
+        let doc = bench.document(&records);
+        let parsed = Json::parse(&doc.to_pretty()).expect("document parses");
+        assert_eq!(
+            parsed.get("bench").and_then(Json::as_str),
+            Some("checkpoint_durability")
+        );
+        assert_eq!(parsed.get("schema").and_then(Json::as_u32), Some(1));
+        assert_eq!(
+            parsed
+                .get("workload")
+                .and_then(|w| w.get("pairs"))
+                .and_then(Json::as_u32),
+            Some(8)
         );
     }
 }

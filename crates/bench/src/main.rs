@@ -1,9 +1,10 @@
-//! The `BENCH_campaign.json` entry point.
+//! The `BENCH_campaign.json` / `BENCH_checkpoint.json` entry point.
 //!
 //! Sweeps the campaign executor across thread counts on a synthetic
-//! workload, prints a human summary, and writes the machine-readable
-//! trajectory point. See `BENCHMARKS.md` for the schema and how to
-//! compare two runs.
+//! workload, then the checkpoint store across its write / open /
+//! salvage operations, prints a human summary, and writes the
+//! machine-readable trajectory points. See `BENCHMARKS.md` for the
+//! schema and how to compare two runs.
 //!
 //! ```text
 //! cargo run -p consent-bench --release
@@ -15,10 +16,12 @@
 //! * `BENCH_DOMAINS` — toplist entries to crawl (default 600)
 //! * `BENCH_THREADS` — comma-separated sweep, e.g. `1,2,4,8` (default)
 //! * `BENCH_REPEATS` — timed campaigns per thread count (default 5)
-//! * `BENCH_OUT`     — output path (default `BENCH_campaign.json`)
+//! * `BENCH_OUT`     — campaign output path (default `BENCH_campaign.json`)
+//! * `BENCH_CHECKPOINT_OUT` — checkpoint output path (default
+//!   `BENCH_checkpoint.json`)
 //! * `CONSENT_CHAOS` — chaos profile (`none`/`mild`/`heavy`), as everywhere
 
-use consent_bench::CampaignBench;
+use consent_bench::{CampaignBench, CheckpointBench};
 use consent_faultsim::FaultProfile;
 use std::env;
 
@@ -78,7 +81,30 @@ fn main() {
     }
 
     let doc = bench.document(&records);
-    std::fs::write(&out, format!("{}\n", doc.to_pretty())).unwrap_or_else(|e| {
+    write_doc(&out, &doc);
+
+    let ckpt = CheckpointBench::default();
+    let ckpt_out =
+        env::var("BENCH_CHECKPOINT_OUT").unwrap_or_else(|_| "BENCH_checkpoint.json".to_string());
+    eprintln!(
+        "checkpoint_durability: {} domains x {} vantages, {} repeats per operation",
+        ckpt.domains,
+        ckpt.vantages.len(),
+        ckpt.repeats
+    );
+    let ckpt_records = ckpt.run();
+    for r in &ckpt_records {
+        println!(
+            "{:<24} {:>12.1} {:>10} {:>10} {:>9}",
+            r.name, r.pairs_per_sec, r.p50_us, r.p95_us, "-"
+        );
+    }
+    let ckpt_doc = ckpt.document(&ckpt_records);
+    write_doc(&ckpt_out, &ckpt_doc);
+}
+
+fn write_doc(out: &str, doc: &consent_util::Json) {
+    std::fs::write(out, format!("{}\n", doc.to_pretty())).unwrap_or_else(|e| {
         panic!("writing {out}: {e}");
     });
     eprintln!("wrote {out}");

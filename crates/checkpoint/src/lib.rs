@@ -1,0 +1,43 @@
+//! # consent-checkpoint
+//!
+//! Crash-safe durable checkpoints for long-running capture campaigns.
+//! The paper's pipeline ran for two years and 161 M crawls (§3); at that
+//! horizon the process *will* die mid-campaign, so campaign state must
+//! survive torn writes and bit rot on disk.
+//!
+//! The crate is a generic container layer — it knows nothing about
+//! campaign state, only named text [`Section`]s:
+//!
+//! - [`mod@format`]: the v3 on-disk container — a text header with a
+//!   per-section manifest (name, byte length, CRC-32) protected by its
+//!   own `header_crc`, then the concatenated section payloads.
+//!   [`format::scan_bytes`] classifies every section of a damaged file
+//!   (intact / truncated / corrupt) instead of failing wholesale.
+//! - [`store`]: [`CheckpointStore`] writes generations atomically
+//!   (temp file + fsync + rename + directory fsync), keeps a rotating
+//!   window of the last K generations, and on [`CheckpointStore::open_latest`]
+//!   falls back past corrupt generations — quarantining each (moved to
+//!   `quarantine/`, never deleted) with per-section verdicts and the
+//!   longest valid prefix of whole sections preserved for salvage.
+//! - [`salvage`]: the structured [`SalvageReport`] describing exactly
+//!   what recovery did, renderable as text and JSON (the CI artifact of
+//!   the crash-consistency sweep).
+//!
+//! The crawler's durable driver layers campaign semantics on top: it
+//! maps `CampaignState` to sections, rebuilds what it can from
+//! quarantined-but-intact sections, and re-crawls whatever was lost so
+//! final exports still reconcile byte-for-byte.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod format;
+pub mod salvage;
+pub mod store;
+
+pub use format::{
+    scan_bytes, serialize, validate_name, Checkpoint, NameError, Scan, Section, SectionStatus,
+    SectionVerdict, CONTAINER_HEADER, END_HEADER,
+};
+pub use salvage::{QuarantinedGeneration, SalvageReport};
+pub use store::{CheckpointStore, DEFAULT_KEEP};

@@ -1,0 +1,350 @@
+//! Durable on-disk checkpoint store.
+//!
+//! One directory per campaign. Live checkpoints are `gen-NNNNNNNN.ckpt`;
+//! files that fail validation are moved (never deleted) into a
+//! `quarantine/` subdirectory so a post-mortem can inspect exactly what
+//! was on disk. Writes are atomic: serialize to a temp file in the same
+//! directory, `fsync` it, `rename` over the final name, then best-effort
+//! `fsync` the directory — a crash at any instant leaves either the old
+//! generation set or the old set plus one complete new file.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use crate::format::{scan_bytes, serialize, validate_name, Checkpoint, Scan, Section};
+use crate::salvage::{QuarantinedGeneration, SalvageReport};
+
+/// Default number of generations retained by [`CheckpointStore::open`].
+pub const DEFAULT_KEEP: usize = 4;
+
+const QUARANTINE_DIR: &str = "quarantine";
+
+/// A rotating store of checkpoint generations in one directory.
+#[derive(Debug)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+    keep: usize,
+}
+
+impl CheckpointStore {
+    /// Open (creating if needed) a store keeping [`DEFAULT_KEEP`]
+    /// generations.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<CheckpointStore> {
+        CheckpointStore::with_keep(dir, DEFAULT_KEEP)
+    }
+
+    /// Open (creating if needed) a store with an explicit retention
+    /// window. `keep` is clamped to at least 1.
+    pub fn with_keep(dir: impl AsRef<Path>, keep: usize) -> io::Result<CheckpointStore> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        Ok(CheckpointStore {
+            dir,
+            keep: keep.max(1),
+        })
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of a generation's checkpoint file.
+    pub fn path_for(&self, generation: u64) -> PathBuf {
+        self.dir.join(format!("gen-{generation:08}.ckpt"))
+    }
+
+    /// Path of the quarantine subdirectory.
+    pub fn quarantine_dir(&self) -> PathBuf {
+        self.dir.join(QUARANTINE_DIR)
+    }
+
+    /// Live generation numbers, ascending.
+    pub fn generations(&self) -> io::Result<Vec<u64>> {
+        let mut gens = generations_in(&self.dir)?;
+        gens.sort_unstable();
+        Ok(gens)
+    }
+
+    fn next_generation(&self) -> io::Result<u64> {
+        // Quarantined generations still count: a salvaged campaign must
+        // never reuse a generation number that exists in quarantine.
+        let mut max = 0u64;
+        for g in generations_in(&self.dir)? {
+            max = max.max(g);
+        }
+        let qdir = self.quarantine_dir();
+        if qdir.is_dir() {
+            for g in generations_in(&qdir)? {
+                max = max.max(g);
+            }
+        }
+        Ok(max + 1)
+    }
+
+    /// Atomically write a new generation and prune old ones. Returns
+    /// the generation number written.
+    pub fn save(&self, sections: &[Section]) -> io::Result<u64> {
+        let _span = consent_telemetry::span("checkpoint.write");
+        let generation = self.prepare(sections)?;
+        let bytes = serialize(generation, sections);
+        self.write_atomic(generation, &bytes)?;
+        consent_telemetry::count("checkpoint.writes", 1);
+        consent_telemetry::observe("checkpoint.write.bytes", bytes.len() as u64);
+        self.prune()?;
+        Ok(generation)
+    }
+
+    /// Fault-injection write: serialize like [`CheckpointStore::save`]
+    /// but persist only the first `keep_bytes` bytes, simulating a torn
+    /// write on a filesystem without atomic-rename guarantees. Skips
+    /// pruning (a crashing process never got that far).
+    pub fn save_torn(&self, sections: &[Section], keep_bytes: u64) -> io::Result<u64> {
+        let generation = self.prepare(sections)?;
+        let bytes = serialize(generation, sections);
+        let cut = (keep_bytes as usize).min(bytes.len());
+        self.write_atomic(generation, &bytes[..cut])?;
+        Ok(generation)
+    }
+
+    fn prepare(&self, sections: &[Section]) -> io::Result<u64> {
+        for s in sections {
+            validate_name(&s.name)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        }
+        for (i, s) in sections.iter().enumerate() {
+            if sections[..i].iter().any(|p| p.name == s.name) {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("duplicate section name {:?}", s.name),
+                ));
+            }
+        }
+        self.next_generation()
+    }
+
+    fn write_atomic(&self, generation: u64, bytes: &[u8]) -> io::Result<()> {
+        let final_path = self.path_for(generation);
+        let tmp_path = self.dir.join(format!(".tmp-gen-{generation:08}.ckpt"));
+        {
+            let mut f = OpenOptions::new()
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(&tmp_path)?;
+            f.write_all(bytes)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp_path, &final_path)?;
+        // Persist the rename itself. Directory fsync is not portable
+        // everywhere, so failures here are tolerated.
+        let _ = File::open(&self.dir).and_then(|d| d.sync_all());
+        Ok(())
+    }
+
+    fn prune(&self) -> io::Result<()> {
+        let gens = self.generations()?;
+        if gens.len() > self.keep {
+            for &g in &gens[..gens.len() - self.keep] {
+                fs::remove_file(self.path_for(g))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Scan one generation's file for integrity without moving it.
+    pub fn scan_generation(&self, generation: u64) -> io::Result<Scan> {
+        let bytes = fs::read(self.path_for(generation))?;
+        Ok(scan_bytes(generation, &bytes))
+    }
+
+    /// Move a generation's file into `quarantine/`, returning the new
+    /// path.
+    pub fn quarantine(&self, generation: u64) -> io::Result<PathBuf> {
+        let qdir = self.quarantine_dir();
+        fs::create_dir_all(&qdir)?;
+        let from = self.path_for(generation);
+        let to = qdir.join(format!("gen-{generation:08}.ckpt"));
+        fs::rename(&from, &to)?;
+        let _ = File::open(&self.dir).and_then(|d| d.sync_all());
+        consent_telemetry::count("checkpoint.quarantined", 1);
+        Ok(to)
+    }
+
+    /// Load the newest generation that validates end-to-end.
+    ///
+    /// Generations are scanned newest-first. Every newer generation that
+    /// fails validation is quarantined and recorded in the returned
+    /// [`SalvageReport`] together with its per-section verdicts, the
+    /// longest valid prefix, and every individually intact section body
+    /// (so callers can attempt domain-level salvage). Returns
+    /// `(None, report)` when no generation is usable.
+    pub fn open_latest(&self) -> io::Result<(Option<Checkpoint>, SalvageReport)> {
+        let _span = consent_telemetry::span("checkpoint.open");
+        let mut report = SalvageReport::default();
+        let mut gens = self.generations()?;
+        gens.reverse();
+        for g in gens {
+            let scan = self.scan_generation(g)?;
+            if scan.intact() {
+                report.used_generation = Some(g);
+                consent_telemetry::count("checkpoint.opens", 1);
+                return Ok((scan.into_checkpoint(), report));
+            }
+            let qpath = self.quarantine(g)?;
+            report.actions.push(format!(
+                "quarantined generation {g} ({}): {}",
+                qpath.display(),
+                scan.describe()
+            ));
+            report.quarantined.push(QuarantinedGeneration {
+                generation: g,
+                reason: scan.describe(),
+                valid_prefix: scan.valid_prefix(),
+                salvaged: scan.salvageable(),
+                verdicts: scan.verdicts,
+                quarantine_path: Some(qpath.display().to_string()),
+            });
+        }
+        Ok((None, report))
+    }
+}
+
+fn generations_in(dir: &Path) -> io::Result<Vec<u64>> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(g) = name
+            .strip_prefix("gen-")
+            .and_then(|r| r.strip_suffix(".ckpt"))
+            .and_then(|n| n.parse::<u64>().ok())
+        {
+            out.push(g);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn tmp_store(keep: usize) -> (PathBuf, CheckpointStore) {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "consent-ckpt-store-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let store = CheckpointStore::with_keep(&dir, keep).unwrap();
+        (dir, store)
+    }
+
+    fn sections(tag: &str) -> Vec<Section> {
+        vec![
+            Section::new("meta", format!("meta-{tag}\n")),
+            Section::new("capture-db", format!("db-{tag}\nrow\n")),
+        ]
+    }
+
+    #[test]
+    fn save_then_open_latest_round_trips() {
+        let (dir, store) = tmp_store(3);
+        let g1 = store.save(&sections("a")).unwrap();
+        let g2 = store.save(&sections("b")).unwrap();
+        assert_eq!((g1, g2), (1, 2));
+        let (ckpt, report) = store.open_latest().unwrap();
+        let ckpt = ckpt.unwrap();
+        assert_eq!(ckpt.generation, 2);
+        assert_eq!(ckpt.section("meta").unwrap().body, "meta-b\n");
+        assert!(report.is_clean());
+        assert_eq!(report.used_generation, Some(2));
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn rotation_keeps_last_k() {
+        let (dir, store) = tmp_store(2);
+        for i in 0..5 {
+            store.save(&sections(&i.to_string())).unwrap();
+        }
+        assert_eq!(store.generations().unwrap(), vec![4, 5]);
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn torn_write_falls_back_to_previous_generation() {
+        let (dir, store) = tmp_store(3);
+        store.save(&sections("good")).unwrap();
+        store.save_torn(&sections("torn"), 30).unwrap();
+        let (ckpt, report) = store.open_latest().unwrap();
+        assert_eq!(ckpt.unwrap().section("meta").unwrap().body, "meta-good\n");
+        assert_eq!(report.used_generation, Some(1));
+        assert_eq!(report.quarantined.len(), 1);
+        assert_eq!(report.quarantined[0].generation, 2);
+        // The torn file was preserved for post-mortem, not deleted.
+        assert!(store.quarantine_dir().join("gen-00000002.ckpt").is_file());
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn torn_write_of_zero_bytes_is_still_detected() {
+        let (dir, store) = tmp_store(3);
+        store.save(&sections("good")).unwrap();
+        store.save_torn(&sections("torn"), 0).unwrap();
+        let (ckpt, report) = store.open_latest().unwrap();
+        assert!(ckpt.is_some());
+        assert_eq!(report.quarantined.len(), 1);
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn quarantined_generation_numbers_are_never_reused() {
+        let (dir, store) = tmp_store(3);
+        store.save_torn(&sections("torn"), 10).unwrap();
+        let (ckpt, _) = store.open_latest().unwrap();
+        assert!(ckpt.is_none());
+        let g = store.save(&sections("fresh")).unwrap();
+        assert_eq!(g, 2);
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn bit_flip_quarantines_and_reports_prefix() {
+        let (dir, store) = tmp_store(3);
+        let g = store.save(&sections("x")).unwrap();
+        let path = store.path_for(g);
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 2;
+        bytes[last] ^= 0x10;
+        fs::write(&path, &bytes).unwrap();
+        let (ckpt, report) = store.open_latest().unwrap();
+        assert!(ckpt.is_none());
+        let q = &report.quarantined[0];
+        assert_eq!(q.valid_prefix, 1, "{report:?}");
+        assert_eq!(q.salvaged.len(), 1);
+        assert_eq!(q.salvaged[0].name, "meta");
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn empty_store_opens_clean() {
+        let (dir, store) = tmp_store(3);
+        let (ckpt, report) = store.open_latest().unwrap();
+        assert!(ckpt.is_none());
+        assert!(report.is_clean());
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn duplicate_section_names_rejected() {
+        let (dir, store) = tmp_store(3);
+        let dup = vec![Section::new("meta", "a"), Section::new("meta", "b")];
+        assert!(store.save(&dup).is_err());
+        fs::remove_dir_all(dir).unwrap();
+    }
+}

@@ -32,7 +32,7 @@ use crate::export::{export as export_db, import as import_db, status_code, Impor
 use crate::resilience::{BreakerConfig, CircuitBreaker, Outcome, RetryPolicy};
 use consent_faultsim::{FaultProfile, FaultyEngine};
 use consent_fingerprint::Detector;
-use consent_httpsim::{split_url, CaptureOptions, Location, Vantage, WorldProber};
+use consent_httpsim::{split_url, CaptureOptions, CaptureStatus, Location, Vantage, WorldProber};
 use consent_psl::PublicSuffixList;
 use consent_toplist::{default_providers, resolve_all, AggregationRule, SeedUrl, Toplist};
 use consent_trace::{stable_id, AttemptProvenance, Provenance, ProvenanceLog};
@@ -55,6 +55,7 @@ pub struct CampaignCapture {
 }
 
 /// Results of a full campaign: one capture list per vantage column.
+#[derive(Debug, Default)]
 pub struct CampaignResult {
     /// `(vantage, captures)` in the same order as the input vantages.
     pub columns: Vec<(Vantage, Vec<CampaignCapture>)>,
@@ -169,7 +170,7 @@ pub struct CampaignState {
     pub pairs_done: u64,
 }
 
-const STATE_HEADER: &str = "#consent-campaign-state v2";
+pub(crate) const STATE_HEADER: &str = "#consent-campaign-state v3";
 
 impl CampaignState {
     /// Fresh state (nothing crawled).
@@ -209,22 +210,50 @@ impl CampaignState {
         let split = rest
             .iter()
             .position(|l| l.starts_with("#consent-dead-letters"))
-            .ok_or_else(|| bad(3, "missing dead-letter section".into()))?;
+            .ok_or_else(|| bad(2 + rest.len(), "missing dead-letter section".into()))?;
         let prov_split = rest
             .iter()
             .position(|l| l.starts_with("#consent-provenance"))
-            .ok_or_else(|| bad(3, "missing provenance section".into()))?;
+            .ok_or_else(|| bad(2 + rest.len(), "missing provenance section".into()))?;
         if prov_split < split {
-            return Err(bad(3, "provenance section before dead letters".into()));
+            return Err(bad(
+                3 + prov_split,
+                "provenance section before dead letters".into(),
+            ));
         }
+        // Section importers report line numbers relative to their own
+        // header (0 for header problems, N for the section's Nth line).
+        // Offset them so an `ImportError` names the offending line of
+        // the *whole* checkpoint, which is what a human debugging a
+        // corrupt file greps for. rest[0] is global line 3.
+        let offset = |base: usize, local: usize| {
+            if local == 0 {
+                base
+            } else {
+                base + local - 1
+            }
+        };
         let db_text = rest[..split].join("\n");
         let dl_text = rest[split..prov_split].join("\n");
         let prov_text = rest[prov_split..].join("\n");
-        let db = import_db(&db_text)?;
-        let dead_letters = DeadLetterQueue::import(&dl_text)
-            .map_err(|e| bad(e.line, format!("dead-letter section: {}", e.message)))?;
-        let provenance = ProvenanceLog::import(&prov_text)
-            .map_err(|e| bad(e.line, format!("provenance section: {}", e.message)))?;
+        let db = import_db(&db_text).map_err(|e| {
+            bad(
+                offset(3, e.line),
+                format!("capture-db section: {}", e.message),
+            )
+        })?;
+        let dead_letters = DeadLetterQueue::import(&dl_text).map_err(|e| {
+            bad(
+                offset(3 + split, e.line),
+                format!("dead-letter section: {}", e.message),
+            )
+        })?;
+        let provenance = ProvenanceLog::import(&prov_text).map_err(|e| {
+            bad(
+                offset(3 + prov_split, e.line),
+                format!("provenance section: {}", e.message),
+            )
+        })?;
         let state = CampaignState {
             db,
             dead_letters,
@@ -372,7 +401,7 @@ pub fn resume_campaign(
             }
             pair_index += 1;
             processed += 1;
-            let out = process_pair(
+            let out = process_pair_contained(
                 &engine,
                 s,
                 i + 1,
@@ -539,6 +568,96 @@ pub(crate) fn process_pair(
     }
 }
 
+/// [`process_pair`] with panic containment: a panic anywhere inside the
+/// capture path (an injected [`Fault::Panic`](consent_faultsim::Fault),
+/// or a genuine bug) unwinds to here and becomes a classified
+/// [`Outcome::Panic`] output instead of poisoning the executor — the
+/// sequential loop survives, and a parallel worker thread keeps draining
+/// pairs. The synthetic output is a pure function of the pair identity,
+/// so exports stay byte-identical at any thread count, and its capture
+/// is unusable, so [`apply_pair`] dead-letters the pair with provenance
+/// like any other abandoned pair.
+///
+/// Both executors route every pair through this wrapper.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn process_pair_contained(
+    engine: &FaultyEngine<'_>,
+    s: &SeedUrl,
+    rank: usize,
+    col: usize,
+    vantage: Vantage,
+    day: Day,
+    schedule: &[Day],
+    config: &CampaignConfig,
+    detector: &Detector,
+) -> PairOutput {
+    let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        process_pair(
+            engine, s, rank, col, vantage, day, schedule, config, detector,
+        )
+    }));
+    let payload = match attempt {
+        Ok(out) => return out,
+        Err(payload) => payload,
+    };
+    // The unwind already closed the pair's own trace (armed guards emit
+    // their End events during the unwind), so the containment marker
+    // goes in a sibling trace keyed by the same pair identity — reusing
+    // the pair's trace id would restart its sequence numbers.
+    let message = payload
+        .downcast_ref::<String>()
+        .map(String::as_str)
+        .or_else(|| payload.downcast_ref::<&str>().copied())
+        .unwrap_or("non-string panic payload")
+        .to_string();
+    consent_telemetry::count("campaign.panic", 1);
+    let vcode = vantage_code(vantage);
+    let panic_trace = stable_id(&["pair.panic", &s.domain, &vcode, &day.to_string()]);
+    {
+        let _t = consent_trace::start_trace("pair.panic", panic_trace, |a| {
+            a.push("domain", s.domain.clone());
+            a.push("vantage", vcode.clone());
+            a.push("day", day.to_string());
+            a.push("message", message.clone());
+        });
+    }
+    let (host, _) = split_url(&s.url);
+    // One synthetic connection-failed attempt on the first scheduled
+    // day: the real history died with the stack, but downstream
+    // invariants (≥1 attempt per pair, `pairs_done == db.len()`,
+    // unusable ⇒ dead-lettered) must hold regardless.
+    let first_day = schedule.first().copied().unwrap_or(day);
+    let capture = consent_httpsim::Capture {
+        seed_url: s.url.clone(),
+        final_url: s.url.clone(),
+        final_host: host,
+        day: first_day,
+        vantage,
+        status: CaptureStatus::ConnectionFailed,
+        requests: Vec::new(),
+        cookies: Vec::new(),
+        dialog_visible: false,
+        dom: None,
+    };
+    let trace_id = stable_id(&["pair", &s.domain, &vcode, &day.to_string()]);
+    PairOutput {
+        col,
+        rank,
+        domain: s.domain.clone(),
+        vcode,
+        trace_id,
+        capture,
+        history: vec![AttemptRecord {
+            day: first_day,
+            status: CaptureStatus::ConnectionFailed,
+        }],
+        faults: vec![Some("panic".to_string())],
+        outcome: Outcome::Panic,
+        breaker_opened: false,
+        cmps: CmpSet::empty(),
+    }
+}
+
 /// Fold one [`PairOutput`] into the cumulative campaign state and the
 /// per-vantage result columns. Single-threaded by construction: the
 /// sequential runner calls it right after [`process_pair`], the parallel
@@ -568,7 +687,7 @@ pub(crate) fn apply_pair(
     let attempts = history.len() as u8;
     if consent_telemetry::enabled() {
         consent_telemetry::observe("campaign.attempts", u64::from(attempts));
-        consent_telemetry::count("campaign.retries", u64::from(attempts) - 1);
+        consent_telemetry::count("campaign.retries", u64::from(attempts).saturating_sub(1));
         consent_telemetry::count_labeled("campaign.outcome", &[("outcome", outcome.name())], 1);
     }
     state.db.ingest(&capture, cmps, psl);
@@ -616,7 +735,7 @@ pub(crate) fn apply_pair(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use consent_httpsim::{CaptureStatus, Timing};
+    use consent_httpsim::Timing;
     use consent_webgraph::{AdoptionConfig, WorldConfig};
 
     fn world() -> World {
@@ -821,19 +940,25 @@ mod tests {
         let no_dl = format!("{STATE_HEADER}\npairs_done=0\n#consent-capture-db v2\n");
         assert!(CampaignState::import(&no_dl).is_err());
         let no_prov = format!(
-            "{STATE_HEADER}\npairs_done=0\n#consent-capture-db v2\n#consent-dead-letters v1\n"
+            "{STATE_HEADER}\npairs_done=0\n#consent-capture-db v2\n#consent-dead-letters v2\n"
         );
         assert!(CampaignState::import(&no_prov).is_err());
         // Sections out of order are corruption.
         let swapped = format!(
-            "{STATE_HEADER}\npairs_done=0\n#consent-capture-db v2\n#consent-provenance v1\n#consent-dead-letters v1\n"
+            "{STATE_HEADER}\npairs_done=0\n#consent-capture-db v2\n#consent-provenance v1\n#consent-dead-letters v2\n"
         );
         assert!(CampaignState::import(&swapped).is_err());
         // A cursor that disagrees with the stored rows is corruption.
         let bad_cursor = format!(
-            "{STATE_HEADER}\npairs_done=5\n#consent-capture-db v2\n#consent-dead-letters v1\n#consent-provenance v1\n"
+            "{STATE_HEADER}\npairs_done=5\n#consent-capture-db v2\n#consent-dead-letters v2\n#consent-provenance v1\n"
         );
         assert!(CampaignState::import(&bad_cursor).is_err());
+        // v2 state checkpoints (unescaped dead-letter section) are a
+        // different format and must not be silently reinterpreted.
+        assert!(CampaignState::import(
+            "#consent-campaign-state v2\npairs_done=0\n#consent-capture-db v2\n#consent-dead-letters v1\n#consent-provenance v1\n"
+        )
+        .is_err());
         // A provenance section shorter than the cursor is corruption
         // even when the capture-db agrees.
         let run = {
@@ -855,5 +980,45 @@ mod tests {
         assert!(CampaignState::import(&truncated).is_err());
         let empty = CampaignState::new().export();
         assert_eq!(CampaignState::import(&empty).unwrap().pairs_done, 0);
+    }
+
+    #[test]
+    fn state_import_reports_whole_file_line_numbers() {
+        // Layout: line 1 state header, 2 pairs_done, 3 db header,
+        // 4 dl header, 5 prov header. A garbage row injected into a
+        // section must be reported at its line number in the whole
+        // checkpoint, not relative to the section header.
+        let garbage_in = |section: &str| -> String {
+            let mut lines = vec![
+                STATE_HEADER.to_string(),
+                "pairs_done=0".into(),
+                "#consent-capture-db v2".into(),
+                "#consent-dead-letters v2".into(),
+                "#consent-provenance v1".into(),
+            ];
+            let at = match section {
+                "db" => 3,
+                "dl" => 4,
+                _ => 5,
+            };
+            lines.insert(at, "garbage row".into());
+            lines.join("\n") + "\n"
+        };
+        for (section, want_line, want_msg) in [
+            ("db", 4, "capture-db section"),
+            ("dl", 5, "dead-letter section"),
+            ("prov", 6, "provenance section"),
+        ] {
+            let e = CampaignState::import(&garbage_in(section)).unwrap_err();
+            assert_eq!(e.line, want_line, "{section}: {}", e.message);
+            assert!(e.message.contains(want_msg), "{section}: {}", e.message);
+        }
+        // Missing sections point past the end of what's there.
+        let e = CampaignState::import(&format!(
+            "{STATE_HEADER}\npairs_done=0\n#consent-capture-db v2\n"
+        ))
+        .unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("missing dead-letter section"));
     }
 }

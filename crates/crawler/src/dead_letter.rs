@@ -6,7 +6,9 @@
 //! history and final classification, and persisted alongside the
 //! [`CaptureDb`](crate::CaptureDb) line format so a longitudinal audit
 //! can reconcile what was measured against what was abandoned, §3.5
-//! style.
+//! style. Format v2 escapes the separator alphabet in the domain field,
+//! so exports round-trip for *any* domain string and malformed lines
+//! fail with a structured [`DeadLetterImportError`].
 
 use crate::export::{status_code, status_from};
 use crate::resilience::Outcome;
@@ -68,7 +70,47 @@ impl fmt::Display for DeadLetterImportError {
 
 impl std::error::Error for DeadLetterImportError {}
 
-const HEADER: &str = "#consent-dead-letters v1";
+const HEADER: &str = "#consent-dead-letters v2";
+
+/// Escape a field for the tab-separated line format. v2 of the format
+/// escapes the separator alphabet (`\t`, `\n`, `\r`) and the escape
+/// character itself, so a hostile or garbage domain string can never
+/// smuggle extra fields or records into an export.
+fn escape_field(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Invert [`escape_field`]. Unknown escapes and a trailing lone `\` are
+/// format errors, not silently passed through.
+fn unescape_field(s: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some(other) => return Err(format!("bad escape \\{other}")),
+            None => return Err("trailing backslash".into()),
+        }
+    }
+    Ok(out)
+}
 
 impl DeadLetterQueue {
     /// Empty queue.
@@ -124,7 +166,7 @@ impl DeadLetterQueue {
                 .collect();
             out.push_str(&format!(
                 "{}\t{}\t{}\t{}\t{}\t{}\n",
-                r.domain,
+                escape_field(&r.domain),
                 r.rank,
                 vantage_code(r.vantage),
                 r.outcome.name(),
@@ -186,10 +228,11 @@ impl DeadLetterQueue {
                     });
                 }
             }
+            let domain = unescape_field(fields[0]).map_err(|e| err(format!("bad domain: {e}")))?;
             // Records go straight into the vec: import must not
             // re-count telemetry that the original run already counted.
             queue.records.push(DeadLetter {
-                domain: fields[0].to_owned(),
+                domain,
                 rank,
                 vantage,
                 attempts,
@@ -255,6 +298,7 @@ pub fn vantage_from(code: &str) -> Option<Vantage> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     fn sample() -> DeadLetterQueue {
         let mut q = DeadLetterQueue::new();
@@ -355,5 +399,80 @@ mod tests {
         let back = DeadLetterQueue::import(&q.export()).unwrap();
         assert!(back.is_empty());
         assert_eq!(back.len(), 0);
+    }
+
+    fn letter_for(domain: &str) -> DeadLetter {
+        DeadLetter {
+            domain: domain.into(),
+            rank: 9,
+            vantage: Vantage::eu_cloud(),
+            attempts: Vec::new(),
+            outcome: Outcome::Permanent,
+            breaker_opened: false,
+        }
+    }
+
+    #[test]
+    fn hostile_domains_cannot_smuggle_fields_or_records() {
+        let mut q = DeadLetterQueue::new();
+        q.push(letter_for(
+            "evil\t1\tco\nfake.example\t2\teu-fast-enus\tpermanent\t0\t",
+        ));
+        q.push(letter_for("back\\slash.example\r"));
+        let text = q.export();
+        // Exactly header + 2 records, each still 6 tab-separated fields.
+        assert_eq!(text.lines().count(), 3);
+        for line in text.lines().skip(1) {
+            assert_eq!(line.split('\t').count(), 6);
+        }
+        let back = DeadLetterQueue::import(&text).unwrap();
+        assert_eq!(back, q);
+        assert_eq!(back.export(), text);
+    }
+
+    #[test]
+    fn bad_escapes_are_structured_errors() {
+        let h = format!("{HEADER}\n");
+        for domain in ["half\\", "bad\\q.example"] {
+            let e =
+                DeadLetterQueue::import(&format!("{h}{domain}\t1\teu-fast-enus\tpermanent\t0\t\n"))
+                    .unwrap_err();
+            assert_eq!(e.line, 2, "{domain:?}");
+            assert!(
+                e.message.contains("bad domain"),
+                "{domain:?} -> {}",
+                e.message
+            );
+        }
+        // v1 exports (no escaping) are a different format, not silently
+        // reinterpreted.
+        let e = DeadLetterQueue::import("#consent-dead-letters v1\n").unwrap_err();
+        assert!(e.message.contains("unsupported header"));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_exports_roundtrip_any_domain(
+            raw in proptest::collection::vec(0usize..10, 0..24),
+            rank in 1usize..100_000,
+            breaker in proptest::arbitrary::any::<bool>(),
+        ) {
+            const ALPHABET: [char; 10] =
+                ['a', 'z', '0', '.', '-', '_', '\\', '\t', '\n', '\r'];
+            let domain: String = raw.iter().map(|&i| ALPHABET[i]).collect();
+            let mut q = DeadLetterQueue::new();
+            let mut letter = letter_for(&domain);
+            letter.rank = rank;
+            letter.breaker_opened = breaker;
+            letter.attempts.push(AttemptRecord {
+                day: Day::from_ymd(2020, 5, 15),
+                status: CaptureStatus::HttpError,
+            });
+            q.push(letter);
+            let text = q.export();
+            let back = DeadLetterQueue::import(&text).unwrap();
+            prop_assert_eq!(&back, &q);
+            prop_assert_eq!(back.export(), text);
+        }
     }
 }

@@ -1,0 +1,496 @@
+//! Crash-safe campaign execution over a durable checkpoint store.
+//!
+//! The plain executors ([`resume_campaign`](crate::resume_campaign),
+//! [`resume_campaign_parallel`]) keep state in memory and leave
+//! persistence to the caller. This module closes the loop:
+//! [`run_durable_campaign`] processes pairs in chunks and writes each
+//! cut to a [`CheckpointStore`] as a five-section checkpoint — the three
+//! `CampaignState` sections plus a cursor line and the global trace
+//! log's JSONL export — so a process death at any instant loses at most
+//! one chunk of work.
+//!
+//! # Recovery and salvage rules
+//!
+//! On start, [`recover_state`] walks the store newest-generation-first:
+//!
+//! 1. A generation that validates end-to-end (every section CRC intact)
+//!    is reassembled and imported. If the *semantic* import fails despite
+//!    intact CRCs, the generation is quarantined like a corrupt one and
+//!    the walk continues.
+//! 2. A corrupt generation is quarantined by the store, but its
+//!    individually intact sections are still considered: if `capture-db`,
+//!    `dead-letters`, `provenance`, and `trace-jsonl` all survived, the
+//!    state is salvaged from them — rebuilding the tiny `meta` cursor
+//!    section from the capture count when it was the casualty. The
+//!    `trace-jsonl` section is required because a resumed run must
+//!    reproduce the uninterrupted run's trace export byte-for-byte,
+//!    which is impossible if already-applied pairs lost their events.
+//! 3. Otherwise the next-older generation is tried; with none left the
+//!    campaign restarts fresh.
+//!
+//! Every decision is recorded in the returned
+//! [`SalvageReport`]. Because pair processing is deterministic, any
+//! pairs lost to a quarantined generation are simply re-crawled, and the
+//! final exports reconcile byte-for-byte with an uninterrupted run.
+//!
+//! # Deterministic crashes
+//!
+//! [`DurableOpts::crash`] accepts a [`CrashPlan`]
+//! (`CONSENT_CRASHPOINT`): the driver dies — cooperatively, returning
+//! [`DurableOutcome::Crashed`] — immediately after the Nth applied pair
+//! (before the covering checkpoint is written) or by tearing the Nth
+//! checkpoint write after a byte budget. `tests/it_durability.rs` sweeps
+//! every such crashpoint of a small campaign and asserts resumed runs
+//! are byte-identical to uninterrupted ones.
+
+use std::io;
+
+use consent_checkpoint::{CheckpointStore, Section};
+use consent_faultsim::CrashPlan;
+use consent_httpsim::Vantage;
+use consent_util::{Day, SeedTree};
+use consent_webgraph::World;
+
+pub use consent_checkpoint::SalvageReport;
+
+use crate::campaign::{CampaignConfig, CampaignResult, CampaignState, STATE_HEADER};
+use crate::export::export as export_db;
+use crate::export::import as import_db;
+use crate::parallel::{resume_campaign_parallel, ParallelOpts};
+
+/// Checkpoint section holding the state header + `pairs_done` cursor.
+pub const SECTION_META: &str = "meta";
+/// Checkpoint section holding the capture database.
+pub const SECTION_DB: &str = "capture-db";
+/// Checkpoint section holding the dead-letter queue.
+pub const SECTION_DEAD_LETTERS: &str = "dead-letters";
+/// Checkpoint section holding the provenance log.
+pub const SECTION_PROVENANCE: &str = "provenance";
+/// Checkpoint section holding the trace log's JSONL export.
+pub const SECTION_TRACE: &str = "trace-jsonl";
+
+/// How a durable campaign runs.
+#[derive(Clone, Debug)]
+pub struct DurableOpts {
+    /// Worker threads per chunk (`<= 1` is the sequential executor).
+    pub threads: usize,
+    /// Campaign behavior: chaos profile, retry schedule, breaker.
+    pub config: CampaignConfig,
+    /// Pairs per checkpoint: after every `checkpoint_every` applied
+    /// pairs a new generation is written. Clamped to at least 1.
+    pub checkpoint_every: u64,
+    /// Deterministic crash schedule for this run ([`CrashPlan::none`]
+    /// for production use).
+    pub crash: CrashPlan,
+}
+
+impl Default for DurableOpts {
+    /// Sequential, default config, checkpoint every 25 pairs, no crash.
+    fn default() -> DurableOpts {
+        DurableOpts {
+            threads: 1,
+            config: CampaignConfig::default(),
+            checkpoint_every: 25,
+            crash: CrashPlan::none(),
+        }
+    }
+}
+
+/// How a durable run ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DurableOutcome {
+    /// Every pair was processed and the final checkpoint is on disk.
+    Complete,
+    /// The configured [`CrashPlan`] fired: the simulated process died.
+    Crashed {
+        /// The crashpoint that fired (its `Display` form).
+        crashpoint: String,
+        /// `pairs_done` of the last checkpoint known durable on disk —
+        /// everything after it dies with the process and is re-crawled
+        /// on resume.
+        durable_pairs: u64,
+    },
+}
+
+/// The result of one [`run_durable_campaign`] invocation.
+#[derive(Debug)]
+pub struct DurableRun {
+    /// Cumulative state at exit (on a crash, the in-memory state the
+    /// dead process would have lost back to `durable_pairs`).
+    pub state: CampaignState,
+    /// Captures processed by this invocation only.
+    pub result: CampaignResult,
+    /// Whether the run completed or a crashpoint fired.
+    pub outcome: DurableOutcome,
+    /// Everything recovery found and did when opening the store.
+    pub salvage: SalvageReport,
+}
+
+/// Build the five checkpoint sections for a state + trace snapshot.
+/// The concatenation of the first four bodies is exactly
+/// [`CampaignState::export`], so reassembly re-uses the importer.
+pub fn state_sections(state: &CampaignState, trace_jsonl: &str) -> Vec<Section> {
+    vec![
+        Section::new(
+            SECTION_META,
+            format!("{STATE_HEADER}\npairs_done={}\n", state.pairs_done),
+        ),
+        Section::new(SECTION_DB, export_db(&state.db)),
+        Section::new(SECTION_DEAD_LETTERS, state.dead_letters.export()),
+        Section::new(SECTION_PROVENANCE, state.provenance.export()),
+        Section::new(SECTION_TRACE, trace_jsonl),
+    ]
+}
+
+/// Reassemble a state from checkpoint section bodies.
+fn state_from_parts(
+    meta: &str,
+    db: &str,
+    dead_letters: &str,
+    provenance: &str,
+) -> Result<CampaignState, String> {
+    let text = format!("{meta}{db}{dead_letters}{provenance}");
+    CampaignState::import(&text).map_err(|e| format!("line {}: {}", e.line, e.message))
+}
+
+/// A `meta` section reconstructed from an intact capture-db section —
+/// the cursor always equals the number of stored captures.
+fn rebuilt_meta(db_text: &str) -> Option<String> {
+    let db = import_db(db_text).ok()?;
+    Some(format!("{STATE_HEADER}\npairs_done={}\n", db.len()))
+}
+
+/// Try to salvage a state (and its trace snapshot) from the
+/// individually intact sections of one quarantined generation.
+fn salvage_from(
+    q: &consent_checkpoint::QuarantinedGeneration,
+) -> Option<(CampaignState, String, String)> {
+    let sec = |name: &str| q.salvaged.iter().find(|s| s.name == name);
+    let db = sec(SECTION_DB)?;
+    let dl = sec(SECTION_DEAD_LETTERS)?;
+    let prov = sec(SECTION_PROVENANCE)?;
+    let trace = sec(SECTION_TRACE)?;
+    let (meta, how) = match sec(SECTION_META) {
+        Some(m) => (m.body.clone(), "meta intact"),
+        None => (rebuilt_meta(&db.body)?, "meta rebuilt from capture count"),
+    };
+    let state = state_from_parts(&meta, &db.body, &dl.body, &prov.body).ok()?;
+    Some((state, trace.body.clone(), how.to_string()))
+}
+
+/// Open the newest usable state in `store` per the salvage rules in the
+/// [module docs](self). Returns the state, the persisted trace-JSONL
+/// snapshot that accompanies it, and the full salvage report. A clean
+/// empty store yields a fresh state and a clean report.
+pub fn recover_state(
+    store: &CheckpointStore,
+) -> io::Result<(CampaignState, String, SalvageReport)> {
+    let mut report = SalvageReport::default();
+    loop {
+        let (ckpt, found) = store.open_latest()?;
+        report.absorb(found);
+        // A quarantined-but-partially-intact newer generation beats the
+        // older fully intact one: fewer pairs to re-crawl.
+        for q in report.quarantined.clone() {
+            if let Some((state, trace, how)) = salvage_from(&q) {
+                report.used_generation = None;
+                report.note(format!(
+                    "salvaged state ({} pairs) from quarantined generation {} ({how})",
+                    state.pairs_done, q.generation
+                ));
+                return Ok((state, trace, report));
+            }
+        }
+        let Some(ckpt) = ckpt else {
+            if !report.is_clean() {
+                report.note("no generation usable: restarting campaign from scratch".to_string());
+            }
+            return Ok((CampaignState::new(), String::new(), report));
+        };
+        let get = |name: &str| ckpt.section(name).map(|s| s.body.as_str()).unwrap_or("");
+        match state_from_parts(
+            get(SECTION_META),
+            get(SECTION_DB),
+            get(SECTION_DEAD_LETTERS),
+            get(SECTION_PROVENANCE),
+        ) {
+            Ok(state) => return Ok((state, get(SECTION_TRACE).to_string(), report)),
+            Err(e) => {
+                // CRC-intact but semantically unimportable (e.g. a
+                // hand-edited file): quarantine and fall back like any
+                // other corruption.
+                let g = ckpt.generation;
+                let qpath = store.quarantine(g)?;
+                report.used_generation = None;
+                report.note(format!(
+                    "quarantined generation {g} ({}): sections intact but state import failed: {e}",
+                    qpath.display()
+                ));
+            }
+        }
+    }
+}
+
+/// Run (or resume) a campaign with durable checkpoints.
+///
+/// Recovers the newest usable state from `store` (salvaging or
+/// quarantining corrupt generations as needed), restores the persisted
+/// trace events into the global trace log (only when the log is empty —
+/// a freshly restarted process — and tracing is enabled), then processes
+/// the remaining pairs in chunks of `opts.checkpoint_every`, writing a
+/// checkpoint generation after each chunk.
+///
+/// Determinism: chunking, thread count, crashes, and salvage never
+/// change the bytes — a resumed run's final `state.export()` and trace
+/// export equal an uninterrupted run's, because pair processing is a
+/// pure function of the pair identity and application order is always
+/// the deterministic pair order.
+pub fn run_durable_campaign(
+    world: &World,
+    domains: &[String],
+    day: Day,
+    vantages: &[Vantage],
+    seed: SeedTree,
+    store: &CheckpointStore,
+    opts: &DurableOpts,
+) -> io::Result<DurableRun> {
+    let (mut state, trace_jsonl, salvage) = recover_state(store)?;
+    let mut durable_pairs = state.pairs_done;
+    if consent_trace::enabled() && !trace_jsonl.is_empty() && consent_trace::global().is_empty() {
+        consent_trace::global()
+            .import_jsonl(&trace_jsonl)
+            .map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("recovered checkpoint has unimportable trace section: {e}"),
+                )
+            })?;
+    }
+
+    let every = opts.checkpoint_every.max(1);
+    let mut applied_this_run = 0u64;
+    let mut writes_this_run = 0u64;
+    let mut result: Option<CampaignResult> = None;
+    let crashed =
+        |state: CampaignState, result: Option<CampaignResult>, durable_pairs| DurableRun {
+            state,
+            result: result.unwrap_or_default(),
+            outcome: DurableOutcome::Crashed {
+                crashpoint: opts.crash.describe(),
+                durable_pairs,
+            },
+            salvage: SalvageReport::default(),
+        };
+    loop {
+        let mut chunk = every;
+        if let Some(n) = opts.crash.apply_point() {
+            let remaining = n.saturating_sub(applied_this_run);
+            if remaining == 0 {
+                // Died immediately after the Nth applied pair — before
+                // any checkpoint covering it could be written.
+                let mut run = crashed(state, result, durable_pairs);
+                run.salvage = salvage;
+                return Ok(run);
+            }
+            chunk = chunk.min(remaining);
+        }
+        let popts = ParallelOpts {
+            threads: opts.threads,
+            config: opts.config,
+            max_pairs: Some(chunk),
+        };
+        let before = state.pairs_done;
+        let run = resume_campaign_parallel(world, domains, day, vantages, seed, &popts, state);
+        state = run.state;
+        let did = state.pairs_done - before;
+        applied_this_run += did;
+        result = Some(match result {
+            Some(acc) => acc.merge(run.result),
+            None => run.result,
+        });
+        if opts
+            .crash
+            .apply_point()
+            .is_some_and(|n| applied_this_run >= n)
+        {
+            let mut out = crashed(state, result, durable_pairs);
+            out.salvage = salvage;
+            return Ok(out);
+        }
+        if did > 0 || durable_pairs != state.pairs_done {
+            writes_this_run += 1;
+            let sections = state_sections(&state, &consent_trace::global().export_jsonl());
+            if let Some(keep_bytes) = opts.crash.write_truncation(writes_this_run) {
+                store.save_torn(&sections, keep_bytes)?;
+                // The torn generation is not durable; the previous cut is.
+                let mut out = crashed(state, result, durable_pairs);
+                out.salvage = salvage;
+                return Ok(out);
+            }
+            store.save(&sections)?;
+            durable_pairs = state.pairs_done;
+        }
+        if run.complete {
+            return Ok(DurableRun {
+                state,
+                result: result.unwrap_or_default(),
+                outcome: DurableOutcome::Complete,
+                salvage,
+            });
+        }
+        debug_assert!(did > 0, "incomplete campaign made no progress");
+        if did == 0 {
+            return Err(io::Error::other(
+                "durable campaign made no progress on an incomplete state",
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{build_toplist, run_campaign_with};
+    use crate::resilience::{BreakerConfig, RetryPolicy};
+    use consent_faultsim::FaultProfile;
+    use consent_webgraph::{AdoptionConfig, WorldConfig};
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn tmp_dir() -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "consent-durable-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    fn quiet() -> CampaignConfig {
+        CampaignConfig {
+            fault_profile: FaultProfile::none(),
+            retry: RetryPolicy::paper(),
+            breaker: BreakerConfig::default(),
+        }
+    }
+
+    fn small_state() -> CampaignState {
+        let world = World::new(WorldConfig {
+            n_sites: 400,
+            seed: 42,
+            adoption: AdoptionConfig::default(),
+        });
+        let list = build_toplist(&world, 6, SeedTree::new(7));
+        run_campaign_with(
+            &world,
+            &list,
+            consent_util::Day::from_ymd(2020, 5, 15),
+            &[Vantage::eu_cloud()],
+            SeedTree::new(9),
+            &quiet(),
+        )
+        .state
+    }
+
+    #[test]
+    fn sections_concatenate_to_the_state_export() {
+        let state = small_state();
+        let sections = state_sections(&state, "{\"kind\":\"trace_event\"}\n");
+        assert_eq!(
+            sections.iter().map(|s| s.name.as_str()).collect::<Vec<_>>(),
+            vec![
+                SECTION_META,
+                SECTION_DB,
+                SECTION_DEAD_LETTERS,
+                SECTION_PROVENANCE,
+                SECTION_TRACE
+            ],
+        );
+        let concat: String = sections[..4].iter().map(|s| s.body.as_str()).collect();
+        assert_eq!(concat, state.export());
+    }
+
+    #[test]
+    fn save_then_recover_round_trips() {
+        let dir = tmp_dir();
+        let store = CheckpointStore::open(&dir).unwrap();
+        let state = small_state();
+        store.save(&state_sections(&state, "trace\n")).unwrap();
+        // "trace\n" is not valid JSONL, but recover_state only carries
+        // the snapshot; importing it is the driver's job.
+        let (back, trace, report) = recover_state(&store).unwrap();
+        assert_eq!(back.export(), state.export());
+        assert_eq!(trace, "trace\n");
+        assert!(report.is_clean());
+        assert_eq!(report.used_generation, Some(1));
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn empty_store_recovers_fresh() {
+        let dir = tmp_dir();
+        let store = CheckpointStore::open(&dir).unwrap();
+        let (state, trace, report) = recover_state(&store).unwrap();
+        assert_eq!(state.pairs_done, 0);
+        assert!(trace.is_empty());
+        assert!(report.is_clean());
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_meta_is_rebuilt_from_intact_sections() {
+        let dir = tmp_dir();
+        let store = CheckpointStore::open(&dir).unwrap();
+        let state = small_state();
+        let g = store.save(&state_sections(&state, "")).unwrap();
+        // Flip one byte inside the meta body: it is the first section,
+        // so its bytes start right after the `#end-header` line.
+        let path = store.path_for(g);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let marker = b"#end-header\n";
+        let start = bytes
+            .windows(marker.len())
+            .position(|w| w == marker)
+            .unwrap()
+            + marker.len();
+        bytes[start + 1] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (back, _, report) = recover_state(&store).unwrap();
+        assert_eq!(back.export(), state.export(), "{}", report.render());
+        assert_eq!(report.used_generation, None);
+        assert_eq!(report.quarantined.len(), 1);
+        assert!(
+            report.actions.iter().any(|a| a.contains("meta rebuilt")),
+            "{}",
+            report.render()
+        );
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn intact_but_unimportable_generation_is_quarantined() {
+        let dir = tmp_dir();
+        let store = CheckpointStore::open(&dir).unwrap();
+        let state = small_state();
+        store.save(&state_sections(&state, "")).unwrap();
+        // A second generation whose sections checksum fine but whose
+        // cursor lies about the stored rows.
+        let mut lying = state_sections(&state, "");
+        lying[0].body = format!("{STATE_HEADER}\npairs_done=999\n");
+        store.save(&lying).unwrap();
+
+        let (back, _, report) = recover_state(&store).unwrap();
+        assert_eq!(back.export(), state.export());
+        assert_eq!(report.used_generation, Some(1));
+        assert!(
+            report
+                .actions
+                .iter()
+                .any(|a| a.contains("state import failed")),
+            "{}",
+            report.render()
+        );
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+}

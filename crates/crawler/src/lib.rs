@@ -12,7 +12,10 @@
 //! (`consent_trace`), and checkpoint/resume via
 //! [`campaign::CampaignState`]. Campaigns scale across cores with the
 //! deterministic [`parallel`] executor, whose output is byte-identical
-//! to the sequential runner at any thread count.
+//! to the sequential runner at any thread count, and persist across
+//! process deaths with the [`durable`] driver, which checkpoints into a
+//! crash-safe [`consent_checkpoint::CheckpointStore`] and salvages
+//! corrupt checkpoints on recovery.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -20,6 +23,7 @@
 pub mod campaign;
 pub mod capture_db;
 pub mod dead_letter;
+pub mod durable;
 pub mod export;
 pub mod feed;
 pub mod parallel;
@@ -33,6 +37,9 @@ pub use campaign::{
 };
 pub use capture_db::{CaptureDb, CaptureSummary, CmpSet};
 pub use dead_letter::{vantage_code, vantage_from, AttemptRecord, DeadLetter, DeadLetterQueue};
+pub use durable::{
+    recover_state, run_durable_campaign, state_sections, DurableOpts, DurableOutcome, DurableRun,
+};
 pub use export::{export as export_db, import as import_db};
 pub use feed::{Feed, FeedConfig, FeedItem, FeedSource};
 pub use parallel::{resume_campaign_parallel, run_campaign_parallel, ParallelOpts};

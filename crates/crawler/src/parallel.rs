@@ -10,8 +10,9 @@
 //!
 //! # Why the merge can be deterministic
 //!
-//! Each pair is crawled by `process_pair` (the same function the
-//! sequential loop calls), which is a pure function of
+//! Each pair is crawled by `process_pair_contained` (the same
+//! panic-containing wrapper the sequential loop calls), whose underlying
+//! `process_pair` is a pure function of
 //! the pair identity: every random draw inside the engine and the fault
 //! plan is keyed by `(host, day, vantage, attempt)`, trace ids come from
 //! [`consent_trace::stable_id`], and the per-pair
@@ -34,8 +35,8 @@
 //! of the order are exactly the ones already applied.
 
 use crate::campaign::{
-    apply_pair, process_pair, resume_campaign, CampaignCapture, CampaignConfig, CampaignResult,
-    CampaignRun, CampaignState, PairOutput,
+    apply_pair, process_pair_contained, resume_campaign, CampaignCapture, CampaignConfig,
+    CampaignResult, CampaignRun, CampaignState, PairOutput,
 };
 use consent_faultsim::FaultyEngine;
 use consent_fingerprint::Detector;
@@ -207,7 +208,7 @@ pub fn resume_campaign_parallel(
                         }
                         let col = (idx / n_seeds) as usize;
                         let i = (idx % n_seeds) as usize;
-                        let out = process_pair(
+                        let out = process_pair_contained(
                             &engine,
                             &seeds[i],
                             i + 1,

@@ -26,6 +26,10 @@ pub enum Outcome {
     /// Deterministically unsuccessful (HTTP 451 geo-block, origin HTTP
     /// error, dead host). Retrying cannot help and must not happen.
     Permanent,
+    /// The capture code itself panicked and the executor contained the
+    /// unwind. The pair is dead-lettered with this classification; it is
+    /// never retried in-run because the attempt history is gone.
+    Panic,
 }
 
 impl Outcome {
@@ -50,6 +54,7 @@ impl Outcome {
             Outcome::Degraded => "degraded",
             Outcome::Transient => "transient",
             Outcome::Permanent => "permanent",
+            Outcome::Panic => "panic",
         }
     }
 
@@ -60,6 +65,7 @@ impl Outcome {
             "degraded" => Outcome::Degraded,
             "transient" => Outcome::Transient,
             "permanent" => Outcome::Permanent,
+            "panic" => Outcome::Panic,
             _ => return None,
         })
     }
@@ -146,6 +152,7 @@ impl RetryPolicy {
         match outcome {
             Outcome::Success => false,
             Outcome::Permanent => false,
+            Outcome::Panic => false,
             Outcome::Transient => true,
             Outcome::Degraded => self.retry_degraded,
         }
@@ -270,6 +277,7 @@ mod tests {
             Outcome::Degraded,
             Outcome::Transient,
             Outcome::Permanent,
+            Outcome::Panic,
         ] {
             assert_eq!(Outcome::from_name(o.name()), Some(o));
         }
@@ -315,6 +323,7 @@ mod tests {
         let p = RetryPolicy::paper();
         assert!(!p.should_retry(Outcome::Success));
         assert!(!p.should_retry(Outcome::Permanent));
+        assert!(!p.should_retry(Outcome::Panic));
         assert!(!p.should_retry(Outcome::Degraded));
         assert!(p.should_retry(Outcome::Transient));
         let eager = RetryPolicy {

@@ -1,0 +1,187 @@
+//! Deterministic process-crash points for crash-consistency testing.
+//!
+//! Network faults ([`Fault`](crate::Fault)) model the *world* failing;
+//! a [`CrashPlan`] models the *process* failing: the campaign driver
+//! dies after the Nth `apply_pair`, or a checkpoint write is torn after
+//! N bytes. Both are deterministic, so a sweep can enumerate every
+//! crashpoint of a small campaign and assert that resuming from disk
+//! reproduces the uninterrupted run byte-for-byte.
+//!
+//! Crashes are simulated cooperatively: the durable campaign driver
+//! consults the plan and returns a `Crashed` outcome (or routes the
+//! write through the store's torn-write primitive) instead of calling
+//! `abort()`, which keeps the sweep in-process and lets it inspect the
+//! on-disk state the "dead" process left behind.
+
+use std::fmt;
+
+/// Where the simulated process dies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Crashpoint {
+    /// Die immediately after the Nth successfully applied pair of this
+    /// run (1-based; `0` dies before any pair is applied). Nothing
+    /// applied after the last completed checkpoint survives.
+    AfterApply(u64),
+    /// Tear the Nth checkpoint write of this run (1-based), persisting
+    /// only the first `keep_bytes` bytes of the serialized file, then
+    /// die.
+    TruncateWrite {
+        /// Which checkpoint write of the run to tear (1-based).
+        write: u64,
+        /// How many leading bytes of the serialized checkpoint survive.
+        keep_bytes: u64,
+    },
+}
+
+/// A deterministic crash schedule for one driver run.
+///
+/// [`CrashPlan::none`] (the default) never crashes; resumed runs use it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CrashPlan {
+    point: Option<Crashpoint>,
+}
+
+impl CrashPlan {
+    /// Never crash.
+    pub fn none() -> CrashPlan {
+        CrashPlan { point: None }
+    }
+
+    /// Crash after the Nth applied pair (see [`Crashpoint::AfterApply`]).
+    pub fn after_apply(n: u64) -> CrashPlan {
+        CrashPlan {
+            point: Some(Crashpoint::AfterApply(n)),
+        }
+    }
+
+    /// Tear the Nth checkpoint write after `keep_bytes` bytes.
+    pub fn truncate_write(write: u64, keep_bytes: u64) -> CrashPlan {
+        CrashPlan {
+            point: Some(Crashpoint::TruncateWrite { write, keep_bytes }),
+        }
+    }
+
+    /// The configured crashpoint, if any.
+    pub fn point(&self) -> Option<Crashpoint> {
+        self.point
+    }
+
+    /// True when this plan never crashes.
+    pub fn is_none(&self) -> bool {
+        self.point.is_none()
+    }
+
+    /// The apply-count at which to die, if this is an apply crash.
+    pub fn apply_point(&self) -> Option<u64> {
+        match self.point {
+            Some(Crashpoint::AfterApply(n)) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// If the `write`-th checkpoint write of the run (1-based) should be
+    /// torn, the number of bytes that survive.
+    pub fn write_truncation(&self, write: u64) -> Option<u64> {
+        match self.point {
+            Some(Crashpoint::TruncateWrite {
+                write: w,
+                keep_bytes,
+            }) if w == write => Some(keep_bytes),
+            _ => None,
+        }
+    }
+
+    /// Read a plan from the `CONSENT_CRASHPOINT` environment variable:
+    /// `apply:N` crashes after the Nth applied pair, `write:K:B` tears
+    /// the Kth checkpoint write after B bytes. Unset, empty, or `none`
+    /// mean no crash. Malformed values also fall back to no-crash (a
+    /// typo must not change the measurement) but are reported via the
+    /// `faultsim.crashpoint.unrecognized` counter when telemetry is on.
+    pub fn from_env() -> CrashPlan {
+        match std::env::var("CONSENT_CRASHPOINT").as_deref() {
+            Ok("") | Ok("none") | Err(_) => CrashPlan::none(),
+            Ok(spec) => CrashPlan::parse(spec).unwrap_or_else(|| {
+                consent_telemetry::count("faultsim.crashpoint.unrecognized", 1);
+                CrashPlan::none()
+            }),
+        }
+    }
+
+    /// Parse an `apply:N` / `write:K:B` spec.
+    pub fn parse(spec: &str) -> Option<CrashPlan> {
+        let mut parts = spec.split(':');
+        match (parts.next()?, parts.next(), parts.next(), parts.next()) {
+            ("apply", Some(n), None, None) => Some(CrashPlan::after_apply(n.parse().ok()?)),
+            ("write", Some(k), Some(b), None) => {
+                Some(CrashPlan::truncate_write(k.parse().ok()?, b.parse().ok()?))
+            }
+            _ => None,
+        }
+    }
+
+    /// Stable description for logs and `Crashed` outcomes.
+    pub fn describe(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl fmt::Display for CrashPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.point {
+            None => f.write_str("none"),
+            Some(Crashpoint::AfterApply(n)) => write!(f, "apply:{n}"),
+            Some(Crashpoint::TruncateWrite { write, keep_bytes }) => {
+                write!(f, "write:{write}:{keep_bytes}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_none() {
+        assert!(CrashPlan::default().is_none());
+        assert_eq!(CrashPlan::none().apply_point(), None);
+        assert_eq!(CrashPlan::none().write_truncation(1), None);
+    }
+
+    #[test]
+    fn accessors_match_variants() {
+        let a = CrashPlan::after_apply(7);
+        assert_eq!(a.apply_point(), Some(7));
+        assert_eq!(a.write_truncation(1), None);
+
+        let w = CrashPlan::truncate_write(2, 100);
+        assert_eq!(w.apply_point(), None);
+        assert_eq!(w.write_truncation(1), None);
+        assert_eq!(w.write_truncation(2), Some(100));
+        assert_eq!(w.write_truncation(3), None);
+    }
+
+    #[test]
+    fn parse_round_trips_display() {
+        for spec in ["apply:0", "apply:12", "write:1:0", "write:3:4096"] {
+            let plan = CrashPlan::parse(spec).unwrap();
+            assert_eq!(plan.to_string(), spec);
+        }
+        assert_eq!(CrashPlan::none().to_string(), "none");
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        for spec in [
+            "apply",
+            "apply:x",
+            "apply:1:2",
+            "write:1",
+            "write:a:b",
+            "boom:3",
+            "",
+        ] {
+            assert!(CrashPlan::parse(spec).is_none(), "{spec:?} parsed");
+        }
+    }
+}

@@ -76,6 +76,17 @@ impl<'w> FaultyEngine<'w> {
             a.push("attempt", attempt.to_string());
         });
         match fault {
+            // An injected crawler bug: the panic unwinds out of the
+            // engine and is contained by the executor's `catch_unwind`
+            // (the `fault.injected` trace event above is already
+            // recorded). The message is a pure function of the attempt
+            // identity so contained outcomes stay deterministic.
+            Fault::Panic => {
+                panic!(
+                    "consent-faultsim: injected panic for {host} day {} attempt {attempt}",
+                    day.0
+                );
+            }
             // Connection-level faults preempt the origin entirely.
             Fault::Brownout | Fault::ConnectionReset => {
                 no_content(url, &host, day, vantage, CaptureStatus::ConnectionReset)

@@ -18,14 +18,23 @@
 //! into the pipeline. The `CONSENT_CHAOS` environment variable (see
 //! [`FaultProfile::from_env`]) turns on a named profile for whole-suite
 //! chaos runs in CI.
+//!
+//! Beyond network faults, the crate models the *process itself* failing:
+//! an injected [`Fault::Panic`] exercises the executors' panic
+//! containment, and a [`CrashPlan`] (see [`crash`], `CONSENT_CRASHPOINT`)
+//! schedules deterministic process deaths — after the Nth applied pair,
+//! or tearing a checkpoint write after N bytes — for the
+//! crash-consistency sweep in `tests/it_durability.rs`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod crash;
 pub mod engine;
 pub mod plan;
 pub mod profile;
 
+pub use crash::{CrashPlan, Crashpoint};
 pub use engine::FaultyEngine;
 pub use plan::{Fault, FaultPlan};
 pub use profile::FaultProfile;

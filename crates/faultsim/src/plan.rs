@@ -9,6 +9,10 @@ use consent_util::{Day, SeedTree};
 /// when several are drawn for the same attempt.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Fault {
+    /// The capture code itself panics mid-attempt (a crawler bug, not a
+    /// network fault). The most severe variant: without containment it
+    /// would take a worker thread down with it.
+    Panic,
     /// Vantage-wide brownout: the whole capture cluster is down for the
     /// day and the attempt is reset regardless of host.
     Brownout,
@@ -28,6 +32,7 @@ impl Fault {
     /// Stable name for telemetry labels.
     pub fn name(&self) -> &'static str {
         match self {
+            Fault::Panic => "panic",
             Fault::Brownout => "brownout",
             Fault::AntiBotEscalation => "antibot_escalation",
             Fault::ConnectionReset => "reset",
@@ -80,6 +85,9 @@ impl FaultPlan {
             .child_idx(day.0 as u64)
             .child(&vantage.label())
             .child_idx(u64::from(attempt));
+        if self.profile.panic > 0.0 && node.child("panic").unit_f64() < self.profile.panic {
+            return Some(Fault::Panic);
+        }
         if self.profile.escalation_after > 0
             && attempt >= self.profile.escalation_after
             && node.child("escalation").unit_f64() < self.profile.escalation
@@ -208,6 +216,7 @@ mod tests {
             brownout: 0.0,
             escalation_after: 3,
             escalation: 1.0,
+            panic: 0.0,
         };
         let plan = FaultPlan::new(profile, SeedTree::new(7));
         assert_eq!(
@@ -226,6 +235,27 @@ mod tests {
             plan.decide("a.example", day(), Vantage::eu_cloud(), 4),
             Some(Fault::AntiBotEscalation)
         );
+    }
+
+    #[test]
+    fn panic_fault_is_drawn_and_wins_over_lesser_faults() {
+        let profile = FaultProfile {
+            panic: 1.0,
+            ..FaultProfile::heavy()
+        };
+        let plan = FaultPlan::new(profile, SeedTree::new(13));
+        // Pick a non-browned-out day so the panic draw is reachable.
+        let d = (0..60)
+            .map(|i| day() + i)
+            .find(|&d| !plan.draw_brownout(d, Vantage::eu_cloud()))
+            .expect("a clear day exists");
+        for i in 0..50u64 {
+            let host = format!("site{i}.example");
+            assert_eq!(
+                plan.decide(&host, d, Vantage::eu_cloud(), 1),
+                Some(Fault::Panic)
+            );
+        }
     }
 
     #[test]

@@ -35,6 +35,13 @@ pub struct FaultProfile {
     pub escalation_after: u8,
     /// Probability of an anti-bot interstitial once escalation is armed.
     pub escalation: f64,
+    /// Probability that the capture code itself panics mid-attempt
+    /// (models a crawler bug tripping on hostile markup, not a network
+    /// fault). The executors contain it: a panicking pair is
+    /// dead-lettered with a `panic` outcome instead of poisoning the
+    /// worker pool. Zero in every named profile — tests opt in
+    /// explicitly.
+    pub panic: f64,
 }
 
 impl FaultProfile {
@@ -48,6 +55,7 @@ impl FaultProfile {
             brownout: 0.0,
             escalation_after: 0,
             escalation: 0.0,
+            panic: 0.0,
         }
     }
 
@@ -63,6 +71,7 @@ impl FaultProfile {
             brownout: 0.002,
             escalation_after: 2,
             escalation: 0.10,
+            panic: 0.0,
         }
     }
 
@@ -77,6 +86,7 @@ impl FaultProfile {
             brownout: 0.02,
             escalation_after: 2,
             escalation: 0.60,
+            panic: 0.0,
         }
     }
 
@@ -86,6 +96,7 @@ impl FaultProfile {
             && self.reset == 0.0
             && self.truncation == 0.0
             && self.brownout == 0.0
+            && self.panic == 0.0
             && (self.escalation_after == 0 || self.escalation == 0.0)
     }
 
@@ -128,7 +139,11 @@ impl fmt::Display for FaultProfile {
             self.brownout,
             self.escalation,
             self.escalation_after,
-        )
+        )?;
+        if self.panic > 0.0 {
+            write!(f, " panic={}", self.panic)?;
+        }
+        Ok(())
     }
 }
 

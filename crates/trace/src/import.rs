@@ -1,0 +1,256 @@
+//! JSONL re-import for persisted trace logs.
+//!
+//! Durable checkpoints persist the trace log (see `consent-checkpoint`
+//! and the crawler's durable driver) so a resumed process can restore
+//! the events of pairs that are already applied and will not be
+//! re-crawled. Importing inverts [`TraceLog::export_jsonl`]: feeding an
+//! export back through [`TraceLog::import_jsonl`] and exporting again is
+//! byte-identical, because JSON objects serialize with deterministically
+//! ordered keys in both directions.
+//!
+//! [`TraceEvent`] stores names and attribute keys as `&'static str`
+//! (instrumentation sites use literals). Imported strings are interned
+//! in a process-global table instead: each *distinct* name leaks once.
+//! The alphabet is the fixed set of instrumentation names, so the table
+//! is small and bounded for any number of imports.
+
+use std::collections::BTreeSet;
+use std::sync::OnceLock;
+
+use consent_util::Json;
+use parking_lot::Mutex;
+
+use crate::event::{Phase, TraceEvent};
+use crate::log::TraceLog;
+
+/// A malformed line in a trace JSONL import.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceImportError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+impl std::fmt::Display for TraceImportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace import: line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TraceImportError {}
+
+fn intern(s: &str) -> &'static str {
+    static TABLE: OnceLock<Mutex<BTreeSet<&'static str>>> = OnceLock::new();
+    let table = TABLE.get_or_init(|| Mutex::new(BTreeSet::new()));
+    let mut table = table.lock();
+    if let Some(&existing) = table.get(s) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+    table.insert(leaked);
+    leaked
+}
+
+fn bad(line: usize, message: impl Into<String>) -> TraceImportError {
+    TraceImportError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn field_u64(obj: &Json, key: &str, line: usize) -> Result<u64, TraceImportError> {
+    let v = obj
+        .get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| bad(line, format!("missing numeric field {key:?}")))?;
+    if v < 0.0 || v.fract() != 0.0 || v >= 9_007_199_254_740_992.0 {
+        return Err(bad(line, format!("field {key:?} is not a valid u64: {v}")));
+    }
+    Ok(v as u64)
+}
+
+fn parse_line(text: &str, line: usize) -> Result<TraceEvent, TraceImportError> {
+    let json = Json::parse(text).map_err(|e| bad(line, format!("not valid JSON: {e:?}")))?;
+    match json.get("kind").and_then(Json::as_str) {
+        Some("trace_event") => {}
+        other => {
+            return Err(bad(
+                line,
+                format!("kind is {other:?}, expected \"trace_event\""),
+            ))
+        }
+    }
+    let trace_hex = json
+        .get("trace")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad(line, "missing string field \"trace\""))?;
+    let trace_id = (trace_hex.len() == 16)
+        .then(|| u64::from_str_radix(trace_hex, 16).ok())
+        .flatten()
+        .ok_or_else(|| bad(line, format!("bad trace id {trace_hex:?}")))?;
+    let phase = match json.get("ph").and_then(Json::as_str) {
+        Some("B") => Phase::Begin,
+        Some("E") => Phase::End,
+        Some("i") => Phase::Instant,
+        other => return Err(bad(line, format!("bad phase {other:?}"))),
+    };
+    let name = json
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad(line, "missing string field \"name\""))?;
+    let mut attrs: Vec<(&'static str, String)> = Vec::new();
+    if let Some(args) = json.get("args") {
+        let obj = args
+            .as_object()
+            .ok_or_else(|| bad(line, "\"args\" is not an object"))?;
+        for (k, v) in obj {
+            let v = v
+                .as_str()
+                .ok_or_else(|| bad(line, format!("attr {k:?} is not a string")))?;
+            attrs.push((intern(k), v.to_string()));
+        }
+    }
+    Ok(TraceEvent {
+        trace_id,
+        span_id: field_u64(&json, "span", line)?,
+        parent: field_u64(&json, "parent", line)?,
+        seq: field_u64(&json, "seq", line)?,
+        phase,
+        name: intern(name),
+        attrs,
+    })
+}
+
+impl TraceLog {
+    /// Append every event of a JSONL export (see
+    /// [`TraceLog::export_jsonl`]) to this log. Returns the number of
+    /// events imported; on a malformed line nothing before it is rolled
+    /// back (callers importing into a fresh log should discard it on
+    /// error). Blank lines are rejected — an export never contains them.
+    pub fn import_jsonl(&self, text: &str) -> Result<usize, TraceImportError> {
+        let mut n = 0;
+        for (i, line) in text.lines().enumerate() {
+            let event = parse_line(line, i + 1)?;
+            self.record(event);
+            n += 1;
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_log() -> TraceLog {
+        let log = TraceLog::new();
+        log.record(TraceEvent {
+            trace_id: 0xfeed_f00d_dead_beef,
+            span_id: 1,
+            parent: 0,
+            seq: 0,
+            phase: Phase::Begin,
+            name: "pair",
+            attrs: vec![
+                ("vantage", "eu-ext".to_string()),
+                ("domain", "a.example".to_string()),
+            ],
+        });
+        log.record(TraceEvent {
+            trace_id: 0xfeed_f00d_dead_beef,
+            span_id: 1,
+            parent: 0,
+            seq: 1,
+            phase: Phase::End,
+            name: "pair",
+            attrs: Vec::new(),
+        });
+        log.record(TraceEvent {
+            trace_id: 3,
+            span_id: 2,
+            parent: 1,
+            seq: 4,
+            phase: Phase::Instant,
+            name: "fault.injected",
+            attrs: vec![("fault", "timeout".to_string())],
+        });
+        log
+    }
+
+    #[test]
+    fn export_import_export_is_byte_identical() {
+        let log = demo_log();
+        let exported = log.export_jsonl();
+        let fresh = TraceLog::new();
+        let n = fresh.import_jsonl(&exported).unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(fresh.export_jsonl(), exported);
+        // Attrs come back in sorted-key order (JSON objects are
+        // BTreeMaps), which the JSON layer already canonicalized at
+        // export time — so events match up to attr reordering.
+        let canon = |log: &TraceLog| -> Vec<TraceEvent> {
+            log.snapshot()
+                .into_iter()
+                .map(|mut e| {
+                    e.attrs.sort_by_key(|(k, _)| *k);
+                    e
+                })
+                .collect()
+        };
+        assert_eq!(canon(&fresh), canon(&log));
+    }
+
+    #[test]
+    fn import_is_additive() {
+        let log = demo_log();
+        let exported = log.export_jsonl();
+        let fresh = TraceLog::new();
+        fresh.import_jsonl(&exported).unwrap();
+        fresh.import_jsonl(&exported).unwrap();
+        assert_eq!(fresh.len(), 6);
+    }
+
+    #[test]
+    fn malformed_lines_report_position() {
+        let log = demo_log();
+        let mut exported = log.export_jsonl();
+        exported.push_str("not json\n");
+        let fresh = TraceLog::new();
+        let err = fresh.import_jsonl(&exported).unwrap_err();
+        assert_eq!(err.line, 4);
+        assert!(err.to_string().contains("line 4"));
+
+        for (line, why) in [
+            ("{\"kind\":\"other\"}", "kind"),
+            (
+                "{\"kind\":\"trace_event\",\"trace\":\"xyz\"}",
+                "trace id",
+            ),
+            (
+                "{\"kind\":\"trace_event\",\"trace\":\"0000000000000003\",\"ph\":\"Q\"}",
+                "phase",
+            ),
+            (
+                "{\"kind\":\"trace_event\",\"trace\":\"0000000000000003\",\"ph\":\"i\",\"name\":\"x\",\"span\":-1,\"parent\":0,\"seq\":0}",
+                "span",
+            ),
+        ] {
+            let err = TraceLog::new().import_jsonl(line).unwrap_err();
+            assert_eq!(err.line, 1, "{line}");
+            assert!(err.message.contains(why), "{line} -> {}", err.message);
+        }
+    }
+
+    #[test]
+    fn interning_reuses_known_names() {
+        let log = TraceLog::new();
+        log.import_jsonl(
+            "{\"kind\":\"trace_event\",\"name\":\"pair\",\"parent\":0,\"ph\":\"B\",\"seq\":0,\"span\":1,\"trace\":\"0000000000000007\"}\n",
+        )
+        .unwrap();
+        let snap = log.snapshot();
+        assert_eq!(snap[0].name, "pair");
+        assert_eq!(snap[0].trace_id, 7);
+    }
+}

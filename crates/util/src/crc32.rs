@@ -1,0 +1,118 @@
+//! CRC-32 (IEEE 802.3 polynomial, reflected) checksums.
+//!
+//! Used by `consent-checkpoint` to validate per-section payload integrity
+//! in durable campaign checkpoints. Implemented in-repo (table-driven,
+//! std-only) to keep the workspace within its approved dependency set.
+
+/// Reflected IEEE 802.3 polynomial (the one used by zip, gzip, PNG).
+const POLY: u32 = 0xEDB8_8320;
+
+/// 256-entry lookup table computed at compile time.
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Streaming CRC-32 hasher.
+///
+/// ```
+/// use consent_util::crc32::Crc32;
+/// let mut h = Crc32::new();
+/// h.update(b"123456789");
+/// assert_eq!(h.finish(), 0xCBF4_3926);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// Start a fresh checksum.
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Feed bytes into the checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut crc = self.state;
+        for &b in bytes {
+            let idx = ((crc ^ u32::from(b)) & 0xFF) as usize;
+            crc = (crc >> 8) ^ TABLE[idx];
+        }
+        self.state = crc;
+    }
+
+    /// Finalize and return the checksum value.
+    pub fn finish(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+/// One-shot CRC-32 of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut h = Crc32::new();
+    h.update(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_vector() {
+        // The canonical CRC-32 check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let mut h = Crc32::new();
+        for chunk in data.chunks(7) {
+            h.update(chunk);
+        }
+        assert_eq!(h.finish(), crc32(data));
+    }
+
+    #[test]
+    fn single_bit_flip_changes_checksum() {
+        let base = b"#consent-campaign-state v3\npairs_done=12\n".to_vec();
+        let base_crc = crc32(&base);
+        for i in 0..base.len() {
+            for bit in 0..8 {
+                let mut flipped = base.clone();
+                flipped[i] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), base_crc, "flip at byte {i} bit {bit}");
+            }
+        }
+    }
+}

@@ -3,7 +3,8 @@
 //! Foundation utilities for the consent-observatory workspace: civil-date
 //! arithmetic ([`date`]), a minimal JSON codec ([`json`]) for the IAB
 //! Global Vendor List wire format, deterministic seed derivation ([`rng`]),
-//! and plain-text table rendering ([`table`]).
+//! CRC-32 checksums for durable checkpoints ([`crc32()`]), and plain-text
+//! table rendering ([`table`]).
 //!
 //! These exist in-repo (rather than as external crates) to keep the
 //! workspace within its approved dependency set; see DESIGN.md.
@@ -11,11 +12,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod crc32;
 pub mod date;
 pub mod json;
 pub mod rng;
 pub mod table;
 
+pub use crc32::crc32;
 pub use date::{Day, SimInstant};
 pub use json::Json;
 pub use rng::SeedTree;

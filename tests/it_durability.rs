@@ -1,0 +1,505 @@
+//! Crash safety of the durable campaign driver, end to end.
+//!
+//! This binary sweeps every deterministic crashpoint of a small
+//! campaign and asserts the recovery invariant the checkpoint layer
+//! exists for: **no crash, torn write, or corruption can change the
+//! bytes**. A resumed campaign's `CampaignState` export and trace JSONL
+//! are byte-identical to an uninterrupted run's, at any thread count,
+//! under chaos, whatever the store looked like when the process died.
+//!
+//! Four pinned guarantees:
+//!
+//! * crash-after-apply at *every* pair index resumes byte-identical
+//!   (both executors, with and without mild chaos);
+//! * a torn checkpoint write at every write index × several byte cuts
+//!   falls back to an older generation (or scratch) and still resumes
+//!   byte-identical;
+//! * a seeded fuzzer over bit flips and truncations of a real
+//!   checkpoint file never produces a silently wrong state — every
+//!   mutation is either salvaged to the exact original bytes or
+//!   rejected back to a state the driver re-crawls to convergence;
+//! * an injected panic is contained: the pair is dead-lettered with
+//!   provenance and counted, the rest of the campaign completes, and
+//!   exports stay byte-identical across thread counts.
+//!
+//! Tests serialize on a lock because the trace log and telemetry
+//! registry are process-global; each test leaves both cleared and
+//! disabled, mirroring `it_trace` and `it_telemetry`.
+
+use consent_checkpoint::CheckpointStore;
+use consent_crawler::{
+    build_toplist, recover_state, run_campaign_parallel, run_durable_campaign, CampaignConfig,
+    DurableOpts, DurableOutcome, ParallelOpts,
+};
+use consent_faultsim::{CrashPlan, FaultProfile};
+use consent_httpsim::Vantage;
+use consent_util::{Day, SeedTree};
+use consent_webgraph::{AdoptionConfig, World, WorldConfig};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+/// Hold the global trace log + telemetry registry for one test.
+fn lock() -> MutexGuard<'static, ()> {
+    let guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    consent_trace::clear();
+    consent_trace::enable();
+    guard
+}
+
+fn unlock(guard: MutexGuard<'static, ()>) {
+    consent_trace::disable();
+    consent_trace::clear();
+    consent_telemetry::reset();
+    drop(guard);
+}
+
+fn world() -> &'static World {
+    static WORLD: OnceLock<World> = OnceLock::new();
+    WORLD.get_or_init(|| {
+        World::new(WorldConfig {
+            n_sites: 2_000,
+            seed: 42,
+            adoption: AdoptionConfig::default(),
+        })
+    })
+}
+
+fn toplist() -> &'static [String] {
+    static LIST: OnceLock<Vec<String>> = OnceLock::new();
+    LIST.get_or_init(|| build_toplist(world(), 12, SeedTree::new(7)))
+}
+
+const DAY: fn() -> Day = || Day::from_ymd(2020, 5, 15);
+
+fn tmp_dir() -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "consent-it-durability-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn config(profile: FaultProfile) -> CampaignConfig {
+    CampaignConfig {
+        fault_profile: profile,
+        ..CampaignConfig::default()
+    }
+}
+
+fn opts(threads: usize, profile: FaultProfile, crash: CrashPlan) -> DurableOpts {
+    DurableOpts {
+        threads,
+        config: config(profile),
+        checkpoint_every: 5,
+        crash,
+    }
+}
+
+/// Run one durable campaign over the shared 8-domain × 2-vantage
+/// workload against `store`.
+fn durable(
+    store: &CheckpointStore,
+    threads: usize,
+    profile: FaultProfile,
+    crash: CrashPlan,
+) -> consent_crawler::DurableRun {
+    let vantages = [Vantage::eu_cloud(), Vantage::us_cloud()];
+    run_durable_campaign(
+        world(),
+        &toplist()[..8],
+        DAY(),
+        &vantages,
+        SeedTree::new(9),
+        store,
+        &opts(threads, profile, crash),
+    )
+    .expect("durable campaign io")
+}
+
+/// The uninterrupted run's exports: the bytes every crashed-and-resumed
+/// variant must reproduce.
+fn baseline(profile: FaultProfile) -> (String, String) {
+    let dir = tmp_dir();
+    let store = CheckpointStore::open(&dir).unwrap();
+    consent_trace::clear();
+    let run = durable(&store, 1, profile, CrashPlan::none());
+    assert_eq!(run.outcome, DurableOutcome::Complete);
+    assert!(run.salvage.is_clean(), "{}", run.salvage.render());
+    let out = (run.state.export(), consent_trace::global().export_jsonl());
+    std::fs::remove_dir_all(dir).unwrap();
+    out
+}
+
+/// Simulate the process dying and restarting: the in-memory trace log
+/// dies with it; the store directory is all that survives.
+fn die() {
+    consent_trace::clear();
+}
+
+#[test]
+fn every_crash_after_apply_resumes_byte_identical() {
+    let guard = lock();
+    let pairs = 16u64; // 8 domains × 2 vantages
+    for profile in [FaultProfile::none(), FaultProfile::mild()] {
+        let (state_bytes, trace_bytes) = baseline(profile);
+        for threads in [1usize, 4] {
+            for k in 1..=pairs {
+                let dir = tmp_dir();
+                let store = CheckpointStore::open(&dir).unwrap();
+                consent_trace::clear();
+                let crashed = durable(&store, threads, profile, CrashPlan::after_apply(k));
+                match crashed.outcome {
+                    DurableOutcome::Crashed { durable_pairs, .. } => {
+                        assert!(durable_pairs < k, "crash fires before the covering write");
+                        assert!(k - durable_pairs <= 5, "at most one chunk is lost");
+                    }
+                    DurableOutcome::Complete => panic!("crashpoint apply:{k} never fired"),
+                }
+                die();
+                let resumed = durable(&store, threads, profile, CrashPlan::none());
+                assert_eq!(resumed.outcome, DurableOutcome::Complete);
+                assert!(
+                    resumed.state.export() == state_bytes,
+                    "state diverged after apply:{k} at {threads} threads ({profile})"
+                );
+                assert!(
+                    consent_trace::global().export_jsonl() == trace_bytes,
+                    "trace diverged after apply:{k} at {threads} threads ({profile})"
+                );
+                std::fs::remove_dir_all(dir).unwrap();
+            }
+        }
+    }
+    unlock(guard);
+}
+
+#[test]
+fn every_torn_write_falls_back_and_resumes_byte_identical() {
+    let guard = lock();
+    let (state_bytes, trace_bytes) = baseline(FaultProfile::none());
+
+    // Probe the write sizes: the sweep's crashed runs write the same
+    // generations (same campaign, same chunking), so the baseline
+    // store's files give each write's exact byte length.
+    let probe = tmp_dir();
+    let probe_store = CheckpointStore::open(&probe).unwrap();
+    consent_trace::clear();
+    durable(&probe_store, 1, FaultProfile::none(), CrashPlan::none());
+    let gens = probe_store.generations().unwrap();
+    assert_eq!(gens, vec![1, 2, 3, 4], "16 pairs in chunks of 5 → 4 writes");
+    let sizes: Vec<u64> = gens
+        .iter()
+        .map(|&g| std::fs::metadata(probe_store.path_for(g)).unwrap().len())
+        .collect();
+    std::fs::remove_dir_all(&probe).unwrap();
+
+    for threads in [1usize, 4] {
+        for (i, &size) in sizes.iter().enumerate() {
+            let write = (i + 1) as u64;
+            for cut in [0, 1, size / 2, size - 1] {
+                let dir = tmp_dir();
+                let store = CheckpointStore::open(&dir).unwrap();
+                consent_trace::clear();
+                let crashed = durable(
+                    &store,
+                    threads,
+                    FaultProfile::none(),
+                    CrashPlan::truncate_write(write, cut),
+                );
+                match crashed.outcome {
+                    DurableOutcome::Crashed { durable_pairs, .. } => {
+                        // Only the writes before the torn one are durable.
+                        assert_eq!(durable_pairs, (write - 1) * 5);
+                    }
+                    DurableOutcome::Complete => panic!("crashpoint write:{write} never fired"),
+                }
+                die();
+                let resumed = durable(&store, threads, FaultProfile::none(), CrashPlan::none());
+                assert_eq!(resumed.outcome, DurableOutcome::Complete);
+                assert!(
+                    !resumed.salvage.is_clean(),
+                    "the torn generation must be quarantined, not used"
+                );
+                assert!(
+                    resumed.state.export() == state_bytes,
+                    "state diverged after write:{write}:{cut} at {threads} threads"
+                );
+                assert!(
+                    consent_trace::global().export_jsonl() == trace_bytes,
+                    "trace diverged after write:{write}:{cut} at {threads} threads"
+                );
+                // The torn file was preserved for post-mortem.
+                assert!(store.quarantine_dir().is_dir());
+                std::fs::remove_dir_all(dir).unwrap();
+            }
+        }
+    }
+    unlock(guard);
+}
+
+#[test]
+fn fuzzed_checkpoints_are_salvaged_or_rejected_never_wrong() {
+    let guard = lock();
+    let (state_bytes, _) = baseline(FaultProfile::none());
+
+    // A real, trace-bearing checkpoint file to mutate.
+    let seed_dir = tmp_dir();
+    let seed_store = CheckpointStore::open(&seed_dir).unwrap();
+    consent_trace::clear();
+    durable(&seed_store, 1, FaultProfile::none(), CrashPlan::none());
+    let last = *seed_store.generations().unwrap().last().unwrap();
+    let original = std::fs::read(seed_store.path_for(last)).unwrap();
+    let name = format!("gen-{last:08}.ckpt");
+    std::fs::remove_dir_all(&seed_dir).unwrap();
+    consent_trace::disable();
+    consent_trace::clear();
+
+    // Deterministic xorshift64* so the mutation set never drifts.
+    let mut rng_state = 0x9E37_79B9_7F4A_7C15u64;
+    let mut rng = move || {
+        rng_state ^= rng_state << 13;
+        rng_state ^= rng_state >> 7;
+        rng_state ^= rng_state << 17;
+        rng_state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    };
+
+    // The meta section body starts right after the header terminator;
+    // flips aimed there exercise the rebuild-from-capture-count salvage,
+    // which blind flips over a multi-kilobyte file would rarely hit.
+    let marker = b"#end-header\n";
+    let meta_start = original
+        .windows(marker.len())
+        .position(|w| w == marker)
+        .expect("checkpoint has a header terminator")
+        + marker.len();
+
+    let mut salvaged = 0usize;
+    let mut rejected = 0usize;
+    for case in 0..64u32 {
+        let mut mutated = original.clone();
+        let label = match case % 4 {
+            3 => {
+                // Truncation at a seeded length (strictly shorter).
+                let keep = (rng() as usize) % mutated.len();
+                mutated.truncate(keep);
+                format!("truncate:{keep}")
+            }
+            2 => {
+                // Seeded bit flip inside the meta section body.
+                let pos = meta_start + (rng() as usize) % 20;
+                let bit = 1u8 << (rng() % 8);
+                mutated[pos] ^= bit;
+                format!("meta-flip:{pos}:{bit:#04x}")
+            }
+            _ => {
+                // Seeded bit flip anywhere in the file.
+                let pos = (rng() as usize) % mutated.len();
+                let bit = 1u8 << (rng() % 8);
+                mutated[pos] ^= bit;
+                format!("flip:{pos}:{bit:#04x}")
+            }
+        };
+
+        let dir = tmp_dir();
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(&name), &mutated).unwrap();
+        let store = CheckpointStore::open(&dir).unwrap();
+        let (state, _, report) = recover_state(&store).expect("recover io");
+        if state.export() == state_bytes {
+            // Exact original bytes back — either the intact path (only
+            // possible if the mutation was a no-op, which ours never
+            // are) or an honest salvage that says so.
+            assert!(
+                !report.is_clean(),
+                "{label}: corrupted file recovered without a salvage action"
+            );
+            salvaged += 1;
+        } else {
+            // Rejected: the driver falls back to scratch and must say
+            // so. Anything else would be a silently wrong state.
+            assert_eq!(
+                state.pairs_done,
+                0,
+                "{label}: recovered a state that is neither the original nor fresh:\n{}",
+                report.render()
+            );
+            assert!(!report.is_clean(), "{label}: silent rejection");
+            rejected += 1;
+        }
+        // Whatever recovery decided, resuming re-crawls the gap and
+        // reconverges on the same bytes.
+        let resumed = durable(&store, 1, FaultProfile::none(), CrashPlan::none());
+        assert_eq!(resumed.outcome, DurableOutcome::Complete);
+        assert!(
+            resumed.state.export() == state_bytes,
+            "{label}: resume did not reconverge"
+        );
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+    // The sweep exercises both recovery paths, not just one.
+    assert!(salvaged > 0, "no mutation was salvaged");
+    assert!(rejected > 0, "no mutation was rejected");
+    unlock(guard);
+}
+
+/// Silence the default panic hook for the faults this suite injects on
+/// purpose; genuine panics still print.
+fn silence_injected_panics() {
+    static HOOK: OnceLock<()> = OnceLock::new();
+    HOOK.get_or_init(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let msg = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| info.payload().downcast_ref::<&str>().copied())
+                .unwrap_or("");
+            if !msg.contains("injected panic") {
+                prev(info);
+            }
+        }));
+    });
+}
+
+#[test]
+fn injected_panics_are_contained_and_dead_lettered() {
+    let guard = lock();
+    silence_injected_panics();
+    let profile = FaultProfile {
+        panic: 0.15,
+        ..FaultProfile::none()
+    };
+    let vantages = [Vantage::eu_cloud(), Vantage::us_cloud()];
+    let list = &toplist()[..12];
+    let pairs = (list.len() * vantages.len()) as u64;
+
+    let run_at = |threads: usize| {
+        consent_trace::clear();
+        consent_telemetry::reset();
+        consent_telemetry::enable();
+        let run = run_campaign_parallel(
+            world(),
+            list,
+            DAY(),
+            &vantages,
+            SeedTree::new(9),
+            &ParallelOpts {
+                threads,
+                config: config(profile),
+                max_pairs: None,
+            },
+        );
+        consent_telemetry::disable();
+        let counted = consent_telemetry::global()
+            .snapshot()
+            .counter("campaign.panic");
+        (run, counted)
+    };
+
+    let (base, counted) = run_at(1);
+    assert!(base.complete, "panics must not abort the campaign");
+    assert_eq!(base.state.pairs_done, pairs, "every pair is accounted for");
+    let panicked: Vec<_> = base
+        .state
+        .provenance
+        .records()
+        .iter()
+        .filter(|p| p.outcome == "panic")
+        .collect();
+    assert!(!panicked.is_empty(), "0.15 panic rate injected nothing");
+    assert!(
+        (panicked.len() as u64) < pairs,
+        "the whole campaign panicked — nothing was contained"
+    );
+    assert_eq!(counted, panicked.len() as u64, "campaign.panic counter");
+    for p in &panicked {
+        assert!(p.dead_lettered, "{} not dead-lettered", p.domain);
+        assert_eq!(p.attempts.len(), 1, "synthetic history is one attempt");
+        assert_eq!(p.attempts[0].fault.as_deref(), Some("panic"));
+    }
+    let dl_panics = base
+        .state
+        .dead_letters
+        .records()
+        .iter()
+        .filter(|l| l.outcome == consent_crawler::Outcome::Panic)
+        .count();
+    assert_eq!(dl_panics, panicked.len());
+    // Every panicked pair also leaves a containment marker trace
+    // (counted by distinct trace id — a span is two events).
+    let marker_traces = consent_trace::global()
+        .snapshot()
+        .iter()
+        .filter(|e| e.name == "pair.panic")
+        .map(|e| e.trace_id)
+        .collect::<std::collections::BTreeSet<_>>()
+        .len();
+    assert_eq!(marker_traces, panicked.len());
+    let baseline_state = base.state.export();
+    let baseline_trace = consent_trace::global().export_jsonl();
+
+    // Containment is deterministic: the pool survives and the exports
+    // match at every thread count.
+    for threads in [2usize, 4] {
+        let (run, counted) = run_at(threads);
+        assert!(run.complete);
+        assert_eq!(counted, panicked.len() as u64);
+        assert!(
+            run.state.export() == baseline_state,
+            "state diverged at {threads} threads"
+        );
+        assert!(
+            consent_trace::global().export_jsonl() == baseline_trace,
+            "trace diverged at {threads} threads"
+        );
+    }
+    unlock(guard);
+}
+
+#[test]
+fn corrupt_meta_on_newest_generation_salvages_not_refalls() {
+    let guard = lock();
+    let (state_bytes, trace_bytes) = baseline(FaultProfile::none());
+
+    let dir = tmp_dir();
+    let store = CheckpointStore::open(&dir).unwrap();
+    consent_trace::clear();
+    // Die mid-campaign with two durable generations on disk…
+    durable(&store, 1, FaultProfile::none(), CrashPlan::after_apply(11));
+    die();
+    assert_eq!(store.generations().unwrap(), vec![1, 2]);
+    // …then flip a byte in the newest generation's meta section.
+    let path = store.path_for(2);
+    let mut bytes = std::fs::read(&path).unwrap();
+    let marker = b"#end-header\n";
+    let start = bytes
+        .windows(marker.len())
+        .position(|w| w == marker)
+        .unwrap()
+        + marker.len();
+    bytes[start + 1] ^= 0x01;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let resumed = durable(&store, 1, FaultProfile::none(), CrashPlan::none());
+    assert_eq!(resumed.outcome, DurableOutcome::Complete);
+    // Salvage kept generation 2's ten pairs instead of falling back to
+    // generation 1's five.
+    assert!(
+        resumed
+            .salvage
+            .actions
+            .iter()
+            .any(|a| a.contains("salvaged state (10 pairs)")),
+        "{}",
+        resumed.salvage.render()
+    );
+    assert!(resumed.state.export() == state_bytes);
+    assert!(consent_trace::global().export_jsonl() == trace_bytes);
+    std::fs::remove_dir_all(dir).unwrap();
+    unlock(guard);
+}
