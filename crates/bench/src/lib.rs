@@ -23,6 +23,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod diff;
+
+pub use diff::{diff_documents, BenchDiff, DiffRow, DEFAULT_THRESHOLD_PCT};
+
 use consent_checkpoint::CheckpointStore;
 use consent_crawler::{
     build_toplist, recover_state, run_campaign_parallel, state_sections, BreakerConfig,
@@ -432,6 +436,209 @@ impl CheckpointBench {
     /// The complete `BENCH_checkpoint.json` document for `records`.
     pub fn document(&self, records: &[BenchRecord]) -> Json {
         bench_document("checkpoint_durability", self.workload(), records)
+    }
+}
+
+/// The sampler-overhead sweep: the same campaign workload run with the
+/// flight recorder off, in deterministic logical-tick mode, and with
+/// the wall-clock background thread — written to `BENCH_obs.json`.
+///
+/// The acceptance bar (BENCHMARKS.md): sampler on vs off within 2%
+/// pairs/sec on the bench-smoke workload. The sampler's steady-state
+/// cost is one registry snapshot per sample (a read-locked walk of
+/// every metric), so overhead scales with metric count and sample
+/// rate, not with campaign size.
+#[derive(Clone, Debug)]
+pub struct ObsBench {
+    /// Synthetic world size.
+    pub n_sites: u32,
+    /// Toplist entries to crawl.
+    pub domains: usize,
+    /// Vantage columns.
+    pub vantages: Vec<Vantage>,
+    /// Worker threads for every mode (identical so only the sampler
+    /// varies).
+    pub threads: usize,
+    /// Timed campaign repetitions per mode.
+    pub repeats: usize,
+    /// Wall-mode sampling interval.
+    pub interval: Duration,
+    /// Root seed for world, toplist, and campaign.
+    pub seed: u64,
+}
+
+impl Default for ObsBench {
+    /// The bench-smoke-sized workload: 600 domains × 2 vantages, 4
+    /// threads, 5 repeats, 25 ms wall sampling (aggressive on purpose —
+    /// production would sample far less often).
+    fn default() -> ObsBench {
+        ObsBench {
+            n_sites: 4_000,
+            domains: 600,
+            vantages: vec![Vantage::eu_cloud(), Vantage::us_cloud()],
+            threads: 4,
+            repeats: 5,
+            interval: Duration::from_millis(25),
+            seed: 42,
+        }
+    }
+}
+
+impl ObsBench {
+    /// Total `(domain, vantage)` pairs each swept run processes.
+    pub fn pairs(&self) -> u64 {
+        (self.domains * self.vantages.len()) as u64
+    }
+
+    /// Run the three modes and return one record each
+    /// (`obs/sampler=off|logical|wall`).
+    ///
+    /// Uses the **global** telemetry registry like the other sweeps
+    /// (reset + enabled per mode, reset on exit; not concurrency-safe),
+    /// and asserts byte-identical state exports across modes —
+    /// observation must not change the observed.
+    pub fn run(&self) -> Vec<BenchRecord> {
+        use consent_obs::{ObsConfig, SampleMode, Sampler};
+
+        let world = World::new(WorldConfig {
+            n_sites: self.n_sites,
+            seed: self.seed,
+            adoption: AdoptionConfig::default(),
+        });
+        let root = SeedTree::new(self.seed);
+        let list = build_toplist(&world, self.domains, root.child("toplist"));
+        let day = Day::from_ymd(2020, 5, 15);
+        let config = CampaignConfig {
+            fault_profile: FaultProfile::none(),
+            retry: RetryPolicy::paper(),
+            breaker: BreakerConfig::default(),
+        };
+        let campaign_seed = root.child("campaign");
+        let repeats = self.repeats.max(1);
+        let run_once = || {
+            run_campaign_parallel(
+                &world,
+                &list,
+                day,
+                &self.vantages,
+                campaign_seed,
+                &ParallelOpts {
+                    threads: self.threads,
+                    config,
+                    max_pairs: None,
+                },
+            )
+        };
+        let warmup = run_once();
+        assert!(warmup.complete, "obs bench campaign did not complete");
+        let baseline = warmup.state.export();
+
+        let mut records = Vec::with_capacity(3);
+        for mode in ["off", "logical", "wall"] {
+            consent_telemetry::reset();
+            consent_telemetry::enable();
+            let sampler = match mode {
+                "logical" => Some(Sampler::attach(
+                    consent_telemetry::global(),
+                    ObsConfig::deterministic(),
+                )),
+                "wall" => Some(Sampler::attach(
+                    consent_telemetry::global(),
+                    ObsConfig {
+                        mode: SampleMode::WallClock {
+                            interval: self.interval,
+                        },
+                        ..ObsConfig::default()
+                    },
+                )),
+                _ => None,
+            };
+            let handle = sampler.as_ref().map(|s| s.start());
+            let start = Instant::now();
+            let mut pairs = 0u64;
+            for rep in 0..repeats {
+                let run = run_once();
+                pairs += run.state.pairs_done;
+                assert!(
+                    baseline == run.state.export(),
+                    "state export diverged with sampler={mode} — refusing to record"
+                );
+                // Logical mode samples at chunk boundaries in the
+                // durable driver; here one repeat is the chunk.
+                if let Some(s) = &sampler {
+                    s.tick_at((rep as u64 + 1) * self.pairs());
+                }
+            }
+            let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+            if let Some(h) = handle {
+                h.stop();
+            }
+            consent_telemetry::disable();
+            let pair = consent_telemetry::global()
+                .histogram("campaign.pair")
+                .summary();
+            if let Some(s) = &sampler {
+                assert!(!s.is_empty(), "sampler={mode} recorded no samples");
+            }
+            records.push(BenchRecord {
+                name: format!("obs/sampler={mode}"),
+                threads: self.threads,
+                pairs,
+                elapsed_secs: elapsed,
+                pairs_per_sec: pairs as f64 / elapsed,
+                p50_us: pair.p50,
+                p95_us: pair.p95,
+            });
+        }
+        consent_telemetry::reset();
+        records
+    }
+
+    /// Sampler overhead in percent relative to the `off` record:
+    /// `(off - on) / off * 100` for each `on` mode.
+    pub fn overhead_pct(records: &[BenchRecord]) -> Vec<(String, f64)> {
+        let Some(off) = records
+            .iter()
+            .find(|r| r.name.ends_with("=off"))
+            .map(|r| r.pairs_per_sec)
+        else {
+            return Vec::new();
+        };
+        records
+            .iter()
+            .filter(|r| !r.name.ends_with("=off"))
+            .map(|r| {
+                (
+                    r.name.clone(),
+                    (off - r.pairs_per_sec) / off.max(1e-12) * 100.0,
+                )
+            })
+            .collect()
+    }
+
+    /// The workload object recorded next to the records.
+    pub fn workload(&self) -> Json {
+        Json::object([
+            ("n_sites".to_string(), Json::int(i64::from(self.n_sites))),
+            ("domains".to_string(), Json::int(self.domains as i64)),
+            (
+                "vantages".to_string(),
+                Json::array(self.vantages.iter().map(|v| Json::str(v.label()))),
+            ),
+            ("pairs".to_string(), Json::int(self.pairs() as i64)),
+            ("threads".to_string(), Json::int(self.threads as i64)),
+            ("repeats".to_string(), Json::int(self.repeats.max(1) as i64)),
+            (
+                "wall_interval_ms".to_string(),
+                Json::int(self.interval.as_millis() as i64),
+            ),
+            ("seed".to_string(), Json::int(self.seed as i64)),
+        ])
+    }
+
+    /// The complete `BENCH_obs.json` document for `records`.
+    pub fn document(&self, records: &[BenchRecord]) -> Json {
+        bench_document("obs_overhead", self.workload(), records)
     }
 }
 

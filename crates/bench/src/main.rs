@@ -1,16 +1,24 @@
-//! The `BENCH_campaign.json` / `BENCH_checkpoint.json` entry point.
+//! The `BENCH_*.json` entry point and trajectory tooling.
 //!
-//! Sweeps the campaign executor across thread counts on a synthetic
-//! workload, then the checkpoint store across its write / open /
-//! salvage operations, prints a human summary, and writes the
-//! machine-readable trajectory points. See `BENCHMARKS.md` for the
-//! schema and how to compare two runs.
+//! Default invocation sweeps the campaign executor across thread
+//! counts, the checkpoint store across its write / open / salvage
+//! operations, and the flight-recorder sampler across its off / logical
+//! / wall modes, prints human summaries, and writes the
+//! machine-readable trajectory points (`BENCH_campaign.json`,
+//! `BENCH_checkpoint.json`, `BENCH_obs.json`). See `BENCHMARKS.md` for
+//! the schema.
 //!
 //! ```text
 //! cargo run -p consent-bench --release
+//! cargo run -p consent-bench --release -- diff OLD.json NEW.json [--threshold PCT]
 //! ```
 //!
-//! Environment knobs (all optional):
+//! `diff` compares two trajectory points record-by-record and exits
+//! non-zero when any record's pairs/sec regressed by more than the
+//! threshold (default 10%; CI uses a looser gate to absorb shared
+//! runner noise).
+//!
+//! Environment knobs for the sweep (all optional):
 //!
 //! * `BENCH_SITES`   — synthetic world size (default 4000)
 //! * `BENCH_DOMAINS` — toplist entries to crawl (default 600)
@@ -19,11 +27,17 @@
 //! * `BENCH_OUT`     — campaign output path (default `BENCH_campaign.json`)
 //! * `BENCH_CHECKPOINT_OUT` — checkpoint output path (default
 //!   `BENCH_checkpoint.json`)
+//! * `BENCH_OBS_OUT` — sampler-overhead output path (default
+//!   `BENCH_obs.json`)
 //! * `CONSENT_CHAOS` — chaos profile (`none`/`mild`/`heavy`), as everywhere
 
-use consent_bench::{CampaignBench, CheckpointBench};
+use consent_bench::{
+    diff_documents, CampaignBench, CheckpointBench, ObsBench, DEFAULT_THRESHOLD_PCT,
+};
 use consent_faultsim::FaultProfile;
+use consent_util::Json;
 use std::env;
+use std::process::ExitCode;
 
 fn env_parse<T: std::str::FromStr>(key: &str, default: T) -> T {
     env::var(key)
@@ -32,7 +46,66 @@ fn env_parse<T: std::str::FromStr>(key: &str, default: T) -> T {
         .unwrap_or(default)
 }
 
-fn main() {
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().collect();
+    if args.get(1).map(String::as_str) == Some("diff") {
+        return run_diff(&args[2..]);
+    }
+    run_sweeps();
+    ExitCode::SUCCESS
+}
+
+/// `consent-bench diff <old.json> <new.json> [--threshold PCT]`
+fn run_diff(args: &[String]) -> ExitCode {
+    let mut paths = Vec::new();
+    let mut threshold = DEFAULT_THRESHOLD_PCT;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threshold" => {
+                let Some(v) = args.get(i + 1).and_then(|v| v.parse::<f64>().ok()) else {
+                    eprintln!("--threshold needs a numeric percentage");
+                    return ExitCode::from(2);
+                };
+                threshold = v;
+                i += 2;
+            }
+            p => {
+                paths.push(p.to_string());
+                i += 1;
+            }
+        }
+    }
+    let [old_path, new_path] = paths.as_slice() else {
+        eprintln!("usage: consent-bench diff <old.json> <new.json> [--threshold PCT]");
+        return ExitCode::from(2);
+    };
+    let load = |path: &str| -> Result<Json, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        Json::parse(&text).map_err(|e| format!("parsing {path}: {e}"))
+    };
+    let diff = match load(old_path).and_then(|old| Ok((old, load(new_path)?))) {
+        Ok((old, new)) => match diff_documents(&old, &new) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(2);
+            }
+        },
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    print!("{}", diff.render(threshold));
+    if diff.regressions(threshold).is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn run_sweeps() {
     let threads: Vec<usize> = env::var("BENCH_THREADS")
         .unwrap_or_else(|_| "1,2,4,8".to_string())
         .split(',')
@@ -101,6 +174,32 @@ fn main() {
     }
     let ckpt_doc = ckpt.document(&ckpt_records);
     write_doc(&ckpt_out, &ckpt_doc);
+
+    let obs = ObsBench {
+        n_sites: env_parse("BENCH_SITES", 4_000),
+        domains: env_parse("BENCH_DOMAINS", 600),
+        repeats: env_parse("BENCH_REPEATS", 5),
+        ..ObsBench::default()
+    };
+    let obs_out = env::var("BENCH_OBS_OUT").unwrap_or_else(|_| "BENCH_obs.json".to_string());
+    eprintln!(
+        "obs_overhead: {} pairs x {} repeats, sampler off/logical/wall at {} threads",
+        obs.pairs(),
+        obs.repeats,
+        obs.threads
+    );
+    let obs_records = obs.run();
+    for r in &obs_records {
+        println!(
+            "{:<24} {:>12.1} {:>10} {:>10} {:>9}",
+            r.name, r.pairs_per_sec, r.p50_us, r.p95_us, "-"
+        );
+    }
+    for (name, pct) in ObsBench::overhead_pct(&obs_records) {
+        println!("{name:<24} overhead vs off: {pct:+.2}%");
+    }
+    let obs_doc = obs.document(&obs_records);
+    write_doc(&obs_out, &obs_doc);
 }
 
 fn write_doc(out: &str, doc: &consent_util::Json) {

@@ -144,12 +144,19 @@ impl CheckpointStore {
     }
 
     fn prune(&self) -> io::Result<()> {
-        let gens = self.generations()?;
+        let mut gens = self.generations()?;
         if gens.len() > self.keep {
-            for &g in &gens[..gens.len() - self.keep] {
+            let dropped = gens.len() - self.keep;
+            for &g in &gens[..dropped] {
                 fs::remove_file(self.path_for(g))?;
             }
+            gens.drain(..dropped);
+            // How many old generations a run sheds depends on what a
+            // crash left on disk, so this counter is denied from
+            // deterministic samples (see consent-obs DEFAULT_DENY).
+            consent_telemetry::count("checkpoint.pruned", dropped as u64);
         }
+        consent_telemetry::gauge_set("checkpoint.generations", gens.len() as i64);
         Ok(())
     }
 
@@ -193,6 +200,12 @@ impl CheckpointStore {
                 return Ok((scan.into_checkpoint(), report));
             }
             let qpath = self.quarantine(g)?;
+            let salvaged = scan.salvageable();
+            consent_telemetry::observe("checkpoint.salvage.sections", salvaged.len() as u64);
+            consent_telemetry::count(
+                "checkpoint.salvage.bytes",
+                salvaged.iter().map(|s| s.body.len() as u64).sum(),
+            );
             report.actions.push(format!(
                 "quarantined generation {g} ({}): {}",
                 qpath.display(),
@@ -202,7 +215,7 @@ impl CheckpointStore {
                 generation: g,
                 reason: scan.describe(),
                 valid_prefix: scan.valid_prefix(),
-                salvaged: scan.salvageable(),
+                salvaged,
                 verdicts: scan.verdicts,
                 quarantine_path: Some(qpath.display().to_string()),
             });

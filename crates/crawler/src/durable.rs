@@ -44,10 +44,12 @@
 //! are byte-identical to uninterrupted ones.
 
 use std::io;
+use std::sync::Arc;
 
 use consent_checkpoint::{CheckpointStore, Section};
 use consent_faultsim::CrashPlan;
 use consent_httpsim::Vantage;
+use consent_obs::Sampler;
 use consent_util::{Day, SeedTree};
 use consent_webgraph::World;
 
@@ -82,6 +84,14 @@ pub struct DurableOpts {
     /// Deterministic crash schedule for this run ([`CrashPlan::none`]
     /// for production use).
     pub crash: CrashPlan,
+    /// Optional flight-recorder sampler. The driver rebases it to the
+    /// recovered cursor after recovery (so a resumed process's
+    /// re-import traffic is not attributed to any window) and, in
+    /// logical-tick mode, ticks it at `state.pairs_done` immediately
+    /// after every successful checkpoint write — so a sample exists iff
+    /// its window is durable, which is what makes the `OBS` export
+    /// byte-identical across thread counts and kill-halfway resumes.
+    pub sampler: Option<Arc<Sampler>>,
 }
 
 impl Default for DurableOpts {
@@ -92,6 +102,7 @@ impl Default for DurableOpts {
             config: CampaignConfig::default(),
             checkpoint_every: 25,
             crash: CrashPlan::none(),
+            sampler: None,
         }
     }
 }
@@ -267,6 +278,15 @@ pub fn run_durable_campaign(
             })?;
     }
 
+    // Rebase the flight recorder only after recovery and trace import:
+    // both re-count work this process never performed (checkpoint
+    // import inserts into the CaptureDb, the store counts
+    // `checkpoint.opens`), and that traffic must not be attributed to
+    // any sample window.
+    if let Some(sampler) = &opts.sampler {
+        sampler.rebase(state.pairs_done);
+    }
+
     let every = opts.checkpoint_every.max(1);
     let mut applied_this_run = 0u64;
     let mut writes_this_run = 0u64;
@@ -303,6 +323,10 @@ pub fn run_durable_campaign(
         let run = resume_campaign_parallel(world, domains, day, vantages, seed, &popts, state);
         state = run.state;
         let did = state.pairs_done - before;
+        // Heartbeat: cumulative pairs applied, advanced once per chunk.
+        // Executor-agnostic (counted here, not in the workers), so its
+        // per-window delta is deterministic at any thread count.
+        consent_telemetry::count("campaign.progress", did);
         applied_this_run += did;
         result = Some(match result {
             Some(acc) => acc.merge(run.result),
@@ -319,6 +343,9 @@ pub fn run_durable_campaign(
         }
         if did > 0 || durable_pairs != state.pairs_done {
             writes_this_run += 1;
+            // Checkpoint cadence: pairs of work covered by this write
+            // (write size/latency are recorded by the store itself).
+            consent_telemetry::observe("campaign.checkpoint.cadence_pairs", did);
             let sections = state_sections(&state, &consent_trace::global().export_jsonl());
             if let Some(keep_bytes) = opts.crash.write_truncation(writes_this_run) {
                 store.save_torn(&sections, keep_bytes)?;
@@ -329,6 +356,13 @@ pub fn run_durable_campaign(
             }
             store.save(&sections)?;
             durable_pairs = state.pairs_done;
+            // Sample only once the covering checkpoint is durable: a
+            // window that could still be lost to a crash must never
+            // appear in the OBS export, or a resumed run would re-emit
+            // (and double) it.
+            if let Some(sampler) = &opts.sampler {
+                sampler.tick_at(state.pairs_done);
+            }
         }
         if run.complete {
             return Ok(DurableRun {

@@ -206,6 +206,15 @@ pub fn resume_campaign_parallel(
                         if idx >= end {
                             break;
                         }
+                        // Live-plane gauges (scraped by consent-obs):
+                        // the claimed cursor position and how many pairs
+                        // are being crawled right now. Both race across
+                        // workers by design — they are health signals,
+                        // not accounting — and the whole
+                        // `campaign.parallel.*` family is denied from
+                        // deterministic samples.
+                        consent_telemetry::gauge_set("campaign.parallel.cursor", idx as i64);
+                        consent_telemetry::gauge_add("campaign.parallel.in_flight", 1);
                         let col = (idx / n_seeds) as usize;
                         let i = (idx % n_seeds) as usize;
                         let out = process_pair_contained(
@@ -219,6 +228,7 @@ pub fn resume_campaign_parallel(
                             &opts.config,
                             &detector,
                         );
+                        consent_telemetry::gauge_add("campaign.parallel.in_flight", -1);
                         shard.push((idx, out));
                     }
                     consent_telemetry::observe("campaign.parallel.shard_pairs", shard.len() as u64);
@@ -239,8 +249,10 @@ pub fn resume_campaign_parallel(
     outputs.sort_unstable_by_key(|&(idx, _)| idx);
     let mut columns: Vec<(Vantage, Vec<CampaignCapture>)> =
         vantages.iter().map(|&v| (v, Vec::new())).collect();
+    consent_telemetry::gauge_set("campaign.parallel.merge_backlog", outputs.len() as i64);
     for (_, out) in outputs {
         apply_pair(&mut state, &mut columns, day, out, &psl);
+        consent_telemetry::gauge_add("campaign.parallel.merge_backlog", -1);
     }
     let complete = state.pairs_done == total_pairs;
     CampaignRun {

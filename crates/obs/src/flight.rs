@@ -1,0 +1,553 @@
+//! Post-run flight report: what the campaign did, rendered for humans
+//! and exported as JSON for CI artifacts.
+//!
+//! Built from the two things the recorder leaves behind — the sampled
+//! [`TimeSeries`] and a cumulative end-of-run [`Snapshot`] delta — the
+//! report has four sections:
+//!
+//! 1. **Phase breakdown**: time spent per instrumented span (pair
+//!    processing, engine capture, checkpoint writes/opens, …).
+//! 2. **Throughput curve**: pairs per sample window as an ASCII bar
+//!    chart (per second in wall mode, per window in logical mode).
+//! 3. **Fault heatmap**: `faultsim.injected{fault=…}` intensity per
+//!    fault kind per window.
+//! 4. **Slowest windows**: the sample windows whose `campaign.pair`
+//!    latency was worst (wall mode; logical mode falls back to the
+//!    cumulative `campaign.pair` quantiles, since per-window durations
+//!    are outside the determinism boundary).
+
+use crate::series::{ObsSample, TimeSeries};
+use consent_telemetry::registry::parse_key;
+use consent_telemetry::{HistSummary, Snapshot};
+use consent_util::table::{thousands, Table};
+use consent_util::Json;
+use std::collections::BTreeMap;
+
+/// Spans surfaced in the phase breakdown, with display names.
+const PHASES: &[(&str, &str)] = &[
+    ("campaign.run", "campaign run"),
+    ("campaign.pair", "pair processing"),
+    ("engine.capture", "engine capture"),
+    ("checkpoint.write", "checkpoint write"),
+    ("checkpoint.open", "checkpoint open"),
+];
+
+/// Width of the ASCII bars/heatmap in characters.
+const BAR_WIDTH: usize = 40;
+
+/// Windows listed in the slowest-windows table.
+const SLOWEST_N: usize = 5;
+
+/// One row of the phase breakdown.
+#[derive(Clone, Debug)]
+pub struct PhaseRow {
+    /// Display name of the phase.
+    pub phase: String,
+    /// Metric key of the underlying span histogram.
+    pub key: String,
+    /// Span count.
+    pub count: u64,
+    /// Total microseconds across all spans.
+    pub total_us: u64,
+    /// p50 / p95 microseconds.
+    pub p50_us: u64,
+    /// 95th percentile microseconds.
+    pub p95_us: u64,
+}
+
+/// One point of the throughput curve.
+#[derive(Clone, Debug)]
+pub struct ThroughputPoint {
+    /// Window end (cursor position or wall sample number).
+    pub tick: u64,
+    /// Pairs completed in the window.
+    pub pairs: u64,
+    /// Pairs per second (wall mode only).
+    pub pairs_per_sec: Option<f64>,
+}
+
+/// One row of the fault heatmap: a fault kind and its per-window counts.
+#[derive(Clone, Debug)]
+pub struct FaultRow {
+    /// The injected fault kind (label value).
+    pub fault: String,
+    /// Injection count per sample window, oldest first.
+    pub per_window: Vec<u64>,
+    /// Total injections.
+    pub total: u64,
+}
+
+/// One row of the slowest-windows table.
+#[derive(Clone, Debug)]
+pub struct SlowWindow {
+    /// The window `[from, to)`.
+    pub window: (u64, u64),
+    /// `campaign.pair` summary for that window.
+    pub pair: HistSummary,
+}
+
+/// The assembled post-run report. Build with [`FlightReport::build`],
+/// render with [`render`](FlightReport::render) or
+/// [`to_json`](FlightReport::to_json).
+#[derive(Clone, Debug)]
+pub struct FlightReport {
+    /// Phase breakdown rows (spans actually observed).
+    pub phases: Vec<PhaseRow>,
+    /// Throughput per sample window, oldest first.
+    pub throughput: Vec<ThroughputPoint>,
+    /// Fault heatmap rows (empty when chaos was off).
+    pub faults: Vec<FaultRow>,
+    /// Worst windows by per-window `campaign.pair` p95 (wall mode).
+    pub slowest: Vec<SlowWindow>,
+    /// Cumulative `campaign.pair` summary (always available; the only
+    /// latency view in logical mode).
+    pub pair_total: Option<HistSummary>,
+    /// Total pairs covered by the series.
+    pub pairs_total: u64,
+    /// Samples evicted from the ring before the report was built.
+    pub samples_dropped: u64,
+}
+
+impl FlightReport {
+    /// Assemble a report from the sampled `series` and the cumulative
+    /// end-of-run snapshot delta `total` (e.g. a
+    /// `RunReport`'s delta, or `Registry::delta` against a pre-run
+    /// baseline).
+    pub fn build(series: &TimeSeries, total: &Snapshot) -> FlightReport {
+        let samples: Vec<&ObsSample> = series.samples().collect();
+        let phases = PHASES
+            .iter()
+            .filter_map(|(key, name)| {
+                let h = total.histograms.get(*key)?;
+                if h.count == 0 {
+                    return None;
+                }
+                Some(PhaseRow {
+                    phase: name.to_string(),
+                    key: key.to_string(),
+                    count: h.count,
+                    total_us: h.sum,
+                    p50_us: h.p50,
+                    p95_us: h.p95,
+                })
+            })
+            .collect();
+
+        let mut prev_elapsed = 0u64;
+        let throughput = samples
+            .iter()
+            .map(|s| {
+                let pairs = s.pairs();
+                let pairs_per_sec = s.elapsed_us.map(|us| {
+                    let window_us = us.saturating_sub(prev_elapsed).max(1);
+                    prev_elapsed = us;
+                    pairs as f64 * 1_000_000.0 / window_us as f64
+                });
+                ThroughputPoint {
+                    tick: s.tick,
+                    pairs,
+                    pairs_per_sec,
+                }
+            })
+            .collect();
+
+        let mut fault_rows: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+        for (i, s) in samples.iter().enumerate() {
+            for (key, n) in &s.counters {
+                let (base, labels) = parse_key(key);
+                if base != "faultsim.injected" {
+                    continue;
+                }
+                let Some((_, fault)) = labels.iter().find(|(k, _)| *k == "fault") else {
+                    continue;
+                };
+                let row = fault_rows
+                    .entry(fault.to_string())
+                    .or_insert_with(|| vec![0; samples.len()]);
+                row[i] = *n;
+            }
+        }
+        let faults = fault_rows
+            .into_iter()
+            .map(|(fault, per_window)| FaultRow {
+                total: per_window.iter().sum(),
+                fault,
+                per_window,
+            })
+            .collect();
+
+        let mut slowest: Vec<SlowWindow> = samples
+            .iter()
+            .filter_map(|s| {
+                let pair = *s.histograms.get("campaign.pair")?;
+                (pair.count > 0).then_some(SlowWindow {
+                    window: s.window,
+                    pair,
+                })
+            })
+            .collect();
+        slowest.sort_by(|a, b| {
+            (b.pair.p95, b.pair.max, b.window)
+                .partial_cmp(&(a.pair.p95, a.pair.max, a.window))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        slowest.truncate(SLOWEST_N);
+
+        FlightReport {
+            phases,
+            throughput,
+            faults,
+            slowest,
+            pair_total: total.histograms.get("campaign.pair").copied(),
+            pairs_total: samples.iter().map(|s| s.pairs()).sum(),
+            samples_dropped: series.dropped(),
+        }
+    }
+
+    /// Render the report as human-readable tables and ASCII charts.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "=== Campaign flight report: {} pairs across {} sample windows ===\n",
+            thousands(self.pairs_total),
+            self.throughput.len()
+        ));
+        if self.samples_dropped > 0 {
+            out.push_str(&format!(
+                "(ring buffer evicted {} early samples; report covers the retained window)\n",
+                thousands(self.samples_dropped)
+            ));
+        }
+
+        if !self.phases.is_empty() {
+            let mut t = Table::with_columns(&["Phase", "Spans", "Total ms", "p50 µs", "p95 µs"]);
+            t.numeric().title("Phase breakdown");
+            for p in &self.phases {
+                t.row(vec![
+                    p.phase.clone(),
+                    thousands(p.count),
+                    format!("{:.1}", p.total_us as f64 / 1000.0),
+                    thousands(p.p50_us),
+                    thousands(p.p95_us),
+                ]);
+            }
+            out.push('\n');
+            out.push_str(&t.to_string());
+        }
+
+        if !self.throughput.is_empty() {
+            out.push_str("\nThroughput curve (pairs per window)\n");
+            let max_pairs = self.throughput.iter().map(|p| p.pairs).max().unwrap_or(0);
+            for p in &self.throughput {
+                let bar_len = if max_pairs == 0 {
+                    0
+                } else {
+                    ((p.pairs as f64 / max_pairs as f64) * BAR_WIDTH as f64).round() as usize
+                };
+                let rate = match p.pairs_per_sec {
+                    Some(r) => format!(" ({r:.0}/s)"),
+                    None => String::new(),
+                };
+                out.push_str(&format!(
+                    "  @{:>8} |{:<width$}| {}{}\n",
+                    thousands(p.tick),
+                    "#".repeat(bar_len),
+                    thousands(p.pairs),
+                    rate,
+                    width = BAR_WIDTH
+                ));
+            }
+        }
+
+        if !self.faults.is_empty() {
+            out.push_str("\nFault heatmap (injections per window: · none, ░ low, ▒ mid, █ high)\n");
+            let peak = self
+                .faults
+                .iter()
+                .flat_map(|r| r.per_window.iter().copied())
+                .max()
+                .unwrap_or(0)
+                .max(1);
+            for row in &self.faults {
+                let cells: String = compress(&row.per_window, BAR_WIDTH)
+                    .into_iter()
+                    .map(|n| {
+                        if n == 0 {
+                            '·'
+                        } else if n * 3 <= peak {
+                            '░'
+                        } else if n * 3 <= peak * 2 {
+                            '▒'
+                        } else {
+                            '█'
+                        }
+                    })
+                    .collect();
+                out.push_str(&format!(
+                    "  {:<22} {} {}\n",
+                    row.fault,
+                    cells,
+                    thousands(row.total)
+                ));
+            }
+        }
+
+        if !self.slowest.is_empty() {
+            let mut t = Table::with_columns(&["Window", "Pairs", "p50 µs", "p95 µs", "Max µs"]);
+            t.numeric().title("Slowest windows (campaign.pair)");
+            for w in &self.slowest {
+                t.row(vec![
+                    format!("{}..{}", w.window.0, w.window.1),
+                    thousands(w.pair.count),
+                    thousands(w.pair.p50),
+                    thousands(w.pair.p95),
+                    thousands(w.pair.max),
+                ]);
+            }
+            out.push('\n');
+            out.push_str(&t.to_string());
+        } else if let Some(h) = &self.pair_total {
+            let mut t = Table::with_columns(&["Spans", "p50 µs", "p95 µs", "p99 µs", "Max µs"]);
+            t.numeric().title(
+                "Pair latency (cumulative; per-window durations unavailable in logical-tick mode)",
+            );
+            t.row(vec![
+                thousands(h.count),
+                thousands(h.p50),
+                thousands(h.p95),
+                thousands(h.p99),
+                thousands(h.max),
+            ]);
+            out.push('\n');
+            out.push_str(&t.to_string());
+        }
+        out
+    }
+
+    /// Export the report as a JSON document (the CI artifact format).
+    pub fn to_json(&self) -> Json {
+        let hist = |h: &HistSummary| {
+            Json::object([
+                ("count".to_string(), Json::int(h.count as i64)),
+                ("sum_us".to_string(), Json::int(h.sum as i64)),
+                ("p50_us".to_string(), Json::int(h.p50 as i64)),
+                ("p95_us".to_string(), Json::int(h.p95 as i64)),
+                ("p99_us".to_string(), Json::int(h.p99 as i64)),
+                ("max_us".to_string(), Json::int(h.max as i64)),
+            ])
+        };
+        let mut fields = vec![
+            ("kind".to_string(), Json::str("flight_report")),
+            ("schema".to_string(), Json::int(1)),
+            (
+                "pairs_total".to_string(),
+                Json::int(self.pairs_total as i64),
+            ),
+            (
+                "samples_dropped".to_string(),
+                Json::int(self.samples_dropped as i64),
+            ),
+            (
+                "phases".to_string(),
+                Json::array(self.phases.iter().map(|p| {
+                    Json::object([
+                        ("phase".to_string(), Json::str(p.phase.clone())),
+                        ("key".to_string(), Json::str(p.key.clone())),
+                        ("count".to_string(), Json::int(p.count as i64)),
+                        ("total_us".to_string(), Json::int(p.total_us as i64)),
+                        ("p50_us".to_string(), Json::int(p.p50_us as i64)),
+                        ("p95_us".to_string(), Json::int(p.p95_us as i64)),
+                    ])
+                })),
+            ),
+            (
+                "throughput".to_string(),
+                Json::array(self.throughput.iter().map(|p| {
+                    let mut f = vec![
+                        ("tick".to_string(), Json::int(p.tick as i64)),
+                        ("pairs".to_string(), Json::int(p.pairs as i64)),
+                    ];
+                    if let Some(r) = p.pairs_per_sec {
+                        f.push(("pairs_per_sec".to_string(), Json::Number(r)));
+                    }
+                    Json::object(f)
+                })),
+            ),
+            (
+                "faults".to_string(),
+                Json::array(self.faults.iter().map(|r| {
+                    Json::object([
+                        ("fault".to_string(), Json::str(r.fault.clone())),
+                        ("total".to_string(), Json::int(r.total as i64)),
+                        (
+                            "per_window".to_string(),
+                            Json::array(r.per_window.iter().map(|n| Json::int(*n as i64))),
+                        ),
+                    ])
+                })),
+            ),
+            (
+                "slowest_windows".to_string(),
+                Json::array(self.slowest.iter().map(|w| {
+                    Json::object([
+                        (
+                            "window".to_string(),
+                            Json::array([
+                                Json::int(w.window.0 as i64),
+                                Json::int(w.window.1 as i64),
+                            ]),
+                        ),
+                        ("pair".to_string(), hist(&w.pair)),
+                    ])
+                })),
+            ),
+        ];
+        if let Some(h) = &self.pair_total {
+            fields.push(("pair_total".to_string(), hist(h)));
+        }
+        Json::object(fields)
+    }
+}
+
+/// Downsample `values` to at most `width` cells by summing runs, so a
+/// long campaign's heatmap still fits one terminal row.
+fn compress(values: &[u64], width: usize) -> Vec<u64> {
+    if values.len() <= width {
+        return values.to_vec();
+    }
+    let mut out = vec![0u64; width];
+    for (i, v) in values.iter().enumerate() {
+        out[i * width / values.len()] += v;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn sample(tick: u64, pairs: u64, faults: &[(&str, u64)]) -> ObsSample {
+        let mut counters = BTreeMap::new();
+        counters.insert("campaign.progress".to_string(), pairs);
+        for (f, n) in faults {
+            counters.insert(format!("faultsim.injected{{fault={f}}}"), *n);
+        }
+        ObsSample {
+            seq: tick,
+            tick,
+            window: (tick.saturating_sub(pairs), tick),
+            counters,
+            ..ObsSample::default()
+        }
+    }
+
+    fn total_snapshot() -> Snapshot {
+        let mut s = Snapshot::default();
+        s.histograms.insert(
+            "campaign.pair".to_string(),
+            HistSummary {
+                count: 30,
+                sum: 60_000,
+                mean: 2000.0,
+                min: 100,
+                max: 9000,
+                p50: 1500,
+                p95: 7000,
+                p99: 8800,
+            },
+        );
+        s.histograms.insert(
+            "checkpoint.write".to_string(),
+            HistSummary {
+                count: 3,
+                sum: 4500,
+                mean: 1500.0,
+                min: 1000,
+                max: 2000,
+                p50: 1500,
+                p95: 2000,
+                p99: 2000,
+            },
+        );
+        s
+    }
+
+    #[test]
+    fn report_covers_all_sections() {
+        let mut ts = TimeSeries::new(16);
+        ts.push(sample(10, 10, &[("timeout", 2)]));
+        ts.push(sample(20, 10, &[("timeout", 6), ("reset", 1)]));
+        ts.push(sample(30, 10, &[]));
+        let report = FlightReport::build(&ts, &total_snapshot());
+
+        assert_eq!(report.pairs_total, 30);
+        assert_eq!(report.throughput.len(), 3);
+        assert!(report.throughput.iter().all(|p| p.pairs_per_sec.is_none()));
+        assert_eq!(report.faults.len(), 2);
+        let timeout = report.faults.iter().find(|r| r.fault == "timeout").unwrap();
+        assert_eq!(timeout.per_window, vec![2, 6, 0]);
+        assert_eq!(timeout.total, 8);
+        let phases: Vec<&str> = report.phases.iter().map(|p| p.key.as_str()).collect();
+        assert_eq!(phases, vec!["campaign.pair", "checkpoint.write"]);
+        // Logical samples carry no per-window histograms: slowest table
+        // empty, cumulative fallback present.
+        assert!(report.slowest.is_empty());
+        assert_eq!(report.pair_total.unwrap().count, 30);
+
+        let text = report.render();
+        assert!(text.contains("flight report"));
+        assert!(text.contains("Phase breakdown"));
+        assert!(text.contains("Throughput curve"));
+        assert!(text.contains("Fault heatmap"));
+        assert!(text.contains("cumulative"));
+
+        let json = report.to_json();
+        assert_eq!(
+            json.get("kind").and_then(Json::as_str),
+            Some("flight_report")
+        );
+        assert_eq!(
+            json.get("faults").and_then(Json::as_array).map(|a| a.len()),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn wall_samples_rank_slowest_windows() {
+        let mut ts = TimeSeries::new(16);
+        for (i, p95) in [(1u64, 100u64), (2, 900), (3, 400)] {
+            let mut s = sample(i, 5, &[]);
+            s.elapsed_us = Some(i * 1000);
+            s.histograms.insert(
+                "campaign.pair".to_string(),
+                HistSummary {
+                    count: 5,
+                    sum: 5 * p95,
+                    mean: p95 as f64,
+                    min: 10,
+                    max: p95 + 50,
+                    p50: p95 / 2,
+                    p95,
+                    p99: p95,
+                },
+            );
+            ts.push(s);
+        }
+        let report = FlightReport::build(&ts, &total_snapshot());
+        assert_eq!(report.slowest.len(), 3);
+        assert_eq!(report.slowest[0].pair.p95, 900);
+        assert_eq!(report.slowest[1].pair.p95, 400);
+        assert!(report.throughput.iter().all(|p| p.pairs_per_sec.is_some()));
+        assert!(report.render().contains("Slowest windows"));
+    }
+
+    #[test]
+    fn compress_preserves_totals() {
+        let values: Vec<u64> = (0..100).map(|i| i % 7).collect();
+        let c = compress(&values, 40);
+        assert_eq!(c.len(), 40);
+        assert_eq!(c.iter().sum::<u64>(), values.iter().sum::<u64>());
+        assert_eq!(compress(&[1, 2, 3], 40), vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,38 @@
+//! # consent-obs
+//!
+//! The campaign flight recorder: live observability for long-running
+//! measurement campaigns. Where `consent-telemetry` answers "what
+//! happened?" at the end of a run, this crate answers "what is
+//! happening?" while it runs — the paper's 547-day × multi-vantage
+//! campaigns (and the roadmap's million-domain observatory) are
+//! hour-scale jobs whose health must be visible before the final
+//! report.
+//!
+//! Three pieces:
+//!
+//! - [`Sampler`] turns [`Registry::delta`](consent_telemetry::Registry::delta)
+//!   windows into a ring-buffered [`TimeSeries`] of [`ObsSample`]s —
+//!   either on a wall-clock background thread (production) or at
+//!   deterministic logical ticks driven by the durable campaign loop
+//!   (`DurableOpts::sampler`), whose `OBS_*.jsonl` export is
+//!   byte-identical across thread counts and kill-halfway resumes.
+//! - [`prometheus::exposition`] renders any snapshot in Prometheus
+//!   text-exposition format for scraping.
+//! - [`FlightReport`] digests the series + a cumulative snapshot into a
+//!   post-run report: phase breakdown, throughput curve, fault heatmap,
+//!   and slowest-window table.
+//!
+//! See the [`sampler`] module docs for the determinism boundary, and
+//! `examples/flight_recorder.rs` for the end-to-end wiring.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod flight;
+pub mod prometheus;
+pub mod sampler;
+pub mod series;
+
+pub use flight::{FaultRow, FlightReport, PhaseRow, SlowWindow, ThroughputPoint};
+pub use sampler::{ObsConfig, SampleMode, Sampler, SamplerHandle, DEFAULT_DENY};
+pub use series::{ObsSample, TimeSeries, OBS_SCHEMA_VERSION};

@@ -124,15 +124,25 @@ impl Histogram {
         }
     }
 
-    /// Estimate the `q`-quantile (`0.0 ..= 1.0`). Exact below
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) by nearest rank
+    /// (`rank = ⌈q·n⌉`, clamped to `[1, n]`). Exact below
     /// [`EXACT_LIMIT`]; above it, the bucket midpoint clamped to the
-    /// observed min/max.
+    /// observed min/max. The extreme ranks are always exact: rank 1
+    /// *is* the minimum sample and rank `n` *is* the maximum, so they
+    /// are returned directly instead of a bucket midpoint (which could
+    /// undershoot the true max by up to half a bucket).
     pub fn quantile(&self, q: f64) -> u64 {
         let n = self.count();
         if n == 0 {
             return 0;
         }
         let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        if rank == 1 {
+            return self.min();
+        }
+        if rank == n {
+            return self.max();
+        }
         let mut seen = 0u64;
         for (i, b) in self.buckets.iter().enumerate() {
             seen += b.load(Ordering::Relaxed);
@@ -268,6 +278,115 @@ mod tests {
         assert_eq!(h.p95(), 10);
         assert!(h.p99() == 10 || h.p99() >= 10);
         assert!(h.quantile(1.0) >= 900_000);
+    }
+
+    // Regression pins for quantile behavior at bucket boundaries
+    // (ISSUE 6 satellite audit). The implementation is nearest-rank:
+    // `rank = ceil(q·n)` clamped to `[1, n]`, first bucket where the
+    // cumulative count reaches the rank, midpoint clamped to the
+    // observed min/max. The tests below freeze the 0-, 1-, and
+    // edge-count cases so an off-by-one in the rank or the cumulative
+    // scan cannot creep in silently.
+
+    #[test]
+    fn zero_samples_yield_zero_for_every_quantile() {
+        let h = Histogram::new();
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0, "q={q}");
+        }
+    }
+
+    #[test]
+    fn one_sample_is_every_quantile_even_in_log_buckets() {
+        // min == max clamps the bucket midpoint, so a single sample is
+        // reported exactly no matter how coarse its bucket.
+        for v in [0u64, 1, 15, 16, 17, 31, 32, 1000, u64::MAX / 3] {
+            let h = Histogram::new();
+            h.record(v);
+            for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+                assert_eq!(h.quantile(q), v, "value {v}, q={q}");
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_rank_takes_the_lower_median_of_two() {
+        // n=2, q=0.5 → rank = ceil(1.0) = 1: the smaller sample. This
+        // is the nearest-rank convention, not interpolation.
+        let h = Histogram::new();
+        h.record(3);
+        h.record(7);
+        assert_eq!(h.p50(), 3);
+        assert_eq!(h.quantile(0.51), 7);
+        assert_eq!(h.quantile(1.0), 7);
+    }
+
+    #[test]
+    fn rank_boundary_counts_flip_the_bucket_exactly_once() {
+        // 95 samples in one bucket + 5 in another: rank(0.95) = 95
+        // still lands in the low bucket. Shift one sample across and
+        // rank 95 crosses into the high bucket. Values 5 and 9 sit in
+        // exact buckets, so the answers are exact, not midpoints.
+        let at = |low: u64, high: u64| {
+            let h = Histogram::new();
+            for _ in 0..low {
+                h.record(5);
+            }
+            for _ in 0..high {
+                h.record(9);
+            }
+            h.p95()
+        };
+        assert_eq!(at(95, 5), 5);
+        assert_eq!(at(94, 6), 9);
+    }
+
+    #[test]
+    fn bucket_edge_values_stay_inside_their_bucket() {
+        // 15 is the last exact bucket; 16..=17 share the first
+        // log-linear sub-bucket; 30..=31 end the first octave; 32 opens
+        // the next. A quantile that resolves to one of these buckets
+        // must report a value inside that bucket's [lower, upper] range
+        // (clamped to observed min/max), never a neighbor's.
+        for edge in [15u64, 16, 31, 32] {
+            let h = Histogram::new();
+            for _ in 0..10 {
+                h.record(edge);
+            }
+            let (lo, hi) = (
+                bucket_lower(bucket_index(edge)),
+                bucket_upper(bucket_index(edge)),
+            );
+            for q in [0.5, 0.95, 0.99] {
+                let got = h.quantile(q);
+                assert_eq!(got, edge, "edge {edge} q={q} escaped [{lo}, {hi}]");
+            }
+        }
+        // Mixed edge pair across an octave boundary: quantiles below
+        // the split report the lower edge, above it the upper edge.
+        let h = Histogram::new();
+        for _ in 0..50 {
+            h.record(31);
+        }
+        for _ in 0..50 {
+            h.record(32);
+        }
+        assert_eq!(h.p50(), 31, "rank 50 is the last 31-sample");
+        assert_eq!(h.quantile(0.51), 32, "rank 51 is the first 32-sample");
+        assert_eq!(h.p95(), 32);
+    }
+
+    #[test]
+    fn quantile_extremes_clamp_to_min_and_max() {
+        let h = Histogram::new();
+        for v in [100u64, 200, 400, 800, 1600] {
+            h.record(v);
+        }
+        // q=0 clamps the rank to 1 → first bucket → clamped to min.
+        assert_eq!(h.quantile(0.0), h.min());
+        // q=1 is the max exactly (last bucket midpoint clamps down).
+        assert_eq!(h.quantile(1.0), h.max());
+        assert!(h.quantile(0.0) <= h.p50() && h.p50() <= h.quantile(1.0));
     }
 
     #[test]

@@ -175,6 +175,15 @@ impl Registry {
         self.collects.load(Ordering::Relaxed)
     }
 
+    /// The change since `earlier`: shorthand for
+    /// `self.snapshot().delta_since(earlier)`. This is the sampling
+    /// primitive the `consent-obs` flight recorder is built on — take a
+    /// baseline [`snapshot`](Self::snapshot), then call `delta` at each
+    /// sample point to get the traffic of that window alone.
+    pub fn delta(&self, earlier: &Snapshot) -> Snapshot {
+        self.snapshot().delta_since(earlier)
+    }
+
     /// Capture the current value of every metric.
     pub fn snapshot(&self) -> Snapshot {
         Snapshot {

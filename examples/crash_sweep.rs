@@ -70,6 +70,7 @@ impl Sweep {
                 },
                 checkpoint_every: CHECKPOINT_EVERY,
                 crash,
+                sampler: None,
             },
         )
         .expect("durable campaign io")

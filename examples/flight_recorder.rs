@@ -1,0 +1,125 @@
+//! Campaign flight recorder: run a durable campaign under mild chaos
+//! with both sampling planes armed, then print the post-run flight
+//! report.
+//!
+//! Two samplers watch the same global telemetry registry:
+//!
+//! * a **logical-tick** sampler wired into [`DurableOpts::sampler`] —
+//!   the durable driver ticks it after every checkpoint write, so its
+//!   `OBS` JSONL export is deterministic (byte-identical across thread
+//!   counts and kill-halfway resumes; see `tests/it_obs.rs`);
+//! * a **wall-clock** sampler on a background thread — gauges, latency
+//!   quantiles, and real pairs/sec, outside the byte-identity
+//!   guarantee, feeding the human-facing flight report.
+//!
+//! ```sh
+//! CONSENT_CHAOS=mild cargo run --release --bin flight_recorder
+//! ```
+//!
+//! Outputs (the CI chaos job uploads all three):
+//!
+//! * `FLIGHT_OBS_OUT` (default `OBS_campaign.jsonl`) — deterministic
+//!   per-checkpoint samples, one JSON object per line;
+//! * `FLIGHT_REPORT_OUT` (default `flight_report.json`) — the flight
+//!   report document rendered to stdout;
+//! * `FLIGHT_PROM_OUT` (default `metrics.prom`) — Prometheus text
+//!   exposition of the end-of-run registry, what a live scrape
+//!   endpoint would have served.
+
+use consent_checkpoint::CheckpointStore;
+use consent_crawler::{
+    build_toplist, run_durable_campaign, CampaignConfig, DurableOpts, DurableOutcome,
+};
+use consent_faultsim::{CrashPlan, FaultProfile};
+use consent_httpsim::Vantage;
+use consent_obs::{FlightReport, ObsConfig, Sampler};
+use consent_util::{Day, SeedTree};
+use consent_webgraph::{AdoptionConfig, World, WorldConfig};
+use std::time::Duration;
+
+const DOMAINS: usize = 60;
+const CHECKPOINT_EVERY: u64 = 25;
+
+fn out_path(key: &str, default: &str) -> String {
+    std::env::var(key).unwrap_or_else(|_| default.to_string())
+}
+
+fn main() {
+    // Mild chaos unless CONSENT_CHAOS says otherwise: a flight report
+    // with an empty fault heatmap demonstrates very little.
+    let profile = if std::env::var("CONSENT_CHAOS").is_ok() {
+        FaultProfile::from_env()
+    } else {
+        FaultProfile::mild()
+    };
+    consent_telemetry::enable();
+    consent_trace::enable();
+
+    let world = World::new(WorldConfig {
+        n_sites: 4_000,
+        seed: 42,
+        adoption: AdoptionConfig::default(),
+    });
+    let list = build_toplist(&world, DOMAINS, SeedTree::new(7));
+    let vantages = [Vantage::eu_cloud(), Vantage::us_cloud()];
+
+    let registry = consent_telemetry::global();
+    let before = registry.snapshot();
+    let logical = Sampler::attach(registry, ObsConfig::deterministic());
+    let wall = Sampler::attach(registry, ObsConfig::wall(Duration::from_millis(10)));
+    let live = wall.start();
+
+    let dir = std::env::temp_dir().join(format!("consent-flight-recorder-{}", std::process::id()));
+    let store = CheckpointStore::open(&dir).expect("open checkpoint store");
+    let run = run_durable_campaign(
+        &world,
+        &list,
+        Day::from_ymd(2020, 5, 15),
+        &vantages,
+        SeedTree::new(9),
+        &store,
+        &DurableOpts {
+            threads: 4,
+            config: CampaignConfig {
+                fault_profile: profile,
+                ..CampaignConfig::default()
+            },
+            checkpoint_every: CHECKPOINT_EVERY,
+            crash: CrashPlan::none(),
+            sampler: Some(logical.clone()),
+        },
+    )
+    .expect("durable campaign io");
+    assert_eq!(run.outcome, DurableOutcome::Complete);
+    live.stop();
+    let total = registry.delta(&before);
+
+    // The wall series has real rates and per-window latency; fall back
+    // to the deterministic series if the campaign outran the interval.
+    let wall_series = wall.series();
+    let series = if wall_series.is_empty() {
+        logical.series()
+    } else {
+        wall_series
+    };
+    let report = FlightReport::build(&series, &total);
+    print!("{}", report.render());
+    println!(
+        "\n{} pairs durable across {} checkpoint generations ({} logical windows, {} wall samples)",
+        run.state.pairs_done,
+        store.generations().expect("list generations").len(),
+        logical.len(),
+        wall.len(),
+    );
+
+    let obs_out = out_path("FLIGHT_OBS_OUT", "OBS_campaign.jsonl");
+    std::fs::write(&obs_out, logical.export_jsonl()).expect("write OBS jsonl");
+    let report_out = out_path("FLIGHT_REPORT_OUT", "flight_report.json");
+    std::fs::write(&report_out, format!("{}\n", report.to_json().to_pretty()))
+        .expect("write flight report");
+    let prom_out = out_path("FLIGHT_PROM_OUT", "metrics.prom");
+    std::fs::write(&prom_out, wall.prometheus()).expect("write prometheus exposition");
+    eprintln!("wrote {obs_out}, {report_out}, {prom_out}");
+
+    std::fs::remove_dir_all(&dir).expect("clean up store");
+}

@@ -96,6 +96,7 @@ fn opts(threads: usize, profile: FaultProfile, crash: CrashPlan) -> DurableOpts 
         config: config(profile),
         checkpoint_every: 5,
         crash,
+        sampler: None,
     }
 }
 

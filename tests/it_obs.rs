@@ -1,0 +1,451 @@
+//! Flight-recorder observability, end to end.
+//!
+//! The deterministic claim under test: a durable campaign run with a
+//! logical-tick [`Sampler`] produces an `OBS` JSONL export that is
+//! **byte-identical across thread counts and kill-halfway resumes**.
+//! Samples are emitted only when a covering checkpoint is durable, the
+//! sampler is rebased over recovery's re-import traffic, and the
+//! thread-count-dependent metric families are deny-listed — so the
+//! export is a pure function of the workload, like the state and trace
+//! exports the durability suite pins.
+//!
+//! The wall-clock mode is the opposite trade: a background thread, real
+//! gauges and latency quantiles, no byte guarantees — here we only
+//! assert liveness and well-formedness (every line parses, the
+//! Prometheus exposition follows the text format line grammar), plus
+//! that a `Registry::reset` racing the live sampler is lossy but never
+//! corrupting.
+//!
+//! Tests serialize on a lock because the trace log and telemetry
+//! registry are process-global; each test leaves both cleared and
+//! disabled, mirroring `it_durability`.
+
+use consent_checkpoint::CheckpointStore;
+use consent_crawler::{
+    build_toplist, run_campaign_parallel, run_durable_campaign, CampaignConfig, DurableOpts,
+    DurableOutcome, DurableRun, ParallelOpts,
+};
+use consent_faultsim::{CrashPlan, FaultProfile};
+use consent_httpsim::Vantage;
+use consent_obs::{FlightReport, ObsConfig, Sampler};
+use consent_util::{Day, Json, SeedTree};
+use consent_webgraph::{AdoptionConfig, World, WorldConfig};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+/// Hold the global trace log + telemetry registry for one test.
+fn lock() -> MutexGuard<'static, ()> {
+    let guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    consent_trace::clear();
+    consent_trace::enable();
+    guard
+}
+
+fn unlock(guard: MutexGuard<'static, ()>) {
+    consent_telemetry::disable();
+    consent_telemetry::reset();
+    consent_trace::disable();
+    consent_trace::clear();
+    drop(guard);
+}
+
+fn world() -> &'static World {
+    static WORLD: OnceLock<World> = OnceLock::new();
+    WORLD.get_or_init(|| {
+        World::new(WorldConfig {
+            n_sites: 2_000,
+            seed: 42,
+            adoption: AdoptionConfig::default(),
+        })
+    })
+}
+
+fn toplist() -> &'static [String] {
+    static LIST: OnceLock<Vec<String>> = OnceLock::new();
+    LIST.get_or_init(|| build_toplist(world(), 12, SeedTree::new(7)))
+}
+
+const DAY: fn() -> Day = || Day::from_ymd(2020, 5, 15);
+
+fn tmp_dir() -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "consent-it-obs-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn config(profile: FaultProfile) -> CampaignConfig {
+    CampaignConfig {
+        fault_profile: profile,
+        ..CampaignConfig::default()
+    }
+}
+
+/// One durable-campaign incarnation with a fresh deterministic sampler:
+/// trace and telemetry are wiped first (a new process starts empty),
+/// and the sampler's `OBS` export is returned alongside the run.
+fn obs_incarnation(
+    store: &CheckpointStore,
+    threads: usize,
+    crash: CrashPlan,
+) -> (DurableRun, String) {
+    consent_trace::clear();
+    consent_telemetry::reset();
+    consent_telemetry::enable();
+    let sampler = Sampler::attach(consent_telemetry::global(), ObsConfig::deterministic());
+    let vantages = [Vantage::eu_cloud(), Vantage::us_cloud()];
+    let run = run_durable_campaign(
+        world(),
+        &toplist()[..8],
+        DAY(),
+        &vantages,
+        SeedTree::new(9),
+        store,
+        &DurableOpts {
+            threads,
+            config: config(FaultProfile::mild()),
+            checkpoint_every: 5,
+            crash,
+            sampler: Some(sampler.clone()),
+        },
+    )
+    .expect("durable campaign io");
+    (run, sampler.export_jsonl())
+}
+
+fn ticks_of(jsonl: &str) -> Vec<u64> {
+    jsonl
+        .lines()
+        .map(|l| {
+            Json::parse(l)
+                .expect("OBS line parses")
+                .get("tick")
+                .and_then(Json::as_f64)
+                .expect("OBS line has a tick") as u64
+        })
+        .collect()
+}
+
+#[test]
+fn obs_export_is_byte_identical_across_threads_and_kill_halfway_resume() {
+    let guard = lock();
+
+    // The uninterrupted single-thread export: the bytes every other
+    // incarnation pattern must reproduce.
+    let dir = tmp_dir();
+    let store = CheckpointStore::open(&dir).unwrap();
+    let (run, baseline) = obs_incarnation(&store, 1, CrashPlan::none());
+    assert_eq!(run.outcome, DurableOutcome::Complete);
+    std::fs::remove_dir_all(&dir).unwrap();
+
+    // 8 domains × 2 vantages in chunks of 5: a sample per durable
+    // checkpoint, nothing else.
+    assert_eq!(ticks_of(&baseline), vec![5, 10, 15, 16]);
+    for line in baseline.lines() {
+        let j = Json::parse(line).unwrap();
+        assert_eq!(j.get("kind").and_then(Json::as_str), Some("obs"));
+        assert_eq!(
+            j.get("seq").and_then(Json::as_f64),
+            j.get("tick").and_then(Json::as_f64)
+        );
+        // Logical samples stay inside the determinism boundary: no wall
+        // clock, no thread-count-dependent families.
+        assert!(j.get("elapsed_us").is_none(), "wall clock leaked: {line}");
+        assert!(j.get("gauges").is_none(), "gauges leaked: {line}");
+        assert!(
+            !line.contains("campaign.parallel."),
+            "denied family leaked: {line}"
+        );
+        // Windows carry real traffic.
+        assert!(j.get("counters").is_some(), "empty sample: {line}");
+    }
+
+    // Same bytes at every thread count.
+    for threads in [2usize, 4] {
+        let dir = tmp_dir();
+        let store = CheckpointStore::open(&dir).unwrap();
+        let (run, jsonl) = obs_incarnation(&store, threads, CrashPlan::none());
+        assert_eq!(run.outcome, DurableOutcome::Complete);
+        assert!(
+            jsonl == baseline,
+            "OBS export diverged at {threads} threads"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    // Kill halfway (after applied pair 11, mid third chunk): the dead
+    // process exported windows 5 and 10; the resumed process — fresh
+    // registry, fresh sampler, rebased over recovery — exports 15 and
+    // 16. Concatenated, the two incarnations equal the uninterrupted
+    // run byte for byte: no window is lost, re-emitted, or doubled.
+    for threads in [1usize, 2, 4] {
+        let dir = tmp_dir();
+        let store = CheckpointStore::open(&dir).unwrap();
+        let (crashed, first) = obs_incarnation(&store, threads, CrashPlan::after_apply(11));
+        match crashed.outcome {
+            DurableOutcome::Crashed { durable_pairs, .. } => assert_eq!(durable_pairs, 10),
+            DurableOutcome::Complete => panic!("crashpoint apply:11 never fired"),
+        }
+        assert_eq!(ticks_of(&first), vec![5, 10], "undurable window sampled");
+        let (resumed, second) = obs_incarnation(&store, threads, CrashPlan::none());
+        assert_eq!(resumed.outcome, DurableOutcome::Complete);
+        assert_eq!(ticks_of(&second), vec![15, 16]);
+        assert!(
+            format!("{first}{second}") == baseline,
+            "concatenated OBS export diverged after kill at {threads} threads"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+    unlock(guard);
+}
+
+/// Structural check against the Prometheus text format 0.0.4 line
+/// grammar: every line is a `# TYPE` comment or `name[{labels}] value`
+/// with a sane metric name and a parseable value.
+fn assert_prometheus_well_formed(text: &str) {
+    assert!(!text.is_empty());
+    assert!(text.ends_with('\n'), "exposition must end with a newline");
+    let name_ok = |name: &str| {
+        !name.is_empty()
+            && !name.starts_with(|c: char| c.is_ascii_digit())
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    };
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split(' ');
+            let name = parts.next().unwrap_or("");
+            let kind = parts.next().unwrap_or("");
+            assert!(name_ok(name), "bad TYPE name: {line}");
+            assert!(
+                ["counter", "gauge", "summary"].contains(&kind),
+                "bad TYPE kind: {line}"
+            );
+            continue;
+        }
+        assert!(!line.starts_with('#'), "unexpected comment: {line}");
+        let (series, value) = line.rsplit_once(' ').expect("metric line has a value");
+        let name = series.split('{').next().unwrap();
+        assert!(name_ok(name), "bad metric name: {line}");
+        if let Some(labels) = series.strip_prefix(name) {
+            assert!(
+                labels.is_empty() || (labels.starts_with('{') && labels.ends_with('}')),
+                "bad label block: {line}"
+            );
+        }
+        assert!(value.parse::<f64>().is_ok(), "bad value: {line}");
+    }
+}
+
+#[test]
+fn wall_sampler_records_live_state_and_serves_prometheus() {
+    let guard = lock();
+    consent_telemetry::reset();
+    consent_telemetry::enable();
+    let sampler = Sampler::attach(
+        consent_telemetry::global(),
+        ObsConfig::wall(Duration::from_millis(2)),
+    );
+    let handle = sampler.start();
+
+    let vantages = [Vantage::eu_cloud(), Vantage::us_cloud()];
+    let run = run_campaign_parallel(
+        world(),
+        toplist(),
+        DAY(),
+        &vantages,
+        SeedTree::new(9),
+        &ParallelOpts {
+            threads: 4,
+            config: config(FaultProfile::mild()),
+            max_pairs: None,
+        },
+    );
+    assert!(run.complete);
+    // A marker gauge set before shutdown must appear in the final
+    // sample the background thread takes on its way out.
+    consent_telemetry::gauge_set("it.obs.marker", 7);
+    handle.stop();
+
+    assert!(!sampler.is_empty(), "wall sampler recorded nothing");
+    let series = sampler.series();
+    let last = series.latest().unwrap();
+    assert!(last.elapsed_us.is_some(), "wall samples carry a clock");
+    assert_eq!(last.gauges.get("it.obs.marker"), Some(&7));
+    // The per-window pair latency summaries partition the campaign:
+    // window counts sum to exactly one observation per pair.
+    assert_eq!(
+        series
+            .samples()
+            .flat_map(|s| s.histograms.get("campaign.pair"))
+            .map(|h| h.count)
+            .sum::<u64>(),
+        24,
+        "every pair sampled exactly once across wall windows"
+    );
+    for line in sampler.export_jsonl().lines() {
+        Json::parse(line).expect("wall OBS line parses");
+    }
+
+    let prom = sampler.prometheus();
+    assert_prometheus_well_formed(&prom);
+    assert!(prom.contains("# TYPE campaign_pair summary"), "{prom}");
+    assert!(prom.contains("campaign_pair{quantile=\"0.95\"}"), "{prom}");
+    assert!(prom.contains("campaign_pair_count"), "{prom}");
+    assert!(prom.contains("# TYPE it_obs_marker gauge"), "{prom}");
+    unlock(guard);
+}
+
+#[test]
+fn registry_reset_racing_a_live_sampler_is_lossy_never_corrupt() {
+    let guard = lock();
+    consent_telemetry::reset();
+    consent_telemetry::enable();
+    let sampler = Sampler::attach(
+        consent_telemetry::global(),
+        ObsConfig::wall(Duration::from_micros(200)),
+    );
+    let handle = sampler.start();
+
+    // Hammer the registry while the sampler is live: writes interleave
+    // with resets at arbitrary points inside sample windows.
+    const WRITES: u64 = 5_000;
+    for i in 0..WRITES {
+        consent_telemetry::count("race.counter", 1);
+        consent_telemetry::observe("race.lat", i % 97);
+        if i % 250 == 0 {
+            consent_telemetry::reset();
+        }
+        if i % 50 == 0 {
+            std::thread::yield_now();
+        }
+    }
+    handle.stop();
+
+    assert!(!sampler.is_empty());
+    let mut seen = 0u64;
+    for line in sampler.export_jsonl().lines() {
+        let j = Json::parse(line).expect("raced OBS line parses");
+        // Deltas saturate at reset boundaries: a window straddling a
+        // reset under-counts, it never wraps around to 2^64-ish.
+        let n = j
+            .get("counters")
+            .and_then(|c| c.get("race.counter"))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0) as u64;
+        assert!(n <= WRITES, "counter delta wrapped: {n}");
+        seen += n;
+    }
+    assert!(seen <= WRITES, "windows double-counted: {seen} > {WRITES}");
+    assert_prometheus_well_formed(&sampler.prometheus());
+    unlock(guard);
+}
+
+#[test]
+fn ring_buffer_evicts_oldest_samples_and_reports_drops() {
+    let guard = lock();
+    consent_telemetry::reset();
+    consent_telemetry::enable();
+    let sampler = Sampler::attach(
+        consent_telemetry::global(),
+        ObsConfig {
+            capacity: 4,
+            ..ObsConfig::deterministic()
+        },
+    );
+    for tick in 1..=10u64 {
+        consent_telemetry::count("ring.pairs", 1);
+        sampler.tick_at(tick);
+    }
+    assert_eq!(sampler.len(), 4);
+    assert_eq!(sampler.dropped(), 6);
+    assert_eq!(ticks_of(&sampler.export_jsonl()), vec![7, 8, 9, 10]);
+    unlock(guard);
+}
+
+#[test]
+fn flight_report_covers_a_chaotic_durable_campaign() {
+    let guard = lock();
+    consent_telemetry::reset();
+    consent_telemetry::enable();
+    let base = consent_telemetry::global().snapshot();
+    let sampler = Sampler::attach(consent_telemetry::global(), ObsConfig::deterministic());
+    // Chaos hot enough that fault injection is certain over 24 pairs.
+    let profile = FaultProfile {
+        timeout: 0.35,
+        reset: 0.2,
+        ..FaultProfile::none()
+    };
+    let dir = tmp_dir();
+    let store = CheckpointStore::open(&dir).unwrap();
+    let vantages = [Vantage::eu_cloud(), Vantage::us_cloud()];
+    let run = run_durable_campaign(
+        world(),
+        toplist(),
+        DAY(),
+        &vantages,
+        SeedTree::new(9),
+        &store,
+        &DurableOpts {
+            threads: 2,
+            config: config(profile),
+            checkpoint_every: 5,
+            crash: CrashPlan::none(),
+            sampler: Some(Arc::clone(&sampler)),
+        },
+    )
+    .unwrap();
+    assert_eq!(run.outcome, DurableOutcome::Complete);
+    std::fs::remove_dir_all(&dir).unwrap();
+
+    let total = consent_telemetry::global().delta(&base);
+    let report = FlightReport::build(&sampler.series(), &total);
+
+    assert_eq!(report.pairs_total, 24, "12 domains × 2 vantages");
+    assert_eq!(report.samples_dropped, 0);
+    assert!(
+        report.phases.iter().any(|p| p.key == "campaign.pair"),
+        "pair processing missing from the phase breakdown"
+    );
+    assert_eq!(report.throughput.len(), 5, "24 pairs in chunks of 5");
+    assert!(
+        report.throughput.iter().all(|p| p.pairs_per_sec.is_none()),
+        "logical windows must not claim wall rates"
+    );
+    // The heatmap reconciles with the registry: per-window injection
+    // counts sum to the cumulative faultsim.injected totals.
+    let injected: u64 = total
+        .counters_with_prefix("faultsim.injected{")
+        .map(|(_, n)| n)
+        .sum();
+    assert!(injected > 0, "hot chaos profile injected nothing");
+    assert_eq!(report.faults.iter().map(|r| r.total).sum::<u64>(), injected);
+    // Logical mode: no per-window latency, cumulative fallback instead.
+    assert!(report.slowest.is_empty());
+    assert_eq!(report.pair_total.unwrap().count, 24);
+
+    let text = report.render();
+    for section in [
+        "flight report",
+        "Phase breakdown",
+        "Throughput curve",
+        "Fault heatmap",
+        "cumulative",
+    ] {
+        assert!(text.contains(section), "missing {section:?}:\n{text}");
+    }
+    let json = report.to_json();
+    assert_eq!(
+        json.get("kind").and_then(Json::as_str),
+        Some("flight_report")
+    );
+    assert_eq!(json.get("schema").and_then(Json::as_f64), Some(1.0));
+    unlock(guard);
+}

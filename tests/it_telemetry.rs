@@ -1,12 +1,15 @@
 //! End-to-end telemetry reconciliation.
 //!
-//! This test uses the process-global telemetry registry, so it lives in
-//! its own integration-test binary (one process, one test fn): nothing
-//! else may enable recording or the deltas would mix.
+//! The reconciliation test uses the process-global telemetry registry,
+//! so it lives in its own integration-test binary and must stay the
+//! only test fn that touches the global: nothing else may enable
+//! recording or the deltas would mix. The sampler-race test below is
+//! safe to share the binary because it runs against its own leaked
+//! local registry.
 
 use consent_core::{experiments, Study};
 use consent_crawler::{FeedConfig, Platform};
-use consent_telemetry::{global, RunReport};
+use consent_telemetry::{global, Registry, RunReport};
 use consent_util::Day;
 
 #[test]
@@ -197,4 +200,80 @@ fn run_reports_reconcile_with_capture_db() {
     let d1: Vec<&str> = db.iter().map(|(d, _)| d).collect();
     let d2: Vec<&str> = db2.iter().map(|(d, _)| d).collect();
     assert_eq!(d1, d2);
+}
+
+/// `Registry::reset` racing a live flight-recorder sampler: writers,
+/// a resetter, and the sampler's background thread all hit the same
+/// registry concurrently. Resets may drop in-window traffic (they wipe
+/// it by design) but must never corrupt a sample — deltas saturate
+/// instead of wrapping, exports stay parseable, and nothing panics.
+///
+/// Runs against a leaked *local* registry, not the process-global one,
+/// so it can share this binary with the reconciliation test above.
+#[test]
+fn reset_racing_a_live_sampler_is_lossy_never_corrupt() {
+    use consent_obs::{ObsConfig, Sampler};
+    use consent_util::Json;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let registry: &'static Registry = Box::leak(Box::new(Registry::new()));
+    let sampler = Sampler::attach(registry, ObsConfig::wall(Duration::from_micros(200)));
+    let handle = sampler.start();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let written = Arc::new(AtomicU64::new(0));
+    let writers: Vec<_> = (0..2)
+        .map(|w| {
+            let stop = Arc::clone(&stop);
+            let written = Arc::clone(&written);
+            std::thread::spawn(move || {
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    registry.counter("race.counter").inc();
+                    written.fetch_add(1, Ordering::Relaxed);
+                    registry.histogram("race.lat").record(i % 89 + w);
+                    registry.gauge("race.gauge").set(i as i64);
+                    i += 1;
+                }
+            })
+        })
+        .collect();
+    let resetter = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                registry.reset();
+                std::thread::sleep(Duration::from_micros(500));
+            }
+        })
+    };
+    std::thread::sleep(Duration::from_millis(50));
+    stop.store(true, Ordering::Relaxed);
+    for w in writers {
+        w.join().unwrap();
+    }
+    resetter.join().unwrap();
+    handle.stop();
+
+    assert!(!sampler.is_empty(), "sampler recorded nothing");
+    let total_written = written.load(Ordering::Relaxed);
+    let mut seen = 0u64;
+    for line in sampler.export_jsonl().lines() {
+        let j = Json::parse(line).expect("raced OBS line must stay parseable");
+        let n = j
+            .get("counters")
+            .and_then(|c| c.get("race.counter"))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0) as u64;
+        assert!(n <= total_written, "window delta wrapped: {n}");
+        seen += n;
+    }
+    // Resets lose traffic; they never invent it.
+    assert!(seen <= total_written, "{seen} > {total_written}");
+    // The scrape endpoint stays serviceable mid-race (empty is fine if
+    // the last reset won the race; malformed or panicking is not).
+    let prom = sampler.prometheus();
+    assert!(prom.is_empty() || prom.ends_with('\n'));
 }
