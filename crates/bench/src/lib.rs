@@ -24,8 +24,10 @@
 #![warn(missing_docs)]
 
 pub mod diff;
+pub mod soak;
 
 pub use diff::{diff_documents, BenchDiff, DiffRow, DEFAULT_THRESHOLD_PCT};
+pub use soak::{SoakBench, SoakRecord};
 
 use consent_checkpoint::CheckpointStore;
 use consent_crawler::{
@@ -643,7 +645,7 @@ impl ObsBench {
 }
 
 /// A unique scratch directory for one bench run.
-fn bench_tmp_dir() -> PathBuf {
+pub(crate) fn bench_tmp_dir() -> PathBuf {
     use std::sync::atomic::{AtomicU64, Ordering};
     static N: AtomicU64 = AtomicU64::new(0);
     std::env::temp_dir().join(format!(

@@ -32,7 +32,7 @@
 //! * `CONSENT_CHAOS` — chaos profile (`none`/`mild`/`heavy`), as everywhere
 
 use consent_bench::{
-    diff_documents, CampaignBench, CheckpointBench, ObsBench, DEFAULT_THRESHOLD_PCT,
+    diff_documents, CampaignBench, CheckpointBench, ObsBench, SoakBench, DEFAULT_THRESHOLD_PCT,
 };
 use consent_faultsim::FaultProfile;
 use consent_util::Json;
@@ -50,6 +50,10 @@ fn main() -> ExitCode {
     let args: Vec<String> = env::args().collect();
     if args.get(1).map(String::as_str) == Some("diff") {
         return run_diff(&args[2..]);
+    }
+    if args.get(1).map(String::as_str) == Some("soak") {
+        run_soak();
+        return ExitCode::SUCCESS;
     }
     run_sweeps();
     ExitCode::SUCCESS
@@ -200,6 +204,53 @@ fn run_sweeps() {
     }
     let obs_doc = obs.document(&obs_records);
     write_doc(&obs_out, &obs_doc);
+}
+
+/// `consent-bench soak` — the storage-fault soak sweep, written to
+/// `BENCH_soak.json` (override with `BENCH_SOAK_OUT`). Rates come from
+/// `SOAK_RATES` (comma-separated per-mille, default `0,5,10,50`);
+/// `SOAK_REPEATS` campaigns per rate (default 3).
+fn run_soak() {
+    let rates: Vec<u64> = env::var("SOAK_RATES")
+        .unwrap_or_else(|_| "0,5,10,50".to_string())
+        .split(',')
+        .filter_map(|r| r.trim().parse().ok())
+        .collect();
+    let bench = SoakBench {
+        rates_per_mille: if rates.is_empty() {
+            vec![0, 5, 10, 50]
+        } else {
+            rates
+        },
+        repeats: env_parse("SOAK_REPEATS", 3),
+        ..SoakBench::default()
+    };
+    let out = env::var("BENCH_SOAK_OUT").unwrap_or_else(|_| "BENCH_soak.json".to_string());
+    eprintln!(
+        "storage_soak: {} pairs x {} repeats per rate, rates {:?}\u{2030}, {} threads",
+        bench.pairs(),
+        bench.repeats,
+        bench.rates_per_mille,
+        bench.threads
+    );
+    let records = bench.run();
+    println!(
+        "{:<28} {:>12} {:>10} {:>9} {:>9} {:>12} {:>12}",
+        "bench", "pairs/sec", "faults", "retries", "complete", "mttr µs", "mttr p95"
+    );
+    for r in &records {
+        println!(
+            "{:<28} {:>12.1} {:>10} {:>9} {:>8.0}% {:>12.0} {:>12}",
+            r.record.name,
+            r.record.pairs_per_sec,
+            r.io_faults,
+            r.retries,
+            r.completion_rate * 100.0,
+            r.mttr_us_mean,
+            r.mttr_us_p95
+        );
+    }
+    write_doc(&out, &bench.document(&records));
 }
 
 fn write_doc(out: &str, doc: &consent_util::Json) {

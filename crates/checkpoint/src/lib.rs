@@ -22,6 +22,11 @@
 //! - [`salvage`]: the structured [`SalvageReport`] describing exactly
 //!   what recovery did, renderable as text and JSON (the CI artifact of
 //!   the crash-consistency sweep).
+//! - [`vfs`]: the [`Vfs`] filesystem seam every durable operation goes
+//!   through — [`RealVfs`] in production, `consent-faultsim`'s
+//!   `FaultyVfs` under storage-fault injection. Storage failures
+//!   (including directory fsync) surface as errors for the campaign
+//!   supervisor instead of being swallowed.
 //!
 //! The crawler's durable driver layers campaign semantics on top: it
 //! maps `CampaignState` to sections, rebuilds what it can from
@@ -34,6 +39,7 @@
 pub mod format;
 pub mod salvage;
 pub mod store;
+pub mod vfs;
 
 pub use format::{
     scan_bytes, serialize, validate_name, Checkpoint, NameError, Scan, Section, SectionStatus,
@@ -41,3 +47,4 @@ pub use format::{
 };
 pub use salvage::{QuarantinedGeneration, SalvageReport};
 pub use store::{CheckpointStore, DEFAULT_KEEP};
+pub use vfs::{RealVfs, Vfs};

@@ -4,16 +4,26 @@
 //! files that fail validation are moved (never deleted) into a
 //! `quarantine/` subdirectory so a post-mortem can inspect exactly what
 //! was on disk. Writes are atomic: serialize to a temp file in the same
-//! directory, `fsync` it, `rename` over the final name, then best-effort
-//! `fsync` the directory — a crash at any instant leaves either the old
+//! directory, `fsync` it, `rename` over the final name, then `fsync`
+//! the directory — a crash at any instant leaves either the old
 //! generation set or the old set plus one complete new file.
+//!
+//! Every durable operation goes through the store's [`Vfs`] (the real
+//! filesystem by default), so storage faults can be injected
+//! deterministically — see [`vfs`](crate::vfs) and
+//! `consent-faultsim`'s `FaultyVfs`. Storage failures are **surfaced,
+//! never swallowed**: a failed directory fsync is counted
+//! (`checkpoint.dir_fsync_fail`) and returned as an error for the
+//! campaign supervisor to classify, retry, or degrade around.
 
-use std::fs::{self, File, OpenOptions};
-use std::io::{self, Write};
+use std::fs;
+use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use crate::format::{scan_bytes, serialize, validate_name, Checkpoint, Scan, Section};
 use crate::salvage::{QuarantinedGeneration, SalvageReport};
+use crate::vfs::{RealVfs, Vfs};
 
 /// Default number of generations retained by [`CheckpointStore::open`].
 pub const DEFAULT_KEEP: usize = 4;
@@ -25,24 +35,45 @@ const QUARANTINE_DIR: &str = "quarantine";
 pub struct CheckpointStore {
     dir: PathBuf,
     keep: usize,
+    vfs: Arc<dyn Vfs>,
 }
 
 impl CheckpointStore {
     /// Open (creating if needed) a store keeping [`DEFAULT_KEEP`]
-    /// generations.
+    /// generations on the real filesystem.
     pub fn open(dir: impl AsRef<Path>) -> io::Result<CheckpointStore> {
         CheckpointStore::with_keep(dir, DEFAULT_KEEP)
     }
 
     /// Open (creating if needed) a store with an explicit retention
-    /// window. `keep` is clamped to at least 1.
+    /// window on the real filesystem. `keep` is clamped to at least 1.
     pub fn with_keep(dir: impl AsRef<Path>, keep: usize) -> io::Result<CheckpointStore> {
+        CheckpointStore::with_vfs(dir, keep, Arc::new(RealVfs))
+    }
+
+    /// Open (creating if needed) a store whose file operations go
+    /// through an explicit [`Vfs`] — the hook for deterministic storage
+    /// fault injection. `keep` is clamped to at least 1.
+    ///
+    /// Opening also sweeps orphaned `.tmp-gen-*.ckpt` files: a write
+    /// that failed between create and rename leaves its temp file
+    /// behind (deliberately — the dying process must not mutate the
+    /// store further), and the next open reclaims the space. Swept
+    /// files are counted via `checkpoint.tmp_swept`.
+    pub fn with_vfs(
+        dir: impl AsRef<Path>,
+        keep: usize,
+        vfs: Arc<dyn Vfs>,
+    ) -> io::Result<CheckpointStore> {
         let dir = dir.as_ref().to_path_buf();
         fs::create_dir_all(&dir)?;
-        Ok(CheckpointStore {
+        let store = CheckpointStore {
             dir,
             keep: keep.max(1),
-        })
+            vfs,
+        };
+        store.sweep_tmp_files()?;
+        Ok(store)
     }
 
     /// The store directory.
@@ -65,6 +96,36 @@ impl CheckpointStore {
         let mut gens = generations_in(&self.dir)?;
         gens.sort_unstable();
         Ok(gens)
+    }
+
+    /// Quarantined generation numbers, ascending.
+    pub fn quarantined_generations(&self) -> io::Result<Vec<u64>> {
+        let qdir = self.quarantine_dir();
+        if !qdir.is_dir() {
+            return Ok(Vec::new());
+        }
+        let mut gens = generations_in(&qdir)?;
+        gens.sort_unstable();
+        Ok(gens)
+    }
+
+    /// Remove orphaned temp files left by writes that died between
+    /// create and rename. Returns how many were swept.
+    fn sweep_tmp_files(&self) -> io::Result<u64> {
+        let mut swept = 0u64;
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if name.starts_with(".tmp-gen-") && name.ends_with(".ckpt") {
+                self.vfs.remove_file(&entry.path())?;
+                swept += 1;
+            }
+        }
+        if swept > 0 {
+            consent_telemetry::count("checkpoint.tmp_swept", swept);
+        }
+        Ok(swept)
     }
 
     fn next_generation(&self) -> io::Result<u64> {
@@ -127,20 +188,20 @@ impl CheckpointStore {
     fn write_atomic(&self, generation: u64, bytes: &[u8]) -> io::Result<()> {
         let final_path = self.path_for(generation);
         let tmp_path = self.dir.join(format!(".tmp-gen-{generation:08}.ckpt"));
-        {
-            let mut f = OpenOptions::new()
-                .write(true)
-                .create(true)
-                .truncate(true)
-                .open(&tmp_path)?;
-            f.write_all(bytes)?;
-            f.sync_all()?;
-        }
-        fs::rename(&tmp_path, &final_path)?;
-        // Persist the rename itself. Directory fsync is not portable
-        // everywhere, so failures here are tolerated.
-        let _ = File::open(&self.dir).and_then(|d| d.sync_all());
-        Ok(())
+        self.vfs.create(&tmp_path)?;
+        self.vfs.write(&tmp_path, bytes)?;
+        self.vfs.sync(&tmp_path)?;
+        self.vfs.rename(&tmp_path, &final_path)?;
+        self.dir_fsync()
+    }
+
+    /// Persist the directory entry table (the rename itself). Failures
+    /// are counted and **returned**: a rename that is not known durable
+    /// is a storage fault the supervisor must see, not a shrug.
+    fn dir_fsync(&self) -> io::Result<()> {
+        self.vfs.dir_sync(&self.dir).inspect_err(|_| {
+            consent_telemetry::count("checkpoint.dir_fsync_fail", 1);
+        })
     }
 
     fn prune(&self) -> io::Result<()> {
@@ -148,7 +209,7 @@ impl CheckpointStore {
         if gens.len() > self.keep {
             let dropped = gens.len() - self.keep;
             for &g in &gens[..dropped] {
-                fs::remove_file(self.path_for(g))?;
+                self.vfs.remove_file(&self.path_for(g))?;
             }
             gens.drain(..dropped);
             // How many old generations a run sheds depends on what a
@@ -160,22 +221,45 @@ impl CheckpointStore {
         Ok(())
     }
 
+    /// Bound `quarantine/` growth to the same window the live set uses:
+    /// at most `keep` quarantined generations survive, pruning oldest
+    /// first and never touching the newest. The count is exposed as the
+    /// `checkpoint.quarantine.generations` gauge.
+    fn prune_quarantine(&self) -> io::Result<()> {
+        let mut gens = self.quarantined_generations()?;
+        if gens.len() > self.keep {
+            let dropped = gens.len() - self.keep;
+            let qdir = self.quarantine_dir();
+            for &g in &gens[..dropped] {
+                self.vfs
+                    .remove_file(&qdir.join(format!("gen-{g:08}.ckpt")))?;
+            }
+            gens.drain(..dropped);
+            consent_telemetry::count("checkpoint.quarantine.pruned", dropped as u64);
+        }
+        consent_telemetry::gauge_set("checkpoint.quarantine.generations", gens.len() as i64);
+        Ok(())
+    }
+
     /// Scan one generation's file for integrity without moving it.
     pub fn scan_generation(&self, generation: u64) -> io::Result<Scan> {
-        let bytes = fs::read(self.path_for(generation))?;
+        let bytes = self.vfs.read(&self.path_for(generation))?;
         Ok(scan_bytes(generation, &bytes))
     }
 
     /// Move a generation's file into `quarantine/`, returning the new
-    /// path.
+    /// path. The quarantine window is bounded (see
+    /// `prune_quarantine` — oldest pruned
+    /// beyond the store's `keep`, newest always retained).
     pub fn quarantine(&self, generation: u64) -> io::Result<PathBuf> {
         let qdir = self.quarantine_dir();
         fs::create_dir_all(&qdir)?;
         let from = self.path_for(generation);
         let to = qdir.join(format!("gen-{generation:08}.ckpt"));
-        fs::rename(&from, &to)?;
-        let _ = File::open(&self.dir).and_then(|d| d.sync_all());
+        self.vfs.rename(&from, &to)?;
+        self.dir_fsync()?;
         consent_telemetry::count("checkpoint.quarantined", 1);
+        self.prune_quarantine()?;
         Ok(to)
     }
 
@@ -359,5 +443,113 @@ mod tests {
         let dup = vec![Section::new("meta", "a"), Section::new("meta", "b")];
         assert!(store.save(&dup).is_err());
         fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn orphaned_tmp_files_are_swept_on_open() {
+        let (dir, store) = tmp_store(3);
+        store.save(&sections("a")).unwrap();
+        // A write that died between create and rename leaves its temp
+        // file behind; it must not survive the next open.
+        let orphan = dir.join(".tmp-gen-00000042.ckpt");
+        fs::write(&orphan, b"half a checkpoint").unwrap();
+        drop(store);
+        let store = CheckpointStore::open(&dir).unwrap();
+        assert!(!orphan.exists(), "orphaned tmp file survived open");
+        // The live generation was untouched by the sweep.
+        let (ckpt, report) = store.open_latest().unwrap();
+        assert_eq!(ckpt.unwrap().section("meta").unwrap().body, "meta-a\n");
+        assert!(report.is_clean());
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn quarantine_growth_is_bounded_to_keep() {
+        let (dir, store) = tmp_store(2);
+        // Quarantine five generations one at a time; only the newest
+        // `keep` (2) survive, and the newest is always among them.
+        for i in 0..5u64 {
+            store.save_torn(&sections(&i.to_string()), 5).unwrap();
+            let (ckpt, _) = store.open_latest().unwrap();
+            assert!(ckpt.is_none());
+        }
+        let qgens = store.quarantined_generations().unwrap();
+        assert_eq!(qgens, vec![4, 5], "oldest pruned, newest kept");
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    /// A `Vfs` that fails directory syncs but passes everything else
+    /// through, to prove the failure is surfaced rather than swallowed.
+    #[derive(Debug)]
+    struct FailingDirSync(RealVfs);
+
+    impl Vfs for FailingDirSync {
+        fn create(&self, path: &Path) -> io::Result<()> {
+            self.0.create(path)
+        }
+        fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+            self.0.write(path, bytes)
+        }
+        fn sync(&self, path: &Path) -> io::Result<()> {
+            self.0.sync(path)
+        }
+        fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+            self.0.rename(from, to)
+        }
+        fn dir_sync(&self, _dir: &Path) -> io::Result<()> {
+            Err(io::Error::other("EIO: injected dir fsync failure"))
+        }
+        fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+            self.0.read(path)
+        }
+        fn remove_file(&self, path: &Path) -> io::Result<()> {
+            self.0.remove_file(path)
+        }
+    }
+
+    #[test]
+    fn dir_fsync_failures_surface_and_count() {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "consent-ckpt-dirsync-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let store = CheckpointStore::with_vfs(&dir, 3, Arc::new(FailingDirSync(RealVfs))).unwrap();
+        consent_telemetry::reset();
+        consent_telemetry::enable();
+        let err = store.save(&sections("a")).unwrap_err();
+        consent_telemetry::disable();
+        assert!(err.to_string().contains("dir fsync"), "{err}");
+        let counted = consent_telemetry::global()
+            .snapshot()
+            .counter("checkpoint.dir_fsync_fail");
+        consent_telemetry::reset();
+        assert_eq!(counted, 1, "dir fsync failure was not counted");
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    /// Byte-identity of the Vfs seam itself: a store on an explicit
+    /// [`RealVfs`] produces exactly the same file bytes as the default
+    /// constructor (which is the pre-Vfs write path).
+    #[test]
+    fn explicit_real_vfs_is_byte_identical_to_default() {
+        let (dir_a, store_a) = tmp_store(3);
+        static N: AtomicU64 = AtomicU64::new(0);
+        let dir_b = std::env::temp_dir().join(format!(
+            "consent-ckpt-vfs-ident-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let store_b = CheckpointStore::with_vfs(&dir_b, 3, Arc::new(RealVfs)).unwrap();
+        let g_a = store_a.save(&sections("same")).unwrap();
+        let g_b = store_b.save(&sections("same")).unwrap();
+        assert_eq!(g_a, g_b);
+        assert_eq!(
+            fs::read(store_a.path_for(g_a)).unwrap(),
+            fs::read(store_b.path_for(g_b)).unwrap(),
+        );
+        fs::remove_dir_all(dir_a).unwrap();
+        fs::remove_dir_all(dir_b).unwrap();
     }
 }

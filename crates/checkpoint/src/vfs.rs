@@ -1,0 +1,140 @@
+//! The store's filesystem seam.
+//!
+//! Every durable byte the [`CheckpointStore`](crate::CheckpointStore)
+//! moves goes through a [`Vfs`] — create, write, sync, rename,
+//! directory sync, read, remove. Production uses [`RealVfs`], a thin
+//! passthrough to `std::fs` that adds nothing (same syscalls, same
+//! bytes on disk as calling `std::fs` directly). Tests swap in
+//! `consent-faultsim`'s `FaultyVfs`, which injects deterministic
+//! storage faults (`ENOSPC`, `EIO`, silent short writes) keyed on a
+//! global operation index — so a sweep can fail *every* individual
+//! filesystem operation of a campaign and assert the recovery story
+//! holds.
+//!
+//! The trait is deliberately flat and path-addressed rather than
+//! handle-based: each method is one observable durability step, which
+//! is exactly the granularity fault injection wants. `write` persists
+//! the whole buffer (create-if-needed + truncate + write-all), so a
+//! short write can only be *injected*, never accidental.
+
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write as _};
+use std::path::Path;
+
+/// A minimal filesystem abstraction covering every durable operation
+/// the checkpoint store performs. See the [module docs](self).
+pub trait Vfs: Send + Sync + fmt::Debug {
+    /// Create (or truncate) an empty file at `path`.
+    fn create(&self, path: &Path) -> io::Result<()>;
+
+    /// Write the whole buffer to `path`, truncating any prior content.
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+
+    /// Flush `path`'s data and metadata to stable storage (`fsync`).
+    fn sync(&self, path: &Path) -> io::Result<()>;
+
+    /// Atomically rename `from` to `to` (same directory).
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+
+    /// Flush the directory entry table at `dir` (`fsync` on the
+    /// directory) so a completed rename survives power loss.
+    fn dir_sync(&self, dir: &Path) -> io::Result<()>;
+
+    /// Read the whole file at `path`.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+
+    /// Remove the file at `path`.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+}
+
+/// The production [`Vfs`]: a faithful passthrough to `std::fs`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RealVfs;
+
+impl Vfs for RealVfs {
+    fn create(&self, path: &Path) -> io::Result<()> {
+        OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)
+            .map(|_| ())
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let mut f = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        f.write_all(bytes)
+    }
+
+    fn sync(&self, path: &Path) -> io::Result<()> {
+        File::open(path)?.sync_all()
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn dir_sync(&self, dir: &Path) -> io::Result<()> {
+        File::open(dir)?.sync_all()
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn tmp_dir() -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "consent-vfs-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn real_vfs_round_trips_bytes() {
+        let dir = tmp_dir();
+        let vfs = RealVfs;
+        let tmp = dir.join("a.tmp");
+        let fin = dir.join("a.bin");
+        vfs.create(&tmp).unwrap();
+        vfs.write(&tmp, b"hello vfs").unwrap();
+        vfs.sync(&tmp).unwrap();
+        vfs.rename(&tmp, &fin).unwrap();
+        vfs.dir_sync(&dir).unwrap();
+        assert_eq!(vfs.read(&fin).unwrap(), b"hello vfs");
+        assert!(!tmp.exists());
+        vfs.remove_file(&fin).unwrap();
+        assert!(!fin.exists());
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn write_truncates_prior_content() {
+        let dir = tmp_dir();
+        let vfs = RealVfs;
+        let path = dir.join("f");
+        vfs.write(&path, b"a longer first body").unwrap();
+        vfs.write(&path, b"short").unwrap();
+        assert_eq!(vfs.read(&path).unwrap(), b"short");
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+}

@@ -42,12 +42,30 @@
 //! checkpoint write after a byte budget. `tests/it_durability.rs` sweeps
 //! every such crashpoint of a small campaign and asserts resumed runs
 //! are byte-identical to uninterrupted ones.
+//!
+//! # Storage faults and self-healing
+//!
+//! Every checkpoint write runs under a
+//! [`Supervisor`]: transient storage
+//! errors are retried with capped deterministic backoff out of a
+//! per-campaign budget, persistent ones (`ENOSPC`) descend the
+//! degradation ladder — shed trace section → widen cadence →
+//! memory-only — so the run always ends [`DurableOutcome::Complete`],
+//! [`DurableOutcome::Degraded`] (with a loud
+//! [`HealthReport`]), or
+//! [`DurableOutcome::Crashed`], never wedged. Faults are injected
+//! deterministically at the store's [`Vfs`](consent_checkpoint::Vfs)
+//! seam via `consent-faultsim`'s [`IoFaultPlan`] / [`FaultyVfs`]
+//! (`CONSENT_IO_CHAOS`, honored by [`open_chaos_store`]). Whatever the
+//! disk does, the final `CampaignState` export stays byte-identical —
+//! only *durability* degrades, never the measurement.
 
 use std::io;
+use std::path::Path;
 use std::sync::Arc;
 
-use consent_checkpoint::{CheckpointStore, Section};
-use consent_faultsim::CrashPlan;
+use consent_checkpoint::{CheckpointStore, Section, DEFAULT_KEEP};
+use consent_faultsim::{CrashPlan, FaultyVfs, IoFaultPlan};
 use consent_httpsim::Vantage;
 use consent_obs::Sampler;
 use consent_util::{Day, SeedTree};
@@ -59,6 +77,7 @@ use crate::campaign::{CampaignConfig, CampaignResult, CampaignState, STATE_HEADE
 use crate::export::export as export_db;
 use crate::export::import as import_db;
 use crate::parallel::{resume_campaign_parallel, ParallelOpts};
+use crate::supervisor::{DegradeLevel, HealthReport, SaveVerdict, Supervisor, SupervisorPolicy};
 
 /// Checkpoint section holding the state header + `pairs_done` cursor.
 pub const SECTION_META: &str = "meta";
@@ -92,6 +111,10 @@ pub struct DurableOpts {
     /// its window is durable, which is what makes the `OBS` export
     /// byte-identical across thread counts and kill-halfway resumes.
     pub sampler: Option<Arc<Sampler>>,
+    /// Self-healing policy for storage faults: retry budget, backoff
+    /// caps, cadence widening, recovery attempts (see
+    /// [`Supervisor`]).
+    pub supervisor: SupervisorPolicy,
 }
 
 impl Default for DurableOpts {
@@ -103,15 +126,22 @@ impl Default for DurableOpts {
             checkpoint_every: 25,
             crash: CrashPlan::none(),
             sampler: None,
+            supervisor: SupervisorPolicy::default(),
         }
     }
 }
 
-/// How a durable run ended.
+/// How a durable run ended. Never "wedged": a campaign always reaches
+/// one of these three verdicts, whatever the disk does.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum DurableOutcome {
     /// Every pair was processed and the final checkpoint is on disk.
     Complete,
+    /// Every pair was processed, but storage faults forced the
+    /// supervisor down its degradation ladder — the campaign *state* is
+    /// still byte-identical to a healthy run, but durability guarantees
+    /// were shed along the way (see the report's ladder level).
+    Degraded(HealthReport),
     /// The configured [`CrashPlan`] fired: the simulated process died.
     Crashed {
         /// The crashpoint that fired (its `Display` form).
@@ -123,6 +153,13 @@ pub enum DurableOutcome {
     },
 }
 
+impl DurableOutcome {
+    /// True when every pair was processed (`Complete` or `Degraded`).
+    pub fn finished(&self) -> bool {
+        !matches!(self, DurableOutcome::Crashed { .. })
+    }
+}
+
 /// The result of one [`run_durable_campaign`] invocation.
 #[derive(Debug)]
 pub struct DurableRun {
@@ -131,10 +168,14 @@ pub struct DurableRun {
     pub state: CampaignState,
     /// Captures processed by this invocation only.
     pub result: CampaignResult,
-    /// Whether the run completed or a crashpoint fired.
+    /// Whether the run completed, degraded, or a crashpoint fired.
     pub outcome: DurableOutcome,
     /// Everything recovery found and did when opening the store.
     pub salvage: SalvageReport,
+    /// The supervisor's full ledger for this run — populated even for
+    /// `Complete` outcomes (a healed transient fault leaves traces
+    /// here without degrading the run).
+    pub health: HealthReport,
 }
 
 /// Build the five checkpoint sections for a state + trace snapshot.
@@ -242,6 +283,19 @@ pub fn recover_state(
     }
 }
 
+/// Open a [`CheckpointStore`] honoring the `CONSENT_IO_CHAOS`
+/// environment variable: with a plan set, the store's filesystem seam
+/// is wrapped in a [`FaultyVfs`] injecting the scheduled storage
+/// faults; without one, this is exactly [`CheckpointStore::open`].
+pub fn open_chaos_store(dir: impl AsRef<Path>) -> io::Result<CheckpointStore> {
+    let plan = IoFaultPlan::from_env();
+    if plan.is_none() {
+        CheckpointStore::open(dir)
+    } else {
+        CheckpointStore::with_vfs(dir, DEFAULT_KEEP, Arc::new(FaultyVfs::new(plan)))
+    }
+}
+
 /// Run (or resume) a campaign with durable checkpoints.
 ///
 /// Recovers the newest usable state from `store` (salvaging or
@@ -265,7 +319,21 @@ pub fn run_durable_campaign(
     store: &CheckpointStore,
     opts: &DurableOpts,
 ) -> io::Result<DurableRun> {
-    let (mut state, trace_jsonl, salvage) = recover_state(store)?;
+    let mut sup = Supervisor::new(opts.supervisor);
+    let (mut state, trace_jsonl, salvage) = match sup.recover_with(|| recover_state(store)) {
+        Ok(v) => v,
+        Err(err) => {
+            // The on-disk history is unreadable even after retries.
+            // Restart from scratch rather than wedge: pair processing
+            // is deterministic, so a full re-crawl reproduces the same
+            // final state the history would have yielded.
+            let mut report = SalvageReport::default();
+            report.note(format!(
+                "storage recovery abandoned ({err}): restarting campaign from scratch"
+            ));
+            (CampaignState::new(), String::new(), report)
+        }
+    };
     let mut durable_pairs = state.pairs_done;
     if consent_trace::enabled() && !trace_jsonl.is_empty() && consent_trace::global().is_empty() {
         consent_trace::global()
@@ -287,7 +355,8 @@ pub fn run_durable_campaign(
         sampler.rebase(state.pairs_done);
     }
 
-    let every = opts.checkpoint_every.max(1);
+    let mut every = opts.checkpoint_every.max(1);
+    let mut cadence_widened = false;
     let mut applied_this_run = 0u64;
     let mut writes_this_run = 0u64;
     let mut result: Option<CampaignResult> = None;
@@ -300,6 +369,7 @@ pub fn run_durable_campaign(
                 durable_pairs,
             },
             salvage: SalvageReport::default(),
+            health: HealthReport::default(),
         };
     loop {
         let mut chunk = every;
@@ -310,6 +380,7 @@ pub fn run_durable_campaign(
                 // any checkpoint covering it could be written.
                 let mut run = crashed(state, result, durable_pairs);
                 run.salvage = salvage;
+                run.health = sup.report();
                 return Ok(run);
             }
             chunk = chunk.min(remaining);
@@ -339,6 +410,7 @@ pub fn run_durable_campaign(
         {
             let mut out = crashed(state, result, durable_pairs);
             out.salvage = salvage;
+            out.health = sup.report();
             return Ok(out);
         }
         if did > 0 || durable_pairs != state.pairs_done {
@@ -346,30 +418,65 @@ pub fn run_durable_campaign(
             // Checkpoint cadence: pairs of work covered by this write
             // (write size/latency are recorded by the store itself).
             consent_telemetry::observe("campaign.checkpoint.cadence_pairs", did);
-            let sections = state_sections(&state, &consent_trace::global().export_jsonl());
+            let trace_snapshot = consent_trace::global().export_jsonl();
             if let Some(keep_bytes) = opts.crash.write_truncation(writes_this_run) {
-                store.save_torn(&sections, keep_bytes)?;
+                let sections = state_sections(&state, &trace_snapshot);
+                if store.save_torn(&sections, keep_bytes).is_err() {
+                    // The dying process's torn write failed outright
+                    // (e.g. injected storage chaos): even fewer bytes
+                    // reached the disk, which changes nothing about the
+                    // crash semantics — nothing durable was added.
+                    consent_telemetry::count("checkpoint.io_fault", 1);
+                }
                 // The torn generation is not durable; the previous cut is.
                 let mut out = crashed(state, result, durable_pairs);
                 out.salvage = salvage;
+                out.health = sup.report();
                 return Ok(out);
             }
-            store.save(&sections)?;
-            durable_pairs = state.pairs_done;
-            // Sample only once the covering checkpoint is durable: a
-            // window that could still be lost to a crash must never
-            // appear in the OBS export, or a resumed run would re-emit
-            // (and double) it.
-            if let Some(sampler) = &opts.sampler {
-                sampler.tick_at(state.pairs_done);
+            // Supervised write: retries, backoff, and ladder descent
+            // all happen inside. The attempt closure rebuilds sections
+            // at the supervisor's current level so a mid-save descent
+            // to shed-trace takes effect on the very next attempt.
+            let verdict = sup.save_with(state.pairs_done, |level| {
+                let trace = if level >= DegradeLevel::ShedTrace {
+                    ""
+                } else {
+                    trace_snapshot.as_str()
+                };
+                store.save(&state_sections(&state, trace))
+            });
+            if matches!(verdict, SaveVerdict::Saved(_)) {
+                durable_pairs = state.pairs_done;
+                // Sample only once the covering checkpoint is durable:
+                // a window that could still be lost to a crash must
+                // never appear in the OBS export, or a resumed run
+                // would re-emit (and double) it.
+                if let Some(sampler) = &opts.sampler {
+                    sampler.tick_at(state.pairs_done);
+                }
+            }
+            // Entering wide-cadence widens the interval once, for the
+            // rest of the run (memory-only keeps the widened value;
+            // the chunk size also paces crashpoint checks).
+            if !cadence_widened && sup.level() >= DegradeLevel::WideCadence {
+                cadence_widened = true;
+                every = every.saturating_mul(opts.supervisor.cadence_factor.max(1));
             }
         }
         if run.complete {
+            let health = sup.report();
+            let outcome = if sup.degraded() {
+                DurableOutcome::Degraded(health.clone())
+            } else {
+                DurableOutcome::Complete
+            };
             return Ok(DurableRun {
                 state,
                 result: result.unwrap_or_default(),
-                outcome: DurableOutcome::Complete,
+                outcome,
                 salvage,
+                health,
             });
         }
         debug_assert!(did > 0, "incomplete campaign made no progress");

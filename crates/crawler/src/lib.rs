@@ -15,7 +15,11 @@
 //! to the sequential runner at any thread count, and persist across
 //! process deaths with the [`durable`] driver, which checkpoints into a
 //! crash-safe [`consent_checkpoint::CheckpointStore`] and salvages
-//! corrupt checkpoints on recovery.
+//! corrupt checkpoints on recovery. When the *disk itself* fails, the
+//! [`supervisor`] self-heals: transient storage faults are retried out
+//! of a budget and persistent ones descend a degradation ladder
+//! (shed trace → widen cadence → memory-only), so campaigns always end
+//! `Complete`, `Degraded`, or `Crashed` — never wedged.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,6 +34,7 @@ pub mod parallel;
 pub mod platform;
 pub mod queue;
 pub mod resilience;
+pub mod supervisor;
 
 pub use campaign::{
     build_toplist, resume_campaign, run_campaign, run_campaign_with, CampaignCapture,
@@ -38,7 +43,8 @@ pub use campaign::{
 pub use capture_db::{CaptureDb, CaptureSummary, CmpSet};
 pub use dead_letter::{vantage_code, vantage_from, AttemptRecord, DeadLetter, DeadLetterQueue};
 pub use durable::{
-    recover_state, run_durable_campaign, state_sections, DurableOpts, DurableOutcome, DurableRun,
+    open_chaos_store, recover_state, run_durable_campaign, state_sections, DurableOpts,
+    DurableOutcome, DurableRun,
 };
 pub use export::{export as export_db, import as import_db};
 pub use feed::{Feed, FeedConfig, FeedItem, FeedSource};
@@ -47,4 +53,7 @@ pub use platform::{Platform, RunStats};
 pub use queue::{Admission, DedupQueue};
 pub use resilience::{
     BreakerConfig, BreakerState, CircuitBreaker, Outcome, RetryPolicy, RetrySpacing,
+};
+pub use supervisor::{
+    DegradeLevel, HealthEvent, HealthReport, SaveVerdict, Supervisor, SupervisorPolicy,
 };

@@ -25,16 +25,26 @@
 //! schedules deterministic process deaths — after the Nth applied pair,
 //! or tearing a checkpoint write after N bytes — for the
 //! crash-consistency sweep in `tests/it_durability.rs`.
+//!
+//! The third failure domain is the *disk*: an [`IoFaultPlan`] (see
+//! [`io`], `CONSENT_IO_CHAOS`) schedules deterministic storage faults —
+//! `ENOSPC`, `EIO`, silent short writes — keyed on the checkpoint
+//! store's global operation index, applied through [`FaultyVfs`] at the
+//! store's [`Vfs`](consent_checkpoint::Vfs) seam. The campaign
+//! supervisor classifies the resulting errors via [`classify_io_error`]
+//! and retries or descends its degradation ladder.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod crash;
 pub mod engine;
+pub mod io;
 pub mod plan;
 pub mod profile;
 
 pub use crash::{CrashPlan, Crashpoint};
 pub use engine::FaultyEngine;
+pub use io::{classify_io_error, FaultyVfs, IoErrorClass, IoFaultKind, IoFaultPlan, IoOp, IoRate};
 pub use plan::{Fault, FaultPlan};
 pub use profile::FaultProfile;

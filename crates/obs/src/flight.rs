@@ -11,7 +11,11 @@
 //!    chart (per second in wall mode, per window in logical mode).
 //! 3. **Fault heatmap**: `faultsim.injected{fault=…}` intensity per
 //!    fault kind per window.
-//! 4. **Slowest windows**: the sample windows whose `campaign.pair`
+//! 4. **Storage health** (only when something went wrong): checkpoint
+//!    IO faults, retries, skipped writes, store-maintenance counters,
+//!    and every degradation-ladder descent with the window that first
+//!    recorded it.
+//! 5. **Slowest windows**: the sample windows whose `campaign.pair`
 //!    latency was worst (wall mode; logical mode falls back to the
 //!    cumulative `campaign.pair` quantiles, since per-window durations
 //!    are outside the determinism boundary).
@@ -77,6 +81,59 @@ pub struct FaultRow {
     pub total: u64,
 }
 
+/// One degradation-ladder descent surfaced by the campaign supervisor.
+#[derive(Clone, Debug)]
+pub struct DegradeRow {
+    /// Ladder rung entered (`shed-trace`, `wide-cadence`, `memory-only`).
+    pub level: String,
+    /// Times the rung was entered across the run.
+    pub count: u64,
+    /// Tick of the first sample window recording the descent (absent
+    /// when the descent happened outside any sampled window).
+    pub first_tick: Option<u64>,
+}
+
+/// Storage-health totals: what the checkpoint layer and the campaign
+/// supervisor saw from the disk. All zeros on a healthy run — the
+/// section is omitted entirely then.
+#[derive(Clone, Debug, Default)]
+pub struct StorageHealth {
+    /// Checkpoint-write IO faults observed (`checkpoint.io_fault`).
+    pub io_faults: u64,
+    /// Supervised save retries (`checkpoint.retry`).
+    pub retries: u64,
+    /// Checkpoint writes skipped in memory-only mode
+    /// (`checkpoint.skipped`).
+    pub writes_skipped: u64,
+    /// Directory-fsync failures surfaced by the store
+    /// (`checkpoint.dir_fsync_fail`).
+    pub dir_fsync_fails: u64,
+    /// Orphaned temp files swept at store open (`checkpoint.tmp_swept`).
+    pub tmp_swept: u64,
+    /// Quarantined generations pruned to bound the quarantine
+    /// (`checkpoint.quarantine.pruned`).
+    pub quarantine_pruned: u64,
+    /// Final degradation-ladder gauge (`campaign.degrade.level`,
+    /// 0 = normal … 3 = memory-only).
+    pub final_level: i64,
+    /// Ladder descents, in rung order.
+    pub degrades: Vec<DegradeRow>,
+}
+
+impl StorageHealth {
+    /// True when nothing storage-related went wrong.
+    pub fn is_quiet(&self) -> bool {
+        self.io_faults == 0
+            && self.retries == 0
+            && self.writes_skipped == 0
+            && self.dir_fsync_fails == 0
+            && self.tmp_swept == 0
+            && self.quarantine_pruned == 0
+            && self.final_level == 0
+            && self.degrades.is_empty()
+    }
+}
+
 /// One row of the slowest-windows table.
 #[derive(Clone, Debug)]
 pub struct SlowWindow {
@@ -97,6 +154,8 @@ pub struct FlightReport {
     pub throughput: Vec<ThroughputPoint>,
     /// Fault heatmap rows (empty when chaos was off).
     pub faults: Vec<FaultRow>,
+    /// Storage health and degradation events (`None` on a quiet run).
+    pub storage: Option<StorageHealth>,
     /// Worst windows by per-window `campaign.pair` p95 (wall mode).
     pub slowest: Vec<SlowWindow>,
     /// Cumulative `campaign.pair` summary (always available; the only
@@ -176,6 +235,50 @@ impl FlightReport {
             })
             .collect();
 
+        let mut degrades: Vec<DegradeRow> = total
+            .counters
+            .iter()
+            .filter_map(|(key, n)| {
+                let (base, labels) = parse_key(key);
+                if base != "campaign.degrade" {
+                    return None;
+                }
+                let (_, level) = labels.iter().find(|(k, _)| *k == "level")?;
+                let first_tick = samples
+                    .iter()
+                    .find(|s| s.counters.get(key).is_some_and(|&c| c > 0))
+                    .map(|s| s.tick);
+                Some(DegradeRow {
+                    level: level.to_string(),
+                    count: *n,
+                    first_tick,
+                })
+            })
+            .collect();
+        // Rung order, not alphabetical: the ladder reads top-down.
+        let rung = |l: &str| match l {
+            "shed-trace" => 1,
+            "wide-cadence" => 2,
+            "memory-only" => 3,
+            _ => 4,
+        };
+        degrades.sort_by_key(|r| rung(&r.level));
+        let storage = StorageHealth {
+            io_faults: total.counter("checkpoint.io_fault"),
+            retries: total.counter("checkpoint.retry"),
+            writes_skipped: total.counter("checkpoint.skipped"),
+            dir_fsync_fails: total.counter("checkpoint.dir_fsync_fail"),
+            tmp_swept: total.counter("checkpoint.tmp_swept"),
+            quarantine_pruned: total.counter("checkpoint.quarantine.pruned"),
+            final_level: total
+                .gauges
+                .get("campaign.degrade.level")
+                .copied()
+                .unwrap_or(0),
+            degrades,
+        };
+        let storage = (!storage.is_quiet()).then_some(storage);
+
         let mut slowest: Vec<SlowWindow> = samples
             .iter()
             .filter_map(|s| {
@@ -197,6 +300,7 @@ impl FlightReport {
             phases,
             throughput,
             faults,
+            storage,
             slowest,
             pair_total: total.histograms.get("campaign.pair").copied(),
             pairs_total: samples.iter().map(|s| s.pairs()).sum(),
@@ -288,6 +392,38 @@ impl FlightReport {
                     row.fault,
                     cells,
                     thousands(row.total)
+                ));
+            }
+        }
+
+        if let Some(sh) = &self.storage {
+            out.push_str(&format!(
+                "\nStorage health: {} io fault(s), {} retr{}, {} write(s) skipped, \
+                 final ladder level {}\n",
+                thousands(sh.io_faults),
+                thousands(sh.retries),
+                if sh.retries == 1 { "y" } else { "ies" },
+                thousands(sh.writes_skipped),
+                sh.final_level,
+            ));
+            if sh.dir_fsync_fails + sh.tmp_swept + sh.quarantine_pruned > 0 {
+                out.push_str(&format!(
+                    "  store: {} dir-fsync failure(s), {} orphaned tmp file(s) swept, \
+                     {} quarantined generation(s) pruned\n",
+                    thousands(sh.dir_fsync_fails),
+                    thousands(sh.tmp_swept),
+                    thousands(sh.quarantine_pruned),
+                ));
+            }
+            for d in &sh.degrades {
+                let at = match d.first_tick {
+                    Some(t) => format!(" (first seen @{})", thousands(t)),
+                    None => String::new(),
+                };
+                out.push_str(&format!(
+                    "  degraded -> {} x{}{at}\n",
+                    d.level,
+                    thousands(d.count)
                 ));
             }
         }
@@ -402,6 +538,42 @@ impl FlightReport {
                 })),
             ),
         ];
+        if let Some(sh) = &self.storage {
+            fields.push((
+                "storage_health".to_string(),
+                Json::object([
+                    ("io_faults".to_string(), Json::int(sh.io_faults as i64)),
+                    ("retries".to_string(), Json::int(sh.retries as i64)),
+                    (
+                        "writes_skipped".to_string(),
+                        Json::int(sh.writes_skipped as i64),
+                    ),
+                    (
+                        "dir_fsync_fails".to_string(),
+                        Json::int(sh.dir_fsync_fails as i64),
+                    ),
+                    ("tmp_swept".to_string(), Json::int(sh.tmp_swept as i64)),
+                    (
+                        "quarantine_pruned".to_string(),
+                        Json::int(sh.quarantine_pruned as i64),
+                    ),
+                    ("final_level".to_string(), Json::int(sh.final_level)),
+                    (
+                        "degrades".to_string(),
+                        Json::array(sh.degrades.iter().map(|d| {
+                            let mut f = vec![
+                                ("level".to_string(), Json::str(d.level.clone())),
+                                ("count".to_string(), Json::int(d.count as i64)),
+                            ];
+                            if let Some(t) = d.first_tick {
+                                f.push(("first_tick".to_string(), Json::int(t as i64)));
+                            }
+                            Json::object(f)
+                        })),
+                    ),
+                ]),
+            ));
+        }
         if let Some(h) = &self.pair_total {
             fields.push(("pair_total".to_string(), hist(h)));
         }
@@ -494,6 +666,8 @@ mod tests {
         // empty, cumulative fallback present.
         assert!(report.slowest.is_empty());
         assert_eq!(report.pair_total.unwrap().count, 30);
+        // No storage trouble in this run: the section is omitted.
+        assert!(report.storage.is_none());
 
         let text = report.render();
         assert!(text.contains("flight report"));
@@ -540,6 +714,68 @@ mod tests {
         assert_eq!(report.slowest[1].pair.p95, 400);
         assert!(report.throughput.iter().all(|p| p.pairs_per_sec.is_some()));
         assert!(report.render().contains("Slowest windows"));
+    }
+
+    #[test]
+    fn storage_health_section_surfaces_degradations() {
+        let mut ts = TimeSeries::new(16);
+        ts.push(sample(10, 10, &[]));
+        let mut s2 = sample(20, 10, &[("io-enospc", 3)]);
+        s2.counters
+            .insert("campaign.degrade{level=shed-trace}".to_string(), 1);
+        ts.push(s2);
+
+        let mut total = total_snapshot();
+        total.counters.insert("checkpoint.io_fault".to_string(), 4);
+        total.counters.insert("checkpoint.retry".to_string(), 2);
+        total.counters.insert("checkpoint.skipped".to_string(), 1);
+        total
+            .counters
+            .insert("campaign.degrade{level=shed-trace}".to_string(), 1);
+        total
+            .counters
+            .insert("campaign.degrade{level=memory-only}".to_string(), 1);
+        total.gauges.insert("campaign.degrade.level".to_string(), 3);
+
+        let report = FlightReport::build(&ts, &total);
+        let sh = report.storage.as_ref().expect("storage section present");
+        assert!(!sh.is_quiet());
+        assert_eq!((sh.io_faults, sh.retries, sh.writes_skipped), (4, 2, 1));
+        assert_eq!(sh.final_level, 3);
+        // Ladder order, not alphabetical; first_tick only where sampled.
+        let levels: Vec<(&str, Option<u64>)> = sh
+            .degrades
+            .iter()
+            .map(|d| (d.level.as_str(), d.first_tick))
+            .collect();
+        assert_eq!(
+            levels,
+            vec![("shed-trace", Some(20)), ("memory-only", None)]
+        );
+        // IO faults also land in the ordinary fault heatmap via their
+        // faultsim.injected labels.
+        assert!(report.faults.iter().any(|r| r.fault == "io-enospc"));
+
+        let text = report.render();
+        assert!(text.contains("Storage health"));
+        assert!(text.contains("degraded -> shed-trace"));
+        assert!(text.contains("first seen @20"));
+
+        let json = report.to_json();
+        let sh_json = json.get("storage_health").expect("json section");
+        assert_eq!(
+            sh_json.get("final_level").and_then(Json::as_f64),
+            Some(3.0),
+            "{}",
+            json.to_pretty()
+        );
+        assert_eq!(
+            sh_json
+                .get("degrades")
+                .and_then(Json::as_array)
+                .map(|a| a.len()),
+            Some(2)
+        );
     }
 
     #[test]

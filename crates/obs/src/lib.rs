@@ -33,6 +33,8 @@ pub mod prometheus;
 pub mod sampler;
 pub mod series;
 
-pub use flight::{FaultRow, FlightReport, PhaseRow, SlowWindow, ThroughputPoint};
+pub use flight::{
+    DegradeRow, FaultRow, FlightReport, PhaseRow, SlowWindow, StorageHealth, ThroughputPoint,
+};
 pub use sampler::{ObsConfig, SampleMode, Sampler, SamplerHandle, DEFAULT_DENY};
 pub use series::{ObsSample, TimeSeries, OBS_SCHEMA_VERSION};

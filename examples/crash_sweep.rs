@@ -71,6 +71,7 @@ impl Sweep {
                 checkpoint_every: CHECKPOINT_EVERY,
                 crash,
                 sampler: None,
+                ..DurableOpts::default()
             },
         )
         .expect("durable campaign io")
@@ -155,7 +156,7 @@ fn main() {
             let crashed = sweep.run(&store, threads, *plan);
             let durable_pairs = match crashed.outcome {
                 DurableOutcome::Crashed { durable_pairs, .. } => durable_pairs,
-                DurableOutcome::Complete => panic!("{label}: crashpoint never fired"),
+                _ => panic!("{label}: crashpoint never fired"),
             };
             // The process dies: the in-memory trace log goes with it.
             consent_trace::clear();

@@ -14,6 +14,7 @@
 //!
 //! ```sh
 //! CONSENT_CHAOS=mild cargo run --release --bin flight_recorder
+//! CONSENT_IO_CHAOS=mild cargo run --release --bin flight_recorder  # + storage faults
 //! ```
 //!
 //! Outputs (the CI chaos job uploads all three):
@@ -26,9 +27,8 @@
 //!   exposition of the end-of-run registry, what a live scrape
 //!   endpoint would have served.
 
-use consent_checkpoint::CheckpointStore;
 use consent_crawler::{
-    build_toplist, run_durable_campaign, CampaignConfig, DurableOpts, DurableOutcome,
+    build_toplist, open_chaos_store, run_durable_campaign, CampaignConfig, DurableOpts,
 };
 use consent_faultsim::{CrashPlan, FaultProfile};
 use consent_httpsim::Vantage;
@@ -70,7 +70,10 @@ fn main() {
     let live = wall.start();
 
     let dir = std::env::temp_dir().join(format!("consent-flight-recorder-{}", std::process::id()));
-    let store = CheckpointStore::open(&dir).expect("open checkpoint store");
+    // `CONSENT_IO_CHAOS` routes the store through a fault-injecting
+    // filesystem; the supervisor's degradations then show up in the
+    // flight report's storage-health section.
+    let store = open_chaos_store(&dir).expect("open checkpoint store");
     let run = run_durable_campaign(
         &world,
         &list,
@@ -87,10 +90,14 @@ fn main() {
             checkpoint_every: CHECKPOINT_EVERY,
             crash: CrashPlan::none(),
             sampler: Some(logical.clone()),
+            ..DurableOpts::default()
         },
     )
     .expect("durable campaign io");
-    assert_eq!(run.outcome, DurableOutcome::Complete);
+    assert!(run.outcome.finished(), "campaign wedged: {:?}", run.outcome);
+    if !run.health.is_healthy() {
+        eprintln!("storage degraded: {}", run.health.summary());
+    }
     live.stop();
     let total = registry.delta(&before);
 

@@ -113,6 +113,7 @@ fn obs_incarnation(
             checkpoint_every: 5,
             crash,
             sampler: Some(sampler.clone()),
+            ..DurableOpts::default()
         },
     )
     .expect("durable campaign io");
@@ -190,7 +191,7 @@ fn obs_export_is_byte_identical_across_threads_and_kill_halfway_resume() {
         let (crashed, first) = obs_incarnation(&store, threads, CrashPlan::after_apply(11));
         match crashed.outcome {
             DurableOutcome::Crashed { durable_pairs, .. } => assert_eq!(durable_pairs, 10),
-            DurableOutcome::Complete => panic!("crashpoint apply:11 never fired"),
+            other => panic!("crashpoint apply:11 never fired: {other:?}"),
         }
         assert_eq!(ticks_of(&first), vec![5, 10], "undurable window sampled");
         let (resumed, second) = obs_incarnation(&store, threads, CrashPlan::none());
@@ -399,6 +400,7 @@ fn flight_report_covers_a_chaotic_durable_campaign() {
             checkpoint_every: 5,
             crash: CrashPlan::none(),
             sampler: Some(Arc::clone(&sampler)),
+            ..DurableOpts::default()
         },
     )
     .unwrap();
