@@ -3,15 +3,23 @@
 //! Records are matched by `name`; for each match a delta row reports
 //! the throughput change (pairs/sec, percent) and the latency movement
 //! (p50/p95 µs). A row whose throughput dropped by more than the
-//! threshold is a **regression** — the CLI exits non-zero so CI can
-//! gate on it. Records present in only one document are listed but
-//! never gate (a renamed sweep should not hard-fail the build).
+//! throughput threshold — or whose p95 latency *grew* by more than the
+//! (looser) p95 threshold — is a **regression**: the CLI exits non-zero
+//! so CI can gate on it. Records present in only one document are
+//! listed but never gate (a renamed sweep should not hard-fail the
+//! build), and a record whose old p95 is zero never p95-gates (there is
+//! no baseline to regress from).
 
 use consent_util::table::Table;
 use consent_util::Json;
 
 /// Default regression gate: >10% throughput drop fails.
 pub const DEFAULT_THRESHOLD_PCT: f64 = 10.0;
+
+/// Default p95 latency gate: >25% growth fails. Deliberately looser
+/// than the throughput gate — tail latency on shared runners is far
+/// noisier than aggregate throughput.
+pub const DEFAULT_THRESHOLD_P95_PCT: f64 = 25.0;
 
 /// One matched record pair (or an unmatched record from either side).
 #[derive(Clone, Debug)]
@@ -34,6 +42,24 @@ impl DiffRow {
     /// Does this row regress throughput by more than `threshold_pct`?
     pub fn regresses(&self, threshold_pct: f64) -> bool {
         self.delta_pct.is_some_and(|d| d < -threshold_pct)
+    }
+
+    /// p95 latency growth in percent (`None` unless both sides exist
+    /// and the old side is non-zero).
+    pub fn p95_delta_pct(&self) -> Option<f64> {
+        match self.p95_us {
+            (Some(old), Some(new)) if old > 0 => {
+                Some((new as f64 - old as f64) / old as f64 * 100.0)
+            }
+            _ => None,
+        }
+    }
+
+    /// Does this row regress p95 latency by more than
+    /// `threshold_p95_pct`? Rows without a usable old-side p95 never
+    /// gate.
+    pub fn regresses_p95(&self, threshold_p95_pct: f64) -> bool {
+        self.p95_delta_pct().is_some_and(|d| d > threshold_p95_pct)
     }
 }
 
@@ -126,8 +152,18 @@ impl BenchDiff {
             .collect()
     }
 
-    /// Render the per-row delta table plus a verdict line.
-    pub fn render(&self, threshold_pct: f64) -> String {
+    /// Rows regressing p95 latency by more than `threshold_p95_pct`.
+    pub fn p95_regressions(&self, threshold_p95_pct: f64) -> Vec<&DiffRow> {
+        self.rows
+            .iter()
+            .filter(|r| r.regresses_p95(threshold_p95_pct))
+            .collect()
+    }
+
+    /// Render the per-row delta table plus a verdict line, gating
+    /// throughput at `threshold_pct` and p95 latency at
+    /// `threshold_p95_pct`.
+    pub fn render(&self, threshold_pct: f64, threshold_p95_pct: f64) -> String {
         let fmt_pps = |v: Option<f64>| v.map_or("-".to_string(), |p| format!("{p:.1}"));
         let fmt_us = |v: Option<u64>| v.map_or("-".to_string(), |u| u.to_string());
         let mut t = Table::with_columns(&[
@@ -138,6 +174,8 @@ impl BenchDiff {
             let delta = r.delta_pct.map_or("-".to_string(), |d| format!("{d:+.1}%"));
             let verdict = if r.regresses(threshold_pct) {
                 "REGRESSION"
+            } else if r.regresses_p95(threshold_p95_pct) {
+                "P95 REGRESSION"
             } else if r.old_pps.is_none() {
                 "new"
             } else if r.new_pps.is_none() {
@@ -176,6 +214,26 @@ impl BenchDiff {
                 ));
             }
         }
+        let bad_p95 = self.p95_regressions(threshold_p95_pct);
+        if bad_p95.is_empty() {
+            out.push_str(&format!(
+                "no p95 latency regression beyond {threshold_p95_pct}%\n"
+            ));
+        } else {
+            out.push_str(&format!(
+                "{} record(s) regressed p95 latency by more than {threshold_p95_pct}%:\n",
+                bad_p95.len()
+            ));
+            for r in bad_p95 {
+                out.push_str(&format!(
+                    "  {}: {} µs → {} µs ({:+.1}%)\n",
+                    r.name,
+                    r.p95_us.0.unwrap_or(0),
+                    r.p95_us.1.unwrap_or(0),
+                    r.p95_delta_pct().unwrap_or(0.0)
+                ));
+            }
+        }
         out
     }
 }
@@ -186,6 +244,10 @@ mod tests {
     use crate::{bench_document, BenchRecord};
 
     fn record(name: &str, pps: f64) -> BenchRecord {
+        record_p95(name, pps, 900)
+    }
+
+    fn record_p95(name: &str, pps: f64, p95_us: u64) -> BenchRecord {
         BenchRecord {
             name: name.to_string(),
             threads: 1,
@@ -193,7 +255,7 @@ mod tests {
             elapsed_secs: 100.0 / pps,
             pairs_per_sec: pps,
             p50_us: 500,
-            p95_us: 900,
+            p95_us,
         }
     }
 
@@ -216,9 +278,43 @@ mod tests {
         assert_eq!(diff.regressions(DEFAULT_THRESHOLD_PCT).len(), 1);
         // A looser gate passes the same data.
         assert!(diff.regressions(30.0).is_empty());
-        let text = diff.render(DEFAULT_THRESHOLD_PCT);
+        let text = diff.render(DEFAULT_THRESHOLD_PCT, DEFAULT_THRESHOLD_P95_PCT);
         assert!(text.contains("REGRESSION"));
         assert!(text.contains("-25.0%"));
+    }
+
+    #[test]
+    fn p95_growth_gates_independently_of_throughput() {
+        let old = doc(&[
+            record_p95("steady", 100.0, 800),
+            record_p95("tail", 100.0, 800),
+        ]);
+        let new = doc(&[
+            record_p95("steady", 101.0, 900),
+            record_p95("tail", 101.0, 1200),
+        ]);
+        let diff = diff_documents(&old, &new).unwrap();
+        // Throughput is flat on both rows — only the p95 gate can trip.
+        assert!(diff.regressions(DEFAULT_THRESHOLD_PCT).is_empty());
+        let bad = diff.p95_regressions(DEFAULT_THRESHOLD_P95_PCT);
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].name, "tail");
+        assert!((bad[0].p95_delta_pct().unwrap() - 50.0).abs() < 1e-9);
+        let text = diff.render(DEFAULT_THRESHOLD_PCT, DEFAULT_THRESHOLD_P95_PCT);
+        assert!(text.contains("P95 REGRESSION"), "{text}");
+        assert!(text.contains("800 µs → 1200 µs (+50.0%)"), "{text}");
+        // A looser p95 gate passes the same data.
+        assert!(diff.p95_regressions(60.0).is_empty());
+    }
+
+    #[test]
+    fn zero_or_missing_old_p95_never_gates() {
+        let old = doc(&[record_p95("a", 100.0, 0)]);
+        let new = doc(&[record_p95("a", 100.0, 500), record_p95("fresh", 10.0, 9999)]);
+        let diff = diff_documents(&old, &new).unwrap();
+        assert!(diff.p95_regressions(DEFAULT_THRESHOLD_P95_PCT).is_empty());
+        // Zero old-side and unmatched rows both produce no delta at all.
+        assert!(diff.rows.iter().all(|r| r.p95_delta_pct().is_none()));
     }
 
     #[test]
@@ -228,11 +324,12 @@ mod tests {
         let diff = diff_documents(&old, &new).unwrap();
         assert_eq!(diff.rows.len(), 3);
         assert!(diff.regressions(DEFAULT_THRESHOLD_PCT).is_empty());
-        let text = diff.render(DEFAULT_THRESHOLD_PCT);
+        let text = diff.render(DEFAULT_THRESHOLD_PCT, DEFAULT_THRESHOLD_P95_PCT);
         assert!(text.contains("+40.0%"));
         assert!(text.contains("new"));
         assert!(text.contains("removed"));
         assert!(text.contains("no pairs/sec regression"));
+        assert!(text.contains("no p95 latency regression"));
     }
 
     #[test]

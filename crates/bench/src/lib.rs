@@ -9,7 +9,9 @@
 //!   (`src/main.rs`), which sweeps the campaign executor across thread
 //!   counts and writes `BENCH_campaign.json` — the repo's recorded perf
 //!   trajectory (see `BENCHMARKS.md`) — plus the checkpoint durability
-//!   sweep ([`CheckpointBench`]), written to `BENCH_checkpoint.json`.
+//!   sweep ([`CheckpointBench`], `BENCH_checkpoint.json`), the sampler
+//!   overhead sweep ([`ObsBench`], `BENCH_obs.json`), and the watchdog
+//!   overhead sweep ([`WatchBench`], `BENCH_watch.json`).
 //!
 //! The JSON schema is deliberately tiny and stable: a document header
 //! ([`bench_document`]) plus one [`BenchRecord`] per swept
@@ -26,7 +28,9 @@
 pub mod diff;
 pub mod soak;
 
-pub use diff::{diff_documents, BenchDiff, DiffRow, DEFAULT_THRESHOLD_PCT};
+pub use diff::{
+    diff_documents, BenchDiff, DiffRow, DEFAULT_THRESHOLD_P95_PCT, DEFAULT_THRESHOLD_PCT,
+};
 pub use soak::{SoakBench, SoakRecord};
 
 use consent_checkpoint::CheckpointStore;
@@ -641,6 +645,167 @@ impl ObsBench {
     /// The complete `BENCH_obs.json` document for `records`.
     pub fn document(&self, records: &[BenchRecord]) -> Json {
         bench_document("obs_overhead", self.workload(), records)
+    }
+}
+
+/// The watchdog-overhead sweep: the same campaign workload run with the
+/// watch rule engine detached vs attached with the default rule set —
+/// written to `BENCH_watch.json`.
+///
+/// The acceptance bar (BENCHMARKS.md): detectors on vs off within 5%
+/// pairs/sec. The watchdog's steady-state cost is one registry snapshot
+/// plus integer detector math per staged window, so — like the sampler —
+/// overhead scales with metric count and window rate, not campaign size.
+#[derive(Clone, Debug)]
+pub struct WatchBench {
+    /// Synthetic world size.
+    pub n_sites: u32,
+    /// Toplist entries to crawl.
+    pub domains: usize,
+    /// Vantage columns.
+    pub vantages: Vec<Vantage>,
+    /// Worker threads for both modes (identical so only the watchdog
+    /// varies).
+    pub threads: usize,
+    /// Timed campaign repetitions per mode (one staged window each).
+    pub repeats: usize,
+    /// Root seed for world, toplist, and campaign.
+    pub seed: u64,
+}
+
+impl Default for WatchBench {
+    /// The bench-smoke-sized workload, matching [`ObsBench`] so the two
+    /// sweeps are directly comparable.
+    fn default() -> WatchBench {
+        WatchBench {
+            n_sites: 4_000,
+            domains: 600,
+            vantages: vec![Vantage::eu_cloud(), Vantage::us_cloud()],
+            threads: 4,
+            repeats: 5,
+            seed: 42,
+        }
+    }
+}
+
+impl WatchBench {
+    /// Total `(domain, vantage)` pairs each swept run processes.
+    pub fn pairs(&self) -> u64 {
+        (self.domains * self.vantages.len()) as u64
+    }
+
+    /// Run both modes and return one record each
+    /// (`watch/detectors=off|on`).
+    ///
+    /// Uses the **global** telemetry registry like the other sweeps
+    /// (reset + enabled per mode, reset on exit; not concurrency-safe),
+    /// and asserts byte-identical state exports across modes — the
+    /// watchdog must not change what it watches.
+    pub fn run(&self) -> Vec<BenchRecord> {
+        use consent_watch::Watch;
+
+        let world = World::new(WorldConfig {
+            n_sites: self.n_sites,
+            seed: self.seed,
+            adoption: AdoptionConfig::default(),
+        });
+        let root = SeedTree::new(self.seed);
+        let list = build_toplist(&world, self.domains, root.child("toplist"));
+        let day = Day::from_ymd(2020, 5, 15);
+        let config = CampaignConfig {
+            fault_profile: FaultProfile::none(),
+            retry: RetryPolicy::paper(),
+            breaker: BreakerConfig::default(),
+        };
+        let campaign_seed = root.child("campaign");
+        let repeats = self.repeats.max(1);
+        let run_once = || {
+            run_campaign_parallel(
+                &world,
+                &list,
+                day,
+                &self.vantages,
+                campaign_seed,
+                &ParallelOpts {
+                    threads: self.threads,
+                    config,
+                    max_pairs: None,
+                },
+            )
+        };
+        let warmup = run_once();
+        assert!(warmup.complete, "watch bench campaign did not complete");
+        let baseline = warmup.state.export();
+
+        let mut records = Vec::with_capacity(2);
+        for mode in ["off", "on"] {
+            consent_telemetry::reset();
+            consent_telemetry::enable();
+            let watch = (mode == "on").then(|| {
+                Watch::attach(
+                    consent_telemetry::global(),
+                    consent_watch::rules::WatchConfig::default_rules(),
+                )
+            });
+            let start = Instant::now();
+            let mut pairs = 0u64;
+            for rep in 0..repeats {
+                let run = run_once();
+                pairs += run.state.pairs_done;
+                assert!(
+                    baseline == run.state.export(),
+                    "state export diverged with watch={mode} — refusing to record"
+                );
+                // The durable driver stages a window per checkpoint cut;
+                // here one repeat is the window, always committed.
+                if let Some(w) = &watch {
+                    w.stage((rep as u64 + 1) * self.pairs());
+                    w.commit();
+                }
+            }
+            let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+            consent_telemetry::disable();
+            let pair = consent_telemetry::global()
+                .histogram("campaign.pair")
+                .summary();
+            records.push(BenchRecord {
+                name: format!("watch/detectors={mode}"),
+                threads: self.threads,
+                pairs,
+                elapsed_secs: elapsed,
+                pairs_per_sec: pairs as f64 / elapsed,
+                p50_us: pair.p50,
+                p95_us: pair.p95,
+            });
+        }
+        consent_telemetry::reset();
+        records
+    }
+
+    /// Watchdog overhead in percent relative to the `off` record.
+    pub fn overhead_pct(records: &[BenchRecord]) -> Vec<(String, f64)> {
+        ObsBench::overhead_pct(records)
+    }
+
+    /// The workload object recorded next to the records.
+    pub fn workload(&self) -> Json {
+        Json::object([
+            ("n_sites".to_string(), Json::int(i64::from(self.n_sites))),
+            ("domains".to_string(), Json::int(self.domains as i64)),
+            (
+                "vantages".to_string(),
+                Json::array(self.vantages.iter().map(|v| Json::str(v.label()))),
+            ),
+            ("pairs".to_string(), Json::int(self.pairs() as i64)),
+            ("threads".to_string(), Json::int(self.threads as i64)),
+            ("repeats".to_string(), Json::int(self.repeats.max(1) as i64)),
+            ("seed".to_string(), Json::int(self.seed as i64)),
+        ])
+    }
+
+    /// The complete `BENCH_watch.json` document for `records`.
+    pub fn document(&self, records: &[BenchRecord]) -> Json {
+        bench_document("watch_overhead", self.workload(), records)
     }
 }
 

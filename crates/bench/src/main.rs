@@ -2,21 +2,24 @@
 //!
 //! Default invocation sweeps the campaign executor across thread
 //! counts, the checkpoint store across its write / open / salvage
-//! operations, and the flight-recorder sampler across its off / logical
-//! / wall modes, prints human summaries, and writes the
-//! machine-readable trajectory points (`BENCH_campaign.json`,
-//! `BENCH_checkpoint.json`, `BENCH_obs.json`). See `BENCHMARKS.md` for
-//! the schema.
+//! operations, the flight-recorder sampler across its off / logical /
+//! wall modes, and the watchdog rule engine off vs on, prints human
+//! summaries, and writes the machine-readable trajectory points
+//! (`BENCH_campaign.json`, `BENCH_checkpoint.json`, `BENCH_obs.json`,
+//! `BENCH_watch.json`). See `BENCHMARKS.md` for the schema.
 //!
 //! ```text
 //! cargo run -p consent-bench --release
-//! cargo run -p consent-bench --release -- diff OLD.json NEW.json [--threshold PCT]
+//! cargo run -p consent-bench --release -- diff OLD.json NEW.json \
+//!     [--threshold PCT] [--threshold-p95 PCT]
 //! ```
 //!
 //! `diff` compares two trajectory points record-by-record and exits
 //! non-zero when any record's pairs/sec regressed by more than the
-//! threshold (default 10%; CI uses a looser gate to absorb shared
-//! runner noise).
+//! throughput threshold (default 10%) **or** its p95 latency grew by
+//! more than the p95 threshold (default 25% — deliberately looser, tail
+//! latency on shared runners is noisier). CI uses looser gates still to
+//! absorb shared-runner noise.
 //!
 //! Environment knobs for the sweep (all optional):
 //!
@@ -29,10 +32,13 @@
 //!   `BENCH_checkpoint.json`)
 //! * `BENCH_OBS_OUT` — sampler-overhead output path (default
 //!   `BENCH_obs.json`)
+//! * `BENCH_WATCH_OUT` — watchdog-overhead output path (default
+//!   `BENCH_watch.json`)
 //! * `CONSENT_CHAOS` — chaos profile (`none`/`mild`/`heavy`), as everywhere
 
 use consent_bench::{
-    diff_documents, CampaignBench, CheckpointBench, ObsBench, SoakBench, DEFAULT_THRESHOLD_PCT,
+    diff_documents, CampaignBench, CheckpointBench, ObsBench, SoakBench, WatchBench,
+    DEFAULT_THRESHOLD_P95_PCT, DEFAULT_THRESHOLD_PCT,
 };
 use consent_faultsim::FaultProfile;
 use consent_util::Json;
@@ -59,10 +65,12 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// `consent-bench diff <old.json> <new.json> [--threshold PCT]`
+/// `consent-bench diff <old.json> <new.json> [--threshold PCT]
+/// [--threshold-p95 PCT]`
 fn run_diff(args: &[String]) -> ExitCode {
     let mut paths = Vec::new();
     let mut threshold = DEFAULT_THRESHOLD_PCT;
+    let mut threshold_p95 = DEFAULT_THRESHOLD_P95_PCT;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -74,6 +82,14 @@ fn run_diff(args: &[String]) -> ExitCode {
                 threshold = v;
                 i += 2;
             }
+            "--threshold-p95" => {
+                let Some(v) = args.get(i + 1).and_then(|v| v.parse::<f64>().ok()) else {
+                    eprintln!("--threshold-p95 needs a numeric percentage");
+                    return ExitCode::from(2);
+                };
+                threshold_p95 = v;
+                i += 2;
+            }
             p => {
                 paths.push(p.to_string());
                 i += 1;
@@ -81,7 +97,10 @@ fn run_diff(args: &[String]) -> ExitCode {
         }
     }
     let [old_path, new_path] = paths.as_slice() else {
-        eprintln!("usage: consent-bench diff <old.json> <new.json> [--threshold PCT]");
+        eprintln!(
+            "usage: consent-bench diff <old.json> <new.json> \
+             [--threshold PCT] [--threshold-p95 PCT]"
+        );
         return ExitCode::from(2);
     };
     let load = |path: &str| -> Result<Json, String> {
@@ -101,8 +120,8 @@ fn run_diff(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    print!("{}", diff.render(threshold));
-    if diff.regressions(threshold).is_empty() {
+    print!("{}", diff.render(threshold, threshold_p95));
+    if diff.regressions(threshold).is_empty() && diff.p95_regressions(threshold_p95).is_empty() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
@@ -204,6 +223,31 @@ fn run_sweeps() {
     }
     let obs_doc = obs.document(&obs_records);
     write_doc(&obs_out, &obs_doc);
+
+    let watch = WatchBench {
+        n_sites: env_parse("BENCH_SITES", 4_000),
+        domains: env_parse("BENCH_DOMAINS", 600),
+        repeats: env_parse("BENCH_REPEATS", 5),
+        ..WatchBench::default()
+    };
+    let watch_out = env::var("BENCH_WATCH_OUT").unwrap_or_else(|_| "BENCH_watch.json".to_string());
+    eprintln!(
+        "watch_overhead: {} pairs x {} repeats, detectors off/on at {} threads",
+        watch.pairs(),
+        watch.repeats,
+        watch.threads
+    );
+    let watch_records = watch.run();
+    for r in &watch_records {
+        println!(
+            "{:<24} {:>12.1} {:>10} {:>10} {:>9}",
+            r.name, r.pairs_per_sec, r.p50_us, r.p95_us, "-"
+        );
+    }
+    for (name, pct) in WatchBench::overhead_pct(&watch_records) {
+        println!("{name:<24} overhead vs off: {pct:+.2}%");
+    }
+    write_doc(&watch_out, &watch.document(&watch_records));
 }
 
 /// `consent-bench soak` — the storage-fault soak sweep, written to

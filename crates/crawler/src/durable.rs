@@ -69,6 +69,7 @@ use consent_faultsim::{CrashPlan, FaultyVfs, IoFaultPlan};
 use consent_httpsim::Vantage;
 use consent_obs::Sampler;
 use consent_util::{Day, SeedTree};
+use consent_watch::{Watch, WATCH_STATE_SECTION};
 use consent_webgraph::World;
 
 pub use consent_checkpoint::SalvageReport;
@@ -111,6 +112,17 @@ pub struct DurableOpts {
     /// its window is durable, which is what makes the `OBS` export
     /// byte-identical across thread counts and kill-halfway resumes.
     pub sampler: Option<Arc<Sampler>>,
+    /// Optional SLO/anomaly watchdog. Mirrors the sampler's lifecycle —
+    /// rebased to the recovered cursor (after importing the
+    /// `watch-state` checkpoint section persisted by the previous
+    /// incarnation) and advanced only at durable checkpoint cuts, via a
+    /// two-phase protocol: the driver *stages* the window before each
+    /// save (the watch state blob rides inside the checkpoint), then
+    /// *commits* on a durable write or *aborts* on a skipped one. An
+    /// alert event therefore exists iff the window it describes is
+    /// durable, which is what makes the `ALERTS` export byte-identical
+    /// across thread counts and kill-halfway resumes.
+    pub watch: Option<Arc<Watch>>,
     /// Self-healing policy for storage faults: retry budget, backoff
     /// caps, cadence widening, recovery attempts (see
     /// [`Supervisor`]).
@@ -126,6 +138,7 @@ impl Default for DurableOpts {
             checkpoint_every: 25,
             crash: CrashPlan::none(),
             sampler: None,
+            watch: None,
             supervisor: SupervisorPolicy::default(),
         }
     }
@@ -212,22 +225,27 @@ fn rebuilt_meta(db_text: &str) -> Option<String> {
     Some(format!("{STATE_HEADER}\npairs_done={}\n", db.len()))
 }
 
-/// Try to salvage a state (and its trace snapshot) from the
-/// individually intact sections of one quarantined generation.
+/// Try to salvage a state (and its trace + watch-state snapshots) from
+/// the individually intact sections of one quarantined generation. The
+/// `watch-state` section is optional — losing it only resets detector
+/// windows, never measurement state.
 fn salvage_from(
     q: &consent_checkpoint::QuarantinedGeneration,
-) -> Option<(CampaignState, String, String)> {
+) -> Option<(CampaignState, String, String, String)> {
     let sec = |name: &str| q.salvaged.iter().find(|s| s.name == name);
     let db = sec(SECTION_DB)?;
     let dl = sec(SECTION_DEAD_LETTERS)?;
     let prov = sec(SECTION_PROVENANCE)?;
     let trace = sec(SECTION_TRACE)?;
+    let watch = sec(WATCH_STATE_SECTION)
+        .map(|s| s.body.clone())
+        .unwrap_or_default();
     let (meta, how) = match sec(SECTION_META) {
         Some(m) => (m.body.clone(), "meta intact"),
         None => (rebuilt_meta(&db.body)?, "meta rebuilt from capture count"),
     };
     let state = state_from_parts(&meta, &db.body, &dl.body, &prov.body).ok()?;
-    Some((state, trace.body.clone(), how.to_string()))
+    Some((state, trace.body.clone(), watch, how.to_string()))
 }
 
 /// Open the newest usable state in `store` per the salvage rules in the
@@ -237,6 +255,16 @@ fn salvage_from(
 pub fn recover_state(
     store: &CheckpointStore,
 ) -> io::Result<(CampaignState, String, SalvageReport)> {
+    let (state, trace, _watch, report) = recover_sections(store)?;
+    Ok((state, trace, report))
+}
+
+/// [`recover_state`] plus the persisted `watch-state` section body
+/// (empty when the generation predates the watchdog or lost it to
+/// corruption).
+fn recover_sections(
+    store: &CheckpointStore,
+) -> io::Result<(CampaignState, String, String, SalvageReport)> {
     let mut report = SalvageReport::default();
     loop {
         let (ckpt, found) = store.open_latest()?;
@@ -244,20 +272,20 @@ pub fn recover_state(
         // A quarantined-but-partially-intact newer generation beats the
         // older fully intact one: fewer pairs to re-crawl.
         for q in report.quarantined.clone() {
-            if let Some((state, trace, how)) = salvage_from(&q) {
+            if let Some((state, trace, watch, how)) = salvage_from(&q) {
                 report.used_generation = None;
                 report.note(format!(
                     "salvaged state ({} pairs) from quarantined generation {} ({how})",
                     state.pairs_done, q.generation
                 ));
-                return Ok((state, trace, report));
+                return Ok((state, trace, watch, report));
             }
         }
         let Some(ckpt) = ckpt else {
             if !report.is_clean() {
                 report.note("no generation usable: restarting campaign from scratch".to_string());
             }
-            return Ok((CampaignState::new(), String::new(), report));
+            return Ok((CampaignState::new(), String::new(), String::new(), report));
         };
         let get = |name: &str| ckpt.section(name).map(|s| s.body.as_str()).unwrap_or("");
         match state_from_parts(
@@ -266,7 +294,14 @@ pub fn recover_state(
             get(SECTION_DEAD_LETTERS),
             get(SECTION_PROVENANCE),
         ) {
-            Ok(state) => return Ok((state, get(SECTION_TRACE).to_string(), report)),
+            Ok(state) => {
+                return Ok((
+                    state,
+                    get(SECTION_TRACE).to_string(),
+                    get(WATCH_STATE_SECTION).to_string(),
+                    report,
+                ))
+            }
             Err(e) => {
                 // CRC-intact but semantically unimportable (e.g. a
                 // hand-edited file): quarantine and fall back like any
@@ -320,20 +355,21 @@ pub fn run_durable_campaign(
     opts: &DurableOpts,
 ) -> io::Result<DurableRun> {
     let mut sup = Supervisor::new(opts.supervisor);
-    let (mut state, trace_jsonl, salvage) = match sup.recover_with(|| recover_state(store)) {
-        Ok(v) => v,
-        Err(err) => {
-            // The on-disk history is unreadable even after retries.
-            // Restart from scratch rather than wedge: pair processing
-            // is deterministic, so a full re-crawl reproduces the same
-            // final state the history would have yielded.
-            let mut report = SalvageReport::default();
-            report.note(format!(
-                "storage recovery abandoned ({err}): restarting campaign from scratch"
-            ));
-            (CampaignState::new(), String::new(), report)
-        }
-    };
+    let (mut state, trace_jsonl, watch_jsonl, salvage) =
+        match sup.recover_with(|| recover_sections(store)) {
+            Ok(v) => v,
+            Err(err) => {
+                // The on-disk history is unreadable even after retries.
+                // Restart from scratch rather than wedge: pair processing
+                // is deterministic, so a full re-crawl reproduces the same
+                // final state the history would have yielded.
+                let mut report = SalvageReport::default();
+                report.note(format!(
+                    "storage recovery abandoned ({err}): restarting campaign from scratch"
+                ));
+                (CampaignState::new(), String::new(), String::new(), report)
+            }
+        };
     let mut durable_pairs = state.pairs_done;
     if consent_trace::enabled() && !trace_jsonl.is_empty() && consent_trace::global().is_empty() {
         consent_trace::global()
@@ -354,12 +390,32 @@ pub fn run_durable_campaign(
     if let Some(sampler) = &opts.sampler {
         sampler.rebase(state.pairs_done);
     }
+    // Same discipline for the watchdog: restore the detector state the
+    // previous incarnation persisted (only into a fresh watch — a
+    // rejected blob, e.g. after a rule-config change, just restarts the
+    // detectors), then swallow the recovery traffic with a rebase.
+    if let Some(watch) = &opts.watch {
+        if !watch_jsonl.is_empty() && watch.is_fresh() && watch.import_state(&watch_jsonl).is_err()
+        {
+            consent_telemetry::count("watch.state.rejected", 1);
+        }
+        watch.rebase(state.pairs_done);
+    }
 
     let mut every = opts.checkpoint_every.max(1);
     let mut cadence_widened = false;
     let mut applied_this_run = 0u64;
     let mut writes_this_run = 0u64;
     let mut result: Option<CampaignResult> = None;
+    // The health report carries the watchdog's fired alerts on every
+    // exit path — a crashed run's report still names what was firing.
+    let health_of = |sup: &Supervisor| {
+        let mut health = sup.report();
+        if let Some(watch) = &opts.watch {
+            health.alerts = watch.fired_summaries();
+        }
+        health
+    };
     let crashed =
         |state: CampaignState, result: Option<CampaignResult>, durable_pairs| DurableRun {
             state,
@@ -380,7 +436,7 @@ pub fn run_durable_campaign(
                 // any checkpoint covering it could be written.
                 let mut run = crashed(state, result, durable_pairs);
                 run.salvage = salvage;
-                run.health = sup.report();
+                run.health = health_of(&sup);
                 return Ok(run);
             }
             chunk = chunk.min(remaining);
@@ -410,7 +466,7 @@ pub fn run_durable_campaign(
         {
             let mut out = crashed(state, result, durable_pairs);
             out.salvage = salvage;
-            out.health = sup.report();
+            out.health = health_of(&sup);
             return Ok(out);
         }
         if did > 0 || durable_pairs != state.pairs_done {
@@ -419,8 +475,19 @@ pub fn run_durable_campaign(
             // (write size/latency are recorded by the store itself).
             consent_telemetry::observe("campaign.checkpoint.cadence_pairs", did);
             let trace_snapshot = consent_trace::global().export_jsonl();
+            // Stage the watch window covering this cut *before* the
+            // write: the post-window detector state rides inside the
+            // checkpoint, and the window only becomes observable
+            // (commit) once that checkpoint is durable.
+            let watch_blob = opts.watch.as_ref().and_then(|w| w.stage(state.pairs_done));
+            let with_watch = |mut sections: Vec<Section>| {
+                if let Some(blob) = &watch_blob {
+                    sections.push(Section::new(WATCH_STATE_SECTION, blob.clone()));
+                }
+                sections
+            };
             if let Some(keep_bytes) = opts.crash.write_truncation(writes_this_run) {
-                let sections = state_sections(&state, &trace_snapshot);
+                let sections = with_watch(state_sections(&state, &trace_snapshot));
                 if store.save_torn(&sections, keep_bytes).is_err() {
                     // The dying process's torn write failed outright
                     // (e.g. injected storage chaos): even fewer bytes
@@ -428,10 +495,15 @@ pub fn run_durable_campaign(
                     // crash semantics — nothing durable was added.
                     consent_telemetry::count("checkpoint.io_fault", 1);
                 }
-                // The torn generation is not durable; the previous cut is.
+                // The torn generation is not durable; the previous cut
+                // is — and the staged watch window dies with the
+                // process, exactly like the sampler's unticked window.
+                if let Some(watch) = &opts.watch {
+                    watch.abort();
+                }
                 let mut out = crashed(state, result, durable_pairs);
                 out.salvage = salvage;
-                out.health = sup.report();
+                out.health = health_of(&sup);
                 return Ok(out);
             }
             // Supervised write: retries, backoff, and ladder descent
@@ -444,7 +516,7 @@ pub fn run_durable_campaign(
                 } else {
                     trace_snapshot.as_str()
                 };
-                store.save(&state_sections(&state, trace))
+                store.save(&with_watch(state_sections(&state, trace)))
             });
             if matches!(verdict, SaveVerdict::Saved(_)) {
                 durable_pairs = state.pairs_done;
@@ -455,6 +527,14 @@ pub fn run_durable_campaign(
                 if let Some(sampler) = &opts.sampler {
                     sampler.tick_at(state.pairs_done);
                 }
+                // Same rule for the watchdog, via its staged window.
+                if let Some(watch) = &opts.watch {
+                    watch.commit();
+                }
+            } else if let Some(watch) = &opts.watch {
+                // Skipped write (memory-only): the window stays open and
+                // the next durable cut will cover it too.
+                watch.abort();
             }
             // Entering wide-cadence widens the interval once, for the
             // rest of the run (memory-only keeps the widened value;
@@ -465,7 +545,7 @@ pub fn run_durable_campaign(
             }
         }
         if run.complete {
-            let health = sup.report();
+            let health = health_of(&sup);
             let outcome = if sup.degraded() {
                 DurableOutcome::Degraded(health.clone())
             } else {

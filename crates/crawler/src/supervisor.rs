@@ -157,6 +157,10 @@ pub struct HealthReport {
     pub events: Vec<HealthEvent>,
     /// The most recent storage error message.
     pub last_error: Option<String>,
+    /// Watchdog alerts that fired during the run (one summary line per
+    /// firing transition), annotated by the durable driver when a
+    /// `consent-watch` engine is attached.
+    pub alerts: Vec<String>,
 }
 
 impl HealthReport {
@@ -167,7 +171,7 @@ impl HealthReport {
 
     /// One-line summary for logs.
     pub fn summary(&self) -> String {
-        format!(
+        let mut out = format!(
             "level={} io_faults={} retries={}/{} backoff_ms={} writes_skipped={}",
             self.level.label(),
             self.io_faults,
@@ -175,7 +179,11 @@ impl HealthReport {
             self.retry_budget,
             self.backoff_ms_total,
             self.writes_skipped,
-        )
+        );
+        if !self.alerts.is_empty() {
+            out.push_str(&format!(" alerts_fired={}", self.alerts.len()));
+        }
+        out
     }
 
     /// Multi-line human-readable report.
@@ -193,6 +201,9 @@ impl HealthReport {
                 e.level.label(),
                 e.reason
             ));
+        }
+        for a in &self.alerts {
+            out.push_str(&format!("  alert: {a}\n"));
         }
         out
     }
@@ -263,6 +274,7 @@ impl Supervisor {
             writes_skipped: self.writes_skipped,
             events: self.events.clone(),
             last_error: self.last_error.clone(),
+            alerts: Vec::new(),
         }
     }
 

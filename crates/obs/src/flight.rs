@@ -134,6 +134,31 @@ impl StorageHealth {
     }
 }
 
+/// One watchdog alert surfaced in the report's alerts section: a full
+/// lifecycle aggregated per stable alert id (produced by
+/// `consent-watch`, attached via [`FlightReport::with_alerts`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FlightAlert {
+    /// Stable FNV id shared by the alert's lifecycle events.
+    pub id: String,
+    /// Canonical rule spec (`slo:usable:700:3`, `drift:cmp:300:8`, …).
+    pub rule: String,
+    /// Instance label (vantage location); empty for global rules.
+    pub label: String,
+    /// Final lifecycle state seen: `pending`, `firing`, or `resolved`.
+    pub state: String,
+    /// Tick the alert opened.
+    pub opened: u64,
+    /// Tick it escalated to firing, if it did.
+    pub fired: Option<u64>,
+    /// Tick it resolved, if it did.
+    pub resolved: Option<u64>,
+    /// Last detector value observed.
+    pub value: i64,
+    /// Rule threshold the value is compared against.
+    pub threshold: i64,
+}
+
 /// One row of the slowest-windows table.
 #[derive(Clone, Debug)]
 pub struct SlowWindow {
@@ -156,6 +181,9 @@ pub struct FlightReport {
     pub faults: Vec<FaultRow>,
     /// Storage health and degradation events (`None` on a quiet run).
     pub storage: Option<StorageHealth>,
+    /// Watchdog alerts (empty without a watch; see
+    /// [`with_alerts`](FlightReport::with_alerts)).
+    pub alerts: Vec<FlightAlert>,
     /// Worst windows by per-window `campaign.pair` p95 (wall mode).
     pub slowest: Vec<SlowWindow>,
     /// Cumulative `campaign.pair` summary (always available; the only
@@ -301,11 +329,19 @@ impl FlightReport {
             throughput,
             faults,
             storage,
+            alerts: Vec::new(),
             slowest,
             pair_total: total.histograms.get("campaign.pair").copied(),
             pairs_total: samples.iter().map(|s| s.pairs()).sum(),
             samples_dropped: series.dropped(),
         }
+    }
+
+    /// Attach the watchdog's per-id alert lifecycles to the report's
+    /// alerts section.
+    pub fn with_alerts(mut self, alerts: Vec<FlightAlert>) -> FlightReport {
+        self.alerts = alerts;
+        self
     }
 
     /// Render the report as human-readable tables and ASCII charts.
@@ -426,6 +462,31 @@ impl FlightReport {
                     thousands(d.count)
                 ));
             }
+        }
+
+        if !self.alerts.is_empty() {
+            let mut t = Table::with_columns(&[
+                "Rule", "Label", "State", "Opened", "Fired", "Resolved", "Value",
+            ]);
+            t.numeric().title("Watchdog alerts");
+            let opt = |tick: Option<u64>| tick.map(thousands).unwrap_or_else(|| "-".to_string());
+            for a in &self.alerts {
+                t.row(vec![
+                    a.rule.clone(),
+                    if a.label.is_empty() {
+                        "-".to_string()
+                    } else {
+                        a.label.clone()
+                    },
+                    a.state.clone(),
+                    thousands(a.opened),
+                    opt(a.fired),
+                    opt(a.resolved),
+                    format!("{} (≥|< {})", a.value, a.threshold),
+                ]);
+            }
+            out.push('\n');
+            out.push_str(&t.to_string());
         }
 
         if !self.slowest.is_empty() {
@@ -572,6 +633,31 @@ impl FlightReport {
                         })),
                     ),
                 ]),
+            ));
+        }
+        if !self.alerts.is_empty() {
+            fields.push((
+                "alerts".to_string(),
+                Json::array(self.alerts.iter().map(|a| {
+                    let mut f = vec![
+                        ("id".to_string(), Json::str(a.id.clone())),
+                        ("rule".to_string(), Json::str(a.rule.clone())),
+                    ];
+                    if !a.label.is_empty() {
+                        f.push(("label".to_string(), Json::str(a.label.clone())));
+                    }
+                    f.push(("state".to_string(), Json::str(a.state.clone())));
+                    f.push(("opened".to_string(), Json::int(a.opened as i64)));
+                    if let Some(t) = a.fired {
+                        f.push(("fired".to_string(), Json::int(t as i64)));
+                    }
+                    if let Some(t) = a.resolved {
+                        f.push(("resolved".to_string(), Json::int(t as i64)));
+                    }
+                    f.push(("value".to_string(), Json::int(a.value)));
+                    f.push(("threshold".to_string(), Json::int(a.threshold)));
+                    Json::object(f)
+                })),
             ));
         }
         if let Some(h) = &self.pair_total {

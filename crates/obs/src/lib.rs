@@ -34,7 +34,8 @@ pub mod sampler;
 pub mod series;
 
 pub use flight::{
-    DegradeRow, FaultRow, FlightReport, PhaseRow, SlowWindow, StorageHealth, ThroughputPoint,
+    DegradeRow, FaultRow, FlightAlert, FlightReport, PhaseRow, SlowWindow, StorageHealth,
+    ThroughputPoint,
 };
 pub use sampler::{ObsConfig, SampleMode, Sampler, SamplerHandle, DEFAULT_DENY};
 pub use series::{ObsSample, TimeSeries, OBS_SCHEMA_VERSION};

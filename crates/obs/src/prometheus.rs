@@ -7,7 +7,9 @@
 //! Registry keys like `campaign.outcome{outcome=ok}` are split by
 //! [`parse_key`] into family + labels; names are sanitized to the
 //! `[a-zA-Z_:][a-zA-Z0-9_:]*` grammar and label values escaped per the
-//! spec.
+//! spec. Every family also gets a `# HELP` line: the text comes from a
+//! small static registry of known metric prefixes ([`HELP`]), falling
+//! back to the sanitized family name for metrics nobody documented.
 
 use consent_telemetry::registry::parse_key;
 use consent_telemetry::Snapshot;
@@ -27,6 +29,77 @@ pub fn sanitize_name(name: &str) -> String {
     }
     if out.is_empty() {
         out.push('_');
+    }
+    out
+}
+
+/// HELP text by metric-name prefix (matched against the sanitized
+/// family name, longest-prefix-first is not needed — prefixes are
+/// disjoint). Unknown families fall back to their sanitized name.
+pub const HELP: &[(&str, &str)] = &[
+    (
+        "campaign.degrade",
+        "Degradation-ladder descents and current rung of the checkpoint supervisor.",
+    ),
+    (
+        "campaign.",
+        "Campaign executor: pair processing, chunk progress, and per-pair outcomes.",
+    ),
+    (
+        "capture_db.",
+        "Capture database inserts by vantage location and capture status.",
+    ),
+    (
+        "checkpoint.",
+        "Durable checkpoint store: writes, opens, IO faults, retries, and maintenance.",
+    ),
+    (
+        "supervisor.",
+        "Self-healing write supervisor: logical backoff and recovery timing.",
+    ),
+    (
+        "engine.",
+        "Capture engine spans (page fetch and consent-dialog interaction).",
+    ),
+    (
+        "fingerprint.",
+        "CMP fingerprint detection verdicts (hits by CMP, misses, degraded inputs).",
+    ),
+    (
+        "faultsim.",
+        "Deterministically injected network and storage chaos.",
+    ),
+    ("trace.", "Structured trace log volume and shedding."),
+    (
+        "watch.",
+        "Campaign watchdog: alert lifecycle transitions and currently pending/firing alerts.",
+    ),
+    (
+        "obs.",
+        "Flight-recorder internals (sampler windows and ring occupancy).",
+    ),
+];
+
+/// The `# HELP` text for one sanitized family name.
+fn help_for(family: &str) -> String {
+    for (prefix, help) in HELP {
+        if family.starts_with(&sanitize_name(prefix)) {
+            return (*help).to_string();
+        }
+    }
+    format!("Metric {family}.")
+}
+
+/// Escape HELP text: backslash and newline per the exposition-format
+/// spec (double quotes are legal in help text).
+fn escape_help(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
     }
     out
 }
@@ -97,18 +170,21 @@ pub fn exposition(snapshot: &Snapshot) -> String {
     let mut out = String::new();
     for (family, series) in families(snapshot.counters.iter().map(|(k, v)| (k, *v))) {
         let name = format!("{family}_total");
+        let _ = writeln!(out, "# HELP {name} {}", escape_help(&help_for(&family)));
         let _ = writeln!(out, "# TYPE {name} counter");
         for (labels, value) in series {
             let _ = writeln!(out, "{name}{} {value}", label_block(&labels));
         }
     }
     for (family, series) in families(snapshot.gauges.iter().map(|(k, v)| (k, *v))) {
+        let _ = writeln!(out, "# HELP {family} {}", escape_help(&help_for(&family)));
         let _ = writeln!(out, "# TYPE {family} gauge");
         for (labels, value) in series {
             let _ = writeln!(out, "{family}{} {value}", label_block(&labels));
         }
     }
     for (family, series) in families(snapshot.histograms.iter().map(|(k, h)| (k, *h))) {
+        let _ = writeln!(out, "# HELP {family} {}", escape_help(&help_for(&family)));
         let _ = writeln!(out, "# TYPE {family} summary");
         for (labels, h) in series {
             for (q, v) in [("0.5", h.p50), ("0.95", h.p95), ("0.99", h.p99)] {
@@ -172,9 +248,31 @@ mod tests {
         assert!(text.contains("campaign_pair_sum 400"));
         assert!(text.contains("campaign_pair_count 2"));
 
+        // HELP metadata: known prefixes get curated text, unknown
+        // families fall back to their sanitized name; exactly one HELP
+        // line per family, directly above its TYPE line.
+        assert!(text.contains("# HELP campaign_outcome_total Campaign executor:"));
+        assert!(text.contains("# HELP campaign_pair Campaign executor:"));
+        assert!(text.contains("# HELP queue_tracked_urls Metric queue_tracked_urls."));
+        let lines: Vec<&str> = text.lines().collect();
+        for (i, line) in lines.iter().enumerate() {
+            if line.starts_with("# TYPE ") {
+                assert!(
+                    i > 0 && lines[i - 1].starts_with("# HELP "),
+                    "TYPE without preceding HELP: {line}"
+                );
+            }
+        }
+
         // Structural invariants every line must satisfy.
         for line in text.lines() {
-            if let Some(rest) = line.strip_prefix("# TYPE ") {
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let (name, help) = rest.split_once(' ').expect("HELP name + text");
+                assert!(!help.is_empty());
+                assert!(name
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'));
+            } else if let Some(rest) = line.strip_prefix("# TYPE ") {
                 let mut parts = rest.split(' ');
                 let name = parts.next().unwrap();
                 assert!(matches!(

@@ -50,8 +50,11 @@ use std::time::{Duration, Instant};
 /// `workers` gauge is the thread count, so keeping the family would
 /// break byte-identity across 1/2/4-thread runs. `checkpoint.pruned`
 /// depends on how many generations a crash left on disk, which differs
-/// between an uninterrupted run and a kill-halfway resume.
-pub const DEFAULT_DENY: &[&str] = &["campaign.parallel.", "checkpoint.pruned"];
+/// between an uninterrupted run and a kill-halfway resume. `watch.` is
+/// the watchdog's own lifecycle telemetry: alert counters land in the
+/// registry on commit — after the covering sample was emitted — so
+/// they would surface one window late and vanish across a resume.
+pub const DEFAULT_DENY: &[&str] = &["campaign.parallel.", "checkpoint.pruned", "watch."];
 
 /// When samples are taken.
 #[derive(Clone, Debug, PartialEq, Eq)]

@@ -17,14 +17,15 @@
 //! CONSENT_IO_CHAOS=mild cargo run --release --bin flight_recorder  # + storage faults
 //! ```
 //!
-//! Outputs (the CI chaos job uploads all three):
+//! Outputs land under `target/` so a casual run never litters the repo
+//! root (the CI chaos job uploads all three):
 //!
-//! * `FLIGHT_OBS_OUT` (default `OBS_campaign.jsonl`) — deterministic
-//!   per-checkpoint samples, one JSON object per line;
-//! * `FLIGHT_REPORT_OUT` (default `flight_report.json`) — the flight
-//!   report document rendered to stdout;
-//! * `FLIGHT_PROM_OUT` (default `metrics.prom`) — Prometheus text
-//!   exposition of the end-of-run registry, what a live scrape
+//! * `FLIGHT_OBS_OUT` (default `target/OBS_campaign.jsonl`) —
+//!   deterministic per-checkpoint samples, one JSON object per line;
+//! * `FLIGHT_REPORT_OUT` (default `target/flight_report.json`) — the
+//!   flight report document rendered to stdout;
+//! * `FLIGHT_PROM_OUT` (default `target/metrics.prom`) — Prometheus
+//!   text exposition of the end-of-run registry, what a live scrape
 //!   endpoint would have served.
 
 use consent_crawler::{
@@ -41,7 +42,12 @@ const DOMAINS: usize = 60;
 const CHECKPOINT_EVERY: u64 = 25;
 
 fn out_path(key: &str, default: &str) -> String {
-    std::env::var(key).unwrap_or_else(|_| default.to_string())
+    std::env::var(key).unwrap_or_else(|_| {
+        // Default artifacts live under target/ — already gitignored,
+        // and created here in case the example runs before any build.
+        let _ = std::fs::create_dir_all("target");
+        format!("target/{default}")
+    })
 }
 
 fn main() {

@@ -207,8 +207,9 @@ fn obs_export_is_byte_identical_across_threads_and_kill_halfway_resume() {
 }
 
 /// Structural check against the Prometheus text format 0.0.4 line
-/// grammar: every line is a `# TYPE` comment or `name[{labels}] value`
-/// with a sane metric name and a parseable value.
+/// grammar: every line is a `# HELP`/`# TYPE` comment or
+/// `name[{labels}] value` with a sane metric name and a parseable
+/// value, and every TYPE is directly preceded by its family's HELP.
 fn assert_prometheus_well_formed(text: &str) {
     assert!(!text.is_empty());
     assert!(text.ends_with('\n'), "exposition must end with a newline");
@@ -219,7 +220,14 @@ fn assert_prometheus_well_formed(text: &str) {
                 .chars()
                 .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
     };
-    for line in text.lines() {
+    let lines: Vec<&str> = text.lines().collect();
+    for (i, line) in lines.iter().enumerate() {
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, help) = rest.split_once(' ').expect("HELP has name + text");
+            assert!(name_ok(name), "bad HELP name: {line}");
+            assert!(!help.is_empty(), "empty HELP text: {line}");
+            continue;
+        }
         if let Some(rest) = line.strip_prefix("# TYPE ") {
             let mut parts = rest.split(' ');
             let name = parts.next().unwrap_or("");
@@ -228,6 +236,11 @@ fn assert_prometheus_well_formed(text: &str) {
             assert!(
                 ["counter", "gauge", "summary"].contains(&kind),
                 "bad TYPE kind: {line}"
+            );
+            let help_line = format!("# HELP {name} ");
+            assert!(
+                i > 0 && lines[i - 1].starts_with(&help_line),
+                "TYPE without its family's HELP directly above: {line}"
             );
             continue;
         }
@@ -301,6 +314,92 @@ fn wall_sampler_records_live_state_and_serves_prometheus() {
     assert!(prom.contains("campaign_pair{quantile=\"0.95\"}"), "{prom}");
     assert!(prom.contains("campaign_pair_count"), "{prom}");
     assert!(prom.contains("# TYPE it_obs_marker gauge"), "{prom}");
+    unlock(guard);
+}
+
+/// Re-parse the exposition like a scraper would: HELP/TYPE metadata per
+/// family, then label blocks unescaped back to their raw values. Hostile
+/// label values (quotes, newlines, backslashes) must round-trip exactly,
+/// and every family must carry usable HELP metadata.
+#[test]
+fn prometheus_exposition_reparses_with_escaped_labels_and_help() {
+    let guard = lock();
+    consent_telemetry::reset();
+    consent_telemetry::enable();
+    let hostile = "EU \"cloud\"\n\\x";
+    consent_telemetry::count_labeled("esc.metric", &[("loc", hostile)], 3);
+    consent_telemetry::count_labeled("watch.alert", &[("rule", "gap:3"), ("state", "firing")], 2);
+    let prom = consent_obs::prometheus::exposition(&consent_telemetry::global().snapshot());
+    assert_prometheus_well_formed(&prom);
+
+    let unescape = |s: &str| {
+        let mut out = String::new();
+        let mut chars = s.chars();
+        while let Some(c) = chars.next() {
+            if c != '\\' {
+                out.push(c);
+                continue;
+            }
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some(other) => out.push(other),
+                None => panic!("dangling escape in {s:?}"),
+            }
+        }
+        out
+    };
+
+    let mut help: Vec<(String, String)> = Vec::new();
+    let mut labels: Vec<(String, String, String)> = Vec::new();
+    for line in prom.lines() {
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, text) = rest.split_once(' ').unwrap();
+            help.push((name.to_string(), unescape(text)));
+        } else if line.starts_with('#') {
+            continue;
+        } else if let Some((series, _)) = line.rsplit_once(' ') {
+            if let Some((name, block)) = series.split_once('{') {
+                let block = block.strip_suffix('}').expect("label block closes");
+                // One label pair per k="v" segment; escaped quotes never
+                // terminate a value, so split on `",` boundaries.
+                for pair in block.split("\",") {
+                    let pair = pair.strip_suffix('"').unwrap_or(pair);
+                    let (k, v) = pair.split_once("=\"").expect("label pair");
+                    labels.push((name.to_string(), k.to_string(), unescape(v)));
+                }
+            }
+        }
+    }
+    assert!(
+        labels
+            .iter()
+            .any(|(n, k, v)| n == "esc_metric_total" && k == "loc" && v == hostile),
+        "hostile label value did not round-trip: {labels:?}"
+    );
+    assert!(
+        labels
+            .iter()
+            .any(|(n, k, v)| n == "watch_alert_total" && k == "state" && v == "firing"),
+        "watch alert series missing"
+    );
+    // Curated HELP for the watch family; fallback HELP for the unknown
+    // one — and each family documented exactly once.
+    let help_of = |name: &str| {
+        let texts: Vec<&String> = help
+            .iter()
+            .filter(|(n, _)| n == name)
+            .map(|(_, t)| t)
+            .collect();
+        assert_eq!(
+            texts.len(),
+            1,
+            "family {name} documented {} times",
+            texts.len()
+        );
+        texts[0].clone()
+    };
+    assert!(help_of("watch_alert_total").starts_with("Campaign watchdog:"));
+    assert_eq!(help_of("esc_metric_total"), "Metric esc_metric.");
     unlock(guard);
 }
 

@@ -1,0 +1,398 @@
+//! Watchdog alerting, end to end.
+//!
+//! The deterministic claim under test: a durable campaign run with a
+//! [`Watch`] wired into the checkpoint driver produces an `ALERTS`
+//! JSONL export that is **byte-identical across thread counts and
+//! kill-halfway resumes** — the same contract `tests/it_obs.rs` pins
+//! for the `OBS` export. The engine only evaluates detector windows at
+//! checkpoint cuts, detector state rides inside every checkpoint
+//! (section `watch-state`), and a window's alert events are committed
+//! only after its checkpoint is durable, so the alert log is a pure
+//! function of the workload.
+//!
+//! On top of the byte contract, a seeded-chaos campaign must actually
+//! *fire* — at least one burn-rate SLO alert and one drift alert — and
+//! everything the watchdog reports must reconcile: the event log, the
+//! `watch.alert` telemetry counters, the firing gauges, and the
+//! supervisor health report annotation all describe the same alerts.
+//!
+//! Tests serialize on a lock because the trace log and telemetry
+//! registry are process-global; each test leaves both cleared and
+//! disabled, mirroring `it_obs`.
+
+use consent_checkpoint::CheckpointStore;
+use consent_crawler::{
+    build_toplist, run_durable_campaign, CampaignConfig, DurableOpts, DurableOutcome, DurableRun,
+};
+use consent_faultsim::{CrashPlan, FaultProfile};
+use consent_httpsim::Vantage;
+use consent_util::{Day, Json, SeedTree};
+use consent_watch::rules::WatchConfig;
+use consent_watch::Watch;
+use consent_webgraph::{AdoptionConfig, World, WorldConfig};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+/// Hold the global trace log + telemetry registry for one test.
+fn lock() -> MutexGuard<'static, ()> {
+    let guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    consent_trace::clear();
+    consent_trace::enable();
+    guard
+}
+
+fn unlock(guard: MutexGuard<'static, ()>) {
+    consent_telemetry::disable();
+    consent_telemetry::reset();
+    consent_trace::disable();
+    consent_trace::clear();
+    drop(guard);
+}
+
+fn world() -> &'static World {
+    static WORLD: OnceLock<World> = OnceLock::new();
+    WORLD.get_or_init(|| {
+        World::new(WorldConfig {
+            n_sites: 2_000,
+            seed: 42,
+            adoption: AdoptionConfig::default(),
+        })
+    })
+}
+
+fn toplist() -> &'static [String] {
+    static LIST: OnceLock<Vec<String>> = OnceLock::new();
+    LIST.get_or_init(|| build_toplist(world(), 12, SeedTree::new(7)))
+}
+
+const DAY: fn() -> Day = || Day::from_ymd(2020, 5, 15);
+
+fn tmp_dir() -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "consent-it-watch-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn config(profile: FaultProfile) -> CampaignConfig {
+    CampaignConfig {
+        fault_profile: profile,
+        ..CampaignConfig::default()
+    }
+}
+
+/// Thresholds tight enough that a mild-chaos 16-pair campaign walks
+/// alerts through their whole lifecycle within four windows.
+fn tight_rules() -> WatchConfig {
+    WatchConfig::parse("slo:usable:995:2;slo:deadletter:5:2;drift:throughput:50:1;gap:3")
+        .expect("tight rule spec parses")
+}
+
+/// One durable-campaign incarnation with a fresh watch: trace and
+/// telemetry are wiped first (a new process starts empty), and the
+/// watch's `ALERTS` export is returned alongside the run. The driver
+/// re-imports detector state from the checkpoint's `watch-state`
+/// section, exactly like a restarted process would.
+fn watch_incarnation(
+    store: &CheckpointStore,
+    threads: usize,
+    crash: CrashPlan,
+) -> (DurableRun, String) {
+    consent_trace::clear();
+    consent_telemetry::reset();
+    consent_telemetry::enable();
+    let watch = Watch::attach(consent_telemetry::global(), tight_rules());
+    let vantages = [Vantage::eu_cloud(), Vantage::us_cloud()];
+    let run = run_durable_campaign(
+        world(),
+        &toplist()[..8],
+        DAY(),
+        &vantages,
+        SeedTree::new(9),
+        store,
+        &DurableOpts {
+            threads,
+            config: config(FaultProfile::mild()),
+            checkpoint_every: 5,
+            crash,
+            watch: Some(watch.clone()),
+            ..DurableOpts::default()
+        },
+    )
+    .expect("durable campaign io");
+    (run, watch.export_jsonl())
+}
+
+fn ticks_of(jsonl: &str) -> Vec<u64> {
+    jsonl
+        .lines()
+        .map(|l| {
+            Json::parse(l)
+                .expect("ALERTS line parses")
+                .get("tick")
+                .and_then(Json::as_f64)
+                .expect("ALERTS line has a tick") as u64
+        })
+        .collect()
+}
+
+#[test]
+fn alerts_export_is_byte_identical_across_threads_and_kill_halfway_resume() {
+    let guard = lock();
+
+    // The uninterrupted single-thread export: the bytes every other
+    // incarnation pattern must reproduce.
+    let dir = tmp_dir();
+    let store = CheckpointStore::open(&dir).unwrap();
+    let (run, baseline) = watch_incarnation(&store, 1, CrashPlan::none());
+    assert_eq!(run.outcome, DurableOutcome::Complete);
+    std::fs::remove_dir_all(&dir).unwrap();
+
+    // The tight rules must actually exercise the lifecycle — an empty
+    // log would make byte-identity trivially (and meaninglessly) true.
+    assert!(!baseline.is_empty(), "tight rules produced no alerts");
+    let states: Vec<String> = baseline
+        .lines()
+        .map(|l| {
+            let j = Json::parse(l).expect("ALERTS line parses");
+            assert_eq!(j.get("kind").and_then(Json::as_str), Some("alert"));
+            assert_eq!(j.get("schema").and_then(Json::as_f64), Some(1.0));
+            assert!(j.get("id").and_then(Json::as_str).is_some());
+            assert!(j.get("rule").and_then(Json::as_str).is_some());
+            j.get("state").and_then(Json::as_str).unwrap().to_string()
+        })
+        .collect();
+    assert!(states.iter().any(|s| s == "firing"), "{states:?}");
+    // Alert events only exist at durable window boundaries: 8 domains
+    // × 2 vantages in chunks of 5 cuts checkpoints at 5, 10, 15, 16.
+    for t in ticks_of(&baseline) {
+        assert!([5, 10, 15, 16].contains(&t), "event at non-window tick {t}");
+    }
+
+    // Same bytes at every thread count.
+    for threads in [2usize, 4] {
+        let dir = tmp_dir();
+        let store = CheckpointStore::open(&dir).unwrap();
+        let (run, jsonl) = watch_incarnation(&store, threads, CrashPlan::none());
+        assert_eq!(run.outcome, DurableOutcome::Complete);
+        assert!(
+            jsonl == baseline,
+            "ALERTS export diverged at {threads} threads"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    // Kill halfway (after applied pair 11, mid third chunk): the dead
+    // process logged alerts for windows 5 and 10; the resumed process —
+    // fresh registry, fresh watch, detector state re-imported from the
+    // checkpoint — logs windows 15 and 16. Concatenated, the two
+    // incarnations equal the uninterrupted run byte for byte: no alert
+    // is lost, re-emitted, or doubled, and multi-window detector memory
+    // (burn-rate rings, EWMA, gap anchors) survives the crash.
+    for threads in [1usize, 2, 4] {
+        let dir = tmp_dir();
+        let store = CheckpointStore::open(&dir).unwrap();
+        let (crashed, first) = watch_incarnation(&store, threads, CrashPlan::after_apply(11));
+        match crashed.outcome {
+            DurableOutcome::Crashed { durable_pairs, .. } => assert_eq!(durable_pairs, 10),
+            other => panic!("crashpoint apply:11 never fired: {other:?}"),
+        }
+        assert!(
+            ticks_of(&first).iter().all(|t| [5, 10].contains(t)),
+            "undurable window alerted"
+        );
+        let (resumed, second) = watch_incarnation(&store, threads, CrashPlan::none());
+        assert_eq!(resumed.outcome, DurableOutcome::Complete);
+        assert!(
+            format!("{first}{second}") == baseline,
+            "concatenated ALERTS export diverged after kill at {threads} threads"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+    unlock(guard);
+}
+
+#[test]
+fn seeded_chaos_fires_and_reconciles_with_telemetry_and_health() {
+    let guard = lock();
+    consent_telemetry::reset();
+    consent_telemetry::enable();
+    let base = consent_telemetry::global().snapshot();
+    // Burn-rate thresholds a hot chaos profile is certain to breach,
+    // plus a drift rule armed after two windows.
+    let rules =
+        WatchConfig::parse("slo:usable:950:2;slo:deadletter:10:2;drift:throughput:50:2;gap:2")
+            .unwrap();
+    let watch = Watch::attach(consent_telemetry::global(), rules);
+    // Heavy chaos: near-certain anti-bot escalation dead-letters pairs
+    // through the breaker, and failed attempts leave unusable statuses.
+    let profile = FaultProfile::heavy();
+    let dir = tmp_dir();
+    let store = CheckpointStore::open(&dir).unwrap();
+    let vantages = [Vantage::eu_cloud(), Vantage::us_cloud()];
+    let run = run_durable_campaign(
+        world(),
+        toplist(),
+        DAY(),
+        &vantages,
+        SeedTree::new(9),
+        &store,
+        &DurableOpts {
+            threads: 2,
+            config: config(profile),
+            checkpoint_every: 5,
+            crash: CrashPlan::none(),
+            watch: Some(Arc::clone(&watch)),
+            ..DurableOpts::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(run.outcome, DurableOutcome::Complete);
+    std::fs::remove_dir_all(&dir).unwrap();
+
+    let events = watch.events();
+    assert!(
+        events.iter().any(|e| e.state == "resolved"),
+        "no alert resolved — lifecycle not fully exercised"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| e.rule.starts_with("slo:") && e.state == "firing"),
+        "no burn-rate alert fired under hot chaos"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| e.rule.starts_with("drift:") && e.state == "firing"),
+        "no drift alert fired under hot chaos"
+    );
+
+    // The `watch.alert` counters are written exactly once per recorded
+    // event, labeled by rule and state: the cumulative delta must
+    // reconcile with the event log event-for-event.
+    let total = consent_telemetry::global().delta(&base);
+    let counted: u64 = total
+        .counters_with_prefix("watch.alert{")
+        .map(|(_, n)| n)
+        .sum();
+    assert_eq!(counted, events.len() as u64, "counter/event-log mismatch");
+    for state in ["pending", "firing", "resolved"] {
+        let by_state: u64 = total
+            .counters_with_prefix("watch.alert{")
+            .filter(|(k, _)| k.contains(&format!("state={state}")))
+            .map(|(_, n)| n)
+            .sum();
+        assert_eq!(
+            by_state,
+            events.iter().filter(|e| e.state == state).count() as u64,
+            "state {state} out of reconciliation"
+        );
+    }
+
+    // The health report's alert annotation is the watch's firing
+    // summary: one line per firing transition, verbatim.
+    assert_eq!(run.health.alerts, watch.fired_summaries());
+    assert_eq!(
+        run.health.alerts.len(),
+        events.iter().filter(|e| e.state == "firing").count()
+    );
+    assert!(run.health.summary().contains("alerts_fired="));
+
+    // Still-open alerts show as gauges — what a scrape would see.
+    let open = events.iter().filter(|e| e.state == "firing").count()
+        - events.iter().filter(|e| e.state == "resolved").count();
+    assert_eq!(watch.firing(), open);
+    unlock(guard);
+}
+
+#[test]
+fn consent_watch_env_wiring_rejects_garbage_and_counts_it() {
+    let guard = lock();
+    consent_telemetry::reset();
+    consent_telemetry::enable();
+    let prev = std::env::var("CONSENT_WATCH").ok();
+
+    std::env::set_var("CONSENT_WATCH", "slo:usable:700:3;gap:9");
+    let parsed = WatchConfig::from_env();
+    assert_eq!(parsed.to_string(), "slo:usable:700:3;gap:9");
+
+    std::env::set_var("CONSENT_WATCH", "totally/bogus");
+    let before = consent_telemetry::global()
+        .counter("watch.rules.unrecognized")
+        .get();
+    assert!(WatchConfig::from_env().is_none(), "garbage must disarm");
+    assert_eq!(
+        consent_telemetry::global()
+            .counter("watch.rules.unrecognized")
+            .get(),
+        before + 1,
+        "garbage spec must be counted"
+    );
+
+    std::env::remove_var("CONSENT_WATCH");
+    assert!(WatchConfig::from_env().is_none());
+
+    match prev {
+        Some(v) => std::env::set_var("CONSENT_WATCH", v),
+        None => std::env::remove_var("CONSENT_WATCH"),
+    }
+    unlock(guard);
+}
+
+mod watch_grammar_properties {
+    use super::*;
+    use consent_watch::rules::{DriftMetric, DriftRule, GapRule, SloMetric, SloRule};
+    use proptest::prelude::*;
+
+    /// Structured configs drawn from the full rule grammar: up to four
+    /// SLO rules, up to three drift rules, an optional gap rule.
+    fn config_strategy() -> impl Strategy<Value = WatchConfig> {
+        let slo = (0u8..4, 1u64..=1000, 1u64..9).prop_map(|(m, pm, w)| SloRule {
+            metric: [
+                SloMetric::Usable,
+                SloMetric::DeadLetter,
+                SloMetric::IoFault,
+                SloMetric::Retry,
+            ][m as usize],
+            threshold_pm: pm,
+            long_windows: w,
+        });
+        let drift = (0u8..2, 1u64..2000, 1u64..16).prop_map(|(m, z, w)| DriftRule {
+            metric: [DriftMetric::Cmp, DriftMetric::Throughput][m as usize],
+            z_centi: z,
+            warmup: w,
+        });
+        (
+            proptest::collection::vec(slo, 0..4),
+            proptest::collection::vec(drift, 0..3),
+            proptest::option::of(1u64..100),
+        )
+            .prop_map(|(slo, drift, gap)| WatchConfig {
+                slo,
+                drift,
+                gap: gap.map(|ticks| GapRule { ticks }),
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// Every config the grammar can express survives an env-spec
+        /// round-trip: `parse(display(config)) == config` — the same
+        /// property the `CONSENT_IO_CHAOS` grammar pins.
+        #[test]
+        fn watch_config_env_spec_round_trips(config in config_strategy()) {
+            let spec = config.to_string();
+            let reparsed = WatchConfig::parse(&spec);
+            prop_assert_eq!(reparsed.as_ref(), Some(&config), "spec {}", spec);
+            // Display is a fixpoint: re-displaying the reparse is stable.
+            prop_assert_eq!(reparsed.unwrap().to_string(), spec);
+        }
+    }
+}
