@@ -19,7 +19,7 @@ pub fn build_timelines(
 ) -> HashMap<String, Timeline> {
     db.iter()
         .filter(|(domain, _)| restrict_to.is_none_or(|s| s.contains(*domain)))
-        .map(|(domain, history)| (domain.to_owned(), Timeline::from_history(history)))
+        .map(|(domain, history)| (domain.to_owned(), Timeline::from_history(&history)))
         .collect()
 }
 

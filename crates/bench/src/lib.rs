@@ -35,8 +35,9 @@ pub use soak::{SoakBench, SoakRecord};
 
 use consent_checkpoint::CheckpointStore;
 use consent_crawler::{
-    build_toplist, recover_state, run_campaign_parallel, state_sections, BreakerConfig,
-    CampaignConfig, CampaignState, ParallelOpts, RetryPolicy,
+    apply_delta, build_toplist, delta_state_sections, export_db, import_db, recover_state,
+    resume_campaign_parallel, run_campaign_parallel, state_sections, BreakerConfig, CampaignConfig,
+    CampaignState, DeltaMarks, ParallelOpts, RetryPolicy, SECTION_DB_DELTA,
 };
 use consent_faultsim::FaultProfile;
 use consent_httpsim::Vantage;
@@ -416,6 +417,124 @@ impl CheckpointBench {
 
         consent_telemetry::reset();
         let _ = std::fs::remove_dir_all(&dir);
+        records
+    }
+
+    /// The delta-vs-full progress sweep: cut cost as the campaign grows.
+    ///
+    /// At each progress point (10/50/90% of the campaign's pairs) the
+    /// campaign is advanced to that cursor, then two checkpoint writes
+    /// are timed over [`repeats`](Self::repeats) iterations each:
+    ///
+    /// * `checkpoint_full/progress=P` — a full five-section snapshot of
+    ///   the whole state ([`CheckpointStore::save`]); its cost grows
+    ///   with the campaign.
+    /// * `checkpoint_delta/progress=P` — the delta sections covering
+    ///   only the last checkpoint interval (10% of the pairs), built by
+    ///   [`delta_state_sections`] — the exact payload the durable
+    ///   driver writes under `CheckpointMode::Delta`; its cost tracks
+    ///   the interval, not the campaign.
+    ///
+    /// The acceptance bar (BENCHMARKS.md): the delta record at 90%
+    /// stays within 2× of the one at 10%, while the full record grows
+    /// roughly linearly. Like the durability sweep this is also a
+    /// correctness check — each progress point's delta is applied onto
+    /// the prior snapshot and must reproduce the grown store's export.
+    pub fn run_progress_sweep(&self) -> Vec<BenchRecord> {
+        let world = World::new(WorldConfig {
+            n_sites: self.n_sites,
+            seed: self.seed,
+            adoption: AdoptionConfig::default(),
+        });
+        let root = SeedTree::new(self.seed);
+        let list = build_toplist(&world, self.domains, root.child("toplist"));
+        let day = Day::from_ymd(2020, 5, 15);
+        let config = CampaignConfig {
+            fault_profile: FaultProfile::none(),
+            retry: RetryPolicy::paper(),
+            breaker: BreakerConfig::default(),
+        };
+        let campaign_seed = root.child("campaign");
+        let vantages = self.vantages.clone();
+        let advance = |state: CampaignState, upto: u64| {
+            let done = state.pairs_done;
+            resume_campaign_parallel(
+                &world,
+                &list,
+                day,
+                &vantages,
+                campaign_seed,
+                &ParallelOpts {
+                    threads: 1,
+                    config,
+                    max_pairs: Some(upto.saturating_sub(done)),
+                },
+                state,
+            )
+            .state
+        };
+        let total = self.pairs();
+        let interval = (total / 10).max(1);
+        let repeats = self.repeats.max(1) as u64;
+        let mut records = Vec::with_capacity(6);
+        let mut state = CampaignState::new();
+        for pct in [10u64, 50, 90] {
+            let upto = (total * pct / 100).max(interval);
+            // Advance to the previous cut, mark, then cover one interval.
+            state = advance(state, upto - interval);
+            let prior_db = export_db(&state.db);
+            let marks = DeltaMarks::capture(&state);
+            state = advance(state, upto);
+
+            let dir = bench_tmp_dir();
+            let store = CheckpointStore::open(&dir).expect("open checkpoint store");
+            consent_telemetry::reset();
+            consent_telemetry::enable();
+            let start = Instant::now();
+            for _ in 0..repeats {
+                store
+                    .save(&state_sections(&state, ""))
+                    .expect("full checkpoint save");
+            }
+            records.push(Self::record(
+                &format!("checkpoint_full/progress={pct}"),
+                upto * repeats,
+                start.elapsed(),
+                "checkpoint.write",
+            ));
+
+            consent_telemetry::reset();
+            consent_telemetry::enable();
+            let start = Instant::now();
+            for _ in 0..repeats {
+                let sections = delta_state_sections(&state, &marks, 1, 1, "");
+                store
+                    .save_with_min_retained(&sections, 1)
+                    .expect("delta checkpoint save");
+            }
+            records.push(Self::record(
+                &format!("checkpoint_delta/progress={pct}"),
+                interval * repeats,
+                start.elapsed(),
+                "checkpoint.write",
+            ));
+
+            // Correctness: the delta applied onto the prior snapshot
+            // must reproduce the grown store exactly.
+            let delta_body = delta_state_sections(&state, &marks, 1, 1, "")
+                .into_iter()
+                .find(|s| s.name == SECTION_DB_DELTA)
+                .expect("delta sections carry a capture-db delta")
+                .body;
+            let mut check = import_db(&prior_db).expect("prior snapshot imports");
+            apply_delta(&mut check, &delta_body).expect("delta applies");
+            assert!(
+                export_db(&check) == export_db(&state.db),
+                "base+delta diverged from the grown store at progress={pct} — refusing to record"
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        consent_telemetry::reset();
         records
     }
 
@@ -901,6 +1020,42 @@ mod tests {
             recs[0].get("name").and_then(Json::as_str),
             Some("campaign/threads=1")
         );
+    }
+
+    #[test]
+    fn progress_sweep_pairs_full_and_delta_records() {
+        let bench = CheckpointBench {
+            n_sites: 400,
+            domains: 20,
+            vantages: vec![Vantage::eu_cloud()],
+            repeats: 2,
+            ..CheckpointBench::default()
+        };
+        let records = bench.run_progress_sweep();
+        assert_eq!(
+            records.iter().map(|r| r.name.as_str()).collect::<Vec<_>>(),
+            vec![
+                "checkpoint_full/progress=10",
+                "checkpoint_delta/progress=10",
+                "checkpoint_full/progress=50",
+                "checkpoint_delta/progress=50",
+                "checkpoint_full/progress=90",
+                "checkpoint_delta/progress=90",
+            ],
+        );
+        for r in &records {
+            assert!(r.pairs > 0);
+            assert!(r.elapsed_secs > 0.0);
+            assert!(r.p50_us <= r.p95_us);
+        }
+        // Delta cuts cover one interval regardless of progress; full
+        // cuts cover the growing campaign.
+        let pairs_of = |name: &str| records.iter().find(|r| r.name == name).unwrap().pairs;
+        assert_eq!(
+            pairs_of("checkpoint_delta/progress=10"),
+            pairs_of("checkpoint_delta/progress=90"),
+        );
+        assert!(pairs_of("checkpoint_full/progress=90") > pairs_of("checkpoint_full/progress=10"));
     }
 
     #[test]

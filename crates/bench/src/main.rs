@@ -2,7 +2,8 @@
 //!
 //! Default invocation sweeps the campaign executor across thread
 //! counts, the checkpoint store across its write / open / salvage
-//! operations, the flight-recorder sampler across its off / logical /
+//! operations plus the delta-vs-full cut cost at 10/50/90% campaign
+//! progress, the flight-recorder sampler across its off / logical /
 //! wall modes, and the watchdog rule engine off vs on, prints human
 //! summaries, and writes the machine-readable trajectory points
 //! (`BENCH_campaign.json`, `BENCH_checkpoint.json`, `BENCH_obs.json`,
@@ -188,10 +189,15 @@ fn run_sweeps() {
         ckpt.vantages.len(),
         ckpt.repeats
     );
-    let ckpt_records = ckpt.run();
+    let mut ckpt_records = ckpt.run();
+    eprintln!(
+        "checkpoint_progress: delta-vs-full cut cost at 10/50/90% of {} pairs",
+        ckpt.pairs()
+    );
+    ckpt_records.extend(ckpt.run_progress_sweep());
     for r in &ckpt_records {
         println!(
-            "{:<24} {:>12.1} {:>10} {:>10} {:>9}",
+            "{:<28} {:>12.1} {:>10} {:>10} {:>9}",
             r.name, r.pairs_per_sec, r.p50_us, r.p95_us, "-"
         );
     }

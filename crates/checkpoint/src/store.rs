@@ -147,13 +147,24 @@ impl CheckpointStore {
     /// Atomically write a new generation and prune old ones. Returns
     /// the generation number written.
     pub fn save(&self, sections: &[Section]) -> io::Result<u64> {
+        self.save_with_min_retained(sections, u64::MAX)
+    }
+
+    /// Like [`save`](Self::save), but generations numbered `keep_from`
+    /// or higher are exempt from pruning even when they fall outside
+    /// the retention window. Delta checkpointing uses this with
+    /// `keep_from` = the chain's base generation: a delta is useless
+    /// without its base, so the base (and every chain member after it)
+    /// must outlive the rotation that would otherwise drop it. Passing
+    /// `u64::MAX` imposes no floor and behaves exactly like `save`.
+    pub fn save_with_min_retained(&self, sections: &[Section], keep_from: u64) -> io::Result<u64> {
         let _span = consent_telemetry::span("checkpoint.write");
         let generation = self.prepare(sections)?;
         let bytes = serialize(generation, sections);
         self.write_atomic(generation, &bytes)?;
         consent_telemetry::count("checkpoint.writes", 1);
         consent_telemetry::observe("checkpoint.write.bytes", bytes.len() as u64);
-        self.prune()?;
+        self.prune(keep_from)?;
         Ok(generation)
     }
 
@@ -204,20 +215,32 @@ impl CheckpointStore {
         })
     }
 
-    fn prune(&self) -> io::Result<()> {
-        let mut gens = self.generations()?;
+    /// Drop generations that are both outside the last-`keep` window
+    /// *and* below `keep_from`. The second condition is what keeps a
+    /// delta chain's base alive: rotation alone would delete it while
+    /// newer deltas still depend on it.
+    fn prune(&self, keep_from: u64) -> io::Result<()> {
+        let gens = self.generations()?;
+        let mut kept = gens.len();
         if gens.len() > self.keep {
-            let dropped = gens.len() - self.keep;
-            for &g in &gens[..dropped] {
+            let window_start = gens[gens.len() - self.keep];
+            let mut dropped = 0u64;
+            for &g in &gens {
+                if g >= window_start || g >= keep_from {
+                    continue;
+                }
                 self.vfs.remove_file(&self.path_for(g))?;
+                dropped += 1;
             }
-            gens.drain(..dropped);
-            // How many old generations a run sheds depends on what a
-            // crash left on disk, so this counter is denied from
-            // deterministic samples (see consent-obs DEFAULT_DENY).
-            consent_telemetry::count("checkpoint.pruned", dropped as u64);
+            kept = gens.len() - dropped as usize;
+            if dropped > 0 {
+                // How many old generations a run sheds depends on what a
+                // crash left on disk, so this counter is denied from
+                // deterministic samples (see consent-obs DEFAULT_DENY).
+                consent_telemetry::count("checkpoint.pruned", dropped);
+            }
         }
-        consent_telemetry::gauge_set("checkpoint.generations", gens.len() as i64);
+        consent_telemetry::gauge_set("checkpoint.generations", kept as i64);
         Ok(())
     }
 
@@ -370,6 +393,27 @@ mod tests {
             store.save(&sections(&i.to_string())).unwrap();
         }
         assert_eq!(store.generations().unwrap(), vec![4, 5]);
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn min_retained_floor_pins_chain_bases_through_rotation() {
+        let (dir, store) = tmp_store(2);
+        // Generation 1 plays the chain base: every later save names it
+        // as the retention floor, so rotation may drop nothing — every
+        // generation from the base onward is a live chain member.
+        store.save(&sections("base")).unwrap();
+        for i in 0..4 {
+            store
+                .save_with_min_retained(&sections(&i.to_string()), 1)
+                .unwrap();
+        }
+        assert_eq!(store.generations().unwrap(), vec![1, 2, 3, 4, 5]);
+        // Once the floor moves past it, the old base is prunable again.
+        store
+            .save_with_min_retained(&sections("rebased"), 6)
+            .unwrap();
+        assert_eq!(store.generations().unwrap(), vec![5, 6]);
         fs::remove_dir_all(dir).unwrap();
     }
 

@@ -1,16 +1,95 @@
-//! The central capture database and its query API.
+//! The central capture database: a sharded, columnar, append-only store.
 //!
 //! §3.2: "All crawl data is stored in a central database, which can be
 //! queried using a custom API." Like Netograph (which "does not store
 //! page contents due to storage constraints") we keep a compact summary
 //! per capture: the final eTLD+1, day, vantage, outcome, and the detected
 //! CMPs — everything the longitudinal analyses consume.
+//!
+//! # Layout
+//!
+//! The store is organized for a million-domain longitudinal crawl where
+//! the hot path is *append* (one row per processed pair) and the cold
+//! path is *scan* (analyses and exports). Rows live in [`SHARD_COUNT`]
+//! shards keyed by a stable FNV-1a hash of the domain, each shard a list
+//! of fixed-capacity columnar segments:
+//!
+//! ```text
+//! CaptureDb
+//! ├── interner: host string ↔ u32 id (id = first-insert order)
+//! ├── shard 0: [ sealed seg ][ sealed seg ][ active tail → ]
+//! ├── shard 1: [ sealed seg ][ active tail → ]
+//! │   ...                 each segment = SEGMENT_ROWS parallel columns:
+//! └── shard 15             domain_id:u32 | day:i32 | loc:u8 | status:u8
+//!                          | cmps:u8 bitmask | flags:u8 (redir, dialog)
+//! ```
+//!
+//! A segment seals when it reaches [`SEGMENT_ROWS`] rows and a fresh
+//! active tail starts; sealed segments are never mutated again. Because
+//! sealing depends only on the shard's row count, the full layout is a
+//! pure function of the insertion history — which is what lets the
+//! columnar checkpoint export stay byte-identical across thread counts
+//! and kill-halfway resumes (insertions always happen on the merge
+//! thread in deterministic pair order).
+//!
+//! The per-shard row counts (see [`CaptureDb::marks`]) are the delta-
+//! checkpoint cursor: everything past a mark is exactly the set of rows
+//! appended since that mark was taken. `docs/STORAGE.md` is the
+//! normative spec of the on-disk serialization of this layout.
+//!
+//! # Append and seal
+//!
+//! ```
+//! use consent_crawler::{CaptureDb, CaptureSummary, CmpSet, SEGMENT_ROWS};
+//! use consent_httpsim::{CaptureStatus, Location};
+//! use consent_util::Day;
+//!
+//! let mut db = CaptureDb::new();
+//! let row = |i: u32| CaptureSummary {
+//!     domain: "example.com".into(),
+//!     day: Day::from_ymd(2020, 1, 1) + i as i32,
+//!     location: Location::EuCloud,
+//!     status: CaptureStatus::Ok,
+//!     cmps: CmpSet::empty(),
+//!     redirected: false,
+//!     dialog_visible: false,
+//! };
+//! // Fill one segment exactly: the tail seals and a new one opens on
+//! // the next append.
+//! for i in 0..SEGMENT_ROWS as u32 {
+//!     db.insert(row(i));
+//! }
+//! assert_eq!(db.sealed_segments(), 1);
+//! db.insert(row(SEGMENT_ROWS as u32));
+//! assert_eq!(db.len(), SEGMENT_ROWS as u64 + 1);
+//! assert_eq!(db.domain_history("example.com").len(), SEGMENT_ROWS + 1);
+//! ```
 
 use consent_httpsim::{Capture, CaptureStatus, Location};
 use consent_psl::PublicSuffixList;
 use consent_util::Day;
 use consent_webgraph::{Cmp, ALL_CMPS};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+
+/// Number of domain shards. Fixed by the storage format (STORAGE.md):
+/// changing it changes every shard assignment and therefore the export
+/// bytes.
+pub const SHARD_COUNT: usize = 16;
+
+/// Rows per segment. A segment seals exactly when it holds this many
+/// rows, so segment boundaries are a pure function of insert history.
+pub const SEGMENT_ROWS: usize = 256;
+
+/// Stable shard assignment: FNV-1a over the domain bytes, mod
+/// [`SHARD_COUNT`]. Part of the storage format — see STORAGE.md.
+pub fn shard_of(domain: &str) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in domain.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % SHARD_COUNT as u64) as usize
+}
 
 /// Compact bitmask of detected CMPs.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -45,6 +124,16 @@ impl CmpSet {
     /// Iterate members in [`ALL_CMPS`] order.
     pub fn iter(&self) -> CmpSetIter {
         CmpSetIter { set: *self, pos: 0 }
+    }
+
+    /// The raw bitmask, bit i = `ALL_CMPS[i]` (the storage column value).
+    pub(crate) fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Rebuild from a raw bitmask (inverse of [`bits`](Self::bits)).
+    pub(crate) fn from_bits(bits: u8) -> CmpSet {
+        CmpSet(bits)
     }
 }
 
@@ -116,7 +205,7 @@ fn cmp_index(cmp: Cmp) -> u8 {
         .expect("cmp in registry") as u8
 }
 
-/// One stored capture summary.
+/// One stored capture summary (the materialized row view).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CaptureSummary {
     /// Final registrable domain (eTLD+1) after redirects.
@@ -136,13 +225,170 @@ pub struct CaptureSummary {
     pub dialog_visible: bool,
 }
 
-/// The capture store, indexed by domain.
+/// Row flag bits (the `flags` column).
+pub(crate) const FLAG_REDIRECTED: u8 = 1;
+pub(crate) const FLAG_DIALOG: u8 = 2;
+
+/// One fixed-capacity columnar segment: six parallel columns of at most
+/// [`SEGMENT_ROWS`] values each. Sealed segments are immutable.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct Segment {
+    pub(crate) domain_ids: Vec<u32>,
+    pub(crate) days: Vec<i32>,
+    pub(crate) locations: Vec<u8>,
+    pub(crate) statuses: Vec<u8>,
+    pub(crate) cmps: Vec<u8>,
+    pub(crate) flags: Vec<u8>,
+}
+
+impl Segment {
+    fn with_capacity() -> Segment {
+        Segment {
+            domain_ids: Vec::with_capacity(SEGMENT_ROWS),
+            days: Vec::with_capacity(SEGMENT_ROWS),
+            locations: Vec::with_capacity(SEGMENT_ROWS),
+            statuses: Vec::with_capacity(SEGMENT_ROWS),
+            cmps: Vec::with_capacity(SEGMENT_ROWS),
+            flags: Vec::with_capacity(SEGMENT_ROWS),
+        }
+    }
+
+    pub(crate) fn rows(&self) -> usize {
+        self.domain_ids.len()
+    }
+
+    fn is_full(&self) -> bool {
+        self.rows() == SEGMENT_ROWS
+    }
+}
+
+/// One domain shard: zero or more sealed segments plus the active tail.
 #[derive(Debug, Default)]
+struct Shard {
+    /// All segments; every segment but the last is sealed (full).
+    segments: Vec<Segment>,
+}
+
+impl Shard {
+    fn rows(&self) -> u32 {
+        self.segments.iter().map(|s| s.rows() as u32).sum()
+    }
+
+    /// Append one row, sealing the tail when it fills. Returns true if
+    /// a segment sealed on this append.
+    fn append(
+        &mut self,
+        domain_id: u32,
+        day: i32,
+        loc: u8,
+        status: u8,
+        cmps: u8,
+        flags: u8,
+    ) -> bool {
+        if self.segments.last().is_none_or(Segment::is_full) {
+            self.segments.push(Segment::with_capacity());
+        }
+        let tail = self.segments.last_mut().expect("tail segment");
+        tail.domain_ids.push(domain_id);
+        tail.days.push(day);
+        tail.locations.push(loc);
+        tail.statuses.push(status);
+        tail.cmps.push(cmps);
+        tail.flags.push(flags);
+        tail.is_full()
+    }
+}
+
+/// Per-shard row counts at one instant: the delta-checkpoint cursor.
+///
+/// Taken with [`CaptureDb::marks`] at a durable checkpoint cut;
+/// everything appended past the marks is exactly the set of rows the
+/// next delta section must carry (see `docs/STORAGE.md`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DbMarks {
+    /// Interned host count at the mark.
+    pub hosts: u32,
+    /// Row count per shard at the mark, indexed by shard.
+    pub shard_rows: Vec<u32>,
+}
+
+/// The capture store: interned hosts plus [`SHARD_COUNT`] columnar
+/// shards (see the [module docs](self) for the layout).
+#[derive(Debug)]
 pub struct CaptureDb {
-    by_domain: BTreeMap<String, Vec<CaptureSummary>>,
+    /// Host names in id order; `hosts[id]` is the interned string.
+    hosts: Vec<String>,
+    /// Host name → id (inverse of `hosts`).
+    host_ids: HashMap<String, u32>,
+    /// The columnar shards.
+    shards: Vec<Shard>,
+    /// Per-domain row index: domain id → row indexes within the
+    /// domain's shard, in insertion order. BTree keyed by name so
+    /// domain iteration is sorted without materializing.
+    by_domain: BTreeMap<String, Vec<u32>>,
     total: u64,
     redirected: u64,
     multi_cmp: u64,
+    sealed: u64,
+}
+
+impl Default for CaptureDb {
+    fn default() -> CaptureDb {
+        CaptureDb {
+            hosts: Vec::new(),
+            host_ids: HashMap::new(),
+            shards: (0..SHARD_COUNT).map(|_| Shard::default()).collect(),
+            by_domain: BTreeMap::new(),
+            total: 0,
+            redirected: 0,
+            multi_cmp: 0,
+            sealed: 0,
+        }
+    }
+}
+
+pub(crate) fn location_bits(l: Location) -> u8 {
+    match l {
+        Location::UsCloud => 0,
+        Location::EuCloud => 1,
+        Location::EuUniversity => 2,
+    }
+}
+
+pub(crate) fn location_from_bits(b: u8) -> Option<Location> {
+    Some(match b {
+        0 => Location::UsCloud,
+        1 => Location::EuCloud,
+        2 => Location::EuUniversity,
+        _ => return None,
+    })
+}
+
+pub(crate) fn status_bits(s: CaptureStatus) -> u8 {
+    match s {
+        CaptureStatus::Ok => 0,
+        CaptureStatus::Timeout => 1,
+        CaptureStatus::AntiBotInterstitial => 2,
+        CaptureStatus::LegallyBlocked => 3,
+        CaptureStatus::HttpError => 4,
+        CaptureStatus::ConnectionFailed => 5,
+        CaptureStatus::ConnectionReset => 6,
+        CaptureStatus::Truncated => 7,
+    }
+}
+
+pub(crate) fn status_from_bits(b: u8) -> Option<CaptureStatus> {
+    Some(match b {
+        0 => CaptureStatus::Ok,
+        1 => CaptureStatus::Timeout,
+        2 => CaptureStatus::AntiBotInterstitial,
+        3 => CaptureStatus::LegallyBlocked,
+        4 => CaptureStatus::HttpError,
+        5 => CaptureStatus::ConnectionFailed,
+        6 => CaptureStatus::ConnectionReset,
+        7 => CaptureStatus::Truncated,
+        _ => return None,
+    })
 }
 
 impl CaptureDb {
@@ -172,12 +418,14 @@ impl CaptureDb {
         self.insert(summary);
     }
 
-    /// Insert a pre-built summary.
+    /// Insert a pre-built summary, appending one row to the domain's
+    /// shard (sealing the tail segment when it fills).
     ///
     /// This is the telemetry reconciliation anchor: the
     /// `capture_db.insert{location,status}` counter family increments
     /// here and nowhere else, so its sum always equals [`len`](Self::len)
-    /// across all databases touched while recording was on.
+    /// across all databases touched while recording was on. Segment
+    /// seals are counted as `capture_db.segment.sealed`.
     pub fn insert(&mut self, summary: CaptureSummary) {
         if consent_telemetry::enabled() {
             consent_telemetry::count_labeled(
@@ -196,10 +444,106 @@ impl CaptureDb {
         if summary.cmps.len() > 1 {
             self.multi_cmp += 1;
         }
-        self.by_domain
-            .entry(summary.domain.clone())
-            .or_default()
-            .push(summary);
+        let id = self.intern(&summary.domain);
+        let shard = shard_of(&summary.domain);
+        let mut flags = 0u8;
+        if summary.redirected {
+            flags |= FLAG_REDIRECTED;
+        }
+        if summary.dialog_visible {
+            flags |= FLAG_DIALOG;
+        }
+        let row = self.shards[shard].rows();
+        let sealed = self.shards[shard].append(
+            id,
+            summary.day.0,
+            location_bits(summary.location),
+            status_bits(summary.status),
+            summary.cmps.bits(),
+            flags,
+        );
+        if sealed {
+            self.sealed += 1;
+            consent_telemetry::count("capture_db.segment.sealed", 1);
+        }
+        self.by_domain.entry(summary.domain).or_default().push(row);
+    }
+
+    /// Intern a host, assigning the next id on first sight.
+    fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.host_ids.get(name) {
+            return id;
+        }
+        let id = self.hosts.len() as u32;
+        self.hosts.push(name.to_owned());
+        self.host_ids.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Pre-populate the interning table in id order (checkpoint import
+    /// path). The caller must feed hosts in exactly their original
+    /// first-insert order or later appends would diverge.
+    pub(crate) fn preintern(&mut self, name: &str) {
+        self.intern(name);
+    }
+
+    /// Interned host names, in id order.
+    pub(crate) fn host_table(&self) -> &[String] {
+        &self.hosts
+    }
+
+    /// The segments of one shard, sealed-first with the active tail last.
+    pub(crate) fn shard_segments(&self, shard: usize) -> &[Segment] {
+        &self.shards[shard].segments
+    }
+
+    /// Append a raw row by column values (delta-import path). Telemetry
+    /// and counters go through [`insert`](Self::insert), so replays
+    /// reconcile identically to original inserts.
+    pub(crate) fn insert_row(
+        &mut self,
+        domain_id: u32,
+        day: i32,
+        loc: u8,
+        status: u8,
+        cmps: u8,
+        flags: u8,
+    ) -> Result<(), String> {
+        let domain = self
+            .hosts
+            .get(domain_id as usize)
+            .ok_or_else(|| format!("domain id {domain_id} out of range"))?
+            .clone();
+        let location = location_from_bits(loc).ok_or_else(|| format!("bad location {loc}"))?;
+        let status = status_from_bits(status).ok_or_else(|| format!("bad status {status}"))?;
+        if flags & !(FLAG_REDIRECTED | FLAG_DIALOG) != 0 {
+            return Err(format!("bad flags {flags}"));
+        }
+        self.insert(CaptureSummary {
+            domain,
+            day: Day(day),
+            location,
+            status,
+            cmps: CmpSet::from_bits(cmps),
+            redirected: flags & FLAG_REDIRECTED != 0,
+            dialog_visible: flags & FLAG_DIALOG != 0,
+        });
+        Ok(())
+    }
+
+    /// Materialize the row at `(shard, row)`.
+    fn row(&self, shard: usize, row: u32) -> CaptureSummary {
+        let seg = &self.shards[shard].segments[row as usize / SEGMENT_ROWS];
+        let i = row as usize % SEGMENT_ROWS;
+        CaptureSummary {
+            domain: self.hosts[seg.domain_ids[i] as usize].clone(),
+            day: Day(seg.days[i]),
+            location: location_from_bits(seg.locations[i]).expect("stored location"),
+            status: status_from_bits(seg.statuses[i]).expect("stored status"),
+            cmps: CmpSet::from_bits(seg.cmps[i]),
+            redirected: seg.flags[i] & FLAG_REDIRECTED != 0,
+            dialog_visible: seg.flags[i] & FLAG_DIALOG != 0,
+        }
     }
 
     /// Total stored captures.
@@ -215,6 +559,19 @@ impl CaptureDb {
     /// Number of distinct domains observed.
     pub fn domain_count(&self) -> usize {
         self.by_domain.len()
+    }
+
+    /// Number of sealed (immutable, full) segments across all shards.
+    pub fn sealed_segments(&self) -> u64 {
+        self.sealed
+    }
+
+    /// The delta cursor: current per-shard row counts and host count.
+    pub fn marks(&self) -> DbMarks {
+        DbMarks {
+            hosts: self.hosts.len() as u32,
+            shard_rows: self.shards.iter().map(Shard::rows).collect(),
+        }
     }
 
     /// Fraction of captures whose seed redirected across eTLD+1.
@@ -235,18 +592,28 @@ impl CaptureDb {
         }
     }
 
-    /// All captures of one domain, in insertion (time) order.
-    pub fn domain_history(&self, domain: &str) -> &[CaptureSummary] {
+    /// All captures of one domain, materialized in insertion (time)
+    /// order from the domain's shard.
+    pub fn domain_history(&self, domain: &str) -> Vec<CaptureSummary> {
         consent_telemetry::count("capture_db.query.domain_history", 1);
-        self.by_domain.get(domain).map_or(&[], Vec::as_slice)
+        let Some(rows) = self.by_domain.get(domain) else {
+            return Vec::new();
+        };
+        let shard = shard_of(domain);
+        rows.iter().map(|&r| self.row(shard, r)).collect()
     }
 
-    /// Iterate all `(domain, history)` pairs.
-    pub fn iter(&self) -> impl Iterator<Item = (&str, &[CaptureSummary])> {
+    /// Iterate all `(domain, history)` pairs in domain order, each
+    /// history materialized from its shard's columns.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, Vec<CaptureSummary>)> {
         consent_telemetry::count("capture_db.query.scan", 1);
-        self.by_domain
-            .iter()
-            .map(|(d, v)| (d.as_str(), v.as_slice()))
+        self.by_domain.iter().map(|(d, rows)| {
+            let shard = shard_of(d);
+            (
+                d.as_str(),
+                rows.iter().map(|&r| self.row(shard, r)).collect(),
+            )
+        })
     }
 }
 
@@ -281,6 +648,7 @@ mod tests {
         let from = CmpSet::from_iter([Cmp::LiveRamp]);
         assert!(from.contains(Cmp::LiveRamp));
         assert_eq!(from.len(), 1);
+        assert_eq!(CmpSet::from_bits(s.bits()), s);
     }
 
     #[test]
@@ -335,6 +703,55 @@ mod tests {
         assert_eq!(db.domain_history("a.com").len(), 2);
         assert_eq!(db.domain_history("missing.com").len(), 0);
         assert_eq!(db.iter().count(), 2);
+    }
+
+    #[test]
+    fn shard_function_is_stable() {
+        // Pinned values: changing the hash or shard count is a format
+        // break and must fail loudly (STORAGE.md pins these).
+        assert_eq!(shard_of("example.com"), shard_of("example.com"));
+        assert!(shard_of("example.com") < SHARD_COUNT);
+        let spread: std::collections::HashSet<usize> = (0..200)
+            .map(|i| shard_of(&format!("site-{i}.net")))
+            .collect();
+        assert!(spread.len() > SHARD_COUNT / 2, "degenerate shard spread");
+    }
+
+    #[test]
+    fn segments_seal_at_fixed_capacity() {
+        let mut db = CaptureDb::new();
+        let d = Day::from_ymd(2020, 1, 1);
+        // All rows of one domain land in one shard.
+        for i in 0..(SEGMENT_ROWS as i32 * 2 + 10) {
+            db.insert(summary("seal.me", d + i, CmpSet::empty(), false));
+        }
+        assert_eq!(db.sealed_segments(), 2);
+        let shard = shard_of("seal.me");
+        let segs = db.shard_segments(shard);
+        assert_eq!(segs.len(), 3);
+        assert_eq!(segs[0].rows(), SEGMENT_ROWS);
+        assert_eq!(segs[1].rows(), SEGMENT_ROWS);
+        assert_eq!(segs[2].rows(), 10);
+        // History is materialized back in insertion order.
+        let hist = db.domain_history("seal.me");
+        assert_eq!(hist.len(), SEGMENT_ROWS * 2 + 10);
+        assert_eq!(hist[0].day, d);
+        assert_eq!(hist.last().unwrap().day, d + (SEGMENT_ROWS as i32 * 2 + 9));
+    }
+
+    #[test]
+    fn marks_track_per_shard_growth() {
+        let mut db = CaptureDb::new();
+        let d = Day::from_ymd(2020, 1, 1);
+        let before = db.marks();
+        assert_eq!(before.hosts, 0);
+        assert_eq!(before.shard_rows, vec![0; SHARD_COUNT]);
+        db.insert(summary("a.com", d, CmpSet::empty(), false));
+        db.insert(summary("b.com", d, CmpSet::empty(), false));
+        let after = db.marks();
+        assert_eq!(after.hosts, 2);
+        assert_eq!(after.shard_rows.iter().sum::<u32>(), 2);
+        assert!(after.shard_rows[shard_of("a.com")] >= 1);
     }
 
     #[test]

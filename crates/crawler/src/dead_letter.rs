@@ -158,7 +158,19 @@ impl DeadLetterQueue {
         let mut out = String::new();
         out.push_str(HEADER);
         out.push('\n');
-        for r in &self.records {
+        out.push_str(&self.export_from(0));
+        out
+    }
+
+    /// The record lines of entries `from..` only, without the header —
+    /// the body of a dead-letter delta checkpoint section. Appending
+    /// these lines to the base export reconstructs the full export,
+    /// which is how chain recovery reassembles the queue (STORAGE.md).
+    /// Cost is proportional to the records past `from`, never the queue
+    /// length. `from` past the end yields an empty string.
+    pub fn export_from(&self, from: usize) -> String {
+        let mut out = String::new();
+        for r in self.records.iter().skip(from) {
             let attempts: Vec<String> = r
                 .attempts
                 .iter()

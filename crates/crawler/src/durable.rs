@@ -33,6 +33,30 @@
 //! pairs lost to a quarantined generation are simply re-crawled, and the
 //! final exports reconcile byte-for-byte with an uninterrupted run.
 //!
+//! # Delta chains
+//!
+//! With [`CheckpointMode::Delta`], generations form *chains*: a full
+//! base followed by delta generations whose sections carry only what
+//! was appended since the previous cut — new capture rows (in the
+//! capture-db delta format, see `docs/STORAGE.md`), new dead-letter and
+//! provenance record lines, and the trace events recorded in the
+//! window. A delta cut therefore costs O(captures since the last cut)
+//! instead of O(campaign so far). Chain structure lives in the
+//! [`SECTION_DELTA_META`] section (`parent=`/`base=` links); filenames
+//! and generation numbering are unchanged, and the chain base is pinned
+//! against rotation via
+//! [`CheckpointStore::save_with_min_retained`]. Recovery walks the
+//! parent links and replays deltas in order through the same importers
+//! a full generation uses; a corrupt or missing chain member
+//! quarantines itself, the head, and everything between — the walk then
+//! retries from the shorter chain below the break, an older full
+//! generation, or scratch. After `rebase_every` deltas (and at the
+//! first cut of every process incarnation) the driver writes a fresh
+//! full base, bounding chain length and unpinning the old base. None of
+//! this changes the bytes: the reassembled state passes the identical
+//! semantic import, and exports stay byte-identical across modes,
+//! thread counts, and kill-halfway resumes.
+//!
 //! # Deterministic crashes
 //!
 //! [`DurableOpts::crash`] accepts a [`CrashPlan`]
@@ -68,6 +92,7 @@ use consent_checkpoint::{CheckpointStore, Section, DEFAULT_KEEP};
 use consent_faultsim::{CrashPlan, FaultyVfs, IoFaultPlan};
 use consent_httpsim::Vantage;
 use consent_obs::Sampler;
+use consent_trace::TraceMark;
 use consent_util::{Day, SeedTree};
 use consent_watch::{Watch, WATCH_STATE_SECTION};
 use consent_webgraph::World;
@@ -75,8 +100,10 @@ use consent_webgraph::World;
 pub use consent_checkpoint::SalvageReport;
 
 use crate::campaign::{CampaignConfig, CampaignResult, CampaignState, STATE_HEADER};
+use crate::capture_db::DbMarks;
 use crate::export::export as export_db;
 use crate::export::import as import_db;
+use crate::export::{apply_delta, export_delta};
 use crate::parallel::{resume_campaign_parallel, ParallelOpts};
 use crate::supervisor::{DegradeLevel, HealthReport, SaveVerdict, Supervisor, SupervisorPolicy};
 
@@ -90,6 +117,45 @@ pub const SECTION_DEAD_LETTERS: &str = "dead-letters";
 pub const SECTION_PROVENANCE: &str = "provenance";
 /// Checkpoint section holding the trace log's JSONL export.
 pub const SECTION_TRACE: &str = "trace-jsonl";
+
+/// Checkpoint section marking a generation as a delta and carrying its
+/// chain links (`parent=`/`base=`). Its *presence* is what
+/// distinguishes a delta generation from a full one — filenames are
+/// identical, so generation numbering and rotation stay uniform.
+pub const SECTION_DELTA_META: &str = "delta-meta";
+/// Delta section: capture rows appended since the parent generation, in
+/// the `#consent-capture-db-delta v1` format
+/// (see [`export_delta`]).
+pub const SECTION_DB_DELTA: &str = "capture-db-delta";
+/// Delta section: dead-letter record lines appended since the parent.
+pub const SECTION_DEAD_LETTERS_DELTA: &str = "dead-letters-delta";
+/// Delta section: provenance record lines appended since the parent.
+pub const SECTION_PROVENANCE_DELTA: &str = "provenance-delta";
+/// Delta section: trace events recorded since the parent, as sorted
+/// JSONL (a deterministic *set*, not a byte-suffix of the full export).
+pub const SECTION_TRACE_DELTA: &str = "trace-jsonl-delta";
+
+/// First line of a [`SECTION_DELTA_META`] body.
+pub const DELTA_META_HEADER: &str = "#consent-delta-meta v1";
+
+/// What each checkpoint generation contains.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CheckpointMode {
+    /// Every generation is a self-contained snapshot (the default, and
+    /// the only behavior before delta checkpoints existed).
+    Full,
+    /// Generations form chains: a full *base* followed by deltas that
+    /// carry only the rows/records/events appended since the previous
+    /// cut, so each write costs O(new captures) instead of O(campaign).
+    Delta {
+        /// Delta cuts between full bases. After this many deltas the
+        /// next cut rebases (writes a fresh full snapshot), bounding
+        /// both recovery reassembly work and how long rotation must
+        /// pin the chain base. `0` behaves exactly like
+        /// [`CheckpointMode::Full`].
+        rebase_every: u64,
+    },
+}
 
 /// How a durable campaign runs.
 #[derive(Clone, Debug)]
@@ -127,10 +193,16 @@ pub struct DurableOpts {
     /// caps, cadence widening, recovery attempts (see
     /// [`Supervisor`]).
     pub supervisor: SupervisorPolicy,
+    /// Full snapshots every cut, or delta chains (see
+    /// [`CheckpointMode`]). A resumed run always opens its incarnation
+    /// with a full base regardless of mode, so chains never span
+    /// process restarts.
+    pub mode: CheckpointMode,
 }
 
 impl Default for DurableOpts {
-    /// Sequential, default config, checkpoint every 25 pairs, no crash.
+    /// Sequential, default config, checkpoint every 25 pairs, no crash,
+    /// full snapshots.
     fn default() -> DurableOpts {
         DurableOpts {
             threads: 1,
@@ -140,6 +212,7 @@ impl Default for DurableOpts {
             sampler: None,
             watch: None,
             supervisor: SupervisorPolicy::default(),
+            mode: CheckpointMode::Full,
         }
     }
 }
@@ -207,6 +280,99 @@ pub fn state_sections(state: &CampaignState, trace_jsonl: &str) -> Vec<Section> 
     ]
 }
 
+/// Where each appendable store component stood at one checkpoint cut —
+/// the cursor a delta generation is written *from*. Captured on the
+/// merge thread at a quiescent point, so every field is deterministic.
+#[derive(Clone, Debug)]
+pub struct DeltaMarks {
+    /// Capture-db per-shard row counts + host count.
+    pub db: DbMarks,
+    /// Dead-letter records.
+    pub dead: usize,
+    /// Provenance records.
+    pub prov: usize,
+    /// Trace log per-shard event counts (of the global log).
+    pub trace: TraceMark,
+}
+
+impl DeltaMarks {
+    /// Snapshot the cursors of `state` (and the global trace log) now.
+    pub fn capture(state: &CampaignState) -> DeltaMarks {
+        DeltaMarks {
+            db: state.db.marks(),
+            dead: state.dead_letters.len(),
+            prov: state.provenance.len(),
+            trace: consent_trace::global().mark(),
+        }
+    }
+}
+
+/// The driver's cursor into an open delta chain: where each store
+/// component stood at the last durable cut. Marks advance only on
+/// [`SaveVerdict::Saved`] — a skipped (memory-only) write leaves them
+/// alone so the next delta covers both chunks, and a shed-trace write
+/// leaves the trace mark alone so a later healthy delta heals the gap.
+#[derive(Debug)]
+struct ChainMarks {
+    /// Generation of the chain's full base.
+    base: u64,
+    /// Newest durable chain member (the next delta's `parent=`).
+    head: u64,
+    /// Delta cuts since the base, for the rebase cadence.
+    deltas: u64,
+    /// Component cursors at the head.
+    marks: DeltaMarks,
+}
+
+/// Build the sections of one delta generation: the full (tiny) cursor
+/// meta, the chain links (`parent`/`base` generation numbers), and one
+/// appended-only section per store component. Total size is O(captures
+/// since `marks`) — this is the exact payload the durable driver writes
+/// at a delta cut, public so the bench harness measures the real thing.
+pub fn delta_state_sections(
+    state: &CampaignState,
+    marks: &DeltaMarks,
+    parent: u64,
+    base: u64,
+    trace_delta: &str,
+) -> Vec<Section> {
+    vec![
+        Section::new(
+            SECTION_META,
+            format!("{STATE_HEADER}\npairs_done={}\n", state.pairs_done),
+        ),
+        Section::new(
+            SECTION_DELTA_META,
+            format!("{DELTA_META_HEADER}\nparent={parent}\nbase={base}\n"),
+        ),
+        Section::new(SECTION_DB_DELTA, export_delta(&state.db, &marks.db)),
+        Section::new(
+            SECTION_DEAD_LETTERS_DELTA,
+            state.dead_letters.export_from(marks.dead),
+        ),
+        Section::new(
+            SECTION_PROVENANCE_DELTA,
+            state.provenance.export_from(marks.prov),
+        ),
+        Section::new(SECTION_TRACE_DELTA, trace_delta),
+    ]
+}
+
+fn delta_sections(state: &CampaignState, chain: &ChainMarks, trace_delta: &str) -> Vec<Section> {
+    delta_state_sections(state, &chain.marks, chain.head, chain.base, trace_delta)
+}
+
+/// Parse a [`SECTION_DELTA_META`] body into `(parent, base)`.
+fn parse_delta_meta(body: &str) -> Option<(u64, u64)> {
+    let mut lines = body.lines();
+    if lines.next()? != DELTA_META_HEADER {
+        return None;
+    }
+    let parent = lines.next()?.strip_prefix("parent=")?.parse().ok()?;
+    let base = lines.next()?.strip_prefix("base=")?.parse().ok()?;
+    Some((parent, base))
+}
+
 /// Reassemble a state from checkpoint section bodies.
 fn state_from_parts(
     meta: &str,
@@ -248,6 +414,149 @@ fn salvage_from(
     Some((state, trace.body.clone(), watch, how.to_string()))
 }
 
+/// A fully reassembled delta chain.
+struct AssembledChain {
+    state: CampaignState,
+    /// Base trace JSONL + each delta's events, concatenated. Importable
+    /// as-is (the importer is order-insensitive and re-sorts on export).
+    trace: String,
+    /// The head's `watch-state` blob (empty if absent).
+    watch: String,
+    /// Chain length excluding the base, for the report.
+    deltas: u64,
+    /// The base generation, for the report.
+    base: u64,
+}
+
+/// Why a chain could not be used, and which generations it takes down.
+struct ChainFailure {
+    reason: String,
+    /// Chain members to quarantine: the head, every delta walked before
+    /// the failure, and the failed member itself. Members *older* than
+    /// the failure stay live — the next recovery pass reassembles the
+    /// shorter chain that ends just below it.
+    implicated: Vec<u64>,
+}
+
+/// Walk a delta chain from its head down the `parent=` links to the
+/// full base, then replay every delta in ascending order: capture rows
+/// through [`apply_delta`] (the normal insert path, so seals and
+/// telemetry reconcile), dead-letter/provenance lines by text
+/// concatenation, trace JSONL by concatenation. The reassembled state
+/// passes the same semantic import as a full generation.
+fn assemble_chain(
+    store: &CheckpointStore,
+    head: consent_checkpoint::Checkpoint,
+) -> Result<AssembledChain, ChainFailure> {
+    let sec = |c: &consent_checkpoint::Checkpoint, name: &str| {
+        c.section(name).map(|s| s.body.clone()).unwrap_or_default()
+    };
+    // Newest-first walk; `members` collects the delta generations.
+    let mut members = vec![head];
+    let mut implicated = vec![members[0].generation];
+    let base = loop {
+        let cur = members.last().expect("non-empty chain walk");
+        let Some((parent, _chain_base)) = parse_delta_meta(&sec(cur, SECTION_DELTA_META)) else {
+            return Err(ChainFailure {
+                reason: format!(
+                    "generation {}: malformed delta-meta section",
+                    cur.generation
+                ),
+                implicated,
+            });
+        };
+        if parent >= cur.generation {
+            return Err(ChainFailure {
+                reason: format!(
+                    "generation {}: non-decreasing parent link {parent}",
+                    cur.generation
+                ),
+                implicated,
+            });
+        }
+        let scan = match store.scan_generation(parent) {
+            Ok(scan) => scan,
+            Err(e) => {
+                return Err(ChainFailure {
+                    reason: format!("chain parent generation {parent} unreadable: {e}"),
+                    implicated,
+                })
+            }
+        };
+        if !scan.intact() {
+            implicated.push(parent);
+            return Err(ChainFailure {
+                reason: format!(
+                    "chain member generation {parent} corrupt: {}",
+                    scan.describe()
+                ),
+                implicated,
+            });
+        }
+        let ckpt = scan.into_checkpoint().expect("intact scan has checkpoint");
+        if ckpt.section(SECTION_DELTA_META).is_some() {
+            implicated.push(parent);
+            members.push(ckpt);
+            continue;
+        }
+        break ckpt;
+    };
+    // Semantic failures below poison the whole chain, base included.
+    let whole_chain = || {
+        let mut all = implicated.clone();
+        all.push(base.generation);
+        all
+    };
+    let mut db = match import_db(&sec(&base, SECTION_DB)) {
+        Ok(db) => db,
+        Err(e) => {
+            return Err(ChainFailure {
+                reason: format!(
+                    "chain base generation {} capture-db unimportable: line {}: {}",
+                    base.generation, e.line, e.message
+                ),
+                implicated: whole_chain(),
+            })
+        }
+    };
+    let mut dead_letters = sec(&base, SECTION_DEAD_LETTERS);
+    let mut provenance = sec(&base, SECTION_PROVENANCE);
+    let mut trace = sec(&base, SECTION_TRACE);
+    members.reverse(); // ascending: oldest delta first, head last
+    for member in &members {
+        if let Err(e) = apply_delta(&mut db, &sec(member, SECTION_DB_DELTA)) {
+            return Err(ChainFailure {
+                reason: format!(
+                    "generation {} capture-db delta rejected: line {}: {}",
+                    member.generation, e.line, e.message
+                ),
+                implicated: whole_chain(),
+            });
+        }
+        dead_letters.push_str(&sec(member, SECTION_DEAD_LETTERS_DELTA));
+        provenance.push_str(&sec(member, SECTION_PROVENANCE_DELTA));
+        trace.push_str(&sec(member, SECTION_TRACE_DELTA));
+    }
+    let head = members.last().expect("non-empty chain");
+    let state = state_from_parts(
+        &sec(head, SECTION_META),
+        &export_db(&db),
+        &dead_letters,
+        &provenance,
+    )
+    .map_err(|e| ChainFailure {
+        reason: format!("reassembled chain failed state import: {e}"),
+        implicated: whole_chain(),
+    })?;
+    Ok(AssembledChain {
+        state,
+        trace,
+        watch: sec(head, WATCH_STATE_SECTION),
+        deltas: members.len() as u64,
+        base: base.generation,
+    })
+}
+
 /// Open the newest usable state in `store` per the salvage rules in the
 /// [module docs](self). Returns the state, the persisted trace-JSONL
 /// snapshot that accompanies it, and the full salvage report. A clean
@@ -287,6 +596,57 @@ fn recover_sections(
             }
             return Ok((CampaignState::new(), String::new(), String::new(), report));
         };
+        if ckpt.section(SECTION_DELTA_META).is_some() {
+            let head_gen = ckpt.generation;
+            match assemble_chain(store, ckpt) {
+                Ok(chain) => {
+                    report.used_generation = Some(head_gen);
+                    report.note(format!(
+                        "recovered delta chain: base generation {} + {} delta(s), head {} ({} pairs)",
+                        chain.base, chain.deltas, head_gen, chain.state.pairs_done
+                    ));
+                    consent_telemetry::count("checkpoint.chain.recovered", 1);
+                    consent_telemetry::observe("checkpoint.chain.deltas", chain.deltas);
+                    return Ok((chain.state, chain.trace, chain.watch, report));
+                }
+                Err(fail) => {
+                    // A broken link takes down the head and everything
+                    // between it and the break; older members stay live
+                    // so the next pass can use the shorter chain (or an
+                    // older generation, or restart from scratch).
+                    report.used_generation = None;
+                    for g in fail.implicated {
+                        let scan = store.scan_generation(g).ok();
+                        let Ok(qpath) = store.quarantine(g) else {
+                            report.note(format!(
+                                "chain member generation {g} vanished before quarantine"
+                            ));
+                            continue;
+                        };
+                        let (valid_prefix, salvaged, verdicts) = match scan {
+                            Some(s) => (s.valid_prefix(), s.salvageable(), s.verdicts),
+                            None => (0, Vec::new(), Vec::new()),
+                        };
+                        report.actions.push(format!(
+                            "quarantined chain member generation {g} ({}): {}",
+                            qpath.display(),
+                            fail.reason
+                        ));
+                        report
+                            .quarantined
+                            .push(consent_checkpoint::QuarantinedGeneration {
+                                generation: g,
+                                reason: fail.reason.clone(),
+                                valid_prefix,
+                                salvaged,
+                                verdicts,
+                                quarantine_path: Some(qpath.display().to_string()),
+                            });
+                    }
+                    continue;
+                }
+            }
+        }
         let get = |name: &str| ckpt.section(name).map(|s| s.body.as_str()).unwrap_or("");
         match state_from_parts(
             get(SECTION_META),
@@ -407,6 +767,11 @@ pub fn run_durable_campaign(
     let mut applied_this_run = 0u64;
     let mut writes_this_run = 0u64;
     let mut result: Option<CampaignResult> = None;
+    // The open delta chain, if any. Always `None` at process start —
+    // even a resumed run writes a fresh full base at its first cut, so
+    // chains never span incarnations and the driver never has to
+    // reconstruct disk-relative marks from a recovered state.
+    let mut chain: Option<ChainMarks> = None;
     // The health report carries the watchdog's fired alerts on every
     // exit path — a crashed run's report still names what was firing.
     let health_of = |sup: &Supervisor| {
@@ -474,7 +839,21 @@ pub fn run_durable_campaign(
             // Checkpoint cadence: pairs of work covered by this write
             // (write size/latency are recorded by the store itself).
             consent_telemetry::observe("campaign.checkpoint.cadence_pairs", did);
-            let trace_snapshot = consent_trace::global().export_jsonl();
+            // This cut is a delta iff a chain is open and its rebase
+            // cadence hasn't elapsed; otherwise it's a full snapshot
+            // (which, in delta mode, opens or rebases the chain).
+            let delta_write = match (opts.mode, &chain) {
+                (CheckpointMode::Delta { rebase_every }, Some(c)) => c.deltas < rebase_every,
+                _ => false,
+            };
+            // The full-export snapshot is only needed for full cuts —
+            // skipping it on delta cuts is half the point: a delta cut
+            // must not touch O(campaign) bytes anywhere.
+            let trace_snapshot = if delta_write {
+                String::new()
+            } else {
+                consent_trace::global().export_jsonl()
+            };
             // Stage the watch window covering this cut *before* the
             // write: the post-window detector state rides inside the
             // checkpoint, and the window only becomes observable
@@ -486,8 +865,24 @@ pub fn run_durable_campaign(
                 }
                 sections
             };
+            // Rebuild this cut's sections at a degradation level; a
+            // shed-trace level empties the trace (delta or snapshot).
+            let sections_at = |shed: bool| -> Vec<Section> {
+                if delta_write {
+                    let c = chain.as_ref().expect("delta write requires an open chain");
+                    let trace_delta = if shed {
+                        String::new()
+                    } else {
+                        consent_trace::global().export_jsonl_since(&c.marks.trace)
+                    };
+                    delta_sections(&state, c, &trace_delta)
+                } else {
+                    let trace = if shed { "" } else { trace_snapshot.as_str() };
+                    state_sections(&state, trace)
+                }
+            };
             if let Some(keep_bytes) = opts.crash.write_truncation(writes_this_run) {
-                let sections = with_watch(state_sections(&state, &trace_snapshot));
+                let sections = with_watch(sections_at(false));
                 if store.save_torn(&sections, keep_bytes).is_err() {
                     // The dying process's torn write failed outright
                     // (e.g. injected storage chaos): even fewer bytes
@@ -509,17 +904,57 @@ pub fn run_durable_campaign(
             // Supervised write: retries, backoff, and ladder descent
             // all happen inside. The attempt closure rebuilds sections
             // at the supervisor's current level so a mid-save descent
-            // to shed-trace takes effect on the very next attempt.
+            // to shed-trace takes effect on the very next attempt. A
+            // delta write pins the chain base against rotation; a full
+            // write imposes no floor (rotation may drop the old chain).
             let verdict = sup.save_with(state.pairs_done, |level| {
-                let trace = if level >= DegradeLevel::ShedTrace {
-                    ""
+                let sections = with_watch(sections_at(level >= DegradeLevel::ShedTrace));
+                if delta_write {
+                    let base = chain.as_ref().expect("delta write has a chain").base;
+                    store.save_with_min_retained(&sections, base)
                 } else {
-                    trace_snapshot.as_str()
-                };
-                store.save(&with_watch(state_sections(&state, trace)))
+                    store.save(&sections)
+                }
             });
-            if matches!(verdict, SaveVerdict::Saved(_)) {
+            if let SaveVerdict::Saved(generation) = verdict {
                 durable_pairs = state.pairs_done;
+                if matches!(opts.mode, CheckpointMode::Delta { .. }) {
+                    // Advance the chain cursor to this durable cut. The
+                    // trace mark stays put on a shed write so the next
+                    // healthy delta re-covers the shed window (mirroring
+                    // full mode, where the next snapshot re-exports all).
+                    let shed = sup.level() >= DegradeLevel::ShedTrace;
+                    let mut marks = DeltaMarks::capture(&state);
+                    if shed {
+                        marks.trace = chain
+                            .as_ref()
+                            .map(|c| c.marks.trace.clone())
+                            .unwrap_or_default();
+                    }
+                    let rebased = !delta_write && chain.is_some();
+                    chain = Some(match chain.take() {
+                        Some(mut c) if delta_write => {
+                            c.head = generation;
+                            c.deltas += 1;
+                            c.marks = marks;
+                            consent_telemetry::count("checkpoint.delta.writes", 1);
+                            c
+                        }
+                        _ => ChainMarks {
+                            base: generation,
+                            head: generation,
+                            deltas: 0,
+                            marks,
+                        },
+                    });
+                    if rebased {
+                        consent_telemetry::count("checkpoint.rebase", 1);
+                    }
+                    consent_telemetry::gauge_set(
+                        "checkpoint.chain.len",
+                        chain.as_ref().map_or(0, |c| c.deltas as i64 + 1),
+                    );
+                }
                 // Sample only once the covering checkpoint is durable:
                 // a window that could still be lost to a crash must
                 // never appear in the OBS export, or a resumed run
@@ -686,6 +1121,211 @@ mod tests {
             "{}",
             report.render()
         );
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    fn small_world() -> (World, Vec<String>) {
+        let world = World::new(WorldConfig {
+            n_sites: 400,
+            seed: 42,
+            adoption: AdoptionConfig::default(),
+        });
+        let list = build_toplist(&world, 6, SeedTree::new(7));
+        (world, list)
+    }
+
+    #[test]
+    fn delta_mode_matches_full_mode_and_recovers() {
+        let (world, list) = small_world();
+        let day = consent_util::Day::from_ymd(2020, 5, 15);
+        let vantages = [Vantage::eu_cloud()];
+        let run = |mode: CheckpointMode| {
+            let dir = tmp_dir();
+            let store = CheckpointStore::open(&dir).unwrap();
+            let opts = DurableOpts {
+                config: quiet(),
+                checkpoint_every: 4,
+                mode,
+                ..DurableOpts::default()
+            };
+            let out = run_durable_campaign(
+                &world,
+                &list,
+                day,
+                &vantages,
+                SeedTree::new(9),
+                &store,
+                &opts,
+            )
+            .unwrap();
+            assert!(out.outcome.finished());
+            (dir, store, out)
+        };
+        let (dir_full, _, full) = run(CheckpointMode::Full);
+        let (dir_delta, store, delta) = run(CheckpointMode::Delta { rebase_every: 3 });
+        // Byte-identity across modes: deltas change durability cost,
+        // never the measurement.
+        assert_eq!(full.state.export(), delta.state.export());
+        // 6 pairs at cadence 4 → a full base then one delta head.
+        let gens = store.generations().unwrap();
+        assert_eq!(gens, vec![1, 2]);
+        let head = store.scan_generation(2).unwrap();
+        assert!(
+            head.section(SECTION_DELTA_META).is_some(),
+            "head not a delta"
+        );
+        assert!(
+            head.section(SECTION_DB).is_none(),
+            "delta carries a full db"
+        );
+        // Recovery walks the chain back to the final state.
+        let (back, _, report) = recover_state(&store).unwrap();
+        assert_eq!(back.export(), delta.state.export(), "{}", report.render());
+        assert_eq!(report.used_generation, Some(2));
+        assert!(
+            report
+                .actions
+                .iter()
+                .any(|a| a.contains("recovered delta chain")),
+            "{}",
+            report.render()
+        );
+        std::fs::remove_dir_all(dir_full).unwrap();
+        std::fs::remove_dir_all(dir_delta).unwrap();
+    }
+
+    #[test]
+    fn corrupt_delta_falls_back_to_its_base() {
+        let (world, list) = small_world();
+        let day = consent_util::Day::from_ymd(2020, 5, 15);
+        let vantages = [Vantage::eu_cloud()];
+        let dir = tmp_dir();
+        let store = CheckpointStore::open(&dir).unwrap();
+        let opts = DurableOpts {
+            config: quiet(),
+            checkpoint_every: 4,
+            mode: CheckpointMode::Delta { rebase_every: 8 },
+            ..DurableOpts::default()
+        };
+        run_durable_campaign(
+            &world,
+            &list,
+            day,
+            &vantages,
+            SeedTree::new(9),
+            &store,
+            &opts,
+        )
+        .unwrap();
+        // Flip a byte in the delta head's payload; the chain must fall
+        // back to the intact full base (4 of 6 pairs).
+        let path = store.path_for(2);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let at = bytes.len() / 2;
+        bytes[at] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let (back, _, report) = recover_state(&store).unwrap();
+        assert_eq!(back.pairs_done, 4, "{}", report.render());
+        assert_eq!(report.used_generation, Some(1));
+        assert!(store.quarantine_dir().join("gen-00000002.ckpt").is_file());
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn broken_chain_middle_quarantines_down_to_the_break() {
+        let (world, list) = small_world();
+        let day = consent_util::Day::from_ymd(2020, 5, 15);
+        let vantages = [Vantage::eu_cloud()];
+        let dir = tmp_dir();
+        let store = CheckpointStore::open(&dir).unwrap();
+        let opts = DurableOpts {
+            config: quiet(),
+            checkpoint_every: 2,
+            mode: CheckpointMode::Delta { rebase_every: 8 },
+            ..DurableOpts::default()
+        };
+        let run = run_durable_campaign(
+            &world,
+            &list,
+            day,
+            &vantages,
+            SeedTree::new(9),
+            &store,
+            &opts,
+        )
+        .unwrap();
+        // 6 pairs at cadence 2 → base + two deltas.
+        assert_eq!(store.generations().unwrap(), vec![1, 2, 3]);
+        // Corrupt the *middle* delta: the head (3) is intact but
+        // unusable without it, so both quarantine; the base survives.
+        let path = store.path_for(2);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let at = bytes.len() / 2;
+        bytes[at] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let (back, _, report) = recover_state(&store).unwrap();
+        assert_eq!(back.pairs_done, 2, "{}", report.render());
+        assert_eq!(report.used_generation, Some(1));
+        assert!(store.quarantine_dir().join("gen-00000002.ckpt").is_file());
+        assert!(store.quarantine_dir().join("gen-00000003.ckpt").is_file());
+        // Resuming from the shortened chain still reconciles.
+        let resumed = run_durable_campaign(
+            &world,
+            &list,
+            day,
+            &vantages,
+            SeedTree::new(9),
+            &store,
+            &opts,
+        )
+        .unwrap();
+        assert_eq!(resumed.state.export(), run.state.export());
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn rebase_cadence_writes_fresh_bases() {
+        let (world, list) = small_world();
+        let day = consent_util::Day::from_ymd(2020, 5, 15);
+        let vantages = [Vantage::eu_cloud()];
+        let dir = tmp_dir();
+        let store = CheckpointStore::open(&dir).unwrap();
+        let opts = DurableOpts {
+            config: quiet(),
+            checkpoint_every: 1,
+            mode: CheckpointMode::Delta { rebase_every: 2 },
+            ..DurableOpts::default()
+        };
+        run_durable_campaign(
+            &world,
+            &list,
+            day,
+            &vantages,
+            SeedTree::new(9),
+            &store,
+            &opts,
+        )
+        .unwrap();
+        // 6 cuts with rebase_every=2 wrote full, Δ, Δ, full, Δ, Δ; the
+        // rebase at generation 4 unpinned the first chain, so rotation
+        // (keep 4) then shed its base and first delta. Generation 3
+        // survives as an orphaned delta — harmless, because recovery
+        // starts from the head's chain, not from stray members.
+        let gens = store.generations().unwrap();
+        assert_eq!(gens, vec![3, 4, 5, 6]);
+        let kinds: Vec<bool> = gens
+            .into_iter()
+            .map(|g| {
+                store
+                    .scan_generation(g)
+                    .unwrap()
+                    .section(SECTION_DELTA_META)
+                    .is_some()
+            })
+            .collect();
+        assert_eq!(kinds, vec![true, false, true, true]);
+        let (back, _, report) = recover_state(&store).unwrap();
+        assert_eq!(back.pairs_done, 6, "{}", report.render());
         std::fs::remove_dir_all(dir).unwrap();
     }
 

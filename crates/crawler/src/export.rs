@@ -1,20 +1,59 @@
-//! Capture-database export/import.
+//! Capture-database export/import: the columnar v3 format, the legacy
+//! v2 reader, and O(new-rows) delta sections.
 //!
 //! Netograph's capture store persists for multi-year analyses (§3.2); this
-//! module gives [`CaptureDb`] a compact, line-oriented text format so a
-//! long platform run can be saved once and re-analyzed many times. The
-//! format is a stable tab-separated layout, one capture summary per line,
-//! with a header carrying the format version.
+//! module gives [`CaptureDb`] a compact text serialization so a long
+//! platform run can be saved once and re-analyzed many times. Since v3
+//! the layout mirrors the in-memory store: an interning table of host
+//! strings in id order, then one block per non-empty shard, each segment
+//! written as six column lines. `docs/STORAGE.md` is the normative spec.
+//!
+//! ```text
+//! #consent-capture-db v3
+//! hosts=<n>            interning table, one host per line, id order
+//! <host 0>
+//! ...
+//! shard=<s> rows=<r>   ceil(r / SEGMENT_ROWS) segments follow
+//! d=<domain ids>       six comma-joined columns per segment:
+//! t=<days>             domain id, day number, location, status,
+//! l=<locations>        CMP bitmask, flags (bit0 redirect, bit1 dialog)
+//! s=<statuses>
+//! c=<cmp masks>
+//! f=<flags>
+//! ```
+//!
+//! # Version negotiation
+//!
+//! [`import`] dispatches on the header line: `v3` parses the columnar
+//! layout above; `v2` — the flat one-row-per-line tab-separated format
+//! every checkpoint before the columnar store used — is still accepted,
+//! so old checkpoints import cleanly and re-export as v3. Writing v2 is
+//! no longer supported. A committed v2 fixture
+//! (`tests/fixtures/capture_db_v2.txt`) pins the legacy reader.
+//!
+//! # Deltas
+//!
+//! [`export_delta`] serializes only the rows appended since a
+//! [`DbMarks`] cursor (per-shard row counts + host count), and
+//! [`apply_delta`] replays them through the normal insert path — so a
+//! base checkpoint plus its delta chain reassembles the exact in-memory
+//! store (segment seals included), which is what the delta-generation
+//! checkpoints in [`crate::durable`] are built on.
 
-use crate::capture_db::{CaptureDb, CaptureSummary, CmpSet};
+use crate::capture_db::{CaptureDb, CaptureSummary, CmpSet, DbMarks, SEGMENT_ROWS};
 use consent_httpsim::{CaptureStatus, Location};
 use consent_util::Day;
 use consent_webgraph::ALL_CMPS;
 use std::fmt;
 
-/// Current format version. v2 added the `reset` and `truncated` status
-/// codes introduced by the fault-injection layer.
-pub const FORMAT_VERSION: u32 = 2;
+/// Current format version: the columnar sharded layout.
+pub const FORMAT_VERSION: u32 = 3;
+
+/// The legacy flat line format (still importable, never written).
+pub const LEGACY_FORMAT_VERSION: u32 = 2;
+
+/// Header of a delta section (see [`export_delta`]).
+pub const DELTA_HEADER: &str = "#consent-capture-db-delta v1";
 
 /// Import error with a line number.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -60,14 +99,6 @@ pub(crate) fn status_from(code: &str) -> Option<CaptureStatus> {
     })
 }
 
-fn location_code(l: Location) -> &'static str {
-    match l {
-        Location::UsCloud => "us",
-        Location::EuCloud => "eu",
-        Location::EuUniversity => "uni",
-    }
-}
-
 fn location_from(code: &str) -> Option<Location> {
     Some(match code {
         "us" => Location::UsCloud,
@@ -77,47 +108,235 @@ fn location_from(code: &str) -> Option<Location> {
     })
 }
 
-/// Serialize the database to the line format.
+fn join<T: ToString>(vals: &[T]) -> String {
+    vals.iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn push_segment_columns(out: &mut String, seg: &crate::capture_db::Segment, lo: usize, hi: usize) {
+    out.push_str(&format!("d={}\n", join(&seg.domain_ids[lo..hi])));
+    out.push_str(&format!("t={}\n", join(&seg.days[lo..hi])));
+    out.push_str(&format!("l={}\n", join(&seg.locations[lo..hi])));
+    out.push_str(&format!("s={}\n", join(&seg.statuses[lo..hi])));
+    out.push_str(&format!("c={}\n", join(&seg.cmps[lo..hi])));
+    out.push_str(&format!("f={}\n", join(&seg.flags[lo..hi])));
+}
+
+/// Serialize the database to the columnar v3 format. The bytes are a
+/// pure function of the insertion history, so exports stay identical
+/// across thread counts and kill-halfway resumes.
 pub fn export(db: &CaptureDb) -> String {
     let mut out = String::new();
     out.push_str(&format!("#consent-capture-db v{FORMAT_VERSION}\n"));
-    for (domain, history) in db.iter() {
-        for c in history {
-            let cmps: Vec<&str> = c.cmps.iter().map(|x| x.name()).collect();
-            out.push_str(&format!(
-                "{domain}\t{}\t{}\t{}\t{}\t{}\t{}\n",
-                c.day,
-                location_code(c.location),
-                status_code(c.status),
-                cmps.join(","),
-                u8::from(c.redirected),
-                u8::from(c.dialog_visible),
-            ));
+    let hosts = db.host_table();
+    out.push_str(&format!("hosts={}\n", hosts.len()));
+    for h in hosts {
+        out.push_str(h);
+        out.push('\n');
+    }
+    for shard in 0..crate::capture_db::SHARD_COUNT {
+        let segments = db.shard_segments(shard);
+        let rows: usize = segments.iter().map(|s| s.rows()).sum();
+        if rows == 0 {
+            continue;
+        }
+        out.push_str(&format!("shard={shard} rows={rows}\n"));
+        for seg in segments {
+            push_segment_columns(&mut out, seg, 0, seg.rows());
         }
     }
     out
 }
 
-/// Parse a database from the line format.
-pub fn import(text: &str) -> Result<CaptureDb, ImportError> {
-    let mut lines = text.lines().enumerate();
-    let (_, header) = lines.next().ok_or(ImportError {
-        line: 0,
-        message: "empty input".into(),
-    })?;
-    if header != format!("#consent-capture-db v{FORMAT_VERSION}") {
-        return Err(ImportError {
-            line: 0,
-            message: format!("unsupported header {header:?}"),
-        });
+/// Serialize only the rows appended since `marks` as a delta section
+/// (header [`DELTA_HEADER`]): the newly interned hosts in id order,
+/// then one six-column block per shard that grew. Cost is proportional
+/// to the rows since the marks, not the database size.
+pub fn export_delta(db: &CaptureDb, marks: &DbMarks) -> String {
+    let mut out = String::new();
+    out.push_str(DELTA_HEADER);
+    out.push('\n');
+    let hosts = db.host_table();
+    let base = marks.hosts as usize;
+    out.push_str(&format!("hosts={}+{}\n", base, hosts.len() - base));
+    for h in &hosts[base..] {
+        out.push_str(h);
+        out.push('\n');
     }
+    for shard in 0..crate::capture_db::SHARD_COUNT {
+        let segments = db.shard_segments(shard);
+        let rows: usize = segments.iter().map(|s| s.rows()).sum();
+        let from = marks.shard_rows[shard] as usize;
+        if rows == from {
+            continue;
+        }
+        out.push_str(&format!("shard={shard} from={from} rows={}\n", rows - from));
+        // Walk the segments covering [from, rows).
+        let (mut seg, mut off) = (from / SEGMENT_ROWS, from % SEGMENT_ROWS);
+        while seg < segments.len() {
+            let s = &segments[seg];
+            if off < s.rows() {
+                push_segment_columns(&mut out, s, off, s.rows());
+            }
+            seg += 1;
+            off = 0;
+        }
+    }
+    out
+}
+
+struct Parser<'a> {
+    lines: std::iter::Enumerate<std::str::Lines<'a>>,
+    line: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Parser<'a> {
+        Parser {
+            lines: text.lines().enumerate(),
+            line: 0,
+        }
+    }
+
+    fn err(&self, message: String) -> ImportError {
+        ImportError {
+            line: self.line,
+            message,
+        }
+    }
+
+    fn next(&mut self) -> Option<&'a str> {
+        let (i, l) = self.lines.next()?;
+        self.line = i + 1;
+        Some(l)
+    }
+
+    fn expect(&mut self, what: &str) -> Result<&'a str, ImportError> {
+        self.next().ok_or(ImportError {
+            line: self.line + 1,
+            message: format!("missing {what}"),
+        })
+    }
+
+    fn column<T: std::str::FromStr>(&mut self, tag: &str, n: usize) -> Result<Vec<T>, ImportError> {
+        let l = self.expect(&format!("{tag}= column"))?;
+        let body = l
+            .strip_prefix(tag)
+            .and_then(|r| r.strip_prefix('='))
+            .ok_or_else(|| self.err(format!("expected {tag}= column, got {l:?}")))?;
+        let vals: Vec<T> = body
+            .split(',')
+            .filter(|v| !v.is_empty())
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| self.err(format!("bad {tag} value {v:?}")))
+            })
+            .collect::<Result<_, _>>()?;
+        if vals.len() != n {
+            return Err(self.err(format!("{tag} column has {} of {n} values", vals.len())));
+        }
+        Ok(vals)
+    }
+}
+
+/// One host line of an interning table: reject separators and header
+/// markers that could smuggle rows or sections into an export.
+fn host_line(p: &Parser<'_>, l: &str) -> Result<String, ImportError> {
+    if l.is_empty() || l.starts_with('#') || l.contains('\t') {
+        return Err(p.err(format!("bad host {l:?}")));
+    }
+    Ok(l.to_owned())
+}
+
+/// Parse one shard block's rows into `db` via the insert path.
+fn import_shard_rows(
+    p: &mut Parser<'_>,
+    db: &mut CaptureDb,
+    shard: usize,
+    rows: usize,
+) -> Result<(), ImportError> {
+    let mut remaining = rows;
+    // v3 full exports split columns at segment boundaries; deltas write
+    // chunks that cover the remainder of each touched segment. Both are
+    // "at most SEGMENT_ROWS values per chunk, aligned to seal points",
+    // so the reader only needs the current shard fill to know chunk
+    // sizes.
+    while remaining > 0 {
+        let fill = db.marks().shard_rows[shard] as usize % SEGMENT_ROWS;
+        let n = remaining.min(SEGMENT_ROWS - fill);
+        let d: Vec<u32> = p.column("d", n)?;
+        let t: Vec<i32> = p.column("t", n)?;
+        let l: Vec<u8> = p.column("l", n)?;
+        let s: Vec<u8> = p.column("s", n)?;
+        let c: Vec<u8> = p.column("c", n)?;
+        let f: Vec<u8> = p.column("f", n)?;
+        for i in 0..n {
+            let name = db
+                .host_table()
+                .get(d[i] as usize)
+                .ok_or_else(|| p.err(format!("domain id {} out of range", d[i])))?;
+            if crate::capture_db::shard_of(name) != shard {
+                return Err(p.err(format!("host {name:?} does not belong to shard {shard}")));
+            }
+            db.insert_row(d[i], t[i], l[i], s[i], c[i], f[i])
+                .map_err(|m| p.err(m))?;
+        }
+        remaining -= n;
+    }
+    Ok(())
+}
+
+fn import_v3(p: &mut Parser<'_>) -> Result<CaptureDb, ImportError> {
     let mut db = CaptureDb::new();
-    for (i, line) in lines {
+    let hosts_line = p.expect("hosts= line")?;
+    let n: usize = hosts_line
+        .strip_prefix("hosts=")
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| p.err(format!("bad hosts line {hosts_line:?}")))?;
+    for _ in 0..n {
+        let l = p.expect("host line")?;
+        let host = host_line(p, l)?;
+        db.preintern(&host);
+    }
+    let mut prev_shard = None;
+    while let Some(l) = p.next() {
+        if l.is_empty() {
+            continue;
+        }
+        let (shard, rows) = l
+            .strip_prefix("shard=")
+            .and_then(|r| r.split_once(" rows="))
+            .and_then(|(s, r)| Some((s.parse::<usize>().ok()?, r.parse::<usize>().ok()?)))
+            .ok_or_else(|| p.err(format!("expected shard header, got {l:?}")))?;
+        if shard >= crate::capture_db::SHARD_COUNT {
+            return Err(p.err(format!("shard {shard} out of range")));
+        }
+        if prev_shard.is_some_and(|prev| shard <= prev) {
+            return Err(p.err(format!("shard {shard} out of order")));
+        }
+        prev_shard = Some(shard);
+        if rows == 0 {
+            return Err(p.err("empty shard block".into()));
+        }
+        import_shard_rows(p, &mut db, shard, rows)?;
+    }
+    Ok(db)
+}
+
+/// The legacy flat v2 reader: one tab-separated row per line
+/// (domain, day, location code, status code, CMP names, redirect flag,
+/// dialog flag). Kept so checkpoints written before the columnar store
+/// import cleanly; they re-export as v3.
+fn import_v2(p: &mut Parser<'_>) -> Result<CaptureDb, ImportError> {
+    let mut db = CaptureDb::new();
+    while let Some(line) = p.next() {
         if line.is_empty() {
             continue;
         }
         let err = |message: String| ImportError {
-            line: i + 1,
+            line: p.line,
             message,
         };
         let fields: Vec<&str> = line.split('\t').collect();
@@ -161,6 +380,95 @@ pub fn import(text: &str) -> Result<CaptureDb, ImportError> {
         });
     }
     Ok(db)
+}
+
+/// Parse a database, negotiating the format version from the header:
+/// `v3` (columnar, current) or `v2` (legacy flat lines).
+pub fn import(text: &str) -> Result<CaptureDb, ImportError> {
+    let mut p = Parser::new(text);
+    let header = p.next().ok_or(ImportError {
+        line: 0,
+        message: "empty input".into(),
+    })?;
+    match header {
+        _ if header == format!("#consent-capture-db v{FORMAT_VERSION}") => import_v3(&mut p),
+        _ if header == format!("#consent-capture-db v{LEGACY_FORMAT_VERSION}") => import_v2(&mut p),
+        _ => Err(ImportError {
+            line: 0,
+            message: format!("unsupported header {header:?}"),
+        }),
+    }
+}
+
+/// Replay a delta section produced by [`export_delta`] onto `db`,
+/// which must be at exactly the marks the delta was cut from (host
+/// count and per-shard row counts are validated). Rows go through the
+/// normal insert path, so seals, counters, and telemetry reconcile
+/// identically to the original inserts.
+pub fn apply_delta(db: &mut CaptureDb, text: &str) -> Result<(), ImportError> {
+    let mut p = Parser::new(text);
+    let header = p.next().ok_or(ImportError {
+        line: 0,
+        message: "empty delta".into(),
+    })?;
+    if header != DELTA_HEADER {
+        return Err(ImportError {
+            line: 0,
+            message: format!("unsupported delta header {header:?}"),
+        });
+    }
+    let hosts_line = p.expect("hosts= line")?;
+    let (base, new): (usize, usize) = hosts_line
+        .strip_prefix("hosts=")
+        .and_then(|r| r.split_once('+'))
+        .and_then(|(b, n)| Some((b.parse().ok()?, n.parse().ok()?)))
+        .ok_or_else(|| p.err(format!("bad hosts line {hosts_line:?}")))?;
+    if base != db.host_table().len() {
+        return Err(p.err(format!(
+            "delta expects {base} interned hosts, store has {}",
+            db.host_table().len()
+        )));
+    }
+    for _ in 0..new {
+        let l = p.expect("host line")?;
+        let host = host_line(&p, l)?;
+        db.preintern(&host);
+    }
+    let mut prev_shard = None;
+    while let Some(l) = p.next() {
+        if l.is_empty() {
+            continue;
+        }
+        let (shard, rest) = l
+            .strip_prefix("shard=")
+            .and_then(|r| r.split_once(" from="))
+            .ok_or_else(|| p.err(format!("expected shard header, got {l:?}")))?;
+        let shard: usize = shard
+            .parse()
+            .map_err(|_| p.err(format!("bad shard in {l:?}")))?;
+        let (from, rows) = rest
+            .split_once(" rows=")
+            .and_then(|(f, r)| Some((f.parse::<usize>().ok()?, r.parse::<usize>().ok()?)))
+            .ok_or_else(|| p.err(format!("bad shard header {l:?}")))?;
+        if shard >= crate::capture_db::SHARD_COUNT {
+            return Err(p.err(format!("shard {shard} out of range")));
+        }
+        if prev_shard.is_some_and(|prev| shard <= prev) {
+            return Err(p.err(format!("shard {shard} out of order")));
+        }
+        prev_shard = Some(shard);
+        let have = db.marks().shard_rows[shard] as usize;
+        if from != have {
+            return Err(p.err(format!(
+                "delta for shard {shard} starts at row {from}, store has {have}"
+            )));
+        }
+        if rows == 0 {
+            return Err(p.err("empty shard block".into()));
+        }
+        import_shard_rows(&mut p, db, shard, rows)?;
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -222,6 +530,7 @@ mod tests {
     fn roundtrip() {
         let db = sample_db();
         let text = export(&db);
+        assert!(text.starts_with("#consent-capture-db v3\n"));
         let back = import(&text).unwrap();
         assert_eq!(back.len(), db.len());
         assert_eq!(back.domain_count(), db.domain_count());
@@ -230,15 +539,145 @@ mod tests {
         assert_eq!(back.domain_history("c.net"), db.domain_history("c.net"));
         assert_eq!(back.redirect_rate(), db.redirect_rate());
         assert_eq!(back.multi_cmp_rate(), db.multi_cmp_rate());
-        // Export is deterministic.
+        // Export is deterministic and the import is layout-exact.
         assert_eq!(export(&back), text);
+        assert_eq!(back.marks(), db.marks());
+    }
+
+    #[test]
+    fn roundtrip_across_segment_seals() {
+        // A domain with more rows than one segment exercises the
+        // multi-segment column blocks.
+        let mut db = CaptureDb::new();
+        for i in 0..(crate::capture_db::SEGMENT_ROWS as i32 + 40) {
+            db.insert(CaptureSummary {
+                domain: "big.example".into(),
+                day: Day::from_ymd(2020, 1, 1) + i,
+                location: Location::EuCloud,
+                status: CaptureStatus::Ok,
+                cmps: CmpSet::empty(),
+                redirected: i % 3 == 0,
+                dialog_visible: i % 2 == 0,
+            });
+        }
+        let text = export(&db);
+        let back = import(&text).unwrap();
+        assert_eq!(back.sealed_segments(), 1);
+        assert_eq!(export(&back), text);
+        assert_eq!(
+            back.domain_history("big.example"),
+            db.domain_history("big.example")
+        );
+    }
+
+    #[test]
+    fn legacy_v2_imports_and_reexports_as_v3() {
+        // Hand-written v2 text, as an old checkpoint would carry.
+        let v2 = "#consent-capture-db v2\n\
+                  a.com\t2020-05-01\teu\tok\tQuantcast\t0\t1\n\
+                  a.com\t2020-05-03\tus\tantibot\t\t1\t0\n\
+                  b.co.uk\t2020-05-02\tuni\tok\tOneTrust,Quantcast\t0\t1\n";
+        let db = import(v2).unwrap();
+        assert_eq!(db.len(), 3);
+        assert_eq!(db.domain_count(), 2);
+        let hist = db.domain_history("a.com");
+        assert_eq!(hist.len(), 2);
+        assert!(hist[0].cmps.contains(Cmp::Quantcast));
+        assert!(hist[1].redirected);
+        // Re-export upgrades to v3 and round-trips from there.
+        let v3 = export(&db);
+        assert!(v3.starts_with("#consent-capture-db v3\n"));
+        let back = import(&v3).unwrap();
+        assert_eq!(export(&back), v3);
+    }
+
+    #[test]
+    fn delta_roundtrip_matches_direct_inserts() {
+        let mut db = sample_db();
+        let marks = db.marks();
+        // Grow past the marks, including a brand-new host.
+        db.insert(CaptureSummary {
+            domain: "d.org".into(),
+            day: Day::from_ymd(2020, 6, 1),
+            location: Location::UsCloud,
+            status: CaptureStatus::Ok,
+            cmps: CmpSet::from_iter([Cmp::TrustArc]),
+            redirected: false,
+            dialog_visible: true,
+        });
+        db.insert(CaptureSummary {
+            domain: "a.com".into(),
+            day: Day::from_ymd(2020, 6, 2),
+            location: Location::EuCloud,
+            status: CaptureStatus::Timeout,
+            cmps: CmpSet::empty(),
+            redirected: false,
+            dialog_visible: false,
+        });
+        let delta = export_delta(&db, &marks);
+        assert!(delta.starts_with(DELTA_HEADER));
+        // Rebuild: base at the marks + the delta = the grown store.
+        let mut base = sample_db();
+        apply_delta(&mut base, &delta).unwrap();
+        assert_eq!(export(&base), export(&db));
+        assert_eq!(base.marks(), db.marks());
+        // An empty delta is valid and a no-op.
+        let empty = export_delta(&db, &db.marks());
+        apply_delta(&mut base, &empty).unwrap();
+        assert_eq!(export(&base), export(&db));
+    }
+
+    #[test]
+    fn delta_rejects_wrong_base() {
+        let mut db = sample_db();
+        let marks = db.marks();
+        db.insert(CaptureSummary {
+            domain: "d.org".into(),
+            day: Day::from_ymd(2020, 6, 1),
+            location: Location::UsCloud,
+            status: CaptureStatus::Ok,
+            cmps: CmpSet::empty(),
+            redirected: false,
+            dialog_visible: false,
+        });
+        let delta = export_delta(&db, &marks);
+        // Applying to an empty store: host base disagrees.
+        let mut empty = CaptureDb::new();
+        assert!(apply_delta(&mut empty, &delta).is_err());
+        // Applying twice: shard row cursors disagree.
+        let mut base = sample_db();
+        apply_delta(&mut base, &delta).unwrap();
+        assert!(apply_delta(&mut base, &delta).is_err());
     }
 
     #[test]
     fn rejects_bad_input() {
         assert!(import("").is_err());
         assert!(import("#wrong header\n").is_err());
-        let good_header = format!("#consent-capture-db v{FORMAT_VERSION}\n");
+        // v1 never existed as an importable version.
+        assert!(import("#consent-capture-db v1\n").is_err());
+        // v3 structural corruption.
+        let h = "#consent-capture-db v3\n";
+        assert!(import(&format!("{h}hosts=notanumber\n")).is_err());
+        assert!(
+            import(&format!("{h}hosts=1\n")).is_err(),
+            "missing host line"
+        );
+        assert!(import(&format!("{h}hosts=1\n#evil\n")).is_err());
+        assert!(import(&format!("{h}hosts=0\nshard=99 rows=1\n")).is_err());
+        assert!(import(&format!("{h}hosts=0\nshard=0 rows=0\n")).is_err());
+        assert!(import(&format!(
+            "{h}hosts=1\na.com\nshard=0 rows=1\nd=0\nt=18383\nl=9\ns=0\nc=0\nf=0\n"
+        ))
+        .is_err());
+        // A host in the wrong shard block is corruption.
+        let wrong_shard = {
+            let shard = (crate::capture_db::shard_of("a.com") + 1) % crate::capture_db::SHARD_COUNT;
+            format!("{h}hosts=1\na.com\nshard={shard} rows=1\nd=0\nt=18383\nl=0\ns=0\nc=0\nf=0\n")
+        };
+        assert!(import(&wrong_shard).is_err());
+        // v2 corruption keeps line-numbered errors.
+        let good_header = "#consent-capture-db v2\n";
         assert!(import(&format!("{good_header}too\tfew\tfields\n")).is_err());
         assert!(import(&format!(
             "{good_header}a.com\t2020-05-01\tmars\tok\t\t0\t0\n"
@@ -258,7 +697,9 @@ mod tests {
     #[test]
     fn empty_db_roundtrips() {
         let db = CaptureDb::new();
-        let back = import(&export(&db)).unwrap();
+        let text = export(&db);
+        assert_eq!(text, "#consent-capture-db v3\nhosts=0\n");
+        let back = import(&text).unwrap();
         assert!(back.is_empty());
     }
 }

@@ -40,13 +40,20 @@ pub use campaign::{
     build_toplist, resume_campaign, run_campaign, run_campaign_with, CampaignCapture,
     CampaignConfig, CampaignResult, CampaignRun, CampaignState,
 };
-pub use capture_db::{CaptureDb, CaptureSummary, CmpSet};
+pub use capture_db::{
+    shard_of, CaptureDb, CaptureSummary, CmpSet, DbMarks, SEGMENT_ROWS, SHARD_COUNT,
+};
 pub use dead_letter::{vantage_code, vantage_from, AttemptRecord, DeadLetter, DeadLetterQueue};
 pub use durable::{
-    open_chaos_store, recover_state, run_durable_campaign, state_sections, DurableOpts,
-    DurableOutcome, DurableRun,
+    delta_state_sections, open_chaos_store, recover_state, run_durable_campaign, state_sections,
+    CheckpointMode, DeltaMarks, DurableOpts, DurableOutcome, DurableRun, SECTION_DB,
+    SECTION_DB_DELTA, SECTION_DEAD_LETTERS, SECTION_DEAD_LETTERS_DELTA, SECTION_DELTA_META,
+    SECTION_META, SECTION_PROVENANCE, SECTION_PROVENANCE_DELTA, SECTION_TRACE, SECTION_TRACE_DELTA,
 };
-pub use export::{export as export_db, import as import_db};
+pub use export::{
+    apply_delta, export as export_db, export_delta, import as import_db, FORMAT_VERSION,
+    LEGACY_FORMAT_VERSION,
+};
 pub use feed::{Feed, FeedConfig, FeedItem, FeedSource};
 pub use parallel::{resume_campaign_parallel, run_campaign_parallel, ParallelOpts};
 pub use platform::{Platform, RunStats};

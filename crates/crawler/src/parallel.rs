@@ -29,10 +29,18 @@
 //! never happens on a worker. Workers push `(pair_index, PairOutput)`
 //! into private shards; after the pool joins, the shards are flattened,
 //! sorted by pair index (the same vantage-major, rank-minor order the
-//! sequential loop walks), and applied on the calling thread. A
-//! checkpoint cut anywhere — including a kill halfway through a budgeted
-//! run — resumes to the same bytes because the first `pairs_done` pairs
-//! of the order are exactly the ones already applied.
+//! sequential loop walks), and applied on the calling thread. Because
+//! application is single-threaded and the capture store is append-only
+//! (columnar segments that seal at fixed capacity, never at cut
+//! boundaries — see `docs/STORAGE.md`), the store's physical layout is
+//! a pure function of the insert history: host interning order, segment
+//! boundaries, and per-shard row order are identical at any thread
+//! count. A checkpoint cut anywhere — including a kill halfway through
+//! a budgeted run — resumes to the same bytes because the first
+//! `pairs_done` pairs of the order are exactly the ones already
+//! applied, and that same property is what lets delta checkpoints
+//! describe "everything since the last cut" as plain per-shard row
+//! ranges ([`CaptureDb::marks`](crate::CaptureDb::marks)).
 
 use crate::campaign::{
     apply_pair, process_pair_contained, resume_campaign, CampaignCapture, CampaignConfig,

@@ -10,12 +10,16 @@
 //! fault is persistent — descends a **degradation ladder** instead of
 //! aborting:
 //!
-//! 1. [`DegradeLevel::Normal`] — full five-section checkpoints.
-//! 2. [`DegradeLevel::ShedTrace`] — the optional `trace-jsonl` section
-//!    body is written empty, shrinking every subsequent write (the
-//!    trace log is the largest and only non-essential section; shedding
-//!    it sacrifices trace byte-identity on resume, loudly, but never
-//!    campaign-state identity).
+//! 1. [`DegradeLevel::Normal`] — complete checkpoints: five-section
+//!    snapshots, or delta sections under
+//!    [`CheckpointMode::Delta`](crate::CheckpointMode).
+//! 2. [`DegradeLevel::ShedTrace`] — the optional trace section body
+//!    (`trace-jsonl`, or `trace-jsonl-delta` in delta mode) is written
+//!    empty, shrinking every subsequent write (the trace log is the
+//!    largest and only non-essential section; shedding it sacrifices
+//!    trace byte-identity on resume, loudly, but never campaign-state
+//!    identity — and in delta mode the driver leaves its trace mark in
+//!    place, so the next healthy delta re-covers the shed window).
 //! 3. [`DegradeLevel::WideCadence`] — the checkpoint interval is
 //!    multiplied by [`SupervisorPolicy::cadence_factor`], trading crash
 //!    re-crawl window for fewer chances to hit the failing disk.

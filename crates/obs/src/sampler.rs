@@ -53,8 +53,19 @@ use std::time::{Duration, Instant};
 /// between an uninterrupted run and a kill-halfway resume. `watch.` is
 /// the watchdog's own lifecycle telemetry: alert counters land in the
 /// registry on commit — after the covering sample was emitted — so
-/// they would surface one window late and vanish across a resume.
-pub const DEFAULT_DENY: &[&str] = &["campaign.parallel.", "checkpoint.pruned", "watch."];
+/// they would surface one window late and vanish across a resume. The
+/// delta-checkpoint families (`checkpoint.delta.`, `checkpoint.rebase`,
+/// `checkpoint.chain.`) encode chain *position* — every resume opens a
+/// fresh full base, so a kill-halfway run's delta/rebase counts differ
+/// from an uninterrupted run's even though the measurement bytes match.
+pub const DEFAULT_DENY: &[&str] = &[
+    "campaign.parallel.",
+    "checkpoint.pruned",
+    "checkpoint.delta.",
+    "checkpoint.rebase",
+    "checkpoint.chain.",
+    "watch.",
+];
 
 /// When samples are taken.
 #[derive(Clone, Debug, PartialEq, Eq)]

@@ -46,7 +46,7 @@ pub use chrome::{export_chrome, export_chrome_string};
 pub use ctx::{active, event, span, start_trace, AttrList, SpanGuard, TraceGuard};
 pub use event::{Phase, TraceEvent};
 pub use import::TraceImportError;
-pub use log::TraceLog;
+pub use log::{TraceLog, TraceMark};
 pub use provenance::{AttemptProvenance, Provenance, ProvenanceImportError, ProvenanceLog};
 pub use tree::{TraceNode, TraceTree};
 

@@ -14,18 +14,23 @@
 //! CONSENT_CHAOS=mild cargo run --release --bin crash_sweep
 //! ```
 //!
-//! Outputs (the CI crash-consistency job uploads both):
+//! Outputs (the CI crash-consistency job uploads all three):
 //!
 //! * `SWEEP_OUT` (default `crash_sweep.json`) — summary document;
 //! * `SWEEP_REPORTS` (default `crash_sweep.salvage.jsonl`) — one JSON
-//!   salvage report per resumed run, labeled by crashpoint.
+//!   salvage report per resumed run, labeled by crashpoint;
+//! * `SWEEP_CHAIN_DIR` (default `crash_sweep.chain`) — a checkpoint
+//!   store holding a real base-plus-deltas generation chain from a
+//!   [`CheckpointMode::Delta`] run whose bytes were verified identical
+//!   to the Full-mode campaign.
 //!
 //! If `CONSENT_CRASHPOINT` is set (`apply:N` or `write:K:B`), that plan
 //! is swept as an extra case, so the production knob stays exercised.
 
 use consent_checkpoint::CheckpointStore;
 use consent_crawler::{
-    build_toplist, run_durable_campaign, CampaignConfig, DurableOpts, DurableOutcome, DurableRun,
+    build_toplist, run_durable_campaign, CampaignConfig, CheckpointMode, DurableOpts,
+    DurableOutcome, DurableRun,
 };
 use consent_faultsim::{CrashPlan, FaultProfile};
 use consent_httpsim::Vantage;
@@ -54,7 +59,13 @@ struct Sweep {
 }
 
 impl Sweep {
-    fn run(&self, store: &CheckpointStore, threads: usize, crash: CrashPlan) -> DurableRun {
+    fn run(
+        &self,
+        store: &CheckpointStore,
+        threads: usize,
+        crash: CrashPlan,
+        mode: CheckpointMode,
+    ) -> DurableRun {
         run_durable_campaign(
             &self.world,
             &self.list,
@@ -71,6 +82,7 @@ impl Sweep {
                 checkpoint_every: CHECKPOINT_EVERY,
                 crash,
                 sampler: None,
+                mode,
                 ..DurableOpts::default()
             },
         )
@@ -104,7 +116,7 @@ fn main() {
     let base_dir = tmp_dir();
     let base_store = CheckpointStore::open(&base_dir).expect("open store");
     consent_trace::clear();
-    let base = sweep.run(&base_store, 1, CrashPlan::none());
+    let base = sweep.run(&base_store, 1, CrashPlan::none(), CheckpointMode::Full);
     assert_eq!(base.outcome, DurableOutcome::Complete);
     let state_bytes = base.state.export();
     let trace_bytes = consent_trace::global().export_jsonl();
@@ -153,14 +165,14 @@ fn main() {
             let dir = tmp_dir();
             let store = CheckpointStore::open(&dir).expect("open store");
             consent_trace::clear();
-            let crashed = sweep.run(&store, threads, *plan);
+            let crashed = sweep.run(&store, threads, *plan, CheckpointMode::Full);
             let durable_pairs = match crashed.outcome {
                 DurableOutcome::Crashed { durable_pairs, .. } => durable_pairs,
                 _ => panic!("{label}: crashpoint never fired"),
             };
             // The process dies: the in-memory trace log goes with it.
             consent_trace::clear();
-            let resumed = sweep.run(&store, threads, CrashPlan::none());
+            let resumed = sweep.run(&store, threads, CrashPlan::none(), CheckpointMode::Full);
             assert_eq!(resumed.outcome, DurableOutcome::Complete, "{label}");
             assert!(
                 resumed.state.export() == state_bytes,
@@ -188,6 +200,42 @@ fn main() {
         );
     }
 
+    // Sample delta chain: re-run the same campaign in Delta mode
+    // against a store directory that is *kept* on disk, so CI can
+    // upload a real base-plus-deltas generation chain as an
+    // inspectable artifact. The run doubles as a cross-mode check:
+    // delta checkpoints must reproduce the Full-mode bytes exactly.
+    let chain_dir =
+        std::env::var("SWEEP_CHAIN_DIR").unwrap_or_else(|_| "crash_sweep.chain".to_string());
+    std::fs::remove_dir_all(&chain_dir).ok();
+    let chain_store = CheckpointStore::open(&chain_dir).expect("open chain store");
+    consent_trace::clear();
+    let chain = sweep.run(
+        &chain_store,
+        1,
+        CrashPlan::none(),
+        CheckpointMode::Delta { rebase_every: 64 },
+    );
+    assert_eq!(chain.outcome, DurableOutcome::Complete);
+    assert!(
+        chain.state.export() == state_bytes,
+        "delta-mode state diverged from full-mode bytes"
+    );
+    assert!(
+        consent_trace::global().export_jsonl() == trace_bytes,
+        "delta-mode trace diverged from full-mode bytes"
+    );
+    let chain_gens = chain_store.generations().expect("list chain generations");
+    assert!(
+        chain_gens.len() >= 2,
+        "sample chain must hold a base and at least one delta: {chain_gens:?}"
+    );
+    println!(
+        "sample delta chain: {} generations (base + {} deltas) kept in {chain_dir}",
+        chain_gens.len(),
+        chain_gens.len() - 1
+    );
+
     let summary = Json::object([
         ("sweep".to_string(), Json::str("crash_consistency")),
         ("schema".to_string(), Json::int(1)),
@@ -203,6 +251,11 @@ fn main() {
             "generations_quarantined".to_string(),
             Json::int(quarantined_total as i64),
         ),
+        ("delta_chain_dir".to_string(), Json::str(&chain_dir)),
+        (
+            "delta_chain_generations".to_string(),
+            Json::int(chain_gens.len() as i64),
+        ),
     ]);
     let out = std::env::var("SWEEP_OUT").unwrap_or_else(|_| "crash_sweep.json".to_string());
     let reports =
@@ -213,5 +266,5 @@ fn main() {
     println!(
         "\n{verified} cycles verified, {quarantined_total} generations quarantined and salvaged"
     );
-    println!("wrote {out} and {reports}");
+    println!("wrote {out}, {reports} and {chain_dir}/");
 }
