@@ -13,6 +13,7 @@
 #![warn(missing_docs)]
 
 pub mod customization;
+pub mod exports;
 pub mod interpolate;
 pub mod jurisdiction;
 pub mod marketshare;
@@ -23,6 +24,9 @@ pub mod vantage_table;
 pub use customization::{
     classify_style, classify_wording, customization_report, CustomizationReport, ObservedStyle,
     ObservedWording,
+};
+pub use exports::{
+    render_adoption, render_quality, render_shares, render_timelines, standard_exports,
 };
 pub use interpolate::{DayObservation, Timeline, DAY_SHARE_THRESHOLD, FADE_OUT_DAYS};
 pub use jurisdiction::{jurisdiction_report, JurisdictionReport};

@@ -10,8 +10,9 @@
 //!   counts and writes `BENCH_campaign.json` — the repo's recorded perf
 //!   trajectory (see `BENCHMARKS.md`) — plus the checkpoint durability
 //!   sweep ([`CheckpointBench`], `BENCH_checkpoint.json`), the sampler
-//!   overhead sweep ([`ObsBench`], `BENCH_obs.json`), and the watchdog
-//!   overhead sweep ([`WatchBench`], `BENCH_watch.json`).
+//!   overhead sweep ([`ObsBench`], `BENCH_obs.json`), the watchdog
+//!   overhead sweep ([`WatchBench`], `BENCH_watch.json`), and the
+//!   bundle archival sweep ([`BundleBench`], `BENCH_bundle.json`).
 //!
 //! The JSON schema is deliberately tiny and stable: a document header
 //! ([`bench_document`]) plus one [`BenchRecord`] per swept
@@ -33,11 +34,13 @@ pub use diff::{
 };
 pub use soak::{SoakBench, SoakRecord};
 
+use consent_analysis::standard_exports;
 use consent_checkpoint::CheckpointStore;
 use consent_crawler::{
-    apply_delta, build_toplist, delta_state_sections, export_db, import_db, recover_state,
-    resume_campaign_parallel, run_campaign_parallel, state_sections, BreakerConfig, CampaignConfig,
-    CampaignState, DeltaMarks, ParallelOpts, RetryPolicy, SECTION_DB_DELTA,
+    apply_delta, build_toplist, delta_state_sections, export_db, import_db, pack_campaign_bundle,
+    recover_state, replay_campaign_bundle, resume_campaign_parallel, run_campaign_parallel,
+    state_sections, ArchiveContext, BreakerConfig, CampaignArtifacts, CampaignConfig,
+    CampaignState, DeltaMarks, ExportFn, ParallelOpts, RetryPolicy, SECTION_DB_DELTA,
 };
 use consent_faultsim::FaultProfile;
 use consent_httpsim::Vantage;
@@ -928,6 +931,308 @@ impl WatchBench {
     }
 }
 
+/// The bundle archival sweep: pack / verify / replay throughput of the
+/// content-addressed campaign bundle over a multi-day × multi-vantage
+/// workload — written to `BENCH_bundle.json`.
+///
+/// Three operations are timed, each over [`repeats`](Self::repeats)
+/// iterations:
+///
+/// * `bundle_pack` — [`pack_campaign_bundle`] of the full bundle input
+///   (checkpoint sections, split capture artifacts, analysis exports)
+///   into a fresh directory, including the post-pack fsck;
+/// * `bundle_verify` — [`consent_bundle::verify`] of the packed store
+///   (re-read and CRC-check every blob against the manifest);
+/// * `bundle_replay` — [`replay_campaign_bundle`] with the
+///   [`standard_exports`] provider: re-import the state from the bundle,
+///   recompute every analysis document, byte-compare all of them.
+///
+/// Like the other sweeps it is a correctness gate first: before any
+/// number is recorded it packs the same campaign built at every entry
+/// of [`threads`](Self::threads) and asserts the serialized manifests
+/// are byte-identical, and it asserts the workload's dedup ratio
+/// exceeds 1.0 — the multi-day × multi-vantage capture classes
+/// (connection failures, 451 blocks, anti-bot interstitials) must
+/// actually collapse into shared blobs.
+#[derive(Clone, Debug)]
+pub struct BundleBench {
+    /// Synthetic world size.
+    pub n_sites: u32,
+    /// Toplist entries crawled into the archived state.
+    pub domains: usize,
+    /// Vantage columns.
+    pub vantages: Vec<Vantage>,
+    /// Campaign days archived together (each adds one result to the
+    /// bundle's `artifacts` section).
+    pub days: Vec<Day>,
+    /// Thread counts the byte-identity precheck builds the campaign at.
+    pub threads: Vec<usize>,
+    /// Timed iterations per operation.
+    pub repeats: usize,
+    /// Root seed for world, toplist, and campaign.
+    pub seed: u64,
+    /// Keep the verify/replay bundle at this path instead of a scratch
+    /// directory (CI inspects the packed `MANIFEST` afterwards); `None`
+    /// packs into temp space and cleans up.
+    pub keep_dir: Option<PathBuf>,
+}
+
+impl Default for BundleBench {
+    /// The CI-sized workload: 48 domains × 2 vantages × 2 days over an
+    /// 800-site world — wide enough that the jitter-free capture
+    /// classes appear and dedup materializes — with the campaign built
+    /// at 1/2/4 threads for the identity precheck.
+    fn default() -> BundleBench {
+        BundleBench {
+            n_sites: 800,
+            domains: 48,
+            vantages: vec![Vantage::us_cloud(), Vantage::eu_cloud()],
+            days: vec![Day::from_ymd(2020, 5, 15), Day::from_ymd(2020, 5, 16)],
+            threads: vec![1, 2, 4],
+            repeats: 5,
+            seed: 42,
+            keep_dir: None,
+        }
+    }
+}
+
+/// The outcome of a [`BundleBench`] sweep: the timed records plus the
+/// dedup accounting measured during the identity precheck (identical
+/// across thread counts by the precheck's own assertion).
+#[derive(Clone, Debug)]
+pub struct BundleSweep {
+    /// One record per operation (`bundle_pack`, `bundle_verify`,
+    /// `bundle_replay`).
+    pub records: Vec<BenchRecord>,
+    /// Manifest dedup ratio (logical / stored bytes); the run already
+    /// asserted it exceeds 1.0.
+    pub dedup_ratio: f64,
+    /// Bytes the bundle represents (sum over references).
+    pub logical_bytes: u64,
+    /// Bytes actually stored after dedup.
+    pub stored_bytes: u64,
+}
+
+impl BundleBench {
+    /// Total `(domain, vantage)` pairs archived across all days.
+    pub fn pairs(&self) -> u64 {
+        (self.domains * self.vantages.len() * self.days.len()) as u64
+    }
+
+    /// Run the sweep and return its records and dedup accounting
+    /// (see [`BundleSweep`]).
+    ///
+    /// Uses the **global** telemetry registry like the other sweeps
+    /// (reset + enabled per operation, reset on exit; not
+    /// concurrency-safe). Panics if manifests diverge across thread
+    /// counts, if the dedup ratio does not exceed 1.0, or if any replay
+    /// is not byte-identical.
+    pub fn run(&self) -> BundleSweep {
+        let world = World::new(WorldConfig {
+            n_sites: self.n_sites,
+            seed: self.seed,
+            adoption: AdoptionConfig::default(),
+        });
+        let root = SeedTree::new(self.seed);
+        let list = build_toplist(&world, self.domains, root.child("toplist"));
+        let config = CampaignConfig {
+            fault_profile: FaultProfile::none(),
+            retry: RetryPolicy::paper(),
+            breaker: BreakerConfig::default(),
+        };
+        let campaign_seed = root.child("campaign");
+        let provider: &ExportFn = &standard_exports;
+        let last_day = *self.days.last().expect("bundle bench needs a day");
+
+        let crawl = |threads: usize| {
+            let runs: Vec<_> = self
+                .days
+                .iter()
+                .map(|&day| {
+                    run_campaign_parallel(
+                        &world,
+                        &list,
+                        day,
+                        &self.vantages,
+                        campaign_seed,
+                        &ParallelOpts {
+                            threads,
+                            config,
+                            max_pairs: None,
+                        },
+                    )
+                })
+                .collect();
+            assert!(
+                runs.iter().all(|r| r.complete),
+                "bundle bench campaign did not complete"
+            );
+            runs
+        };
+        let ctx = ArchiveContext::from_campaign(last_day, &list, &self.vantages, &campaign_seed);
+        let pack_to = |dir: &std::path::Path, runs: &[consent_crawler::CampaignRun]| {
+            let artifacts = CampaignArtifacts {
+                results: runs.iter().map(|r| &r.result).collect(),
+                ..CampaignArtifacts::default()
+            };
+            pack_campaign_bundle(
+                dir,
+                &runs[runs.len() - 1].state,
+                &ctx,
+                &artifacts,
+                Some(provider),
+            )
+        };
+
+        // Identity precheck: every thread count's campaign packs to the
+        // exact same manifest (addresses, order, stats — everything).
+        let mut baseline_manifest: Option<String> = None;
+        let mut runs = Vec::new();
+        let mut stats = None;
+        for &threads in &self.threads {
+            let these = crawl(threads.max(1));
+            let dir = bench_tmp_dir();
+            let (report, fsck) = pack_to(&dir, &these).expect("bundle pack");
+            assert!(fsck.clean(), "fresh pack failed fsck: {}", fsck.render());
+            assert!(
+                report.dedup_ratio() > 1.0,
+                "bundle workload produced no dedup — refusing to record: {}",
+                report.summary()
+            );
+            stats = Some(report.manifest.stats);
+            let manifest = report.manifest.serialize();
+            match &baseline_manifest {
+                None => baseline_manifest = Some(manifest),
+                Some(b) => assert!(
+                    *b == manifest,
+                    "bundle manifest diverged at {threads} threads — refusing to record"
+                ),
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+            runs = these;
+        }
+
+        let pairs = self.pairs();
+        let repeats = self.repeats.max(1) as u64;
+        let mut records = Vec::with_capacity(3);
+
+        consent_telemetry::reset();
+        consent_telemetry::enable();
+        let start = Instant::now();
+        for _ in 0..repeats {
+            let dir = bench_tmp_dir();
+            pack_to(&dir, &runs).expect("bundle pack");
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        records.push(CheckpointBench::record(
+            "bundle_pack",
+            pairs * repeats,
+            start.elapsed(),
+            "bundle.pack",
+        ));
+
+        let dir = self.keep_dir.clone().unwrap_or_else(bench_tmp_dir);
+        let (_, fsck) = pack_to(&dir, &runs).expect("bundle pack");
+        assert!(fsck.clean(), "{}", fsck.render());
+        let store = consent_bundle::open_chaos_bundle(&dir).expect("open bundle");
+
+        consent_telemetry::reset();
+        consent_telemetry::enable();
+        let start = Instant::now();
+        for _ in 0..repeats {
+            let report = consent_bundle::verify(&store).expect("bundle verify");
+            assert!(
+                report.clean(),
+                "packed bundle failed fsck: {}",
+                report.render()
+            );
+        }
+        records.push(CheckpointBench::record(
+            "bundle_verify",
+            pairs * repeats,
+            start.elapsed(),
+            "bundle.verify",
+        ));
+
+        consent_telemetry::reset();
+        consent_telemetry::enable();
+        let start = Instant::now();
+        for _ in 0..repeats {
+            let replay = replay_campaign_bundle(&dir, Some(provider)).expect("bundle replay");
+            assert!(
+                replay.ok(),
+                "replay diverged — refusing to record: {}",
+                replay.summary()
+            );
+        }
+        records.push(CheckpointBench::record(
+            "bundle_replay",
+            pairs * repeats,
+            start.elapsed(),
+            "bundle.replay",
+        ));
+
+        consent_telemetry::reset();
+        if self.keep_dir.is_none() {
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        let stats = stats.expect("bundle bench needs a thread count");
+        BundleSweep {
+            records,
+            dedup_ratio: stats.dedup_ratio(),
+            logical_bytes: stats.logical_bytes,
+            stored_bytes: stats.stored_bytes,
+        }
+    }
+
+    /// The workload object recorded next to the records.
+    pub fn workload(&self) -> Json {
+        Json::object([
+            ("n_sites".to_string(), Json::int(i64::from(self.n_sites))),
+            ("domains".to_string(), Json::int(self.domains as i64)),
+            (
+                "vantages".to_string(),
+                Json::array(self.vantages.iter().map(|v| Json::str(v.label()))),
+            ),
+            ("days".to_string(), Json::int(self.days.len() as i64)),
+            ("pairs".to_string(), Json::int(self.pairs() as i64)),
+            (
+                "threads".to_string(),
+                Json::array(self.threads.iter().map(|&t| Json::int(t as i64))),
+            ),
+            ("repeats".to_string(), Json::int(self.repeats.max(1) as i64)),
+            ("seed".to_string(), Json::int(self.seed as i64)),
+        ])
+    }
+
+    /// The complete `BENCH_bundle.json` document for a sweep: the
+    /// shared schema plus the measured dedup accounting under
+    /// `workload.dedup` (the acceptance gate `ratio > 1.0` is asserted
+    /// during [`BundleBench::run`] and recorded here for the CI schema
+    /// check).
+    pub fn document(&self, sweep: &BundleSweep) -> Json {
+        let mut workload = match self.workload() {
+            Json::Object(fields) => fields,
+            _ => unreachable!("workload is an object"),
+        };
+        workload.insert(
+            "dedup".to_string(),
+            Json::object([
+                ("ratio".to_string(), Json::Number(sweep.dedup_ratio)),
+                (
+                    "logical_bytes".to_string(),
+                    Json::int(sweep.logical_bytes as i64),
+                ),
+                (
+                    "stored_bytes".to_string(),
+                    Json::int(sweep.stored_bytes as i64),
+                ),
+            ]),
+        );
+        bench_document("bundle_archive", Json::Object(workload), &sweep.records)
+    }
+}
+
 /// A unique scratch directory for one bench run.
 pub(crate) fn bench_tmp_dir() -> PathBuf {
     use std::sync::atomic::{AtomicU64, Ordering};
@@ -1056,6 +1361,51 @@ mod tests {
             pairs_of("checkpoint_delta/progress=90"),
         );
         assert!(pairs_of("checkpoint_full/progress=90") > pairs_of("checkpoint_full/progress=10"));
+    }
+
+    #[test]
+    fn bundle_sweep_covers_pack_verify_and_replay() {
+        let bench = BundleBench {
+            threads: vec![1, 2],
+            repeats: 2,
+            ..BundleBench::default()
+        };
+        let sweep = bench.run();
+        assert_eq!(
+            sweep
+                .records
+                .iter()
+                .map(|r| r.name.as_str())
+                .collect::<Vec<_>>(),
+            vec!["bundle_pack", "bundle_verify", "bundle_replay"],
+        );
+        for r in &sweep.records {
+            assert_eq!(r.pairs, bench.pairs() * 2);
+            assert!(r.pairs_per_sec > 0.0);
+            assert!(r.p50_us <= r.p95_us);
+        }
+        assert!(sweep.dedup_ratio > 1.0);
+        assert!(sweep.stored_bytes < sweep.logical_bytes);
+        let doc = bench.document(&sweep);
+        let parsed = Json::parse(&doc.to_pretty()).expect("document parses");
+        assert_eq!(
+            parsed.get("bench").and_then(Json::as_str),
+            Some("bundle_archive")
+        );
+        assert_eq!(
+            parsed
+                .get("workload")
+                .and_then(|w| w.get("days"))
+                .and_then(Json::as_u32),
+            Some(2)
+        );
+        let ratio = parsed
+            .get("workload")
+            .and_then(|w| w.get("dedup"))
+            .and_then(|d| d.get("ratio"))
+            .and_then(Json::as_f64)
+            .expect("document records the dedup ratio");
+        assert!(ratio > 1.0, "recorded dedup ratio {ratio}");
     }
 
     #[test]

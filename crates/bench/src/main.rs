@@ -4,16 +4,23 @@
 //! counts, the checkpoint store across its write / open / salvage
 //! operations plus the delta-vs-full cut cost at 10/50/90% campaign
 //! progress, the flight-recorder sampler across its off / logical /
-//! wall modes, and the watchdog rule engine off vs on, prints human
+//! wall modes, the watchdog rule engine off vs on, and the campaign
+//! bundle across its pack / verify / replay operations, prints human
 //! summaries, and writes the machine-readable trajectory points
 //! (`BENCH_campaign.json`, `BENCH_checkpoint.json`, `BENCH_obs.json`,
-//! `BENCH_watch.json`). See `BENCHMARKS.md` for the schema.
+//! `BENCH_watch.json`, `BENCH_bundle.json`). See `BENCHMARKS.md` for
+//! the schema.
 //!
 //! ```text
 //! cargo run -p consent-bench --release
+//! cargo run -p consent-bench --release -- bundle
 //! cargo run -p consent-bench --release -- diff OLD.json NEW.json \
 //!     [--threshold PCT] [--threshold-p95 PCT]
 //! ```
+//!
+//! `bundle` runs only the bundle archival sweep — the CI `bundle` job
+//! uses it so the pack / verify / replay gate doesn't pay for the full
+//! campaign sweep.
 //!
 //! `diff` compares two trajectory points record-by-record and exits
 //! non-zero when any record's pairs/sec regressed by more than the
@@ -35,10 +42,14 @@
 //!   `BENCH_obs.json`)
 //! * `BENCH_WATCH_OUT` — watchdog-overhead output path (default
 //!   `BENCH_watch.json`)
+//! * `BENCH_BUNDLE_OUT` — bundle-archival output path (default
+//!   `BENCH_bundle.json`)
+//! * `BENCH_BUNDLE_DIR` — keep the verify/replay bundle at this path
+//!   instead of a deleted temp dir (CI fscks the kept `MANIFEST`)
 //! * `CONSENT_CHAOS` — chaos profile (`none`/`mild`/`heavy`), as everywhere
 
 use consent_bench::{
-    diff_documents, CampaignBench, CheckpointBench, ObsBench, SoakBench, WatchBench,
+    diff_documents, BundleBench, CampaignBench, CheckpointBench, ObsBench, SoakBench, WatchBench,
     DEFAULT_THRESHOLD_P95_PCT, DEFAULT_THRESHOLD_PCT,
 };
 use consent_faultsim::FaultProfile;
@@ -60,6 +71,10 @@ fn main() -> ExitCode {
     }
     if args.get(1).map(String::as_str) == Some("soak") {
         run_soak();
+        return ExitCode::SUCCESS;
+    }
+    if args.get(1).map(String::as_str) == Some("bundle") {
+        run_bundle();
         return ExitCode::SUCCESS;
     }
     run_sweeps();
@@ -254,6 +269,47 @@ fn run_sweeps() {
         println!("{name:<24} overhead vs off: {pct:+.2}%");
     }
     write_doc(&watch_out, &watch.document(&watch_records));
+
+    run_bundle();
+}
+
+/// The bundle archival sweep — the tail of the default invocation, and
+/// the whole of `consent-bench bundle`. `BENCH_BUNDLE_DIR` keeps the
+/// verify/replay bundle on disk for post-hoc manifest inspection (the
+/// CI `bundle` job re-fscks it from the spec in python).
+fn run_bundle() {
+    let bundle = BundleBench {
+        repeats: env_parse("BENCH_REPEATS", 5),
+        keep_dir: env::var("BENCH_BUNDLE_DIR").ok().map(Into::into),
+        ..BundleBench::default()
+    };
+    let bundle_out =
+        env::var("BENCH_BUNDLE_OUT").unwrap_or_else(|_| "BENCH_bundle.json".to_string());
+    eprintln!(
+        "bundle_archive: {} domains x {} vantages x {} days = {} pairs, \
+         identity at {:?} threads, {} repeats per operation",
+        bundle.domains,
+        bundle.vantages.len(),
+        bundle.days.len(),
+        bundle.pairs(),
+        bundle.threads,
+        bundle.repeats
+    );
+    let bundle_sweep = bundle.run();
+    for r in &bundle_sweep.records {
+        println!(
+            "{:<24} {:>12.1} {:>10} {:>10} {:>9}",
+            r.name, r.pairs_per_sec, r.p50_us, r.p95_us, "-"
+        );
+    }
+    println!(
+        "bundle dedup ratio: {:.3} ({} logical / {} stored bytes)",
+        bundle_sweep.dedup_ratio, bundle_sweep.logical_bytes, bundle_sweep.stored_bytes
+    );
+    if let Some(dir) = &bundle.keep_dir {
+        eprintln!("kept bundle at {}", dir.display());
+    }
+    write_doc(&bundle_out, &bundle.document(&bundle_sweep));
 }
 
 /// `consent-bench soak` — the storage-fault soak sweep, written to

@@ -1,0 +1,121 @@
+//! Content addresses: FNV-1a 64 paired with a CRC-32 check value.
+//!
+//! The primary address is the 64-bit FNV-1a hash of the blob's bytes —
+//! cheap, dependency-free, and stable across platforms. FNV is not
+//! collision-resistant, so every address carries the blob's CRC-32
+//! (the same polynomial the checkpoint container uses) as an
+//! independent check value: a collision would have to defeat both
+//! functions *and* the recorded length simultaneously, and `verify`
+//! recomputes all three. This is an integrity scheme against disk rot,
+//! not an authentication scheme against adversaries — the threat model
+//! of an archival store on trusted hardware.
+
+use std::fmt;
+
+use consent_util::crc32;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a 64-bit hash of `bytes`.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// The content address of one blob: FNV-1a 64 plus CRC-32.
+///
+/// Rendered as `<fnv:016x>-<crc:08x>` — 25 characters, filesystem-safe,
+/// and what blob filenames and manifest `blob=` lines carry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlobAddr {
+    /// FNV-1a 64 of the content.
+    pub fnv: u64,
+    /// CRC-32 of the content (independent check value).
+    pub crc: u32,
+}
+
+impl BlobAddr {
+    /// Address `bytes`.
+    pub fn of(bytes: &[u8]) -> BlobAddr {
+        BlobAddr {
+            fnv: fnv64(bytes),
+            crc: crc32(bytes),
+        }
+    }
+
+    /// Parse the `<fnv:016x>-<crc:08x>` rendering.
+    pub fn parse(s: &str) -> Option<BlobAddr> {
+        let (f, c) = s.split_once('-')?;
+        if f.len() != 16 || c.len() != 8 {
+            return None;
+        }
+        Some(BlobAddr {
+            fnv: u64::from_str_radix(f, 16).ok()?,
+            crc: u32::from_str_radix(c, 16).ok()?,
+        })
+    }
+
+    /// The two-hex-digit shard prefix blob files are grouped under
+    /// (`blobs/<prefix>/<addr>.blob`), from the address's top byte.
+    pub fn shard(&self) -> String {
+        format!("{:02x}", (self.fnv >> 56) as u8)
+    }
+}
+
+impl fmt::Display for BlobAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}-{:08x}", self.fnv, self.crc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv64_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn address_round_trips_through_display() {
+        let addr = BlobAddr::of(b"some blob body\n");
+        let parsed = BlobAddr::parse(&addr.to_string()).unwrap();
+        assert_eq!(parsed, addr);
+        assert_eq!(addr.to_string().len(), 25);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_addresses() {
+        assert!(BlobAddr::parse("").is_none());
+        assert!(BlobAddr::parse("deadbeef").is_none());
+        assert!(BlobAddr::parse("deadbeef-deadbeef").is_none());
+        assert!(BlobAddr::parse("zzzzzzzzzzzzzzzz-00000000").is_none());
+        let ok = BlobAddr::parse("00000000000000ff-0000ffff").unwrap();
+        assert_eq!((ok.fnv, ok.crc), (0xff, 0xffff));
+    }
+
+    #[test]
+    fn distinct_content_gets_distinct_addresses() {
+        let a = BlobAddr::of(b"a");
+        let b = BlobAddr::of(b"b");
+        assert_ne!(a, b);
+        assert_eq!(BlobAddr::of(b"a"), a, "addressing is pure");
+    }
+
+    #[test]
+    fn shard_prefix_is_two_hex_digits() {
+        let addr = BlobAddr::of(b"shard me");
+        let shard = addr.shard();
+        assert_eq!(shard.len(), 2);
+        assert!(addr.to_string().starts_with(&shard));
+    }
+}

@@ -1,0 +1,202 @@
+//! Replay primitives: reconstruct section documents and byte-compare.
+//!
+//! The bundle crate stays analysis-agnostic — it reconstructs the
+//! archived documents and pinpoints divergence; *what* to recompute is
+//! the replayer's business (the crawler's `archive` module re-imports
+//! campaign state and re-runs the `experiments::*` exports through a
+//! provider callback).
+
+use std::fmt;
+use std::io;
+
+use crate::manifest::Manifest;
+use crate::pack::BundleDoc;
+use crate::store::BlobStore;
+
+/// The first point where a recomputed document differs from the
+/// archived one. "Failing loudly" means naming the section, the
+/// document, the 1-based line, and both sides of the disagreement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DivergenceReport {
+    /// Owning manifest section.
+    pub section: String,
+    /// Document label within the section.
+    pub label: String,
+    /// 1-based line number of the first differing line.
+    pub line: usize,
+    /// The archived line (`None` when the recomputed document is
+    /// longer).
+    pub expected: Option<String>,
+    /// The recomputed line (`None` when the archived document is
+    /// longer).
+    pub actual: Option<String>,
+}
+
+impl fmt::Display for DivergenceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let show = |side: &Option<String>| match side {
+            Some(s) => format!("{s:?}"),
+            None => "<absent>".to_string(),
+        };
+        write!(
+            f,
+            "replay divergence in {}/{} line {}: archived {} vs recomputed {}",
+            self.section,
+            self.label,
+            self.line,
+            show(&self.expected),
+            show(&self.actual)
+        )
+    }
+}
+
+/// Byte-compare two documents, returning the first diverging line.
+///
+/// Byte-identical inputs (the goal state) return `None`. Inputs that
+/// differ only in trailing bytes after the last newline still diverge —
+/// the comparison is over raw lines, then total length.
+pub fn first_divergence(
+    section: &str,
+    label: &str,
+    expected: &str,
+    actual: &str,
+) -> Option<DivergenceReport> {
+    if expected == actual {
+        return None;
+    }
+    let mut exp = expected.lines();
+    let mut act = actual.lines();
+    let mut line = 0usize;
+    loop {
+        line += 1;
+        match (exp.next(), act.next()) {
+            (None, None) => {
+                // Same lines, different bytes (e.g. a missing trailing
+                // newline): report at the position past the last line.
+                return Some(DivergenceReport {
+                    section: section.to_string(),
+                    label: label.to_string(),
+                    line,
+                    expected: Some(format!("<{} bytes>", expected.len())),
+                    actual: Some(format!("<{} bytes>", actual.len())),
+                });
+            }
+            (e, a) if e != a => {
+                return Some(DivergenceReport {
+                    section: section.to_string(),
+                    label: label.to_string(),
+                    line,
+                    expected: e.map(str::to_string),
+                    actual: a.map(str::to_string),
+                });
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Reconstruct every document of `section` from the blob store, in
+/// manifest order. Unknown sections yield an empty list (a bundle may
+/// legitimately omit optional sections); unreadable or mismatched
+/// blobs are an error — run `verify` to localize them.
+pub fn read_section(
+    store: &BlobStore,
+    manifest: &Manifest,
+    section: &str,
+) -> io::Result<Vec<BundleDoc>> {
+    let Some(sec) = manifest.section(section) else {
+        return Ok(Vec::new());
+    };
+    let mut docs = Vec::with_capacity(sec.blobs.len());
+    for b in &sec.blobs {
+        let bytes = crate::store::retry_read(|| store.get(&b.addr)).map_err(|e| {
+            io::Error::new(
+                e.kind(),
+                format!("bundle section {section}/{}: {e}", b.label),
+            )
+        })?;
+        let body = String::from_utf8(bytes).map_err(|_| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bundle section {section}/{} is not UTF-8", b.label),
+            )
+        })?;
+        docs.push(BundleDoc {
+            label: b.label.clone(),
+            body,
+        });
+    }
+    Ok(docs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pack::{pack, BundleInput, SectionInput};
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn tmp_dir() -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "consent-bundle-replay-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    #[test]
+    fn identical_documents_do_not_diverge() {
+        assert!(first_divergence("s", "l", "a\nb\n", "a\nb\n").is_none());
+        assert!(first_divergence("s", "l", "", "").is_none());
+    }
+
+    #[test]
+    fn divergence_names_the_first_differing_line() {
+        let d = first_divergence("analysis", "timelines", "a\nb\nc\n", "a\nX\nc\n").unwrap();
+        assert_eq!(
+            (d.section.as_str(), d.label.as_str()),
+            ("analysis", "timelines")
+        );
+        assert_eq!(d.line, 2);
+        assert_eq!(d.expected.as_deref(), Some("b"));
+        assert_eq!(d.actual.as_deref(), Some("X"));
+        assert!(d.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn length_divergence_reports_the_absent_side() {
+        let d = first_divergence("s", "l", "a\n", "a\nb\n").unwrap();
+        assert_eq!(d.line, 2);
+        assert_eq!(d.expected, None);
+        assert_eq!(d.actual.as_deref(), Some("b"));
+        assert!(d.to_string().contains("<absent>"));
+
+        // Same lines, different trailing bytes.
+        let d = first_divergence("s", "l", "a\n", "a").unwrap();
+        assert!(d.expected.unwrap().contains("bytes"));
+    }
+
+    #[test]
+    fn read_section_round_trips_documents() {
+        let dir = tmp_dir();
+        let store = BlobStore::open(&dir).unwrap();
+        let input = BundleInput {
+            meta: vec![],
+            sections: vec![SectionInput {
+                name: "analysis".into(),
+                docs: vec![
+                    BundleDoc::new("timelines", "t1\nt2\n"),
+                    BundleDoc::new("quality", "total=5\n"),
+                ],
+            }],
+        };
+        let report = pack(&store, &input).unwrap();
+        let docs = read_section(&store, &report.manifest, "analysis").unwrap();
+        assert_eq!(docs, input.sections[0].docs);
+        assert!(read_section(&store, &report.manifest, "absent")
+            .unwrap()
+            .is_empty());
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+}

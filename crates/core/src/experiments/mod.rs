@@ -20,6 +20,7 @@
 
 use crate::Study;
 
+pub mod archive;
 pub mod fig1;
 pub mod fig10;
 pub mod fig5;

@@ -24,6 +24,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod archive;
 pub mod campaign;
 pub mod capture_db;
 pub mod dead_letter;
@@ -36,6 +37,10 @@ pub mod queue;
 pub mod resilience;
 pub mod supervisor;
 
+pub use archive::{
+    build_bundle_input, pack_campaign_bundle, replay_campaign_bundle, ArchiveContext,
+    CampaignArtifacts, ExportFn, ReplayReport, CONFIG_HEADER,
+};
 pub use campaign::{
     build_toplist, resume_campaign, run_campaign, run_campaign_with, CampaignCapture,
     CampaignConfig, CampaignResult, CampaignRun, CampaignState,
@@ -46,7 +51,7 @@ pub use capture_db::{
 pub use dead_letter::{vantage_code, vantage_from, AttemptRecord, DeadLetter, DeadLetterQueue};
 pub use durable::{
     delta_state_sections, open_chaos_store, recover_state, run_durable_campaign, state_sections,
-    CheckpointMode, DeltaMarks, DurableOpts, DurableOutcome, DurableRun, SECTION_DB,
+    BundleSpec, CheckpointMode, DeltaMarks, DurableOpts, DurableOutcome, DurableRun, SECTION_DB,
     SECTION_DB_DELTA, SECTION_DEAD_LETTERS, SECTION_DEAD_LETTERS_DELTA, SECTION_DELTA_META,
     SECTION_META, SECTION_PROVENANCE, SECTION_PROVENANCE_DELTA, SECTION_TRACE, SECTION_TRACE_DELTA,
 };

@@ -3,7 +3,7 @@
 //!
 //! Built from the two things the recorder leaves behind — the sampled
 //! [`TimeSeries`] and a cumulative end-of-run [`Snapshot`] delta — the
-//! report has four sections:
+//! report has six sections:
 //!
 //! 1. **Phase breakdown**: time spent per instrumented span (pair
 //!    processing, engine capture, checkpoint writes/opens, …).
@@ -15,7 +15,10 @@
 //!    IO faults, retries, skipped writes, store-maintenance counters,
 //!    and every degradation-ladder descent with the window that first
 //!    recorded it.
-//! 5. **Slowest windows**: the sample windows whose `campaign.pair`
+//! 5. **Archive health** (only when a bundle was packed or replayed):
+//!    pack/dedup totals, scrub repairs, and replay divergences from the
+//!    `bundle.*` counters.
+//! 6. **Slowest windows**: the sample windows whose `campaign.pair`
 //!    latency was worst (wall mode; logical mode falls back to the
 //!    cumulative `campaign.pair` quantiles, since per-window durations
 //!    are outside the determinism boundary).
@@ -134,6 +137,75 @@ impl StorageHealth {
     }
 }
 
+/// Archive-health totals: what the bundle packer, verifier, and
+/// replayer reported through the `bundle.*` counters. Omitted entirely
+/// when no bundle activity happened during the run.
+#[derive(Clone, Debug, Default)]
+pub struct ArchiveHealth {
+    /// Bundles packed and verified clean (`bundle.packed`).
+    pub packed: u64,
+    /// Packs skipped because storage had degraded to memory-only
+    /// (`bundle.pack.skipped`).
+    pub packs_skipped: u64,
+    /// Packs that failed outright (`bundle.pack.failures`).
+    pub pack_failures: u64,
+    /// Blobs physically written to the store (`bundle.blobs_written`).
+    pub blobs_written: u64,
+    /// Blobs deduplicated against already-stored content
+    /// (`bundle.blobs_deduped`).
+    pub blobs_deduped: u64,
+    /// Logical bytes addressed by all manifests (`bundle.bytes_logical`).
+    pub bytes_logical: u64,
+    /// Bytes actually stored after dedup (`bundle.bytes_stored`).
+    pub bytes_stored: u64,
+    /// Corrupt blobs found by fsck (`bundle.verify.failures`).
+    pub verify_failures: u64,
+    /// Read faults absorbed by the bundle retry layer
+    /// (`bundle.read.fault`).
+    pub read_faults: u64,
+    /// Write faults absorbed by the bundle retry layer
+    /// (`bundle.write.fault`).
+    pub write_faults: u64,
+    /// Scrub rounds run by verified packing (`bundle.scrub.rounds`).
+    pub scrub_rounds: u64,
+    /// Condemned blobs repaired by the scrub loop
+    /// (`bundle.scrub.repaired`).
+    pub scrub_repaired: u64,
+    /// Bundle replays executed (`bundle.replayed`).
+    pub replays: u64,
+    /// Replays that diverged from the archived documents
+    /// (`bundle.replay.divergence`).
+    pub replay_divergences: u64,
+}
+
+impl ArchiveHealth {
+    /// True when no bundle was packed, replayed, skipped, or failed —
+    /// the section carries no information then and is omitted.
+    pub fn is_quiet(&self) -> bool {
+        self.packed == 0 && self.packs_skipped == 0 && self.pack_failures == 0 && self.replays == 0
+    }
+
+    /// True when every pack verified clean, nothing was skipped or
+    /// repaired under duress, and no replay diverged.
+    pub fn is_healthy(&self) -> bool {
+        self.packs_skipped == 0
+            && self.pack_failures == 0
+            && self.verify_failures == 0
+            && self.scrub_repaired == 0
+            && self.replay_divergences == 0
+    }
+
+    /// Blob-level dedup ratio (logical / stored bytes); 1.0 when
+    /// nothing was stored.
+    pub fn dedup_ratio(&self) -> f64 {
+        if self.bytes_stored == 0 {
+            1.0
+        } else {
+            self.bytes_logical as f64 / self.bytes_stored as f64
+        }
+    }
+}
+
 /// One watchdog alert surfaced in the report's alerts section: a full
 /// lifecycle aggregated per stable alert id (produced by
 /// `consent-watch`, attached via [`FlightReport::with_alerts`]).
@@ -181,6 +253,9 @@ pub struct FlightReport {
     pub faults: Vec<FaultRow>,
     /// Storage health and degradation events (`None` on a quiet run).
     pub storage: Option<StorageHealth>,
+    /// Bundle pack/verify/replay health (`None` when no bundle
+    /// activity happened).
+    pub archive: Option<ArchiveHealth>,
     /// Watchdog alerts (empty without a watch; see
     /// [`with_alerts`](FlightReport::with_alerts)).
     pub alerts: Vec<FlightAlert>,
@@ -307,6 +382,24 @@ impl FlightReport {
         };
         let storage = (!storage.is_quiet()).then_some(storage);
 
+        let archive = ArchiveHealth {
+            packed: total.counter("bundle.packed"),
+            packs_skipped: total.counter("bundle.pack.skipped"),
+            pack_failures: total.counter("bundle.pack.failures"),
+            blobs_written: total.counter("bundle.blobs_written"),
+            blobs_deduped: total.counter("bundle.blobs_deduped"),
+            bytes_logical: total.counter("bundle.bytes_logical"),
+            bytes_stored: total.counter("bundle.bytes_stored"),
+            verify_failures: total.counter("bundle.verify.failures"),
+            read_faults: total.counter("bundle.read.fault"),
+            write_faults: total.counter("bundle.write.fault"),
+            scrub_rounds: total.counter("bundle.scrub.rounds"),
+            scrub_repaired: total.counter("bundle.scrub.repaired"),
+            replays: total.counter("bundle.replayed"),
+            replay_divergences: total.counter("bundle.replay.divergence"),
+        };
+        let archive = (!archive.is_quiet()).then_some(archive);
+
         let mut slowest: Vec<SlowWindow> = samples
             .iter()
             .filter_map(|s| {
@@ -329,6 +422,7 @@ impl FlightReport {
             throughput,
             faults,
             storage,
+            archive,
             alerts: Vec::new(),
             slowest,
             pair_total: total.histograms.get("campaign.pair").copied(),
@@ -460,6 +554,38 @@ impl FlightReport {
                     "  degraded -> {} x{}{at}\n",
                     d.level,
                     thousands(d.count)
+                ));
+            }
+        }
+
+        if let Some(ah) = &self.archive {
+            out.push_str(&format!(
+                "\nArchive health: {} bundle(s) packed, {} blob(s) written, \
+                 {} deduped, dedup ratio {:.3}\n",
+                thousands(ah.packed),
+                thousands(ah.blobs_written),
+                thousands(ah.blobs_deduped),
+                ah.dedup_ratio(),
+            ));
+            if ah.replays > 0 {
+                out.push_str(&format!(
+                    "  replay: {} run(s), {} divergence(s)\n",
+                    thousands(ah.replays),
+                    thousands(ah.replay_divergences),
+                ));
+            }
+            if !ah.is_healthy() {
+                out.push_str(&format!(
+                    "  trouble: {} pack(s) skipped, {} pack failure(s), \
+                     {} corrupt blob(s) found, {} repaired over {} scrub round(s), \
+                     {} read / {} write fault(s) absorbed\n",
+                    thousands(ah.packs_skipped),
+                    thousands(ah.pack_failures),
+                    thousands(ah.verify_failures),
+                    thousands(ah.scrub_repaired),
+                    thousands(ah.scrub_rounds),
+                    thousands(ah.read_faults),
+                    thousands(ah.write_faults),
                 ));
             }
         }
@@ -631,6 +757,61 @@ impl FlightReport {
                             }
                             Json::object(f)
                         })),
+                    ),
+                ]),
+            ));
+        }
+        if let Some(ah) = &self.archive {
+            fields.push((
+                "archive_health".to_string(),
+                Json::object([
+                    ("packed".to_string(), Json::int(ah.packed as i64)),
+                    (
+                        "packs_skipped".to_string(),
+                        Json::int(ah.packs_skipped as i64),
+                    ),
+                    (
+                        "pack_failures".to_string(),
+                        Json::int(ah.pack_failures as i64),
+                    ),
+                    (
+                        "blobs_written".to_string(),
+                        Json::int(ah.blobs_written as i64),
+                    ),
+                    (
+                        "blobs_deduped".to_string(),
+                        Json::int(ah.blobs_deduped as i64),
+                    ),
+                    (
+                        "bytes_logical".to_string(),
+                        Json::int(ah.bytes_logical as i64),
+                    ),
+                    (
+                        "bytes_stored".to_string(),
+                        Json::int(ah.bytes_stored as i64),
+                    ),
+                    ("dedup_ratio".to_string(), Json::Number(ah.dedup_ratio())),
+                    (
+                        "verify_failures".to_string(),
+                        Json::int(ah.verify_failures as i64),
+                    ),
+                    ("read_faults".to_string(), Json::int(ah.read_faults as i64)),
+                    (
+                        "write_faults".to_string(),
+                        Json::int(ah.write_faults as i64),
+                    ),
+                    (
+                        "scrub_rounds".to_string(),
+                        Json::int(ah.scrub_rounds as i64),
+                    ),
+                    (
+                        "scrub_repaired".to_string(),
+                        Json::int(ah.scrub_repaired as i64),
+                    ),
+                    ("replays".to_string(), Json::int(ah.replays as i64)),
+                    (
+                        "replay_divergences".to_string(),
+                        Json::int(ah.replay_divergences as i64),
                     ),
                 ]),
             ));
@@ -861,6 +1042,75 @@ mod tests {
                 .and_then(Json::as_array)
                 .map(|a| a.len()),
             Some(2)
+        );
+    }
+
+    #[test]
+    fn archive_health_section_surfaces_bundle_activity() {
+        let mut ts = TimeSeries::new(16);
+        ts.push(sample(10, 10, &[]));
+
+        // No bundle counters: section omitted entirely.
+        let report = FlightReport::build(&ts, &total_snapshot());
+        assert!(report.archive.is_none());
+        assert!(!report.render().contains("Archive health"));
+
+        let mut total = total_snapshot();
+        total.counters.insert("bundle.packed".to_string(), 1);
+        total
+            .counters
+            .insert("bundle.blobs_written".to_string(), 40);
+        total.counters.insert("bundle.blobs_deduped".to_string(), 8);
+        total
+            .counters
+            .insert("bundle.bytes_logical".to_string(), 3000);
+        total
+            .counters
+            .insert("bundle.bytes_stored".to_string(), 2000);
+        total.counters.insert("bundle.scrub.rounds".to_string(), 1);
+        total.counters.insert("bundle.replayed".to_string(), 1);
+
+        let report = FlightReport::build(&ts, &total);
+        let ah = report.archive.as_ref().expect("archive section present");
+        assert!(!ah.is_quiet());
+        assert!(ah.is_healthy(), "a clean pack+replay is healthy");
+        assert_eq!((ah.packed, ah.blobs_written, ah.blobs_deduped), (1, 40, 8));
+        assert!((ah.dedup_ratio() - 1.5).abs() < 1e-9);
+        let text = report.render();
+        assert!(text.contains("Archive health"));
+        assert!(text.contains("dedup ratio 1.500"));
+        assert!(text.contains("replay: 1 run(s), 0 divergence(s)"));
+        assert!(!text.contains("trouble:"), "healthy run hides trouble line");
+
+        // Trouble counters flip is_healthy and surface the detail line.
+        total
+            .counters
+            .insert("bundle.verify.failures".to_string(), 2);
+        total
+            .counters
+            .insert("bundle.scrub.repaired".to_string(), 2);
+        total
+            .counters
+            .insert("bundle.replay.divergence".to_string(), 1);
+        let report = FlightReport::build(&ts, &total);
+        let ah = report.archive.as_ref().unwrap();
+        assert!(!ah.is_healthy());
+        let text = report.render();
+        assert!(text.contains("trouble:"));
+        assert!(text.contains("2 corrupt blob(s) found"));
+
+        let json = report.to_json();
+        let ah_json = json.get("archive_health").expect("json section");
+        assert_eq!(ah_json.get("packed").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(
+            ah_json.get("dedup_ratio").and_then(Json::as_f64),
+            Some(1.5),
+            "{}",
+            json.to_pretty()
+        );
+        assert_eq!(
+            ah_json.get("replay_divergences").and_then(Json::as_f64),
+            Some(1.0)
         );
     }
 

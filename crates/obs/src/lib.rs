@@ -34,8 +34,8 @@ pub mod sampler;
 pub mod series;
 
 pub use flight::{
-    DegradeRow, FaultRow, FlightAlert, FlightReport, PhaseRow, SlowWindow, StorageHealth,
-    ThroughputPoint,
+    ArchiveHealth, DegradeRow, FaultRow, FlightAlert, FlightReport, PhaseRow, SlowWindow,
+    StorageHealth, ThroughputPoint,
 };
 pub use sampler::{ObsConfig, SampleMode, Sampler, SamplerHandle, DEFAULT_DENY};
 pub use series::{ObsSample, TimeSeries, OBS_SCHEMA_VERSION};

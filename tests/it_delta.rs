@@ -381,3 +381,33 @@ fn committed_v2_fixture_imports_and_upgrades_to_v3() {
     // header.
     assert!(!v3.contains("#consent-capture-db v2"));
 }
+
+/// The committed v3 columnar fixture pins the *current* on-disk
+/// grammar: the host table, shard headers, and per-column lines must
+/// re-export byte-for-byte. Any accidental format drift (reordered
+/// columns, changed separators, new header fields) fails here before
+/// it silently invalidates every archived checkpoint and bundle.
+#[test]
+fn committed_v3_fixture_pins_the_columnar_grammar() {
+    let text = include_str!("fixtures/capture_db_v3.txt");
+    let db = import_db(text).expect("committed v3 fixture must import");
+    assert_eq!(db.len(), 20);
+    assert_eq!(db.domain_count(), 8);
+    assert!(
+        export_db(&db) == text,
+        "v3 re-export drifted from the committed fixture bytes"
+    );
+
+    // The fixture is the upgraded form of the v2 fixture: both commit
+    // the same logical database, so the upgrade path is pinned too.
+    let v2 = import_db(include_str!("fixtures/capture_db_v2.txt")).unwrap();
+    assert!(
+        export_db(&v2) == text,
+        "v2 upgrade no longer produces the committed v3 bytes"
+    );
+
+    // Spot-check the columnar round-trip kept the histories intact.
+    let hist = db.domain_history("travel.example");
+    assert_eq!(hist.len(), 3);
+    assert!(hist[2].dialog_visible);
+}
